@@ -1,0 +1,103 @@
+// Ablation (beyond the paper's tables, motivated by its §III design
+// claims): what each search-space ingredient is worth.  MCFuser variants:
+//   full            — deep + flat tilings, extent-1 hoisting
+//   no-flat         — deep only (Chimera's space)
+//   no-collapse     — no extent-1 hoisting (Ansor/Chimera's §II-B gap)
+//   no-hoist        — memory statements pinned at their computes
+// and what each pruning rule buys in space size / tuning effort.
+#include <cstdio>
+
+#include "common.hpp"
+#include "search/mcfuser.hpp"
+#include "support/stats.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+using namespace mcf;
+
+double fuse_time(const GpuSpec& gpu, const ChainSpec& chain,
+                 const MCFuserOptions& opts) {
+  const FusionResult r = MCFuser(gpu, opts).fuse(chain);
+  return r.ok ? r.tuned.best_time_s : -1.0;
+}
+
+int main_impl() {
+  const GpuSpec gpu = a100();
+  std::vector<ChainSpec> workloads;
+  for (const auto& c : gemm_chain_suite()) workloads.push_back(c);
+  workloads.push_back(attention_suite()[1]);  // S2
+  workloads.push_back(attention_suite()[6]);  // S7
+
+  Table table("Ablation — kernel slowdown when removing each ingredient "
+              "(geomean over G1-G12, S2, S7; 1.00 = full MCFuser)");
+  table.set_header({"variant", "slowdown", "notes"});
+
+  MCFuserOptions full;
+  MCFuserOptions no_flat;
+  no_flat.space.include_flat = false;
+  MCFuserOptions no_collapse;
+  no_collapse.sched.collapse_unit_loops = false;
+  MCFuserOptions no_hoist;
+  no_hoist.sched.hoist = false;
+
+  std::vector<double> base_times;
+  std::vector<std::pair<std::string, MCFuserOptions>> variants = {
+      {"no flat tilings (Chimera space)", no_flat},
+      {"no extent-1 hoisting", no_collapse},
+      {"no hoisting at all", no_hoist},
+  };
+  std::vector<std::vector<double>> ratios(variants.size());
+  for (const ChainSpec& chain : workloads) {
+    const double base = fuse_time(gpu, chain, full);
+    if (base <= 0) {
+      std::fprintf(stderr, "full MCFuser failed on %s\n", chain.name().c_str());
+      return 1;
+    }
+    base_times.push_back(base);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const double t = fuse_time(gpu, chain, variants[v].second);
+      ratios[v].push_back(t > 0 ? t / base : 10.0);
+    }
+  }
+  table.add_row({"full MCFuser", "1.00", "reference"});
+  const char* notes[] = {"paper §III-A claim", "paper Fig.4(b)/5(b) claim",
+                         "paper Fig.4(a) baseline"};
+  double worst = 0.0;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const double slow = geomean(ratios[v]);
+    worst = std::max(worst, slow);
+    table.add_row({variants[v].first, Table::num(slow, 3), notes[v]});
+  }
+  if (!mcf::bench::emit(table, "ablation_space")) return 1;
+  if (worst < 1.005) {
+    std::fprintf(stderr, "ablations should cost something somewhere\n");
+    return 1;
+  }
+
+  // ---- pruning-rule ablation on the Fig. 7 example -------------------------
+  Table prune_table("Ablation — pruning rules on the Fig.7 chain "
+                    "(space size after materialisation)");
+  prune_table.set_header({"configuration", "#candidates"});
+  const ChainSpec fig7 = ChainSpec::gemm_chain("fig7", 1, 1024, 1024, 512, 512);
+  auto space_size = [&](PruneOptions p) {
+    p.smem_limit_bytes = gpu.smem_per_block;
+    return SearchSpace(fig7, SpaceOptions{}, p).candidates().size();
+  };
+  PruneOptions all_rules;
+  PruneOptions no_r1 = all_rules;
+  no_r1.rule1_dedup = false;
+  PruneOptions no_r3 = all_rules;
+  no_r3.rule3_max_pad_ratio = 1.0;  // keep rule3 structure, allow any pad
+  PruneOptions no_r4 = all_rules;
+  no_r4.rule4_smem = false;
+  prune_table.add_row({"all rules", std::to_string(space_size(all_rules))});
+  prune_table.add_row({"without rule 1", std::to_string(space_size(no_r1))});
+  prune_table.add_row({"without rule 3 ratio", std::to_string(space_size(no_r3))});
+  prune_table.add_row({"without rule 4", std::to_string(space_size(no_r4))});
+  return mcf::bench::emit(prune_table, "ablation_prune") ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,68 @@
+// Reproduces paper Fig. 11: analytical-model estimate vs simulated
+// measurement for scheduled candidates of G1-G4 (correlation coefficients
+// 0.86 / 0.92 / 0.84 / 0.80 in the paper).
+#include <cstdio>
+
+#include "common.hpp"
+#include "gpu/timing.hpp"
+#include "model/analytical.hpp"
+#include "search/space.hpp"
+#include "support/stats.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+using namespace mcf;
+
+int main_impl() {
+  const GpuSpec gpu = a100();
+  const AnalyticalModel model(gpu);
+  const TimingSimulator sim(gpu);
+
+  Table table("Fig.11 — analytical estimate vs measurement, G1-G4 (A100)");
+  table.set_header({"workload", "samples", "pearson", "spearman",
+                    "best measured (us)", "est of best (us)"});
+  const auto suite = gemm_chain_suite();
+  double worst_corr = 1.0;
+  for (int i = 0; i < 4; ++i) {
+    const ChainSpec& chain = suite[static_cast<std::size_t>(i)];
+    PruneOptions prune;
+    prune.smem_limit_bytes = gpu.smem_per_block;
+    const SearchSpace space(chain, SpaceOptions{}, prune);
+    std::vector<double> est;
+    std::vector<double> meas;
+    const auto& cands = space.candidates();
+    const std::size_t step = std::max<std::size_t>(1, cands.size() / 200);
+    double best_t = 1e30;
+    double best_est = 0.0;
+    for (std::size_t k = 0; k < cands.size(); k += step) {
+      const Schedule s = space.schedule_for(cands[k]);
+      const auto m = sim.measure(s);
+      if (!m.ok) continue;
+      const double e = model.estimate(s).time_s;
+      est.push_back(e);
+      meas.push_back(m.time_s);
+      if (m.time_s < best_t) {
+        best_t = m.time_s;
+        best_est = e;
+      }
+    }
+    const double corr = pearson(est, meas);
+    worst_corr = std::min(worst_corr, corr);
+    table.add_row({chain.name(), std::to_string(est.size()),
+                   Table::num(corr, 3), Table::num(spearman(est, meas), 3),
+                   Table::num(best_t * 1e6, 2), Table::num(best_est * 1e6, 2)});
+  }
+  if (!mcf::bench::emit(table, "fig11")) return 1;
+
+  // Paper band: correlations 0.8-0.92.
+  if (worst_corr < 0.6) {
+    std::fprintf(stderr, "model correlation below expected band\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,66 @@
+// Reproduces paper Fig. 8 (c)/(d): self-attention modules S1-S9 on A100
+// and RTX 3080, performance normalized to PyTorch (FlashAttention column
+// included).
+#include <cstdio>
+
+#include "common.hpp"
+#include "subgraph_runner.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace mcf;
+using namespace mcf::bench;
+
+int run_gpu(const GpuSpec& gpu, const char* fig_tag) {
+  Table table(std::string("Fig.8") + fig_tag + " — self-attention on " + gpu.name +
+              " (normalized to PyTorch, higher is better)");
+  table.set_header({"workload", "PyTorch(us)", "PyTorch", "Ansor", "BOLT",
+                    "FlashAttention", "MCFuser-Chimera", "MCFuser"});
+  std::vector<double> ansor_sp;
+  std::vector<double> flash_sp;
+  std::vector<double> chim_sp;
+  std::vector<double> mcf_sp;
+  for (const ChainSpec& chain : attention_suite()) {
+    const SubgraphRow row = run_subgraph(gpu, chain, /*with_flash=*/true);
+    if (row.mcfuser_s <= 0.0) {
+      std::fprintf(stderr, "MCFuser failed on %s\n", chain.name().c_str());
+      return 1;
+    }
+    const double pt = row.pytorch_s;
+    ansor_sp.push_back(pt / row.ansor_s);
+    flash_sp.push_back(pt / *row.flash_s);
+    chim_sp.push_back(pt / row.chimera_s);
+    mcf_sp.push_back(pt / row.mcfuser_s);
+    table.add_row({chain.name(), Table::num(pt * 1e6, 1), "1.00",
+                   Table::num(pt / row.ansor_s, 2),
+                   row.bolt_s ? Table::num(pt / *row.bolt_s, 2) + " (unfused)"
+                              : "n/a (sm86)",
+                   Table::num(pt / *row.flash_s, 2),
+                   Table::num(pt / row.chimera_s, 2),
+                   Table::num(pt / row.mcfuser_s, 2)});
+  }
+  table.add_row({"geomean", "-", "1.00", Table::num(geomean(ansor_sp), 2), "-",
+                 Table::num(geomean(flash_sp), 2), Table::num(geomean(chim_sp), 2),
+                 Table::num(geomean(mcf_sp), 2)});
+  if (!emit(table, std::string("fig8") + fig_tag + "_attention_" + gpu.name)) {
+    return 1;
+  }
+
+  // Shape checks (paper §VI-B2): MCFuser beats PyTorch, Ansor and
+  // FlashAttention on average.
+  if (geomean(mcf_sp) < 2.0 || geomean(mcf_sp) < geomean(ansor_sp) ||
+      geomean(mcf_sp) < geomean(flash_sp)) {
+    std::fprintf(stderr, "attention ordering violated\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (run_gpu(mcf::a100(), "c")) return 1;
+  if (run_gpu(mcf::rtx3080(), "d")) return 1;
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 8 (a)/(b): batch GEMM chains G1-G12 on A100 and
+// RTX 3080, performance normalized to PyTorch.
+#include <cstdio>
+
+#include "common.hpp"
+#include "subgraph_runner.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace mcf;
+using namespace mcf::bench;
+
+int run_gpu(const GpuSpec& gpu, const char* fig_tag) {
+  Table table(std::string("Fig.8") + fig_tag + " — GEMM chains on " + gpu.name +
+              " (normalized to PyTorch, higher is better)");
+  table.set_header({"workload", "PyTorch(us)", "PyTorch", "Ansor", "BOLT",
+                    "MCFuser-Chimera", "MCFuser", "MCF vs Ansor"});
+  std::vector<double> ansor_sp;
+  std::vector<double> chim_sp;
+  std::vector<double> mcf_sp;
+  std::vector<double> bolt_sp;
+  for (const ChainSpec& chain : gemm_chain_suite()) {
+    const SubgraphRow row = run_subgraph(gpu, chain, /*with_flash=*/false);
+    if (row.mcfuser_s <= 0.0) {
+      std::fprintf(stderr, "MCFuser failed on %s\n", chain.name().c_str());
+      return 1;
+    }
+    const double pt = row.pytorch_s;
+    ansor_sp.push_back(pt / row.ansor_s);
+    chim_sp.push_back(pt / row.chimera_s);
+    mcf_sp.push_back(pt / row.mcfuser_s);
+    if (row.bolt_s) bolt_sp.push_back(pt / *row.bolt_s);
+    table.add_row({chain.name(), Table::num(pt * 1e6, 1), "1.00",
+                   Table::num(pt / row.ansor_s, 2) + (row.ansor_fused ? "" : " (unfused)"),
+                   row.bolt_s ? Table::num(pt / *row.bolt_s, 2) : "n/a (sm86)",
+                   Table::num(pt / row.chimera_s, 2),
+                   Table::num(pt / row.mcfuser_s, 2),
+                   Table::num(row.ansor_s / row.mcfuser_s, 2) + "x"});
+  }
+  table.add_row({"geomean", "-", "1.00", Table::num(geomean(ansor_sp), 2),
+                 bolt_sp.empty() ? "n/a" : Table::num(geomean(bolt_sp), 2),
+                 Table::num(geomean(chim_sp), 2), Table::num(geomean(mcf_sp), 2),
+                 Table::num(geomean(mcf_sp) / geomean(ansor_sp), 2) + "x"});
+  if (!emit(table, std::string("fig8") + fig_tag + "_gemm_" + gpu.name)) return 1;
+
+  // Shape checks: MCFuser wins on average and never trails Chimera badly.
+  if (geomean(mcf_sp) < 1.5) {
+    std::fprintf(stderr, "MCFuser speedup over PyTorch too small\n");
+    return 1;
+  }
+  if (geomean(mcf_sp) + 0.02 < geomean(chim_sp)) {
+    std::fprintf(stderr, "MCFuser must not lose to its restricted space\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (run_gpu(mcf::a100(), "a")) return 1;
+  if (run_gpu(mcf::rtx3080(), "b")) return 1;
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 9: end-to-end BERT on A100 — Relay, BOLT,
+// MCFuser+Relay, Ansor, MCFuser+Ansor (normalized to Relay; the paper
+// annotates MCFuser+Relay/Relay and MCFuser+Ansor/Ansor).
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/bert.hpp"
+#include "graph/executor.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace mcf;
+using namespace mcf::bench;
+
+GraphRunResult run(const GpuSpec& gpu, const NetGraph& g, GraphBackend backend,
+                   bool fuse) {
+  GraphExecOptions opts;
+  opts.backend = backend;
+  opts.use_mcfuser = fuse;
+  GraphExecutor ex(gpu, opts);
+  return ex.run(g);
+}
+
+int main_impl() {
+  const GpuSpec gpu = a100();
+  Table table("Fig.9 — end-to-end BERT on A100 (normalized to Relay)");
+  table.set_header({"model", "Relay(ms)", "BOLT", "Relay", "MCFuser+Relay",
+                    "Ansor", "MCFuser+Ansor", "MCF+Relay/Relay",
+                    "MCF+Ansor/Ansor"});
+  std::vector<double> r1;
+  std::vector<double> r2;
+  for (const BertConfig& cfg : bert_suite()) {
+    const NetGraph g = build_bert(cfg);
+    const double relay = run(gpu, g, GraphBackend::Relay, false).time_s;
+    const double bolt = run(gpu, g, GraphBackend::Bolt, false).time_s;
+    const double mcf_relay = run(gpu, g, GraphBackend::Relay, true).time_s;
+    const double ansor = run(gpu, g, GraphBackend::Ansor, false).time_s;
+    const double mcf_ansor = run(gpu, g, GraphBackend::Ansor, true).time_s;
+    r1.push_back(relay / mcf_relay);
+    r2.push_back(ansor / mcf_ansor);
+    table.add_row({cfg.name, Table::num(relay * 1e3, 2),
+                   Table::num(relay / bolt, 2), "1.00",
+                   Table::num(relay / mcf_relay, 2),
+                   Table::num(relay / ansor, 2),
+                   Table::num(relay / mcf_ansor, 2),
+                   Table::num(relay / mcf_relay, 2) + "x",
+                   Table::num(ansor / mcf_ansor, 2) + "x"});
+  }
+  table.add_row({"average", "-", "-", "1.00", Table::num(geomean(r1), 2),
+                 "-", "-", Table::num(geomean(r1), 2) + "x",
+                 Table::num(geomean(r2), 2) + "x"});
+  if (!emit(table, "fig9")) return 1;
+
+  // Paper band: MCFuser+Relay 1.42-1.50x, MCFuser+Ansor 1.21-1.40x.
+  if (geomean(r1) < 1.1 || geomean(r2) < 1.1) {
+    std::fprintf(stderr, "end-to-end speedups below the expected band\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

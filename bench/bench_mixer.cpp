@@ -1,0 +1,56 @@
+// Extension experiment (the paper's §VI-D future work: "expand MCFuser's
+// framework to include a broader array of operators"): end-to-end
+// MLP-Mixer, whose token-mixing MLP (matmul -> GeLU -> matmul over the
+// patch dimension) is an MBCI chain.  Same pipeline as Fig. 9.
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/executor.hpp"
+#include "graph/mixer.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace mcf;
+
+int main_impl() {
+  const GpuSpec gpu = a100();
+  Table table("Extension — end-to-end MLP-Mixer on A100 (normalized to Relay)");
+  table.set_header({"model", "Relay(ms)", "Relay", "MCFuser+Relay", "Ansor",
+                    "MCFuser+Ansor", "token-MLP time share"});
+  std::vector<double> gains;
+  for (const MixerConfig& cfg : {mixer_small(), mixer_base()}) {
+    const NetGraph g = build_mixer(cfg);
+    auto run = [&](GraphBackend b, bool fuse) {
+      GraphExecOptions opts;
+      opts.backend = b;
+      opts.use_mcfuser = fuse;
+      GraphExecutor ex(gpu, opts);
+      return ex.run(g);
+    };
+    const GraphRunResult relay = run(GraphBackend::Relay, false);
+    const GraphRunResult mcf_relay = run(GraphBackend::Relay, true);
+    const GraphRunResult ansor = run(GraphBackend::Ansor, false);
+    const GraphRunResult mcf_ansor = run(GraphBackend::Ansor, true);
+    gains.push_back(relay.time_s / mcf_relay.time_s);
+    table.add_row({cfg.name, Table::num(relay.time_s * 1e3, 2), "1.00",
+                   Table::num(relay.time_s / mcf_relay.time_s, 2) + "x",
+                   Table::num(relay.time_s / ansor.time_s, 2),
+                   Table::num(ansor.time_s / mcf_ansor.time_s, 2) + "x vs Ansor",
+                   Table::num(100 * relay.attention_time_s / relay.time_s, 1) + "%"});
+    if (mcf_relay.mcfuser_subgraphs != 1) {
+      std::fprintf(stderr, "expected one unique token-mixing shape\n");
+      return 1;
+    }
+  }
+  if (!mcf::bench::emit(table, "mixer_e2e")) return 1;
+  if (geomean(gains) < 1.02) {
+    std::fprintf(stderr, "token-MLP fusion should pay off\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,49 @@
+// Reproduces the paper's §II-A motivation numbers: in BERT-Large under
+// eager execution, self-attention contributes a small share of the FLOPs
+// but a disproportionate share of the execution time, growing with the
+// sequence length (paper: 11/14/19% of FLOPs vs 39/51/61% of time at
+// sequence lengths 512/1024/2048).
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/bert.hpp"
+#include "graph/executor.hpp"
+
+namespace {
+
+using namespace mcf;
+
+int main_impl() {
+  const GpuSpec gpu = a100();
+  Table table("§II-A motivation — BERT-Large attention share under eager "
+              "execution (A100)");
+  table.set_header({"seq len", "FLOPs share", "time share", "ratio"});
+  double prev_share = 0.0;
+  for (const std::int64_t seq : {512, 1024, 2048}) {
+    BertConfig cfg = bert_large();
+    cfg.seq_len = seq;
+    GraphExecOptions opts;
+    opts.backend = GraphBackend::Eager;
+    GraphExecutor ex(gpu, opts);
+    const GraphRunResult r = ex.run(build_bert(cfg));
+    const double fshare = r.attention_flops / r.flops;
+    const double tshare = r.attention_time_s / r.time_s;
+    if (tshare < prev_share) {
+      std::fprintf(stderr, "attention time share must grow with seq len\n");
+      return 1;
+    }
+    if (tshare < 1.2 * fshare) {
+      std::fprintf(stderr, "attention must be disproportionately slow\n");
+      return 1;
+    }
+    prev_share = tshare;
+    table.add_row({std::to_string(seq), Table::num(100 * fshare, 1) + "%",
+                   Table::num(100 * tshare, 1) + "%",
+                   Table::num(tshare / fshare, 2) + "x"});
+  }
+  return mcf::bench::emit(table, "motivation") ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,31 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary prints the paper-style table to stdout and writes a
+// CSV next to the executable (./<name>.csv) for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace mcf::bench {
+
+/// Prints the table and saves `<name>.csv`; returns false on I/O error.
+inline bool emit(const Table& table, const std::string& name) {
+  std::printf("%s\n", table.to_string().c_str());
+  const std::string path = name + ".csv";
+  if (!table.write_csv(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("[csv written to %s]\n\n", path.c_str());
+  return true;
+}
+
+/// Formats a speedup like the paper's annotations ("6.6x").
+inline std::string speedup(double base, double value) {
+  return Table::num(base / value, 2) + "x";
+}
+
+}  // namespace mcf::bench

@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks for the compiler's hot paths: schedule
+// construction, volume analysis, shared-memory planning, analytical
+// estimation, simulated measurement, space construction, GBDT training
+// and the functional interpreter.
+#include <benchmark/benchmark.h>
+
+#include "baselines/gbdt.hpp"
+#include "exec/interpreter.hpp"
+#include "gpu/timing.hpp"
+#include "model/analytical.hpp"
+#include "search/space.hpp"
+#include "support/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace mcf;
+
+const ChainSpec& bench_chain() {
+  static const ChainSpec chain =
+      ChainSpec::gemm_chain("bench", 1, 1024, 1024, 512, 512);
+  return chain;
+}
+
+const TileExpr& bench_expr() {
+  static const TileExpr expr = make_deep_expr(bench_chain(), {0, 3, 2, 1});
+  return expr;
+}
+
+void BM_BuildSchedule(benchmark::State& state) {
+  const std::vector<std::int64_t> tiles = {64, 64, 64, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_schedule(bench_chain(), bench_expr(), tiles));
+  }
+}
+BENCHMARK(BM_BuildSchedule);
+
+void BM_AnalyzeVolume(benchmark::State& state) {
+  const Schedule s = build_schedule(bench_chain(), bench_expr(),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_volume(s));
+  }
+}
+BENCHMARK(BM_AnalyzeVolume);
+
+void BM_PlanSmem(benchmark::State& state) {
+  const Schedule s = build_schedule(bench_chain(), bench_expr(),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_smem(s));
+  }
+}
+BENCHMARK(BM_PlanSmem);
+
+void BM_AnalyticalEstimate(benchmark::State& state) {
+  const Schedule s = build_schedule(bench_chain(), bench_expr(),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const AnalyticalModel model(a100());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.estimate(s));
+  }
+}
+BENCHMARK(BM_AnalyticalEstimate);
+
+void BM_SimulatedMeasure(benchmark::State& state) {
+  const Schedule s = build_schedule(bench_chain(), bench_expr(),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const TimingSimulator sim(a100());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.measure(s));
+  }
+}
+BENCHMARK(BM_SimulatedMeasure);
+
+void BM_SpaceConstruction(benchmark::State& state) {
+  PruneOptions prune;
+  prune.smem_limit_bytes = a100().smem_per_block;
+  for (auto _ : state) {
+    const SearchSpace space(bench_chain(), SpaceOptions{}, prune);
+    benchmark::DoNotOptimize(space.candidates().size());
+  }
+}
+BENCHMARK(BM_SpaceConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterFusedChain(benchmark::State& state) {
+  const ChainSpec chain = ChainSpec::gemm_chain("interp", 1, 128, 128, 64, 64);
+  const Schedule s = build_schedule(chain, make_deep_expr(chain, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  Tensor a(Shape{1, 128, 64});
+  Tensor b(Shape{1, 64, 128});
+  Tensor d(Shape{1, 128, 64});
+  a.fill_random(1);
+  b.fill_random(2);
+  d.fill_random(3);
+  std::vector<Tensor> w;
+  w.push_back(std::move(b));
+  w.push_back(std::move(d));
+  Tensor out(Shape{1, 128, 64});
+  InterpreterOptions opts;
+  opts.parallel = false;
+  const Interpreter interp(s, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.run(a, w, out));
+  }
+}
+BENCHMARK(BM_InterpreterFusedChain)->Unit(benchmark::kMicrosecond);
+
+void BM_GbdtFit(benchmark::State& state) {
+  Rng rng = make_rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 512; ++i) {
+    std::vector<double> row(16);
+    for (auto& v : row) v = u(rng);
+    y.push_back(row[0] * 3 + row[5] * row[9]);
+    x.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    GbdtRegressor model;
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.predict(x.front()));
+  }
+}
+BENCHMARK(BM_GbdtFit)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceGemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Tensor a(Shape{n, n});
+  Tensor b(Shape{n, n});
+  Tensor c(Shape{n, n});
+  a.fill_random(1);
+  b.fill_random(2);
+  for (auto _ : state) {
+    ops::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_ReferenceGemm)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared driver for the Fig. 8 sub-graph comparisons: runs every §VI
+// framework on a chain suite for one GPU and returns normalized rows.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/ansor_like.hpp"
+#include "baselines/bolt_like.hpp"
+#include "baselines/chimera_like.hpp"
+#include "baselines/flash_like.hpp"
+#include "baselines/unfused.hpp"
+#include "search/mcfuser.hpp"
+#include "workloads/suites.hpp"
+
+namespace mcf::bench {
+
+struct SubgraphRow {
+  std::string workload;
+  double pytorch_s = 0.0;
+  double ansor_s = 0.0;
+  bool ansor_fused = false;
+  std::optional<double> bolt_s;   ///< absent on unsupported GPUs
+  std::optional<double> flash_s;  ///< attention suites only
+  double chimera_s = 0.0;
+  double mcfuser_s = 0.0;
+  TuningCounters ansor_tuning;
+  TuningCounters bolt_tuning;
+  TuningCounters chimera_tuning;
+  int mcfuser_measurements = 0;
+  double mcfuser_wall_s = 0.0;
+};
+
+inline SubgraphRow run_subgraph(const GpuSpec& gpu, const ChainSpec& chain,
+                                bool with_flash, int ansor_trials = 1000) {
+  SubgraphRow row;
+  row.workload = chain.name();
+
+  row.pytorch_s = UnfusedBaseline(gpu).run(chain).time_s;
+
+  AnsorOptions aopts;
+  aopts.trials = ansor_trials;
+  const SubgraphResult ansor = AnsorLikeBaseline(gpu, aopts).run(chain);
+  row.ansor_s = ansor.time_s;
+  row.ansor_fused = ansor.fused;
+  row.ansor_tuning = ansor.tuning;
+
+  const BoltLikeBaseline bolt(gpu);
+  if (bolt.supports_gpu()) {
+    const SubgraphResult b = bolt.run(chain);
+    row.bolt_s = b.time_s;
+    row.bolt_tuning = b.tuning;
+  }
+
+  if (with_flash) {
+    row.flash_s = FlashAttentionLikeBaseline(gpu).run(chain).time_s;
+  }
+
+  const SubgraphResult chim = ChimeraLikeBaseline(gpu).run(chain);
+  row.chimera_s = chim.time_s;
+  row.chimera_tuning = chim.tuning;
+
+  const FusionResult mcf = MCFuser(gpu).fuse(chain);
+  row.mcfuser_s = mcf.ok ? mcf.tuned.best_time_s : 0.0;
+  row.mcfuser_measurements = mcf.tuned.stats.measurements;
+  row.mcfuser_wall_s = mcf.tuned.stats.wall_seconds;
+  return row;
+}
+
+}  // namespace mcf::bench

@@ -1,0 +1,57 @@
+// Fusing a BERT-Base self-attention module (paper Table III, S2):
+// MCFuser rediscovers the FlashAttention structure — streaming the n loop
+// with online-softmax rescaling — and beats both the eager module and the
+// handcrafted FlashAttention-1 kernel.
+//
+//   build/examples/attention_fusion
+#include <cstdio>
+
+#include "baselines/flash_like.hpp"
+#include "baselines/unfused.hpp"
+#include "search/mcfuser.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace mcf;
+  const GpuSpec gpu = a100();
+
+  // BERT-Base attention at sequence length 512: 12 heads, head dim 64.
+  const ChainSpec attn = ChainSpec::attention("bert_base_attn",
+                                              /*heads=*/12, /*m=*/512,
+                                              /*n=*/512, /*k=*/64, /*h=*/64);
+  std::printf("module: %s\n", attn.to_string().c_str());
+
+  const FusionResult fused = MCFuser(gpu).fuse(attn);
+  if (!fused.ok) return 1;
+  const SubgraphResult eager = UnfusedBaseline(gpu).run(attn);
+  const SubgraphResult flash = FlashAttentionLikeBaseline(gpu).run(attn);
+
+  std::printf("\nsimulated execution on %s:\n", gpu.name.c_str());
+  std::printf("  PyTorch (3 kernels)       : %8.2f us\n", eager.time_s * 1e6);
+  std::printf("  FlashAttention-like       : %8.2f us (%.2fx)\n",
+              flash.time_s * 1e6, eager.time_s / flash.time_s);
+  std::printf("  MCFuser fused kernel      : %8.2f us (%.2fx)\n",
+              fused.time_s() * 1e6, eager.time_s / fused.time_s());
+
+  std::printf("\nMCFuser schedule (note the streamed n loop — the online\n"
+              "softmax statistics make this the FlashAttention recurrence):\n%s\n",
+              fused.kernel->schedule().to_pseudo().c_str());
+
+  // Validate the fused kernel against exact-softmax attention.
+  Tensor q(Shape{12, 512, 64});
+  Tensor kt(Shape{12, 64, 512});
+  Tensor v(Shape{12, 512, 64});
+  q.fill_random(7);
+  kt.fill_random(8);
+  v.fill_random(9);
+  std::vector<Tensor> w;
+  w.push_back(std::move(kt));
+  w.push_back(std::move(v));
+  Tensor out(Shape{12, 512, 64});
+  fused.kernel->run(q, w, out);
+  Tensor ref(Shape{12, 512, 64});
+  ops::attention_reference(q, w[0], w[1], attn.softmax_scale(), ref);
+  std::printf("max |fused - exact softmax reference| = %.3g\n",
+              max_abs_diff(out, ref));
+  return allclose(out, ref, 1e-3, 1e-4) ? 0 : 1;
+}

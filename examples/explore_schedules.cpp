@@ -1,0 +1,76 @@
+// Search-space exploration tour (paper §III/§IV): enumerate the tiling
+// expressions of a chain, watch the pruning funnel, inspect a few
+// scheduled candidates, and see how the analytical model ranks against
+// simulated measurements.
+//
+//   build/examples/explore_schedules
+#include <cstdio>
+
+#include "gpu/timing.hpp"
+#include "model/analytical.hpp"
+#include "search/space.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace mcf;
+  const GpuSpec gpu = a100();
+  const ChainSpec chain = ChainSpec::gemm_chain("explore", 1, 512, 512, 128, 128);
+
+  // Raw expression universe.
+  const RawExpressions raw = enumerate_expressions(chain);
+  std::printf("raw tiling expressions: %zu deep + %zu flat, e.g.\n",
+              raw.deep.size(), raw.flat.size());
+  std::printf("  deep: %s\n", raw.deep.front().to_string(chain).c_str());
+  std::printf("  flat: %s\n\n", raw.flat.front().to_string(chain).c_str());
+
+  // Pruned space.
+  PruneOptions prune;
+  prune.smem_limit_bytes = gpu.smem_per_block;
+  const SearchSpace space(chain, SpaceOptions{}, prune);
+  const PruneFunnel& f = space.funnel();
+  std::printf("pruning funnel: %.3g -> %.3g -> %.3g -> %.3g -> %.0f\n\n",
+              f.original, f.after_rule1, f.after_rule2, f.after_rule3,
+              f.after_rule4);
+
+  // Inspect one candidate per expression class.
+  const AnalyticalModel model(gpu);
+  const TimingSimulator sim(gpu);
+  std::printf("%-14s %-22s %-12s %-12s\n", "expression", "tiles (m,k,n,h)",
+              "est (us)", "measured (us)");
+  std::vector<double> est;
+  std::vector<double> meas;
+  for (int e = 0; e < static_cast<int>(space.expressions().size()); ++e) {
+    for (const auto& cand : space.candidates()) {
+      if (cand.expr_id != e) continue;
+      const Schedule s = space.schedule_for(cand);
+      const auto m = sim.measure(s);
+      if (!m.ok) continue;
+      const double est_t = model.estimate(s).time_s;
+      est.push_back(est_t);
+      meas.push_back(m.time_s);
+      std::printf("%-14s (%ld,%ld,%ld,%ld)%9s %-12.2f %-12.2f\n",
+                  space.expressions()[static_cast<std::size_t>(e)].to_string(chain).c_str(),
+                  static_cast<long>(cand.tiles[0]), static_cast<long>(cand.tiles[1]),
+                  static_cast<long>(cand.tiles[2]), static_cast<long>(cand.tiles[3]),
+                  "", est_t * 1e6, m.time_s * 1e6);
+      break;  // one per class for the tour
+    }
+  }
+
+  // Model quality over a broader sample (the Fig. 11 property).
+  est.clear();
+  meas.clear();
+  const auto& cands = space.candidates();
+  for (std::size_t i = 0; i < cands.size();
+       i += std::max<std::size_t>(1, cands.size() / 150)) {
+    const Schedule s = space.schedule_for(cands[i]);
+    const auto m = sim.measure(s);
+    if (!m.ok) continue;
+    est.push_back(model.estimate(s).time_s);
+    meas.push_back(m.time_s);
+  }
+  std::printf("\nanalytical model vs simulator over %zu candidates: "
+              "pearson %.2f, spearman %.2f\n",
+              est.size(), pearson(est, meas), spearman(est, meas));
+  return pearson(est, meas) > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Ansor-like baseline (paper §VI-A "Comparisons", §II-B).
+//
+// Reproduces the *structure* of Ansor's tuning for MBCI chains:
+//   * loop-oriented schedule space: deep tilings only, standard memory
+//     hoisting but no extent-1 collapse, no analytical pruning beyond
+//     legality (it learns feasibility from failed measurements),
+//   * an ML cost model (GbdtRegressor) trained online from hardware
+//     measurements, in rounds: measure batch -> train -> rank next batch,
+//   * a fixed trial budget (paper: 1000 trials per subgraph),
+//   * a tuned-unfused fallback: when the best fused candidate loses to
+//     per-operator kernels, Ansor "fails to fuse" the chain (paper: G12).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline.hpp"
+#include "baselines/gbdt.hpp"
+#include "baselines/library_kernels.hpp"
+#include "search/space.hpp"
+
+namespace mcf {
+
+struct AnsorOptions {
+  int trials = 1000;        ///< hardware measurements (paper setting)
+  int round_size = 64;      ///< measurements per train/explore round
+  double explore_fraction = 0.2;  ///< epsilon-greedy exploration share
+  std::uint64_t seed = 2024;
+  GbdtRegressor::Options model;
+};
+
+class AnsorLikeBaseline {
+ public:
+  AnsorLikeBaseline(GpuSpec gpu, AnsorOptions options = {});
+
+  [[nodiscard]] SubgraphResult run(const ChainSpec& chain) const;
+
+  /// Tuned per-op execution (Ansor matches vendor libraries per op).
+  [[nodiscard]] SubgraphResult run_unfused(const ChainSpec& chain) const;
+
+ private:
+  GpuSpec gpu_;
+  AnsorOptions opt_;
+  LibraryKernels lib_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,28 @@
+// Shared result types for the §VI baselines.
+#pragma once
+
+#include <string>
+
+namespace mcf {
+
+/// What a framework spent while tuning one subgraph.  Table IV converts
+/// these counters into modelled wall-clock with documented per-event costs
+/// (bench/tuning_cost.hpp).
+struct TuningCounters {
+  int hardware_measurements = 0;  ///< compile+run trials on the device
+  int model_trainings = 0;        ///< ML cost-model training rounds
+  int templates_instantiated = 0; ///< BOLT-style template compilations
+  double wall_seconds = 0.0;      ///< actual wall time of this implementation
+};
+
+/// One framework's result on one subgraph workload.
+struct SubgraphResult {
+  std::string method;
+  bool supported = false;   ///< false: framework cannot handle the workload
+  bool fused = false;       ///< produced a single fused kernel
+  double time_s = 0.0;      ///< simulated execution time of the subgraph
+  int kernel_launches = 0;
+  TuningCounters tuning;
+};
+
+}  // namespace mcf

@@ -1,0 +1,37 @@
+// BOLT-like baseline (paper §VI-A): template-based dual-GEMM fusion on
+// top of cutlass-style back-to-back GEMM templates.
+//
+// Structural constraints reproduced from the paper:
+//   * pattern table: plain GEMM->GEMM chains only — self-attention (the
+//     softmax in the middle) has no matching pattern (§VI-B2),
+//   * cutlass B2B constraint: the first GEMM's N dimension must fit the
+//     thread-block tile (Tn == N), so very large intermediates have no
+//     viable template (paper: BOLT degrades on G11/G12),
+//   * sm86 (RTX 3080) unsupported (§VI-B1),
+//   * every template instantiation is compiled and measured (mid tuning
+//     cost in Table I/IV).
+// When no template applies BOLT falls back to Relay-style per-op kernels
+// with epilogue fusion.
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "baselines/relay_like.hpp"
+#include "search/space.hpp"
+
+namespace mcf {
+
+class BoltLikeBaseline {
+ public:
+  explicit BoltLikeBaseline(GpuSpec gpu);
+
+  [[nodiscard]] SubgraphResult run(const ChainSpec& chain) const;
+
+  /// True when the GPU architecture is supported (paper: no sm86).
+  [[nodiscard]] bool supports_gpu() const;
+
+ private:
+  GpuSpec gpu_;
+  RelayLikeBaseline relay_;
+};
+
+}  // namespace mcf

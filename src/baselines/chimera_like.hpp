@@ -1,0 +1,33 @@
+// MCFuser-Chimera (paper §VI-A): Chimera's search space inside the
+// MCFuser framework — deep tilings only, no extent-1 hoisting.  Also
+// provides a "pure Chimera" mode for the ablation benches: candidate
+// selection by minimum data movement (Chimera's analytical objective,
+// which the paper notes neglects computational redundancy).
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "search/mcfuser.hpp"
+
+namespace mcf {
+
+class ChimeraLikeBaseline {
+ public:
+  enum class Objective {
+    MeasuredTime,   ///< MCFuser-Chimera: our tuner on the restricted space
+    DataMovement,   ///< pure Chimera: minimise traffic analytically
+  };
+
+  explicit ChimeraLikeBaseline(GpuSpec gpu,
+                               Objective objective = Objective::MeasuredTime);
+
+  [[nodiscard]] SubgraphResult run(const ChainSpec& chain) const;
+
+  /// Full fusion result (schedule, funnel) for tests/benches.
+  [[nodiscard]] FusionResult fuse(const ChainSpec& chain) const;
+
+ private:
+  GpuSpec gpu_;
+  Objective objective_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,35 @@
+// FlashAttention-1-like baseline (paper §VI-A / §VI-B2).
+//
+// A handcrafted fused attention kernel with the limitations the paper
+// identifies in FlashAttention 1:
+//   * rigid K == H constraint — modules with differing head dims cannot
+//     be fused,
+//   * only M and N are tiled (Tk = K, Th = H), with a small fixed tile
+//     menu chosen by a shared-memory heuristic rather than tuned,
+//   * implementation-quality derate vs. a compiler-tuned kernel (no
+//     software pipelining, CUDA-core softmax path, fixed work
+//     partitioning) — `kKernelQualityDerate`, documented in
+//     EXPERIMENTS.md.
+// Unsupported modules fall back to unfused execution.
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "baselines/unfused.hpp"
+
+namespace mcf {
+
+class FlashAttentionLikeBaseline {
+ public:
+  explicit FlashAttentionLikeBaseline(GpuSpec gpu);
+
+  [[nodiscard]] SubgraphResult run(const ChainSpec& chain) const;
+
+  /// True when the chain matches FA-1's fusion pattern.
+  [[nodiscard]] static bool supports(const ChainSpec& chain);
+
+ private:
+  GpuSpec gpu_;
+  UnfusedBaseline unfused_;
+};
+
+}  // namespace mcf

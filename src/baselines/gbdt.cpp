@@ -1,0 +1,141 @@
+#include "baselines/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+double GbdtRegressor::Tree::predict(std::span<const double> x) const {
+  int cur = 0;
+  for (;;) {
+    const Node& n = nodes[static_cast<std::size_t>(cur)];
+    if (n.feature < 0) return n.value;
+    cur = (x[static_cast<std::size_t>(n.feature)] <= n.threshold) ? n.left : n.right;
+  }
+}
+
+int GbdtRegressor::build_node(Tree& tree,
+                              const std::vector<std::vector<double>>& x,
+                              const std::vector<double>& residual,
+                              std::vector<int>& indices, int begin, int end,
+                              int depth) const {
+  const int node_id = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+
+  const int count = end - begin;
+  double sum = 0.0;
+  for (int i = begin; i < end; ++i) sum += residual[static_cast<std::size_t>(indices[static_cast<std::size_t>(i)])];
+  const double mean = sum / std::max(count, 1);
+  tree.nodes[static_cast<std::size_t>(node_id)].value = mean;
+  if (depth >= opt_.max_depth || count < 2 * opt_.min_samples_leaf) return node_id;
+
+  // Best least-squares split over subsampled thresholds.
+  const std::size_t num_features = x.front().size();
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double parent_sse = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const double r = residual[static_cast<std::size_t>(indices[static_cast<std::size_t>(i)])];
+    parent_sse += (r - mean) * (r - mean);
+  }
+  std::vector<double> values;
+  for (std::size_t f = 0; f < num_features; ++f) {
+    values.clear();
+    for (int i = begin; i < end; ++i) {
+      values.push_back(x[static_cast<std::size_t>(indices[static_cast<std::size_t>(i)])][f]);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) continue;
+    const std::size_t step =
+        std::max<std::size_t>(1, values.size() / static_cast<std::size_t>(opt_.max_thresholds));
+    for (std::size_t v = 0; v + 1 < values.size(); v += step) {
+      const double thr = 0.5 * (values[v] + values[v + 1]);
+      double ls = 0.0, rs = 0.0;
+      int ln = 0, rn = 0;
+      for (int i = begin; i < end; ++i) {
+        const int idx = indices[static_cast<std::size_t>(i)];
+        const double r = residual[static_cast<std::size_t>(idx)];
+        if (x[static_cast<std::size_t>(idx)][f] <= thr) {
+          ls += r;
+          ++ln;
+        } else {
+          rs += r;
+          ++rn;
+        }
+      }
+      if (ln < opt_.min_samples_leaf || rn < opt_.min_samples_leaf) continue;
+      // SSE reduction = parent_sse - (left_sse + right_sse); with fixed
+      // sums this is the classic between-groups term.
+      const double gain = ls * ls / ln + rs * rs / rn - sum * sum / count;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  const auto mid_it = std::stable_partition(
+      indices.begin() + begin, indices.begin() + end, [&](int idx) {
+        return x[static_cast<std::size_t>(idx)][static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  tree.nodes[static_cast<std::size_t>(node_id)].feature = best_feature;
+  tree.nodes[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build_node(tree, x, residual, indices, begin, mid, depth + 1);
+  tree.nodes[static_cast<std::size_t>(node_id)].left = left;
+  const int right = build_node(tree, x, residual, indices, mid, end, depth + 1);
+  tree.nodes[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+GbdtRegressor::Tree GbdtRegressor::fit_tree(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<double>& residual, std::vector<int>& indices) const {
+  Tree tree;
+  build_node(tree, x, residual, indices, 0, static_cast<int>(indices.size()), 0);
+  return tree;
+}
+
+void GbdtRegressor::fit(const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y) {
+  MCF_CHECK(x.size() == y.size()) << "gbdt: X/y size mismatch";
+  trees_.clear();
+  base_set_ = false;
+  base_ = 0.0;
+  if (x.empty()) return;
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+  base_set_ = true;
+
+  std::vector<double> pred(y.size(), base_);
+  std::vector<double> residual(y.size(), 0.0);
+  std::vector<int> indices(y.size());
+  for (int t = 0; t < opt_.trees; ++t) {
+    for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+    std::iota(indices.begin(), indices.end(), 0);
+    Tree tree = fit_tree(x, residual, indices);
+    if (tree.nodes.size() <= 1 && t > 0) break;  // nothing left to fit
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      pred[i] += opt_.learning_rate * tree.predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::predict(std::span<const double> features) const {
+  double out = base_;
+  for (const auto& t : trees_) out += opt_.learning_rate * t.predict(features);
+  return out;
+}
+
+}  // namespace mcf

@@ -1,0 +1,63 @@
+// Gradient-boosted regression trees — the repo's from-scratch stand-in
+// for the XGBoost cost model Ansor trains during tuning (paper §II-B(c)).
+//
+// Least-squares boosting over depth-limited CART trees.  Deliberately
+// small but real: training cost is part of what Table IV measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcf {
+
+class GbdtRegressor {
+ public:
+  struct Options {
+    int trees = 40;
+    int max_depth = 3;
+    double learning_rate = 0.2;
+    int min_samples_leaf = 4;
+    /// Thresholds examined per feature per split (subsampled quantiles).
+    int max_thresholds = 16;
+  };
+
+  GbdtRegressor() = default;
+  explicit GbdtRegressor(Options options) : opt_(options) {}
+
+  /// Fits on rows X (equal-length feature vectors) and targets y.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty() || base_set_; }
+  [[nodiscard]] int num_trees() const noexcept { return static_cast<int>(trees_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 = leaf
+    double threshold = 0.0;
+    double value = 0.0;     ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    [[nodiscard]] double predict(std::span<const double> x) const;
+  };
+
+  [[nodiscard]] Tree fit_tree(const std::vector<std::vector<double>>& x,
+                              const std::vector<double>& residual,
+                              std::vector<int>& indices) const;
+  int build_node(Tree& tree, const std::vector<std::vector<double>>& x,
+                 const std::vector<double>& residual, std::vector<int>& indices,
+                 int begin, int end, int depth) const;
+
+  Options opt_{};
+  double base_ = 0.0;
+  bool base_set_ = false;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace mcf

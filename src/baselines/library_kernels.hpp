@@ -1,0 +1,58 @@
+// Vendor-library kernel models (cuBLAS / cuDNN stand-ins).
+//
+// Library GEMM kernels tile the output, re-streaming A once per N-tile
+// column and B once per M-tile row; the menu of tile configurations below
+// mirrors cuBLAS'/cutlass' SM80 shapes and the dispatcher picks the
+// fastest, which is what cuBLAS heuristics achieve in practice.
+// Memory-intensive kernels (softmax, layernorm, elementwise) are
+// bandwidth-bound streams.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/timing.hpp"
+
+namespace mcf {
+
+/// Tile configuration of a library GEMM kernel.
+struct GemmConfig {
+  std::int64_t tm = 128, tn = 128, tk = 32;
+};
+
+class LibraryKernels {
+ public:
+  explicit LibraryKernels(GpuSpec gpu) : gpu_(std::move(gpu)), sim_(gpu_) {}
+
+  [[nodiscard]] const GpuSpec& gpu() const noexcept { return gpu_; }
+
+  /// Batched GEMM C[b,m,n] = A[b,m,k] * B[b,k,n]; menu-dispatched.
+  /// `fused_epilogue_flops_per_elem` folds a pointwise epilogue into the
+  /// kernel (Relay/BOLT-style epilogue fusion) at zero extra traffic.
+  [[nodiscard]] KernelMeasurement gemm(std::int64_t batch, std::int64_t m,
+                                       std::int64_t n, std::int64_t k,
+                                       double fused_epilogue_flops_per_elem = 0.0) const;
+
+  /// GEMM with one fixed configuration (no menu) — Relay's untuned
+  /// template path.
+  [[nodiscard]] KernelMeasurement gemm_fixed(std::int64_t batch, std::int64_t m,
+                                             std::int64_t n, std::int64_t k,
+                                             const GemmConfig& cfg,
+                                             double fused_epilogue_flops_per_elem = 0.0) const;
+
+  /// Row softmax over (rows, cols): read + write + reduction traffic.
+  [[nodiscard]] KernelMeasurement softmax(std::int64_t rows, std::int64_t cols) const;
+
+  /// LayerNorm over (rows, cols).
+  [[nodiscard]] KernelMeasurement layernorm(std::int64_t rows, std::int64_t cols) const;
+
+  /// Pointwise kernel over `elems` elements with `inputs` read streams
+  /// (relu/gelu: 1, residual add: 2) and one write stream.
+  [[nodiscard]] KernelMeasurement elementwise(std::int64_t elems, int inputs = 1,
+                                              double flops_per_elem = 1.0) const;
+
+ private:
+  GpuSpec gpu_;
+  TimingSimulator sim_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,48 @@
+#include "baselines/relay_like.hpp"
+
+namespace mcf {
+
+KernelMeasurement RelayLikeBaseline::gemm(std::int64_t batch, std::int64_t m,
+                                          std::int64_t n, std::int64_t k,
+                                          double epi) const {
+  // One pre-defined schedule, no fine-tuning (the paper's critique of
+  // Relay's template dependence).
+  return lib_.gemm_fixed(batch, m, n, k, GemmConfig{128, 128, 32}, epi);
+}
+
+SubgraphResult RelayLikeBaseline::run(const ChainSpec& chain) const {
+  SubgraphResult r;
+  r.method = "Relay";
+  r.supported = true;
+  r.fused = false;
+  const std::int64_t batch = chain.batch();
+  const std::int64_t m = chain.m();
+  const auto& inner = chain.inner();
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    const std::int64_t k = inner[static_cast<std::size_t>(op)];
+    const std::int64_t n = inner[static_cast<std::size_t>(op) + 1];
+    switch (chain.epilogue(op)) {
+      case Epilogue::None:
+        r.time_s += gemm(batch, m, n, k).time_s;
+        ++r.kernel_launches;
+        break;
+      case Epilogue::Relu:
+        // Epilogue fusion: relu folds into the GEMM.
+        r.time_s += gemm(batch, m, n, k, /*epi=*/0.125).time_s;
+        ++r.kernel_launches;
+        break;
+      case Epilogue::Gelu:
+        r.time_s += gemm(batch, m, n, k, /*epi=*/1.0).time_s;
+        ++r.kernel_launches;
+        break;
+      case Epilogue::OnlineSoftmax:
+        r.time_s += gemm(batch, m, n, k).time_s;
+        r.time_s += lib_.softmax(batch * m, n).time_s;
+        r.kernel_launches += 2;
+        break;
+    }
+  }
+  return r;
+}
+
+}  // namespace mcf

@@ -1,0 +1,30 @@
+// Relay-like baseline (paper §VI-C): template-scheduled operators without
+// auto-tuning, plus standard epilogue fusion (pointwise ops fold into the
+// producing GEMM).  Compute-intensive operators remain fusion boundaries;
+// softmax cannot fold into a GEMM and stays a separate kernel.
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "baselines/library_kernels.hpp"
+#include "ir/chain.hpp"
+
+namespace mcf {
+
+class RelayLikeBaseline {
+ public:
+  explicit RelayLikeBaseline(GpuSpec gpu) : lib_(std::move(gpu)) {}
+
+  [[nodiscard]] SubgraphResult run(const ChainSpec& chain) const;
+
+  /// Relay's fixed GEMM template (no per-shape dispatch).
+  [[nodiscard]] KernelMeasurement gemm(std::int64_t batch, std::int64_t m,
+                                       std::int64_t n, std::int64_t k,
+                                       double fused_epilogue_flops_per_elem = 0.0) const;
+
+  [[nodiscard]] const LibraryKernels& library() const noexcept { return lib_; }
+
+ private:
+  LibraryKernels lib_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,25 @@
+// PyTorch-like baseline: every operator of the chain is its own library
+// kernel, intermediates round-trip through global memory, and pointwise /
+// softmax epilogues launch separate kernels (eager execution, no fusion).
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "baselines/library_kernels.hpp"
+#include "ir/chain.hpp"
+
+namespace mcf {
+
+class UnfusedBaseline {
+ public:
+  explicit UnfusedBaseline(GpuSpec gpu) : lib_(std::move(gpu)) {}
+
+  /// Simulated execution of the chain as separate kernels.
+  [[nodiscard]] SubgraphResult run(const ChainSpec& chain) const;
+
+  [[nodiscard]] const LibraryKernels& library() const noexcept { return lib_; }
+
+ private:
+  LibraryKernels lib_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,224 @@
+// DAG-based memory-access optimization (paper §III-B, Figs. 4/5).
+//
+// Loads hoist outward past loops that do not index their tensor; with
+// `collapse_unit_loops` they additionally pass loops whose extent is 1
+// (the paper's dead-node removal, Fig. 5(b)).  Stores behave the same and
+// are additionally *forced* out of the loops their tensor accumulates
+// over, recording any jumped index loops in `covered_loops` (their tiles
+// are all resident, so one store statement covers them).
+#include <algorithm>
+#include <vector>
+
+#include "dag/schedule.hpp"
+#include "dag/schedule_internal.hpp"
+#include "support/logging.hpp"
+
+namespace mcf::detail {
+
+namespace {
+
+/// True when loop `l` indexes tensor `t`.
+bool loop_indexes(const ChainSpec& chain, int t, int l) {
+  const auto& loops = chain.tensor(t).loops;
+  return std::find(loops.begin(), loops.end(), l) != loops.end();
+}
+
+/// Removes node `idx` from its parent's child list.
+void detach(std::vector<Schedule::Node>& nodes, int idx) {
+  auto& siblings = nodes[static_cast<std::size_t>(nodes[static_cast<std::size_t>(idx)].parent)].children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), idx));
+}
+
+/// Inserts node `idx` into `parent`'s children right before/after `anchor`.
+void insert_relative(std::vector<Schedule::Node>& nodes, int idx, int parent,
+                     int anchor, bool after) {
+  auto& siblings = nodes[static_cast<std::size_t>(parent)].children;
+  auto it = std::find(siblings.begin(), siblings.end(), anchor);
+  MCF_CHECK(it != siblings.end()) << "anchor not found during hoist";
+  if (after) ++it;
+  siblings.insert(it, idx);
+  nodes[static_cast<std::size_t>(idx)].parent = parent;
+}
+
+/// The reduction loop the tensor accumulates over (producer's reduction),
+/// or -1 for graph inputs/weights.
+int accumulation_loop(const ChainSpec& chain, int t) {
+  const int producer = chain.tensor(t).producer_op;
+  return producer < 0 ? -1 : chain.reduction_loop(producer);
+}
+
+/// True when some strict ancestor scope of `node_idx` is loop `l`.
+bool inside_loop(const std::vector<Schedule::Node>& nodes, int node_idx, int l) {
+  for (int cur = nodes[static_cast<std::size_t>(node_idx)].parent; cur != -1;
+       cur = nodes[static_cast<std::size_t>(cur)].parent) {
+    if (!nodes[static_cast<std::size_t>(cur)].is_stmt &&
+        nodes[static_cast<std::size_t>(cur)].loop == l)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void hoist_memory_statements(Schedule& s, const ScheduleOptions& options) {
+  auto& nodes = ScheduleBuilderAccess::nodes(s);
+  const ChainSpec& chain = s.chain();
+
+  for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+    if (!nodes[static_cast<std::size_t>(i)].is_stmt) continue;
+    Statement& st = nodes[static_cast<std::size_t>(i)].stmt;
+    if (st.kind == StmtKind::Compute) continue;
+    const int t = st.tensor;
+    const int acc = (st.kind == StmtKind::Store) ? accumulation_loop(chain, t) : -1;
+
+    for (;;) {
+      const int parent = nodes[static_cast<std::size_t>(i)].parent;
+      if (parent == s.root() || parent < 0) break;
+      const auto& pn = nodes[static_cast<std::size_t>(parent)];
+      if (pn.is_stmt) break;  // defensive; statements are leaves
+      const int l = pn.loop;
+      const bool unit = s.extents()[static_cast<std::size_t>(l)] <= 1;
+      const bool indexes = loop_indexes(chain, t, l);
+
+      bool may_hoist = !indexes || (options.collapse_unit_loops && unit);
+      bool forced = false;
+      if (!may_hoist && st.kind == StmtKind::Store) {
+        // Forced continuation: the tensor accumulates over a loop further
+        // out, so the store cannot stay inside; record the jumped index
+        // loop — the store covers all its resident tiles.
+        const bool acc_outside =
+            acc >= 0 && s.extents()[static_cast<std::size_t>(acc)] > 1 &&
+            inside_loop(nodes, parent, acc);
+        if (acc_outside) {
+          may_hoist = true;
+          forced = !unit;
+        }
+      }
+      if (!may_hoist) break;
+      if (forced) st.covered_loops.push_back(l);
+      const int grandparent = pn.parent;
+      detach(nodes, i);
+      insert_relative(nodes, i, grandparent, parent,
+                      /*after=*/st.kind == StmtKind::Store);
+    }
+  }
+}
+
+void compute_residency(Schedule& s) {
+  auto& nodes = ScheduleBuilderAccess::nodes(s);
+  const ChainSpec& chain = s.chain();
+  auto& resident = ScheduleBuilderAccess::resident(s);
+  auto& resident_loops = ScheduleBuilderAccess::resident_loops(s);
+  resident.assign(static_cast<std::size_t>(chain.num_tensors()), 1);
+  resident_loops.assign(static_cast<std::size_t>(chain.num_tensors()), {});
+
+  // Map loop id -> scope node (loops appear at most once in the tree).
+  auto loop_node = [&](int l) {
+    for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+      if (!nodes[static_cast<std::size_t>(i)].is_stmt &&
+          nodes[static_cast<std::size_t>(i)].loop == l)
+        return i;
+    }
+    return -1;
+  };
+  auto path = [&](int idx) {
+    std::vector<int> p;
+    for (int cur = idx; cur != -1; cur = nodes[static_cast<std::size_t>(cur)].parent)
+      p.push_back(cur);
+    std::reverse(p.begin(), p.end());
+    return p;
+  };
+
+  for (int t = 0; t < chain.num_tensors(); ++t) {
+    // Statements touching tensor t: its loads/stores plus the computes of
+    // its producer and consumer ops.
+    std::vector<int> touch;
+    for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+      const auto& n = nodes[static_cast<std::size_t>(i)];
+      if (!n.is_stmt) continue;
+      const Statement& st = n.stmt;
+      if (st.kind == StmtKind::Compute) {
+        const int op = st.op;
+        if (chain.op_output_tensor(op) == t || chain.op_input_tensor(op) == t ||
+            chain.op_weight_tensor(op) == t) {
+          touch.push_back(i);
+        }
+      } else if (st.tensor == t) {
+        touch.push_back(i);
+      }
+    }
+    if (touch.empty()) continue;
+
+    // Lowest common ancestor scope of all touching statements.
+    std::vector<int> lca_path = path(touch.front());
+    for (std::size_t k = 1; k < touch.size(); ++k) {
+      const auto p2 = path(touch[k]);
+      std::size_t j = 0;
+      while (j < lca_path.size() && j < p2.size() && lca_path[j] == p2[j]) ++j;
+      lca_path.resize(j);
+    }
+    // Strip trailing statement nodes from the LCA path (scope only).
+    while (!lca_path.empty() &&
+           nodes[static_cast<std::size_t>(lca_path.back())].is_stmt) {
+      lca_path.pop_back();
+    }
+    MCF_CHECK(!lca_path.empty()) << "LCA must at least contain the root";
+    int lca = lca_path.back();
+
+    // Accumulated tensors persist across their reduction loop: lift the
+    // allocation scope above it.
+    const int acc = accumulation_loop(chain, t);
+    if (acc >= 0 && s.extents()[static_cast<std::size_t>(acc)] > 1) {
+      const int acc_node = loop_node(acc);
+      if (acc_node >= 0) {
+        // If acc_node is on lca's root-path (ancestor-or-equal), move the
+        // allocation scope to acc's parent.
+        for (int cur = lca; cur != -1; cur = nodes[static_cast<std::size_t>(cur)].parent) {
+          if (cur == acc_node) {
+            lca = nodes[static_cast<std::size_t>(acc_node)].parent;
+            break;
+          }
+        }
+      }
+    }
+
+    // Resident tiles: product of extents of index loops of t that are
+    // strict descendants of the allocation scope and ancestors of a
+    // touching statement.
+    std::int64_t count = 1;
+    for (const int l : chain.tensor(t).loops) {
+      const int ln = loop_node(l);
+      if (ln < 0) continue;  // block-bound or absent
+      // Strict descendant of lca?
+      bool below = false;
+      for (int cur = nodes[static_cast<std::size_t>(ln)].parent; cur != -1;
+           cur = nodes[static_cast<std::size_t>(cur)].parent) {
+        if (cur == lca) {
+          below = true;
+          break;
+        }
+      }
+      if (!below) continue;
+      bool over_stmt = false;
+      for (const int ti : touch) {
+        for (int cur = nodes[static_cast<std::size_t>(ti)].parent; cur != -1;
+             cur = nodes[static_cast<std::size_t>(cur)].parent) {
+          if (cur == ln) {
+            over_stmt = true;
+            break;
+          }
+        }
+        if (over_stmt) break;
+      }
+      if (over_stmt) {
+        count *= s.extents()[static_cast<std::size_t>(l)];
+        if (s.extents()[static_cast<std::size_t>(l)] > 1) {
+          resident_loops[static_cast<std::size_t>(t)].push_back(l);
+        }
+      }
+    }
+    resident[static_cast<std::size_t>(t)] = count;
+  }
+}
+
+}  // namespace mcf::detail

@@ -1,0 +1,286 @@
+#include "dag/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dag/schedule_internal.hpp"
+#include "support/logging.hpp"
+
+namespace mcf {
+
+const char* stmt_kind_name(StmtKind k) noexcept {
+  switch (k) {
+    case StmtKind::Load:
+      return "Load";
+    case StmtKind::Compute:
+      return "Compute";
+    case StmtKind::Store:
+      return "Store";
+  }
+  return "?";
+}
+
+std::vector<int> Schedule::statements_in_order() const {
+  std::vector<int> out;
+  // Iterative pre-order traversal respecting child order.
+  std::vector<int> stack{root()};
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    const Node& n = node(cur);
+    if (n.is_stmt) out.push_back(cur);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::int64_t Schedule::num_blocks() const {
+  std::int64_t blocks = chain_->batch();
+  for (const int l : block_loops_) {
+    blocks *= extents_.at(static_cast<std::size_t>(l));
+  }
+  return blocks;
+}
+
+double Schedule::trip_count(int i) const {
+  double trips = 1.0;
+  for (int cur = node(i).parent; cur != -1; cur = node(cur).parent) {
+    const Node& n = node(cur);
+    if (n.loop >= 0) {
+      trips *= static_cast<double>(extents_.at(static_cast<std::size_t>(n.loop)));
+    }
+  }
+  return trips;
+}
+
+std::int64_t Schedule::tile_elems(int t) const {
+  std::int64_t elems = 1;
+  for (const int l : chain_->tensor(t).loops) {
+    elems *= tiles_.at(static_cast<std::size_t>(l));
+  }
+  return elems;
+}
+
+std::string Schedule::to_pseudo() const {
+  std::ostringstream os;
+  // Header: block bindings.
+  os << "blockIdx <- (batch";
+  for (const int l : block_loops_) os << ", " << chain_->loop_name(l);
+  os << ")\n";
+  // Recursive body.
+  struct Printer {
+    const Schedule& s;
+    std::ostringstream& os;
+    void print(int idx, int depth) {
+      const Node& n = s.node(idx);
+      const std::string ind(static_cast<std::size_t>(depth) * 2, ' ');
+      if (n.is_stmt) {
+        const Statement& st = n.stmt;
+        os << ind << stmt_kind_name(st.kind) << "(";
+        if (st.kind == StmtKind::Compute) {
+          os << "tile " << s.chain().tensor(s.chain().op_output_tensor(st.op)).name;
+        } else {
+          os << "tile " << s.chain().tensor(st.tensor).name;
+        }
+        os << ")";
+        if (!st.covered_loops.empty()) {
+          os << "  # covers loops:";
+          for (const int l : st.covered_loops) os << " " << s.chain().loop_name(l);
+        }
+        os << "\n";
+        return;
+      }
+      int next_depth = depth;
+      if (n.loop >= 0) {
+        os << ind << "for " << s.chain().loop_name(n.loop) << " in range("
+           << s.extents()[static_cast<std::size_t>(n.loop)] << "):"
+           << "  # tile=" << s.tiles()[static_cast<std::size_t>(n.loop)] << "\n";
+        next_depth = depth + 1;
+      }
+      for (const int c : n.children) print(c, next_depth);
+    }
+  };
+  Printer{*this, os}.print(root(), 0);
+  return os.str();
+}
+
+namespace detail {
+
+std::vector<int> tree_index_loops(const Schedule& s, int t) {
+  std::vector<int> out;
+  const auto& loops = s.chain().tensor(t).loops;
+  for (int i = 1; i < s.num_nodes(); ++i) {
+    const auto& n = s.node(i);
+    if (n.is_stmt || n.loop < 0) continue;
+    if (std::find(loops.begin(), loops.end(), n.loop) != loops.end()) {
+      out.push_back(n.loop);
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Finds the deepest scope node hosting op `op`: a node whose loop is
+/// related to the op and whose root-path contains all tree-resident
+/// related loops.  Returns -1 when the expression cannot host the op.
+int find_compute_scope(const Schedule& s, const std::vector<Schedule::Node>& nodes,
+                       const std::vector<int>& related_in_tree) {
+  (void)s;
+  if (related_in_tree.empty()) return 0;  // everything block-bound
+  int best = -1;
+  int best_depth = -1;
+  for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+    const auto& n = nodes[static_cast<std::size_t>(i)];
+    if (n.is_stmt || n.loop < 0) continue;
+    if (std::find(related_in_tree.begin(), related_in_tree.end(), n.loop) ==
+        related_in_tree.end()) {
+      continue;
+    }
+    // Collect loops on the path root..i.
+    std::vector<int> path_loops;
+    int depth = 0;
+    for (int cur = i; cur != -1; cur = nodes[static_cast<std::size_t>(cur)].parent) {
+      const auto& pn = nodes[static_cast<std::size_t>(cur)];
+      if (pn.loop >= 0) path_loops.push_back(pn.loop);
+      ++depth;
+    }
+    bool covers = true;
+    for (const int l : related_in_tree) {
+      if (std::find(path_loops.begin(), path_loops.end(), l) == path_loops.end()) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers && depth > best_depth) {
+      best = i;
+      best_depth = depth;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Schedule build_schedule(const ChainSpec& chain, const TileExpr& expr,
+                        std::span<const std::int64_t> tiles,
+                        const ScheduleOptions& options) {
+  MCF_CHECK(static_cast<int>(tiles.size()) == chain.num_loops())
+      << "tile vector must cover every loop";
+  Schedule s;
+  std::vector<std::int64_t> tile_vec(tiles.begin(), tiles.end());
+  std::vector<std::int64_t> extents(tile_vec.size());
+  for (std::size_t l = 0; l < tile_vec.size(); ++l) {
+    const std::int64_t dim = chain.loop_dim(static_cast<int>(l));
+    tile_vec[l] = std::clamp<std::int64_t>(tile_vec[l], 1, dim);
+    extents[l] = (dim + tile_vec[l] - 1) / tile_vec[l];
+  }
+  std::vector<int> block = expr.block_loops();
+  std::sort(block.begin(), block.end());
+  ScheduleBuilderAccess::init(s, chain, std::move(tile_vec), std::move(extents),
+                              std::move(block));
+  auto& nodes = ScheduleBuilderAccess::nodes(s);
+
+  // 1. Copy the loop tree.
+  std::vector<int> expr_to_sched(static_cast<std::size_t>(expr.num_nodes()), -1);
+  expr_to_sched[0] = 0;
+  // The expression tree is stored in creation order so parents precede
+  // children; a single pass suffices.
+  for (int i = 1; i < expr.num_nodes(); ++i) {
+    const auto& en = expr.node(i);
+    Schedule::Node n;
+    n.loop = en.loop;
+    n.parent = expr_to_sched[static_cast<std::size_t>(en.parent)];
+    MCF_CHECK(n.parent >= 0) << "expression nodes out of order";
+    const int idx = static_cast<int>(nodes.size());
+    nodes.push_back(n);
+    nodes[static_cast<std::size_t>(n.parent)].children.push_back(idx);
+    expr_to_sched[static_cast<std::size_t>(i)] = idx;
+  }
+
+  // 2. Place compute statements in op order; attach loads before and the
+  //    final store after (paper: loads/stores associated with the compute).
+  std::vector<int> compute_node(static_cast<std::size_t>(chain.num_ops()), -1);
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    std::vector<int> related_in_tree;
+    for (const int l : chain.related_loops(op)) {
+      bool bound = std::find(s.block_loops().begin(), s.block_loops().end(),
+                             l) != s.block_loops().end();
+      if (!bound) related_in_tree.push_back(l);
+    }
+    // Drop loops absent from the tree entirely (defensive; generation
+    // always includes every unbound loop).
+    std::erase_if(related_in_tree, [&](int l) {
+      for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+        if (!nodes[static_cast<std::size_t>(i)].is_stmt &&
+            nodes[static_cast<std::size_t>(i)].loop == l)
+          return false;
+      }
+      return true;
+    });
+    const int scope = find_compute_scope(s, nodes, related_in_tree);
+    if (scope < 0) {
+      ScheduleBuilderAccess::set_valid(s, false);
+      return s;
+    }
+    auto append_stmt = [&nodes](int parent, Statement st) {
+      Schedule::Node n;
+      n.is_stmt = true;
+      n.stmt = std::move(st);
+      n.parent = parent;
+      const int idx = static_cast<int>(nodes.size());
+      nodes.push_back(n);
+      nodes[static_cast<std::size_t>(parent)].children.push_back(idx);
+      return idx;
+    };
+    // Loads: op input (only when it is a graph input; intermediates stay
+    // resident in shared memory) and the weight operand.
+    const int in_t = chain.op_input_tensor(op);
+    if (chain.tensor(in_t).kind == TensorKind::Input) {
+      append_stmt(scope, Statement{StmtKind::Load, in_t, -1, {}});
+    }
+    append_stmt(scope, Statement{StmtKind::Load, chain.op_weight_tensor(op), -1, {}});
+    compute_node[static_cast<std::size_t>(op)] =
+        append_stmt(scope, Statement{StmtKind::Compute, -1, op, {}});
+    if (op == chain.num_ops() - 1) {
+      append_stmt(scope, Statement{StmtKind::Store, chain.output_tensor(), -1, {}});
+    }
+  }
+
+  // 3. Consume-complete check: a consumer must not sit inside its
+  //    producer's (non-unit) reduction loop (Fig. 6(b) partial tiles).
+  bool complete = true;
+  for (int op = 1; op < chain.num_ops(); ++op) {
+    const int red = chain.reduction_loop(op - 1);
+    if (s.extents()[static_cast<std::size_t>(red)] <= 1) continue;
+    // Find the reduction loop's node.
+    int red_node = -1;
+    for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+      if (!nodes[static_cast<std::size_t>(i)].is_stmt &&
+          nodes[static_cast<std::size_t>(i)].loop == red) {
+        red_node = i;
+        break;
+      }
+    }
+    if (red_node < 0) continue;
+    for (int cur = compute_node[static_cast<std::size_t>(op)]; cur != -1;
+         cur = nodes[static_cast<std::size_t>(cur)].parent) {
+      if (cur == red_node) {
+        complete = false;
+        break;
+      }
+    }
+  }
+  ScheduleBuilderAccess::set_consume_complete(s, complete);
+
+  // 4. Memory-statement hoisting (paper §III-B) and residency analysis.
+  if (options.hoist) detail::hoist_memory_statements(s, options);
+  detail::compute_residency(s);
+  return s;
+}
+
+}  // namespace mcf

@@ -1,0 +1,30 @@
+// Library-internal accessor for Schedule private state, shared by
+// schedule.cpp and hoist.cpp.  Not part of the public API.
+#pragma once
+
+#include "dag/schedule.hpp"
+
+namespace mcf {
+
+struct ScheduleBuilderAccess {
+  static std::vector<Schedule::Node>& nodes(Schedule& s) { return s.nodes_; }
+  static std::vector<std::int64_t>& resident(Schedule& s) { return s.resident_; }
+  static std::vector<std::vector<int>>& resident_loops(Schedule& s) {
+    return s.resident_loops_;
+  }
+  static void set_consume_complete(Schedule& s, bool v) { s.consume_complete_ = v; }
+  static void set_valid(Schedule& s, bool v) { s.valid_ = v; }
+  static void init(Schedule& s, const ChainSpec& chain,
+                   std::vector<std::int64_t> tiles,
+                   std::vector<std::int64_t> extents,
+                   std::vector<int> block_loops) {
+    s.chain_ = &chain;
+    s.tiles_ = std::move(tiles);
+    s.extents_ = std::move(extents);
+    s.block_loops_ = std::move(block_loops);
+    s.nodes_.clear();
+    s.nodes_.push_back(Schedule::Node{});
+  }
+};
+
+}  // namespace mcf

@@ -1,0 +1,106 @@
+#include "exec/codegen.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+namespace {
+
+void emit_node(const Schedule& s, int idx, int depth, std::ostringstream& os) {
+  const auto& n = s.node(idx);
+  const std::string ind(static_cast<std::size_t>(depth) * 4, ' ');
+  if (n.is_stmt) {
+    const Statement& st = n.stmt;
+    const ChainSpec& chain = s.chain();
+    switch (st.kind) {
+      case StmtKind::Load: {
+        const auto& info = chain.tensor(st.tensor);
+        os << ind << "smem_" << info.name << " = tl.load(" << info.name
+           << "_ptr + tile_offset(";
+        for (std::size_t i = 0; i < info.loops.size(); ++i) {
+          if (i) os << ", ";
+          os << chain.loop_name(info.loops[i]);
+        }
+        os << "))\n";
+        break;
+      }
+      case StmtKind::Compute: {
+        const int op = st.op;
+        const auto& out = chain.tensor(chain.op_output_tensor(op));
+        const auto& in = chain.tensor(chain.op_input_tensor(op));
+        const auto& w = chain.tensor(chain.op_weight_tensor(op));
+        os << ind << "acc_" << out.name << " += tl.dot(smem_" << in.name
+           << ", smem_" << w.name << ")";
+        if (chain.epilogue(op) == Epilogue::OnlineSoftmax) {
+          os << "  # + online-softmax epilogue (running max/sum, rescale)";
+        } else if (chain.epilogue(op) == Epilogue::Relu) {
+          os << "  # + relu epilogue";
+        } else if (chain.epilogue(op) == Epilogue::Gelu) {
+          os << "  # + gelu epilogue";
+        }
+        os << "\n";
+        break;
+      }
+      case StmtKind::Store: {
+        const auto& info = chain.tensor(st.tensor);
+        os << ind << "tl.store(" << info.name << "_ptr + tile_offset(...), acc_"
+           << info.name << ")";
+        if (!st.covered_loops.empty()) {
+          os << "  # covers all resident tiles of:";
+          for (const int l : st.covered_loops) os << " " << chain.loop_name(l);
+        }
+        os << "\n";
+        break;
+      }
+    }
+    return;
+  }
+  int next = depth;
+  if (n.loop >= 0) {
+    os << ind << "for " << s.chain().loop_name(n.loop) << " in range("
+       << s.extents()[static_cast<std::size_t>(n.loop)]
+       << "):  # tile " << s.tiles()[static_cast<std::size_t>(n.loop)] << "\n";
+    next = depth + 1;
+  }
+  for (const int c : n.children) emit_node(s, c, next, os);
+}
+
+}  // namespace
+
+std::string emit_kernel_source(const Schedule& s, const GpuSpec& gpu) {
+  MCF_CHECK(s.valid()) << "cannot emit an invalid schedule";
+  const ChainSpec& chain = s.chain();
+  std::ostringstream os;
+  os << "# mcfuser generated kernel for " << chain.name() << " on " << gpu.name
+     << "\n";
+  os << "# blocks = " << s.num_blocks() << " (batch " << chain.batch();
+  for (const int l : s.block_loops()) {
+    os << " x " << chain.loop_name(l) << "="
+       << s.extents()[static_cast<std::size_t>(l)];
+  }
+  os << ")\n";
+  const SmemPlan plan = plan_smem(s);
+  os << "# shared memory: " << plan.total_bytes << " bytes\n";
+  os << "@triton.jit\n";
+  os << "def fused_" << chain.name() << "_kernel(";
+  for (int t = 0; t < chain.num_tensors(); ++t) {
+    const auto& info = chain.tensor(t);
+    if (info.kind == TensorKind::Input || info.kind == TensorKind::Weight ||
+        info.kind == TensorKind::Output) {
+      os << info.name << "_ptr, ";
+    }
+  }
+  os << "...):\n";
+  // blockIdx decode.
+  os << "    pid = tl.program_id(0)\n";
+  for (const int l : s.block_loops()) {
+    os << "    " << chain.loop_name(l) << " = decode(pid, '"
+       << chain.loop_name(l) << "')\n";
+  }
+  emit_node(s, s.root(), 1, os);
+  return os.str();
+}
+
+}  // namespace mcf

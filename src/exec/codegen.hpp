@@ -1,0 +1,22 @@
+// Pseudo-kernel source emitter.
+//
+// MCFuser emits Triton IR and PTX; this repo emits a readable Triton-like
+// rendering of the scheduled kernel for documentation, examples and
+// debugging.  The text is deterministic, so tests can assert structural
+// properties of the generated code (hoisted loads, store positions,
+// double-buffered tiles).
+#pragma once
+
+#include <string>
+
+#include "dag/schedule.hpp"
+#include "gpu/smem.hpp"
+#include "gpu/spec.hpp"
+
+namespace mcf {
+
+/// Renders the schedule as a Triton-style kernel function.
+[[nodiscard]] std::string emit_kernel_source(const Schedule& s,
+                                             const GpuSpec& gpu);
+
+}  // namespace mcf

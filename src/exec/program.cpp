@@ -1,0 +1,40 @@
+#include "exec/program.hpp"
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+CompiledKernel::CompiledKernel(Schedule schedule, GpuSpec gpu)
+    : schedule_(std::move(schedule)), gpu_(std::move(gpu)) {
+  if (!schedule_.valid()) {
+    error_ = "schedule has no legal statement placement";
+    return;
+  }
+  if (!schedule_.consume_complete()) {
+    error_ = "schedule consumes partial tiles (Rule-2 structure)";
+    return;
+  }
+  volume_ = analyze_volume(schedule_);
+  smem_ = plan_smem(schedule_);
+  if (smem_.total_bytes > gpu_.smem_per_block) {
+    error_ = "shared memory exceeds per-block limit (" +
+             std::to_string(smem_.total_bytes) + " > " +
+             std::to_string(gpu_.smem_per_block) + " bytes)";
+    return;
+  }
+  ok_ = true;
+}
+
+ExecutionCounters CompiledKernel::run(const Tensor& a,
+                                      std::span<const Tensor> weights,
+                                      Tensor& out) const {
+  MCF_CHECK(ok_) << "cannot run a failed compilation: " << error_;
+  return Interpreter(schedule_).run(a, weights, out);
+}
+
+KernelMeasurement CompiledKernel::measure(const MeasureOptions& options) const {
+  MCF_CHECK(ok_) << "cannot measure a failed compilation: " << error_;
+  return TimingSimulator(gpu_).measure(schedule_, options);
+}
+
+}  // namespace mcf

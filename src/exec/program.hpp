@@ -1,0 +1,53 @@
+// CompiledKernel: the product of "lowering" a schedule — the repo's
+// analogue of MCFuser's Triton -> PTX -> TVM runtime module path (§V).
+//
+// Compilation validates the schedule against the target GPU (actual
+// shared-memory fit — the paper's quadrant-II candidates are rejected
+// here, "during PTX code lowering"), precomputes the static volume report
+// and shared-memory plan, and exposes run()/measure().
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "dag/schedule.hpp"
+#include "dag/volume.hpp"
+#include "exec/interpreter.hpp"
+#include "gpu/smem.hpp"
+#include "gpu/timing.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mcf {
+
+class CompiledKernel {
+ public:
+  /// Schedule + target; fails (ok()==false) when the kernel cannot be
+  /// lowered (invalid placement, Rule-2 partial tiles, smem overflow).
+  CompiledKernel(Schedule schedule, GpuSpec gpu);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] const VolumeReport& volume() const noexcept { return volume_; }
+  [[nodiscard]] const SmemPlan& smem() const noexcept { return smem_; }
+  [[nodiscard]] const GpuSpec& gpu() const noexcept { return gpu_; }
+
+  /// Functional execution (see Interpreter).
+  ExecutionCounters run(const Tensor& a, std::span<const Tensor> weights,
+                        Tensor& out) const;
+
+  /// Simulated hardware measurement.
+  [[nodiscard]] KernelMeasurement measure(const MeasureOptions& options = {}) const;
+
+ private:
+  Schedule schedule_;
+  GpuSpec gpu_;
+  VolumeReport volume_;
+  SmemPlan smem_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,230 @@
+#include "gpu/smem.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+std::int64_t smem_estimate(const Schedule& s, int dtype_bytes) {
+  // Paper eq. (1): one tile footprint per tensor, nothing else.
+  std::int64_t total = 0;
+  for (int t = 0; t < s.chain().num_tensors(); ++t) {
+    total += s.tile_elems(t) * dtype_bytes;
+  }
+  return total;
+}
+
+namespace {
+
+struct Touch {
+  std::vector<int> nodes;  // statement node indices touching the tensor
+};
+
+std::vector<Touch> touching_statements(const Schedule& s) {
+  const ChainSpec& chain = s.chain();
+  std::vector<Touch> touch(static_cast<std::size_t>(chain.num_tensors()));
+  for (int i = 1; i < s.num_nodes(); ++i) {
+    const auto& n = s.node(i);
+    if (!n.is_stmt) continue;
+    const Statement& st = n.stmt;
+    if (st.kind == StmtKind::Compute) {
+      const int op = st.op;
+      touch[static_cast<std::size_t>(chain.op_output_tensor(op))].nodes.push_back(i);
+      touch[static_cast<std::size_t>(chain.op_input_tensor(op))].nodes.push_back(i);
+      touch[static_cast<std::size_t>(chain.op_weight_tensor(op))].nodes.push_back(i);
+    } else {
+      touch[static_cast<std::size_t>(st.tensor)].nodes.push_back(i);
+    }
+  }
+  return touch;
+}
+
+}  // namespace
+
+SmemPlan plan_smem(const Schedule& s, const SmemOptions& options) {
+  MCF_CHECK(s.valid()) << "cannot plan smem for an invalid schedule";
+  const ChainSpec& chain = s.chain();
+  SmemPlan plan;
+
+  // Statement order positions and per-scope statement position ranges.
+  const auto order = s.statements_in_order();
+  std::vector<int> pos(static_cast<std::size_t>(s.num_nodes()), -1);
+  for (int p = 0; p < static_cast<int>(order.size()); ++p) {
+    pos[static_cast<std::size_t>(order[static_cast<std::size_t>(p)])] = p;
+  }
+  // subtree_min/max statement position per node.
+  std::vector<int> sub_min(static_cast<std::size_t>(s.num_nodes()), 1 << 30);
+  std::vector<int> sub_max(static_cast<std::size_t>(s.num_nodes()), -1);
+  for (int i = s.num_nodes() - 1; i >= 0; --i) {
+    const auto& n = s.node(i);
+    if (n.is_stmt) {
+      sub_min[static_cast<std::size_t>(i)] = pos[static_cast<std::size_t>(i)];
+      sub_max[static_cast<std::size_t>(i)] = pos[static_cast<std::size_t>(i)];
+    }
+    for (const int c : n.children) {
+      sub_min[static_cast<std::size_t>(i)] =
+          std::min(sub_min[static_cast<std::size_t>(i)], sub_min[static_cast<std::size_t>(c)]);
+      sub_max[static_cast<std::size_t>(i)] =
+          std::max(sub_max[static_cast<std::size_t>(i)], sub_max[static_cast<std::size_t>(c)]);
+    }
+  }
+  auto path_to_root = [&](int idx) {
+    std::vector<int> p;
+    for (int cur = idx; cur != -1; cur = s.node(cur).parent) p.push_back(cur);
+    std::reverse(p.begin(), p.end());
+    return p;
+  };
+
+  const auto touch = touching_statements(s);
+  const auto& resident = s.resident_tiles();
+
+  for (int t = 0; t < chain.num_tensors(); ++t) {
+    const auto& nodes = touch[static_cast<std::size_t>(t)].nodes;
+    if (nodes.empty()) continue;
+
+    // Live interval over statement order.
+    int first = 1 << 30;
+    int last = -1;
+    int first_node = -1;
+    int last_node = -1;
+    for (const int n : nodes) {
+      const int p = pos[static_cast<std::size_t>(n)];
+      if (p < first) {
+        first = p;
+        first_node = n;
+      }
+      if (p > last) {
+        last = p;
+        last_node = n;
+      }
+    }
+    // LCA of first/last touch (scope node).
+    auto pa = path_to_root(first_node);
+    auto pb = path_to_root(last_node);
+    std::size_t j = 0;
+    while (j < pa.size() && j < pb.size() && pa[j] == pb[j]) ++j;
+    int lca = pa[j - 1];
+    while (s.node(lca).is_stmt) lca = s.node(lca).parent;
+    // Accumulated tensors persist across their reduction loop: lift.
+    const int producer = chain.tensor(t).producer_op;
+    if (producer >= 0) {
+      const int red = chain.reduction_loop(producer);
+      if (s.extents()[static_cast<std::size_t>(red)] > 1) {
+        for (int cur = lca; cur != -1; cur = s.node(cur).parent) {
+          if (!s.node(cur).is_stmt && s.node(cur).loop == red) {
+            lca = s.node(cur).parent;
+            break;
+          }
+        }
+      }
+    }
+    // Extend endpoints over the full bodies of the loops exited between
+    // the touch and the allocation scope (time-correct liveness under
+    // iteration).
+    auto extend = [&](int from_node, bool is_start) {
+      int top_loop = -1;
+      for (int cur = s.node(from_node).parent; cur != -1 && cur != lca;
+           cur = s.node(cur).parent) {
+        if (!s.node(cur).is_stmt && s.node(cur).loop >= 0) top_loop = cur;
+      }
+      if (top_loop < 0) return;
+      if (is_start) first = std::min(first, sub_min[static_cast<std::size_t>(top_loop)]);
+      else last = std::max(last, sub_max[static_cast<std::size_t>(top_loop)]);
+    };
+    // Only extend when the touch is strictly inside the allocation scope.
+    extend(first_node, /*is_start=*/true);
+    extend(last_node, /*is_start=*/false);
+
+    // Buffer size: resident tiles x padded rows (+ double buffering for
+    // pipelined loads).
+    const auto& loops = chain.tensor(t).loops;
+    const std::int64_t row_elems = s.tiles()[static_cast<std::size_t>(loops.back())];
+    const std::int64_t tile_elems = s.tile_elems(t);
+    const std::int64_t rows_per_tile = tile_elems / std::max<std::int64_t>(1, row_elems);
+    std::int64_t row_bytes = row_elems * options.dtype_bytes;
+    if (options.bank_pad && row_bytes % 128 == 0) row_bytes += 16;
+    std::int64_t bytes = resident[static_cast<std::size_t>(t)] * rows_per_tile * row_bytes;
+
+    bool dbuf = false;
+    if (options.double_buffer && chain.tensor(t).producer_op < 0) {
+      // Graph inputs/weights stream through Load statements; double-buffer
+      // when the load repeats (sits inside a non-unit tree loop).
+      for (const int n : nodes) {
+        if (!s.node(n).stmt.covered_loops.empty()) continue;
+        if (s.node(n).stmt.kind != StmtKind::Load) continue;
+        if (s.trip_count(n) > 1.0) dbuf = true;
+      }
+    }
+    if (dbuf) bytes *= 2;
+
+    SmemBuffer buf;
+    buf.tensor = t;
+    buf.bytes = bytes;
+    buf.live_begin = first;
+    buf.live_end = last;
+    buf.double_buffered = dbuf;
+    plan.buffers.push_back(buf);
+  }
+
+  // Online-softmax running statistics: two fp32 row vectors per block.
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    if (chain.epilogue(op) == Epilogue::OnlineSoftmax) {
+      plan.stats_bytes += 2 * s.tiles()[0] * 4;
+    }
+  }
+
+  // Offset assignment: first-fit decreasing with interval-overlap reuse.
+  std::vector<std::size_t> by_size(plan.buffers.size());
+  for (std::size_t i = 0; i < by_size.size(); ++i) by_size[i] = i;
+  std::sort(by_size.begin(), by_size.end(), [&](std::size_t a, std::size_t b) {
+    return plan.buffers[a].bytes > plan.buffers[b].bytes;
+  });
+  std::vector<std::size_t> placed;
+  std::int64_t high_water = 0;
+  for (const std::size_t i : by_size) {
+    auto& buf = plan.buffers[i];
+    std::int64_t offset = 0;
+    if (options.reuse) {
+      // Collect conflicting placed buffers (overlapping live intervals),
+      // then scan offsets upward until the buffer fits.
+      bool moved = true;
+      while (moved) {
+        moved = false;
+        for (const std::size_t k : placed) {
+          const auto& other = plan.buffers[k];
+          const bool overlap_live = !(buf.live_end < other.live_begin ||
+                                      other.live_end < buf.live_begin);
+          const bool overlap_mem = offset < other.offset + other.bytes &&
+                                   other.offset < offset + buf.bytes;
+          if (overlap_live && overlap_mem) {
+            offset = other.offset + other.bytes;
+            moved = true;
+          }
+        }
+      }
+    } else {
+      offset = high_water;
+    }
+    buf.offset = offset;
+    high_water = std::max(high_water, offset + buf.bytes);
+    placed.push_back(i);
+  }
+  plan.total_bytes = high_water + plan.stats_bytes;
+  return plan;
+}
+
+std::string SmemPlan::to_string(const Schedule& s) const {
+  std::ostringstream os;
+  os << "smem plan: total=" << total_bytes << "B (stats " << stats_bytes
+     << "B)\n";
+  for (const auto& b : buffers) {
+    os << "  " << s.chain().tensor(b.tensor).name << ": " << b.bytes
+       << "B @" << b.offset << " live=[" << b.live_begin << "," << b.live_end
+       << "]" << (b.double_buffered ? " x2buf" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mcf

@@ -1,0 +1,52 @@
+// Shared-memory planning.
+//
+// Two views exist, mirroring the paper's Fig. 10:
+//   * `smem_estimate`  — the paper's eq. (1): sum of single-tile
+//     footprints, no double-buffering, padding or reuse.  Used by pruning
+//     Rule 4 with the 1.2x slack.
+//   * `plan_smem`      — the "actual" allocation the backend would make:
+//     per-buffer bank-conflict row padding, double buffering for pipelined
+//     loads, residency multiplicity, softmax row statistics, and
+//     liveness-based buffer reuse (first-fit over statement intervals).
+//     This is the quantity "measured by the NVPTX backend" in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/schedule.hpp"
+
+namespace mcf {
+
+struct SmemOptions {
+  int dtype_bytes = 2;       ///< fp16 tiles
+  bool double_buffer = true; ///< cp.async-style pipelining for streamed loads
+  bool bank_pad = true;      ///< +16B per row when row stride is 128B-aligned
+  bool reuse = true;         ///< alias buffers with disjoint live intervals
+};
+
+/// One planned buffer.
+struct SmemBuffer {
+  int tensor = -1;
+  std::int64_t bytes = 0;     ///< padded size incl. residency & double buffer
+  std::int64_t offset = 0;    ///< assigned offset after reuse packing
+  int live_begin = 0;         ///< statement-order live interval (inclusive)
+  int live_end = 0;
+  bool double_buffered = false;
+};
+
+struct SmemPlan {
+  std::vector<SmemBuffer> buffers;
+  std::int64_t stats_bytes = 0;  ///< online-softmax row statistics (fp32)
+  std::int64_t total_bytes = 0;  ///< high-water mark after packing
+  [[nodiscard]] std::string to_string(const Schedule& s) const;
+};
+
+/// The paper's eq. (1) estimate: sum of Tile_Li x Tile_Lj over all tensors.
+[[nodiscard]] std::int64_t smem_estimate(const Schedule& s, int dtype_bytes = 2);
+
+/// Full allocation plan (see header comment).
+[[nodiscard]] SmemPlan plan_smem(const Schedule& s, const SmemOptions& options = {});
+
+}  // namespace mcf

@@ -1,0 +1,46 @@
+#include "gpu/spec.hpp"
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+GpuSpec a100() {
+  GpuSpec g;
+  g.name = "A100";
+  g.num_sms = 108;
+  g.peak_flops = 312e12;
+  g.mem_bandwidth = 1555e9;
+  g.smem_per_block = 164 * 1024 - 1024;  // 163 KiB usable with carveout
+  g.smem_per_sm = 164 * 1024;
+  g.l2_bytes = 40 * 1024 * 1024;
+  g.l2_bandwidth = 4.5e12;
+  g.max_blocks_per_sm = 32;
+  g.launch_overhead_s = 4.5e-6;
+  g.stmt_overhead_s = 1.2e-8;
+  return g;
+}
+
+GpuSpec rtx3080() {
+  GpuSpec g;
+  g.name = "RTX3080";
+  g.num_sms = 68;
+  g.peak_flops = 119e12;
+  g.mem_bandwidth = 760e9;
+  g.smem_per_block = 100 * 1024 - 1024;  // sm86: 99 KiB usable per block
+  g.smem_per_sm = 100 * 1024;
+  g.l2_bytes = 5 * 1024 * 1024;
+  g.l2_bandwidth = 2.0e12;
+  g.max_blocks_per_sm = 16;
+  g.launch_overhead_s = 4.0e-6;
+  g.stmt_overhead_s = 1.4e-8;
+  return g;
+}
+
+GpuSpec gpu_by_name(const std::string& name) {
+  if (name == "a100" || name == "A100") return a100();
+  if (name == "rtx3080" || name == "RTX3080") return rtx3080();
+  MCF_CHECK(false) << "unknown GPU preset: " << name;
+  return {};
+}
+
+}  // namespace mcf

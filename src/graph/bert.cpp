@@ -1,0 +1,79 @@
+#include "graph/bert.hpp"
+
+namespace mcf {
+
+namespace {
+
+GraphNode make(OpType type, std::string name, std::vector<int> inputs,
+               std::int64_t batch, std::int64_t m, std::int64_t n,
+               std::int64_t k = 0) {
+  GraphNode node;
+  node.type = type;
+  node.name = std::move(name);
+  node.inputs = std::move(inputs);
+  node.batch = batch;
+  node.m = m;
+  node.n = n;
+  node.k = k;
+  return node;
+}
+
+}  // namespace
+
+int append_bert_layer(NetGraph& g, const BertConfig& cfg, int input, int layer) {
+  const std::int64_t s = cfg.seq_len;
+  const std::int64_t hid = cfg.hidden;
+  const std::int64_t hd = cfg.head_dim();
+  const std::int64_t heads = cfg.heads;
+  const std::string p = "l" + std::to_string(layer) + ".";
+
+  // QKV projections (+bias).
+  const int q = g.add(make(OpType::MatMul, p + "q_proj", {input}, 1, s, hid, hid));
+  const int qb = g.add(make(OpType::BiasAdd, p + "q_bias", {q}, 1, s, hid));
+  const int kx = g.add(make(OpType::MatMul, p + "k_proj", {input}, 1, s, hid, hid));
+  const int kb = g.add(make(OpType::BiasAdd, p + "k_bias", {kx}, 1, s, hid));
+  const int v = g.add(make(OpType::MatMul, p + "v_proj", {input}, 1, s, hid, hid));
+  const int vb = g.add(make(OpType::BiasAdd, p + "v_bias", {v}, 1, s, hid));
+
+  // Attention core (the MBCI chain): QK^T -> scale -> +mask -> softmax ->
+  // .V per head.  Eager frameworks launch the scale/mask as separate
+  // kernels on the (heads, s, s) score tensor; fusion absorbs them.
+  const int qk = g.add(make(OpType::BatchedMatMul, p + "attn.qk", {qb, kb},
+                            heads, s, s, hd));
+  const int sc = g.add(make(OpType::Scale, p + "attn.scale", {qk}, heads, s, s));
+  const int mask = g.add(make(OpType::Add, p + "attn.mask", {sc}, heads, s, s));
+  const int sm = g.add(make(OpType::Softmax, p + "attn.softmax", {mask}, heads, s, s));
+  const int pv = g.add(make(OpType::BatchedMatMul, p + "attn.pv", {sm, vb},
+                            heads, s, hd, s));
+
+  // Output projection + residual + LN.
+  const int proj = g.add(make(OpType::MatMul, p + "attn.out_proj", {pv}, 1, s, hid, hid));
+  const int projb = g.add(make(OpType::BiasAdd, p + "attn.out_bias", {proj}, 1, s, hid));
+  const int res1 = g.add(make(OpType::Add, p + "attn.residual", {projb, input}, 1, s, hid));
+  const int ln1 = g.add(make(OpType::LayerNorm, p + "attn.ln", {res1}, 1, s, hid));
+
+  // Feed-forward network.
+  const int ff1 = g.add(make(OpType::MatMul, p + "ffn.fc1", {ln1}, 1, s, cfg.ffn, hid));
+  const int ff1b = g.add(make(OpType::BiasAdd, p + "ffn.fc1_bias", {ff1}, 1, s, cfg.ffn));
+  const int gelu = g.add(make(OpType::GeLU, p + "ffn.gelu", {ff1b}, 1, s, cfg.ffn));
+  const int ff2 = g.add(make(OpType::MatMul, p + "ffn.fc2", {gelu}, 1, s, hid, cfg.ffn));
+  const int ff2b = g.add(make(OpType::BiasAdd, p + "ffn.fc2_bias", {ff2}, 1, s, hid));
+  const int res2 = g.add(make(OpType::Add, p + "ffn.residual", {ff2b, ln1}, 1, s, hid));
+  return g.add(make(OpType::LayerNorm, p + "ffn.ln", {res2}, 1, s, hid));
+}
+
+NetGraph build_bert(const BertConfig& cfg) {
+  NetGraph g(cfg.name);
+  GraphNode in;
+  in.type = OpType::Input;
+  in.name = "embeddings";
+  in.m = cfg.seq_len;
+  in.n = cfg.hidden;
+  int cur = g.add(std::move(in));
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    cur = append_bert_layer(g, cfg, cur, layer);
+  }
+  return g;
+}
+
+}  // namespace mcf

@@ -1,0 +1,17 @@
+// BERT encoder graph builders for the end-to-end experiments (§VI-C).
+#pragma once
+
+#include "graph/netgraph.hpp"
+#include "workloads/suites.hpp"
+
+namespace mcf {
+
+/// Builds the encoder stack of a BERT model (no embedding/pooler — the
+/// paper's end-to-end evaluation covers the transformer encoder layers).
+[[nodiscard]] NetGraph build_bert(const BertConfig& cfg);
+
+/// Builds one encoder layer into `g`; `input` is the residual-stream node.
+/// Returns the layer's output node id.  Exposed for tests.
+int append_bert_layer(NetGraph& g, const BertConfig& cfg, int input, int layer);
+
+}  // namespace mcf

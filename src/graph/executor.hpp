@@ -1,0 +1,66 @@
+// End-to-end graph executor (§VI-C): costs a NetGraph on the simulated
+// GPU under a chosen operator backend, optionally routing MBCI sub-graphs
+// through MCFuser — the paper's Relay / BOLT / MCFuser+Relay / Ansor /
+// MCFuser+Ansor configurations.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "baselines/library_kernels.hpp"
+#include "baselines/relay_like.hpp"
+#include "graph/netgraph.hpp"
+#include "graph/partitioner.hpp"
+#include "search/mcfuser.hpp"
+
+namespace mcf {
+
+enum class GraphBackend : std::uint8_t {
+  Eager,  ///< PyTorch: per-op kernels, no epilogue fusion, dispatch cost
+  Relay,  ///< fixed templates + epilogue fusion
+  Bolt,   ///< small template menu + epilogue fusion
+  Ansor,  ///< tuned per-op kernels + epilogue fusion
+};
+
+[[nodiscard]] const char* graph_backend_name(GraphBackend b) noexcept;
+
+struct GraphExecOptions {
+  GraphBackend backend = GraphBackend::Relay;
+  bool use_mcfuser = false;
+  MCFuserOptions mcfuser;
+};
+
+struct GraphRunResult {
+  double time_s = 0.0;
+  double attention_time_s = 0.0;  ///< time spent in (would-be) MBCI regions
+  int kernel_launches = 0;
+  /// Distinct compute-op shapes the backend would auto-tune (drives the
+  /// Ansor tuning-time model in Table IV).
+  int unique_tuned_subgraphs = 0;
+  /// Of those, how many were taken over by MCFuser.
+  int mcfuser_subgraphs = 0;
+  int mcfuser_measurements = 0;
+  double mcfuser_wall_s = 0.0;
+  double flops = 0.0;
+  double attention_flops = 0.0;
+};
+
+class GraphExecutor {
+ public:
+  GraphExecutor(GpuSpec gpu, GraphExecOptions options);
+
+  [[nodiscard]] GraphRunResult run(const NetGraph& g);
+
+ private:
+  [[nodiscard]] double cost_matmul(const GraphNode& n, double epi_flops) const;
+  [[nodiscard]] double cost_simple(const GraphNode& n) const;
+
+  GpuSpec gpu_;
+  GraphExecOptions opt_;
+  LibraryKernels lib_;
+  RelayLikeBaseline relay_;
+  /// MCFuser results cached by chain shape (models tune-once-per-shape).
+  std::map<std::string, FusionResult> fused_cache_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,76 @@
+#include "graph/mixer.hpp"
+
+namespace mcf {
+
+namespace {
+
+GraphNode make(OpType type, std::string name, std::vector<int> inputs,
+               std::int64_t batch, std::int64_t m, std::int64_t n,
+               std::int64_t k = 0) {
+  GraphNode node;
+  node.type = type;
+  node.name = std::move(name);
+  node.inputs = std::move(inputs);
+  node.batch = batch;
+  node.m = m;
+  node.n = n;
+  node.k = k;
+  return node;
+}
+
+}  // namespace
+
+MixerConfig mixer_small() {
+  return MixerConfig{"Mixer-Small", 8, 196, 512, 256, 2048};
+}
+
+MixerConfig mixer_base() {
+  return MixerConfig{"Mixer-Base", 12, 196, 768, 384, 3072};
+}
+
+NetGraph build_mixer(const MixerConfig& cfg) {
+  NetGraph g(cfg.name);
+  GraphNode in;
+  in.type = OpType::Input;
+  in.name = "patch_embeddings";
+  in.m = cfg.patches;
+  in.n = cfg.channels;
+  int cur = g.add(std::move(in));
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    const std::string p = "l" + std::to_string(layer) + ".";
+    const std::int64_t s = cfg.patches;
+    const std::int64_t c = cfg.channels;
+
+    // ---- token-mixing MLP (the MBCI chain) --------------------------------
+    const int ln1 = g.add(make(OpType::LayerNorm, p + "token.ln", {cur}, 1, s, c));
+    const int tr1 = g.add(make(OpType::Transpose, p + "token.t1", {ln1}, 1, c, s));
+    // [C, S] x [S, D_S] -> GeLU -> x [D_S, S].
+    const int mm1 = g.add(make(OpType::BatchedMatMul, p + "token.fc1", {tr1},
+                               1, c, cfg.token_hidden, s));
+    const int gelu1 = g.add(make(OpType::GeLU, p + "token.gelu", {mm1}, 1, c,
+                                 cfg.token_hidden));
+    const int mm2 = g.add(make(OpType::BatchedMatMul, p + "token.fc2", {gelu1},
+                               1, c, s, cfg.token_hidden));
+    const int tr2 = g.add(make(OpType::Transpose, p + "token.t2", {mm2}, 1, s, c));
+    const int res1 = g.add(make(OpType::Add, p + "token.residual", {tr2, cur},
+                                1, s, c));
+
+    // ---- channel-mixing MLP (stays with the fallback backend) -------------
+    const int ln2 = g.add(make(OpType::LayerNorm, p + "channel.ln", {res1}, 1, s, c));
+    const int fc1 = g.add(make(OpType::MatMul, p + "channel.fc1", {ln2}, 1, s,
+                               cfg.channel_hidden, c));
+    const int b1 = g.add(make(OpType::BiasAdd, p + "channel.fc1_bias", {fc1},
+                              1, s, cfg.channel_hidden));
+    const int gelu2 = g.add(make(OpType::GeLU, p + "channel.gelu", {b1}, 1, s,
+                                 cfg.channel_hidden));
+    const int fc2 = g.add(make(OpType::MatMul, p + "channel.fc2", {gelu2}, 1,
+                               s, c, cfg.channel_hidden));
+    const int b2 = g.add(make(OpType::BiasAdd, p + "channel.fc2_bias", {fc2},
+                              1, s, c));
+    cur = g.add(make(OpType::Add, p + "channel.residual", {b2, res1}, 1, s, c));
+  }
+  return g;
+}
+
+}  // namespace mcf

@@ -1,0 +1,34 @@
+// MLP-Mixer graph builders — the paper's third workload family (Table
+// III S7-S9 motivates the token-mixing MLP), built end-to-end here as an
+// extension of §VI-C: the token-mixing block (matmul -> GeLU -> matmul
+// over the patch dimension) is an MBCI chain that the partitioner hands
+// to MCFuser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/netgraph.hpp"
+
+namespace mcf {
+
+struct MixerConfig {
+  std::string name;
+  int layers = 12;
+  std::int64_t patches = 196;        ///< sequence of image patches (S)
+  std::int64_t channels = 768;       ///< hidden width (C)
+  std::int64_t token_hidden = 384;   ///< token-mixing MLP width (D_S)
+  std::int64_t channel_hidden = 3072;///< channel-mixing MLP width (D_C)
+};
+
+[[nodiscard]] MixerConfig mixer_small();
+[[nodiscard]] MixerConfig mixer_base();
+
+/// Builds the Mixer encoder stack.  The token-mixing MLP is expressed as
+/// transpose -> matmul -> GeLU -> matmul -> transpose (bias-free, the
+/// standard fusion-benchmark simplification); the channel MLP keeps its
+/// biases and stays with the fallback backend.
+[[nodiscard]] NetGraph build_mixer(const MixerConfig& cfg);
+
+}  // namespace mcf

@@ -1,0 +1,72 @@
+#include "graph/netgraph.hpp"
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+const char* op_type_name(OpType t) noexcept {
+  switch (t) {
+    case OpType::Input:
+      return "input";
+    case OpType::MatMul:
+      return "matmul";
+    case OpType::BatchedMatMul:
+      return "batched_matmul";
+    case OpType::Softmax:
+      return "softmax";
+    case OpType::LayerNorm:
+      return "layernorm";
+    case OpType::GeLU:
+      return "gelu";
+    case OpType::Relu:
+      return "relu";
+    case OpType::BiasAdd:
+      return "bias_add";
+    case OpType::Add:
+      return "add";
+    case OpType::Scale:
+      return "scale";
+    case OpType::Transpose:
+      return "transpose";
+  }
+  return "?";
+}
+
+double GraphNode::flops() const noexcept {
+  if (type == OpType::MatMul || type == OpType::BatchedMatMul) {
+    return 2.0 * static_cast<double>(batch) * static_cast<double>(m) *
+           static_cast<double>(n) * static_cast<double>(k);
+  }
+  return 0.0;
+}
+
+int NetGraph::add(GraphNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  for (const int in : node.inputs) {
+    MCF_CHECK(in >= 0 && in < node.id)
+        << "graph must be constructed topologically";
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+std::vector<int> NetGraph::consumers(int id) const {
+  std::vector<int> out;
+  for (const auto& n : nodes_) {
+    for (const int in : n.inputs) {
+      if (in == id) {
+        out.push_back(n.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double NetGraph::total_flops() const noexcept {
+  double fl = 0.0;
+  for (const auto& n : nodes_) fl += n.flops();
+  return fl;
+}
+
+}  // namespace mcf

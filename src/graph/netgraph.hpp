@@ -1,0 +1,69 @@
+// Minimal dataflow-graph IR for end-to-end models (the repo's stand-in
+// for TVM Relay, §V-B).  Nodes are created in topological order; shapes
+// are explicit per node so backends can cost kernels without inference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcf {
+
+enum class OpType : std::uint8_t {
+  Input,
+  MatMul,         ///< (m,k) x (k,n), weights shared across batch
+  BatchedMatMul,  ///< (batch,m,k) x (batch,k,n)
+  Softmax,        ///< rows m, cols n
+  LayerNorm,
+  GeLU,
+  Relu,
+  BiasAdd,
+  Add,            ///< residual / attention mask
+  Scale,          ///< multiply by a scalar (1/sqrt(d))
+  Transpose,      ///< materialised layout change (eager frameworks copy)
+};
+
+[[nodiscard]] const char* op_type_name(OpType t) noexcept;
+
+struct GraphNode {
+  int id = -1;
+  OpType type = OpType::Input;
+  std::string name;
+  std::vector<int> inputs;  ///< producing node ids
+  // Shape of the op's computation: batched (batch,m,k)x(k,n) for matmuls,
+  // (m,n) elementwise/normalisation extents otherwise (batch folded into m).
+  std::int64_t batch = 1;
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+
+  /// Output elements of this node.
+  [[nodiscard]] std::int64_t out_elems() const noexcept { return batch * m * n; }
+  /// Multiply-add FLOPs (matmuls only; 0 otherwise).
+  [[nodiscard]] double flops() const noexcept;
+};
+
+/// A DAG of operators; construction order is execution order.
+class NetGraph {
+ public:
+  explicit NetGraph(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  int add(GraphNode node);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const GraphNode& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const noexcept { return nodes_; }
+
+  /// Node ids that consume `id`'s output.
+  [[nodiscard]] std::vector<int> consumers(int id) const;
+
+  [[nodiscard]] double total_flops() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<GraphNode> nodes_;
+};
+
+}  // namespace mcf

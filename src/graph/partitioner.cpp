@@ -1,0 +1,122 @@
+#include "graph/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+double chain_flops_per_byte(const ChainSpec& chain, std::int64_t tile) {
+  // The paper's phi = 2*TM*TN*K / (2*TM*TN + TM*K + TN*K), evaluated per
+  // operator at a representative tile (Fig. 2 uses 256) and combined as
+  // the FLOPs-weighted mean: the chain is memory-bound when its
+  // *unfused* operators are.
+  double flops_total = 0.0;
+  double weighted = 0.0;
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    const double red = static_cast<double>(chain.inner()[static_cast<std::size_t>(op)]);
+    const double tm = static_cast<double>(std::min<std::int64_t>(tile, chain.m()));
+    const double tn = static_cast<double>(
+        std::min<std::int64_t>(tile, chain.inner()[static_cast<std::size_t>(op) + 1]));
+    const double phi = 2.0 * tm * tn * red / (2.0 * tm * tn + tm * red + tn * red);
+    const double fl = 2.0 * static_cast<double>(chain.m()) *
+                      static_cast<double>(chain.inner()[static_cast<std::size_t>(op)]) *
+                      static_cast<double>(chain.inner()[static_cast<std::size_t>(op) + 1]);
+    flops_total += fl;
+    weighted += fl * phi;
+  }
+  return flops_total > 0 ? weighted / flops_total : 0.0;
+}
+
+bool is_mbci(const ChainSpec& chain, const GpuSpec& gpu) {
+  return chain_flops_per_byte(chain) < gpu.flops_per_byte();
+}
+
+PartitionResult partition_mbci(const NetGraph& g, const GpuSpec& gpu,
+                               bool require_mbci) {
+  PartitionResult out;
+  std::vector<char> claimed(static_cast<std::size_t>(g.size()), 0);
+
+  for (int id = 0; id < g.size(); ++id) {
+    const GraphNode& first = g.node(id);
+    if (first.type != OpType::BatchedMatMul || claimed[static_cast<std::size_t>(id)]) {
+      continue;
+    }
+    // Pattern: bmm -> {scale|mask-add}* -> (softmax ->) bmm, with every
+    // intermediate consumed exclusively inside the pattern.
+    std::vector<int> middle;
+    int cur = id;
+    bool has_softmax = false;
+    bool has_gelu = false;
+    bool broken = false;
+    for (;;) {
+      const auto cons = g.consumers(cur);
+      if (cons.size() != 1) {
+        broken = true;
+        break;
+      }
+      cur = cons.front();
+      const OpType t = g.node(cur).type;
+      if (t == OpType::Scale || t == OpType::Add) {
+        middle.push_back(cur);
+        continue;
+      }
+      if (t == OpType::GeLU && !has_gelu && !has_softmax) {
+        has_gelu = true;
+        middle.push_back(cur);
+        continue;
+      }
+      if (t == OpType::Softmax && !has_softmax && !has_gelu) {
+        has_softmax = true;
+        middle.push_back(cur);
+        continue;
+      }
+      break;
+    }
+    if (broken) continue;
+    const GraphNode& second = g.node(cur);
+    if (second.type != OpType::BatchedMatMul) continue;
+    const int feed = middle.empty() ? id : middle.back();
+    if (second.inputs.front() != feed) {
+      continue;  // the chain feeds the second matmul's LHS
+    }
+
+    // Chain dims: first (B,M,K)x(B,K,N); second (B,M,N)x(B,N,H).
+    if (second.batch != first.batch || second.m != first.m ||
+        second.k != first.n) {
+      continue;
+    }
+    ChainSpec chain = [&]() {
+      const std::string name = g.name() + "." + first.name;
+      if (has_softmax) {
+        return ChainSpec::attention(name, first.batch, first.m, first.n,
+                                    first.k, second.n);
+      }
+      if (has_gelu) {
+        return ChainSpec(name, first.batch, first.m,
+                         {first.k, first.n, second.n},
+                         {Epilogue::Gelu, Epilogue::None});
+      }
+      return ChainSpec::gemm_chain(name, first.batch, first.m, first.n,
+                                   first.k, second.n);
+    }();
+    if (require_mbci && !is_mbci(chain, gpu)) continue;
+
+    MbciSubgraph sub{{}, std::move(chain)};
+    sub.nodes.push_back(id);
+    sub.nodes.insert(sub.nodes.end(), middle.begin(), middle.end());
+    sub.nodes.push_back(second.id);
+    for (const int n : sub.nodes) claimed[static_cast<std::size_t>(n)] = 1;
+    out.mbci.push_back(std::move(sub));
+  }
+
+  for (int id = 0; id < g.size(); ++id) {
+    if (!claimed[static_cast<std::size_t>(id)] && g.node(id).type != OpType::Input) {
+      out.rest.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcf

@@ -1,0 +1,39 @@
+// MBCI sub-graph partitioner (§V-B): finds BatchedMatMul -> [Softmax] ->
+// BatchedMatMul chains, verifies they are memory-bound compute-intensive
+// on the target GPU (phi < P/W, §II-A), and extracts ChainSpecs for
+// MCFuser; everything else stays with the fallback backend.
+#pragma once
+
+#include <vector>
+
+#include "gpu/spec.hpp"
+#include "graph/netgraph.hpp"
+#include "ir/chain.hpp"
+
+namespace mcf {
+
+/// One fused region found in the graph.
+struct MbciSubgraph {
+  std::vector<int> nodes;  ///< graph node ids covered by the fused kernel
+  ChainSpec chain;
+};
+
+struct PartitionResult {
+  std::vector<MbciSubgraph> mbci;
+  std::vector<int> rest;   ///< node ids executed by the fallback backend
+};
+
+/// Op/byte ratio of a fused chain at a representative tile size (the
+/// paper's phi; eq. in §II-A with T_M = T_N = `tile`).
+[[nodiscard]] double chain_flops_per_byte(const ChainSpec& chain,
+                                          std::int64_t tile = 256);
+
+/// True when the chain is memory-bound on `gpu` (phi < P/W).
+[[nodiscard]] bool is_mbci(const ChainSpec& chain, const GpuSpec& gpu);
+
+/// Partitions `g` for `gpu`.  When `require_mbci` is false every matching
+/// pattern is fused regardless of the phi test (used by ablations).
+[[nodiscard]] PartitionResult partition_mbci(const NetGraph& g, const GpuSpec& gpu,
+                                             bool require_mbci = true);
+
+}  // namespace mcf

@@ -1,0 +1,161 @@
+#include "ir/chain.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+const char* epilogue_name(Epilogue e) noexcept {
+  switch (e) {
+    case Epilogue::None:
+      return "none";
+    case Epilogue::Relu:
+      return "relu";
+    case Epilogue::Gelu:
+      return "gelu";
+    case Epilogue::OnlineSoftmax:
+      return "softmax";
+  }
+  return "?";
+}
+
+ChainSpec::ChainSpec(std::string name, std::int64_t batch, std::int64_t m,
+                     std::vector<std::int64_t> inner,
+                     std::vector<Epilogue> epilogues, float softmax_scale)
+    : name_(std::move(name)),
+      batch_(batch),
+      m_(m),
+      inner_(std::move(inner)),
+      epilogues_(std::move(epilogues)),
+      softmax_scale_(softmax_scale) {
+  MCF_CHECK(batch_ >= 1) << "batch must be >= 1";
+  MCF_CHECK(m_ >= 1) << "m must be >= 1";
+  MCF_CHECK(inner_.size() >= 2) << "need at least one operator (2 inner dims)";
+  for (const auto d : inner_) MCF_CHECK(d >= 1) << "inner dims must be >= 1";
+  epilogues_.resize(static_cast<std::size_t>(num_ops()), Epilogue::None);
+
+  // Build the tensor table. Naming follows the paper's 2-GEMM example
+  // (A x B -> C, C x D -> E); longer chains continue alphabetically.
+  const int ops = num_ops();
+  // In0 ("A"): indexed by m (loop 0) and d0 (loop 1).
+  tensors_.push_back(TensorInfo{"A", TensorKind::Input, {0, 1}, -1, 0});
+  // Weights: op i weight indexed by loops (1+i, 2+i).
+  for (int i = 0; i < ops; ++i) {
+    const std::string wname = (i == 0) ? "B" : std::string(1, static_cast<char>('B' + 2 * i));
+    tensors_.push_back(
+        TensorInfo{wname, TensorKind::Weight, {1 + i, 2 + i}, -1, i});
+  }
+  // Op outputs: X_{i+1} indexed by (m, 2+i); last one is the chain output.
+  for (int i = 0; i < ops; ++i) {
+    const bool last = (i == ops - 1);
+    const std::string xname = std::string(1, static_cast<char>('C' + 2 * i));
+    tensors_.push_back(TensorInfo{xname,
+                                  last ? TensorKind::Output : TensorKind::Intermediate,
+                                  {0, 2 + i},
+                                  i,
+                                  last ? -1 : i + 1});
+  }
+}
+
+ChainSpec ChainSpec::gemm_chain(std::string name, std::int64_t batch,
+                                std::int64_t m, std::int64_t n, std::int64_t k,
+                                std::int64_t h) {
+  return ChainSpec(std::move(name), batch, m, {k, n, h});
+}
+
+ChainSpec ChainSpec::attention(std::string name, std::int64_t heads,
+                               std::int64_t m, std::int64_t n, std::int64_t k,
+                               std::int64_t h) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(k));
+  return ChainSpec(std::move(name), heads, m, {k, n, h},
+                   {Epilogue::OnlineSoftmax, Epilogue::None}, scale);
+}
+
+std::int64_t ChainSpec::loop_dim(int l) const {
+  MCF_CHECK(l >= 0 && l < num_loops()) << "loop id out of range: " << l;
+  return l == 0 ? m_ : inner_.at(static_cast<std::size_t>(l - 1));
+}
+
+char ChainSpec::loop_name(int l) const {
+  MCF_CHECK(l >= 0 && l < num_loops()) << "loop id out of range: " << l;
+  // Canonical paper names for the first four; continue alphabetically.
+  static constexpr char kNames[] = {'m', 'k', 'n', 'h', 'g', 'f', 'e', 'd'};
+  MCF_CHECK(l < static_cast<int>(sizeof(kNames))) << "too many loops";
+  return kNames[l];
+}
+
+int ChainSpec::reduction_loop(int op) const {
+  MCF_CHECK(op >= 0 && op < num_ops()) << "op out of range";
+  return 1 + op;
+}
+
+int ChainSpec::out_col_loop(int op) const {
+  MCF_CHECK(op >= 0 && op < num_ops()) << "op out of range";
+  return 2 + op;
+}
+
+bool ChainSpec::is_global_spatial(int l) const {
+  MCF_CHECK(l >= 0 && l < num_loops()) << "loop id out of range";
+  return l == 0 || l == num_loops() - 1;
+}
+
+std::vector<int> ChainSpec::related_loops(int op) const {
+  return {0, reduction_loop(op), out_col_loop(op)};
+}
+
+int ChainSpec::op_input_tensor(int op) const {
+  MCF_CHECK(op >= 0 && op < num_ops()) << "op out of range";
+  if (op == 0) return 0;
+  // Intermediate X_op: stored after the weight block.
+  return 1 + num_ops() + (op - 1);
+}
+
+int ChainSpec::op_weight_tensor(int op) const {
+  MCF_CHECK(op >= 0 && op < num_ops()) << "op out of range";
+  return 1 + op;
+}
+
+int ChainSpec::op_output_tensor(int op) const {
+  MCF_CHECK(op >= 0 && op < num_ops()) << "op out of range";
+  return 1 + num_ops() + op;
+}
+
+int ChainSpec::output_tensor() const { return op_output_tensor(num_ops() - 1); }
+
+double ChainSpec::total_flops() const noexcept {
+  double fl = 0.0;
+  for (int i = 0; i + 1 < static_cast<int>(inner_.size()); ++i) {
+    fl += 2.0 * static_cast<double>(m_) * static_cast<double>(inner_[static_cast<std::size_t>(i)]) *
+          static_cast<double>(inner_[static_cast<std::size_t>(i + 1)]);
+  }
+  return fl * static_cast<double>(batch_);
+}
+
+std::int64_t ChainSpec::min_traffic_elems() const noexcept {
+  std::int64_t elems = m_ * inner_.front();  // In0
+  for (std::size_t i = 0; i + 1 < inner_.size(); ++i) {
+    elems += inner_[i] * inner_[i + 1];  // weights
+  }
+  elems += m_ * inner_.back();  // output
+  return elems * batch_;
+}
+
+std::string ChainSpec::to_string() const {
+  std::ostringstream os;
+  os << name_ << ": batch=" << batch_ << " M=" << m_ << " dims=[";
+  for (std::size_t i = 0; i < inner_.size(); ++i) {
+    if (i) os << ",";
+    os << inner_[i];
+  }
+  os << "] ops=" << num_ops();
+  for (int i = 0; i < num_ops(); ++i) {
+    if (epilogue(i) != Epilogue::None) {
+      os << " epi" << i << "=" << epilogue_name(epilogue(i));
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mcf

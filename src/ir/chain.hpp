@@ -1,0 +1,126 @@
+// Operator-chain specification (the paper's MBCI operator chain, §III-A).
+//
+// A chain of P contraction operators sharing the row dimension M:
+//
+//   X1 = In0 (M x d0)  ·  W0 (d0 x d1)          -- op 0, reduces d0
+//   X2 = X1  (M x d1)  ·  W1 (d1 x d2)          -- op 1, reduces d1
+//   ...
+//   Xp = X_{P-1}       ·  W_{P-1} (d_{P-1} x dP) -- final output (M x dP)
+//
+// The paper's 2-GEMM chain is inner = {K, N, H}; self-attention is the same
+// chain with an OnlineSoftmax epilogue on op 0's output (Q·Kᵀ -> softmax ->
+// ·V).  `batch` folds batch and attention heads into an implicit outermost
+// spatial block dimension.
+//
+// Cross-tile loops (paper Fig. 3): loop 0 iterates tiles of M ("m"); loop
+// j>=1 iterates tiles of inner[j-1] ("k", "n", "h", "g", ...).  Loop 1+i is
+// the reduction loop of op i; loops 0 and P+... the chain output's spatial
+// loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcf {
+
+/// Epilogue fused onto an operator's output tile (paper §III-A: standard
+/// memory-intensive fusion; OnlineSoftmax enables attention chains).
+enum class Epilogue : std::uint8_t { None, Relu, Gelu, OnlineSoftmax };
+
+[[nodiscard]] const char* epilogue_name(Epilogue e) noexcept;
+
+/// Role of a tensor inside the chain.
+enum class TensorKind : std::uint8_t { Input, Weight, Intermediate, Output };
+
+/// Static description of one tensor of the chain.
+struct TensorInfo {
+  std::string name;        ///< "A", "B", "D", "C", "E", ...
+  TensorKind kind;
+  std::vector<int> loops;  ///< loop ids indexing this tensor (row, col)
+  int producer_op = -1;    ///< -1 for graph inputs
+  int consumer_op = -1;    ///< -1 for the chain output
+};
+
+/// The chain itself. Instances are immutable after construction; all
+/// derived metadata (loops, tensors, FLOP counts) is precomputed.
+class ChainSpec {
+ public:
+  /// `inner` = {d0, d1, ..., dP}: P = inner.size()-1 operators.
+  /// `epilogues` has one entry per operator (None-padded if shorter).
+  ChainSpec(std::string name, std::int64_t batch, std::int64_t m,
+            std::vector<std::int64_t> inner,
+            std::vector<Epilogue> epilogues = {},
+            float softmax_scale = 1.0f);
+
+  /// Convenience factory: plain 2-GEMM chain (paper Table II rows).
+  [[nodiscard]] static ChainSpec gemm_chain(std::string name,
+                                            std::int64_t batch, std::int64_t m,
+                                            std::int64_t n, std::int64_t k,
+                                            std::int64_t h);
+
+  /// Convenience factory: self-attention module (paper Table III rows).
+  /// heads folds into batch; softmax scale defaults to 1/sqrt(K).
+  [[nodiscard]] static ChainSpec attention(std::string name,
+                                           std::int64_t heads, std::int64_t m,
+                                           std::int64_t n, std::int64_t k,
+                                           std::int64_t h);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::int64_t batch() const noexcept { return batch_; }
+  [[nodiscard]] std::int64_t m() const noexcept { return m_; }
+  [[nodiscard]] const std::vector<std::int64_t>& inner() const noexcept { return inner_; }
+  [[nodiscard]] int num_ops() const noexcept { return static_cast<int>(inner_.size()) - 1; }
+  [[nodiscard]] Epilogue epilogue(int op) const { return epilogues_.at(static_cast<std::size_t>(op)); }
+  [[nodiscard]] float softmax_scale() const noexcept { return softmax_scale_; }
+
+  // ---- loops --------------------------------------------------------------
+  /// Number of cross-tile loops (1 + number of inner dims).
+  [[nodiscard]] int num_loops() const noexcept { return static_cast<int>(inner_.size()) + 1; }
+  /// Extent of loop `l`'s dimension (m for l==0, inner[l-1] otherwise).
+  [[nodiscard]] std::int64_t loop_dim(int l) const;
+  /// Single-character display name: m, k, n, h, g, f...
+  [[nodiscard]] char loop_name(int l) const;
+  /// Reduction loop id of op i (== 1+i).
+  [[nodiscard]] int reduction_loop(int op) const;
+  /// Output-column loop id of op i (== 2+i).
+  [[nodiscard]] int out_col_loop(int op) const;
+  /// True when loop `l` is a reduction loop of no operator (m and the last
+  /// column loop): these may always be bound to blockIdx.
+  [[nodiscard]] bool is_global_spatial(int l) const;
+  /// The three loops related to op i: {m, reduction, out-col}.
+  [[nodiscard]] std::vector<int> related_loops(int op) const;
+
+  // ---- tensors ------------------------------------------------------------
+  [[nodiscard]] int num_tensors() const noexcept { return static_cast<int>(tensors_.size()); }
+  [[nodiscard]] const TensorInfo& tensor(int t) const { return tensors_.at(static_cast<std::size_t>(t)); }
+  /// Tensor id of op i's streamed input (In0 for i==0, else intermediate).
+  [[nodiscard]] int op_input_tensor(int op) const;
+  /// Tensor id of op i's weight operand.
+  [[nodiscard]] int op_weight_tensor(int op) const;
+  /// Tensor id of op i's output.
+  [[nodiscard]] int op_output_tensor(int op) const;
+  /// Tensor id of the chain output (== op_output_tensor(P-1)).
+  [[nodiscard]] int output_tensor() const;
+
+  // ---- global properties --------------------------------------------------
+  /// Total multiply-add FLOPs of the chain (2*M*d_i*d_{i+1} per op, x batch),
+  /// excluding epilogues.
+  [[nodiscard]] double total_flops() const noexcept;
+  /// Minimal global-memory traffic in elements: all inputs read once plus
+  /// the output written once (the fused lower bound).
+  [[nodiscard]] std::int64_t min_traffic_elems() const noexcept;
+  /// One-line human-readable description.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::int64_t batch_;
+  std::int64_t m_;
+  std::vector<std::int64_t> inner_;
+  std::vector<Epilogue> epilogues_;
+  float softmax_scale_;
+  std::vector<TensorInfo> tensors_;
+};
+
+}  // namespace mcf

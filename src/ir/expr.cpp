@@ -1,0 +1,182 @@
+#include "ir/expr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+TileExpr::TileExpr() { nodes_.push_back(Node{}); }
+
+int TileExpr::add_loop(int parent, int loop) {
+  MCF_CHECK(parent >= 0 && parent < num_nodes()) << "bad parent " << parent;
+  Node n;
+  n.loop = loop;
+  n.parent = parent;
+  const int idx = num_nodes();
+  nodes_.push_back(n);
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(idx);
+  return idx;
+}
+
+std::vector<int> TileExpr::tree_loops() const {
+  std::vector<int> out;
+  for (int i = 1; i < num_nodes(); ++i) out.push_back(node(i).loop);
+  return out;
+}
+
+int TileExpr::find_loop(int l) const {
+  for (int i = 1; i < num_nodes(); ++i) {
+    if (node(i).loop == l) return i;
+  }
+  return -1;
+}
+
+std::vector<int> TileExpr::path_from_root(int node_index) const {
+  std::vector<int> path;
+  for (int cur = node_index; cur != -1; cur = node(cur).parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool TileExpr::is_ancestor(int ancestor, int node_index) const {
+  for (int cur = node_index; cur != -1; cur = node(cur).parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+int TileExpr::depth() const {
+  int best = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    best = std::max(best, static_cast<int>(path_from_root(i).size()) - 1);
+  }
+  return best;
+}
+
+bool TileExpr::is_deep() const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (node(i).children.size() > 1) return false;
+  }
+  return true;
+}
+
+void TileExpr::render(int node_index, const ChainSpec* chain,
+                      std::string& out) const {
+  const Node& n = node(node_index);
+  if (n.loop >= 0) {
+    out += chain ? std::string(1, chain->loop_name(n.loop))
+                 : std::to_string(n.loop);
+  }
+  if (n.children.empty()) return;
+  if (n.children.size() == 1) {
+    render(n.children.front(), chain, out);
+    return;
+  }
+  out += "(";
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    if (i) out += ",";
+    render(n.children[i], chain, out);
+  }
+  out += ")";
+}
+
+std::string TileExpr::to_string(const ChainSpec& chain) const {
+  std::string out;
+  if (!block_loops_.empty()) {
+    out += "[";
+    for (const int l : block_loops_) out += chain.loop_name(l);
+    out += "]";
+  }
+  render(root(), &chain, out);
+  return out;
+}
+
+std::string TileExpr::structure_key() const {
+  std::string out;
+  for (const int l : block_loops_) {
+    out += "b";
+    out += std::to_string(l);
+  }
+  out += "|";
+  render(root(), nullptr, out);
+  return out;
+}
+
+TileExpr make_deep_expr(const ChainSpec& chain,
+                        const std::vector<int>& loop_order) {
+  MCF_CHECK(static_cast<int>(loop_order.size()) == chain.num_loops())
+      << "deep expression must mention every loop";
+  TileExpr expr;
+  std::vector<int> block;
+  int parent = expr.root();
+  for (const int l : loop_order) {
+    if (chain.is_global_spatial(l)) {
+      block.push_back(l);  // Rule-1 canonical form: spatial -> blockIdx.
+    } else {
+      parent = expr.add_loop(parent, l);
+    }
+  }
+  expr.set_block_loops(std::move(block));
+  return expr;
+}
+
+TileExpr make_flat_expr(const ChainSpec& chain,
+                        const std::vector<int>& outer_order,
+                        const std::vector<int>& groups) {
+  TileExpr expr;
+  std::vector<int> block;
+  int parent = expr.root();
+  for (const int l : outer_order) {
+    if (chain.is_global_spatial(l)) {
+      block.push_back(l);
+    } else {
+      parent = expr.add_loop(parent, l);
+    }
+  }
+  for (const int l : groups) {
+    expr.add_loop(parent, l);  // sequential siblings in `parent`'s scope
+  }
+  expr.set_block_loops(std::move(block));
+  return expr;
+}
+
+RawExpressions enumerate_expressions(const ChainSpec& chain) {
+  RawExpressions out;
+  const int nl = chain.num_loops();
+
+  // Deep tilings: every permutation of all loops.
+  std::vector<int> order(static_cast<std::size_t>(nl));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end());
+  do {
+    out.deep.push_back(make_deep_expr(chain, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  // Flat tilings: permutations of the shared loops (m plus the reduction
+  // loops of ops 1..P-1) around the sequential group (op0's reduction, then
+  // each later op's output-column loop).  For the paper's 2-GEMM chain this
+  // yields exactly mn(k,h) and nm(k,h).
+  std::vector<int> shared;
+  shared.push_back(0);  // m
+  for (int op = 1; op < chain.num_ops(); ++op) {
+    shared.push_back(chain.reduction_loop(op));
+  }
+  std::vector<int> groups;
+  groups.push_back(chain.reduction_loop(0));
+  for (int op = 1; op < chain.num_ops(); ++op) {
+    groups.push_back(chain.out_col_loop(op));
+  }
+  if (chain.num_ops() >= 2) {
+    std::sort(shared.begin(), shared.end());
+    do {
+      out.flat.push_back(make_flat_expr(chain, shared, groups));
+    } while (std::next_permutation(shared.begin(), shared.end()));
+  }
+  return out;
+}
+
+}  // namespace mcf

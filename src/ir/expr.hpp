@@ -1,0 +1,102 @@
+// Tiling expressions (paper §III-A).
+//
+// A tiling expression describes only the *structure* of the cross-tile
+// loops of a fused kernel:
+//   - Deep tiling: a linear nest, printed like "mhnk".
+//   - Flat tiling: sibling loops executed sequentially in one scope,
+//     printed like "mn(k,h)".
+//
+// Loops bound to blockIdx are removed from the tree and recorded in
+// `block_loops` (paper pruning Rule 1 operates on the remaining per-block
+// sub-expression).  Statements are *not* part of the expression; they are
+// placed by dag/schedule.cpp per candidate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/chain.hpp"
+
+namespace mcf {
+
+/// An ordered loop tree.  Node 0 is always the synthetic root scope (no
+/// loop); every other node carries a loop id from the ChainSpec.
+class TileExpr {
+ public:
+  struct Node {
+    int loop = -1;              ///< -1 for the root scope
+    int parent = -1;            ///< node index, -1 for root
+    std::vector<int> children;  ///< ordered child node indices
+  };
+
+  TileExpr();
+
+  /// Adds a loop scope under `parent` (node index); returns new node index.
+  int add_loop(int parent, int loop);
+
+  [[nodiscard]] int root() const noexcept { return 0; }
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const Node& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+
+  /// Loops bound to blockIdx (removed from the tree).  Order is the
+  /// binding order (outermost first).
+  [[nodiscard]] const std::vector<int>& block_loops() const noexcept { return block_loops_; }
+  void set_block_loops(std::vector<int> loops) { block_loops_ = std::move(loops); }
+
+  /// All loop ids present in the tree (pre-order).
+  [[nodiscard]] std::vector<int> tree_loops() const;
+
+  /// Node index of loop `l` in the tree, or -1 when absent / block-bound.
+  [[nodiscard]] int find_loop(int l) const;
+
+  /// Path of node indices root..node (inclusive).
+  [[nodiscard]] std::vector<int> path_from_root(int node_index) const;
+
+  /// True when `ancestor` is a (strict or equal) ancestor of `node_index`.
+  [[nodiscard]] bool is_ancestor(int ancestor, int node_index) const;
+
+  /// Depth of the tree (root = 0).
+  [[nodiscard]] int depth() const;
+
+  /// True when the tree is a single linear nest (deep tiling).
+  [[nodiscard]] bool is_deep() const;
+
+  /// Paper-style rendering, e.g. "mhnk" / "mn(k,h)"; block-bound loops are
+  /// prefixed in brackets: "[mh]nk".
+  [[nodiscard]] std::string to_string(const ChainSpec& chain) const;
+  /// Canonical structural key independent of the chain (used for dedup).
+  [[nodiscard]] std::string structure_key() const;
+
+ private:
+  void render(int node_index, const ChainSpec* chain, std::string& out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<int> block_loops_;
+};
+
+/// Builds a deep (fully nested) expression from a loop order.  Global
+/// spatial loops are stripped and bound to blockIdx (paper Rule 1
+/// canonical form); the remaining loops are nested in the given order.
+[[nodiscard]] TileExpr make_deep_expr(const ChainSpec& chain,
+                                      const std::vector<int>& loop_order);
+
+/// Builds a flat expression: `outer_order` nested, then the loops of
+/// `groups` as ordered sequential siblings in the innermost scope.
+/// Spatial loops in outer_order are stripped to blockIdx.
+[[nodiscard]] TileExpr make_flat_expr(const ChainSpec& chain,
+                                      const std::vector<int>& outer_order,
+                                      const std::vector<int>& groups);
+
+/// Enumerates the raw expression universe of the paper's search space:
+/// all J! deep loop orders plus the flat expressions (permutations of the
+/// shared loops around the per-op exclusive sequential group).  No
+/// deduplication — Rule 1 happens in search/prune.cpp.
+struct RawExpressions {
+  std::vector<TileExpr> deep;
+  std::vector<TileExpr> flat;
+  [[nodiscard]] std::size_t total() const noexcept { return deep.size() + flat.size(); }
+};
+[[nodiscard]] RawExpressions enumerate_expressions(const ChainSpec& chain);
+
+}  // namespace mcf

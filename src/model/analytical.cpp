@@ -1,0 +1,21 @@
+#include "model/analytical.hpp"
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+AnalyticalEstimate AnalyticalModel::estimate(const VolumeReport& vol) const {
+  AnalyticalEstimate e;
+  e.mem_time_s = vol.total_bytes() / spec_.mem_bandwidth;     // eq. (3)
+  e.comp_time_s = vol.total_flops() / spec_.peak_flops;       // eq. (4)
+  const double nb = std::max(1.0, vol.n_blocks);
+  e.alpha = (nb + static_cast<double>(spec_.num_sms)) / nb;   // eq. (5)
+  e.time_s = (e.mem_time_s + e.comp_time_s) * e.alpha;        // eq. (2)
+  return e;
+}
+
+AnalyticalEstimate AnalyticalModel::estimate(const Schedule& s) const {
+  return estimate(analyze_volume(s));
+}
+
+}  // namespace mcf

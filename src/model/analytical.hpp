@@ -1,0 +1,43 @@
+// The paper's analytical performance model (§IV-A, eqs. 2-5):
+//
+//   t_estm = (t_mem + t_comp) * alpha
+//   t_mem  = sum_S  TS_S  * prod(extents of surrounding loops) / W     (3)
+//   t_comp = sum_C  Fp_C  * prod(extents of surrounding loops) / P     (4)
+//   alpha  = (N_block + N_SM) / N_block                                (5)
+//
+// Deliberately coarse: peak bandwidth/throughput only, memory and compute
+// serialised, no transaction/tensor-core efficiencies, no wave
+// quantization, no launch/issue overheads.  The timing simulator models
+// all of those — their divergence is exactly the paper's Fig. 11 scatter.
+#pragma once
+
+#include "dag/schedule.hpp"
+#include "dag/volume.hpp"
+#include "gpu/spec.hpp"
+
+namespace mcf {
+
+struct AnalyticalEstimate {
+  double time_s = 0.0;
+  double mem_time_s = 0.0;
+  double comp_time_s = 0.0;
+  double alpha = 1.0;
+};
+
+class AnalyticalModel {
+ public:
+  explicit AnalyticalModel(GpuSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
+
+  /// Estimates a schedule (recomputes volumes).
+  [[nodiscard]] AnalyticalEstimate estimate(const Schedule& s) const;
+
+  /// Estimates from a precomputed volume report (hot path in the tuner).
+  [[nodiscard]] AnalyticalEstimate estimate(const VolumeReport& vol) const;
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace mcf

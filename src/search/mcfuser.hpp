@@ -1,0 +1,66 @@
+// MCFuser facade — the library's primary public entry point.
+//
+//   GpuSpec gpu = mcf::a100();
+//   mcf::MCFuser fuser(gpu);
+//   auto chain = mcf::ChainSpec::attention("bert_base", 12, 512, 512, 64, 64);
+//   mcf::FusionResult r = fuser.fuse(chain);
+//   // r.kernel: compiled fused kernel; r.tuned: best candidate + stats.
+//
+// Variants (MCFuser-Chimera, no-unit-collapse, restricted spaces) are
+// expressed through MCFuserOptions — the baselines use exactly this knob
+// set, so every comparison in the paper maps to an options delta.
+#pragma once
+
+#include <optional>
+
+#include "exec/program.hpp"
+#include "search/space.hpp"
+#include "search/tuner.hpp"
+#include "search/tuning_cache.hpp"
+
+namespace mcf {
+
+struct MCFuserOptions {
+  SpaceOptions space;
+  PruneOptions prune;      ///< smem_limit_bytes is overwritten from the GPU
+  ScheduleOptions sched;   ///< hoisting / unit-collapse flags
+  TunerOptions tuner;
+};
+
+/// Everything the fusion pass produces for one chain.
+struct FusionResult {
+  bool ok = false;
+  TunedResult tuned;
+  PruneFunnel funnel;
+  std::size_t space_size = 0;
+  /// Best fused kernel, compiled for the target GPU.
+  std::optional<CompiledKernel> kernel;
+
+  [[nodiscard]] double time_s() const { return tuned.best_time_s; }
+};
+
+class MCFuser {
+ public:
+  explicit MCFuser(GpuSpec gpu, MCFuserOptions options = {});
+
+  [[nodiscard]] const GpuSpec& gpu() const noexcept { return gpu_; }
+  [[nodiscard]] const MCFuserOptions& options() const noexcept { return options_; }
+
+  /// Generates + prunes the space, tunes, compiles the winner.
+  [[nodiscard]] FusionResult fuse(const ChainSpec& chain) const;
+
+  /// Like fuse(), but consults `cache` first (a valid hit skips tuning
+  /// entirely — zero measurements) and records the winner on a miss.
+  [[nodiscard]] FusionResult fuse_cached(const ChainSpec& chain,
+                                         TuningCache& cache) const;
+
+  /// Preset reproducing the paper's MCFuser-Chimera baseline: deep
+  /// tilings only, no extent-1 hoisting (§VI-A "Comparisons").
+  [[nodiscard]] static MCFuserOptions chimera_options();
+
+ private:
+  GpuSpec gpu_;
+  MCFuserOptions options_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,88 @@
+#include "search/prune.hpp"
+
+#include <algorithm>
+
+#include "gpu/smem.hpp"
+#include "support/logging.hpp"
+
+namespace mcf {
+
+namespace {
+bool is_power_of_two(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+bool tile_passes_padding_rule(std::int64_t dim, std::int64_t tile,
+                              double max_pad_ratio) {
+  const std::int64_t extent = (dim + tile - 1) / tile;
+  const std::int64_t padded = extent * tile;
+  if (padded == dim) return true;
+  if (is_power_of_two(dim)) return false;  // paper: no padding for 2^k dims
+  const double ratio = static_cast<double>(padded - dim) / static_cast<double>(dim);
+  return ratio <= max_pad_ratio;
+}
+
+bool schedule_passes_rule2(const Schedule& s, const PruneOptions& opts) {
+  if (!s.consume_complete()) return false;
+  const double budget = opts.rule2_budget_fraction *
+                        static_cast<double>(opts.smem_limit_bytes);
+  for (int t = 0; t < s.chain().num_tensors(); ++t) {
+    const auto kind = s.chain().tensor(t).kind;
+    if (kind != TensorKind::Intermediate && kind != TensorKind::Output) continue;
+    const double resident_bytes =
+        static_cast<double>(s.resident_tiles()[static_cast<std::size_t>(t)]) *
+        static_cast<double>(s.tile_elems(t)) * opts.dtype_bytes;
+    if (resident_bytes > budget) return false;
+  }
+  return true;
+}
+
+bool schedule_passes_rule4(const Schedule& s, const PruneOptions& opts) {
+  const std::int64_t est = smem_estimate(s, opts.dtype_bytes);
+  return static_cast<double>(est) <=
+         opts.rule4_slack * static_cast<double>(opts.smem_limit_bytes);
+}
+
+std::vector<int> rule2_critical_loops(const ChainSpec& chain,
+                                      const TileExpr& expr,
+                                      const ScheduleOptions& sched) {
+  // Probe with tiles that force extent > 1 wherever the dimension allows
+  // (half the dimension rounded to the quantum), revealing which loops
+  // create residency / partial-tile structure.
+  std::vector<std::int64_t> probe(static_cast<std::size_t>(chain.num_loops()));
+  for (int l = 0; l < chain.num_loops(); ++l) {
+    const std::int64_t dim = chain.loop_dim(l);
+    std::int64_t t = std::max<std::int64_t>(16, (dim / 2) / 16 * 16);
+    if (t >= dim) t = dim;
+    probe[static_cast<std::size_t>(l)] = t;
+  }
+  const Schedule s = build_schedule(chain, expr, probe, sched);
+  std::vector<int> critical;
+  if (!s.valid()) return critical;
+
+  // Producer reduction loops enclosing a consumer compute
+  // (partial-tile consumption, the structural half of Rule 2).
+  for (int op = 1; op < chain.num_ops(); ++op) {
+    const int red = chain.reduction_loop(op - 1);
+    int red_node = -1;
+    int compute_node = -1;
+    for (int i = 1; i < s.num_nodes(); ++i) {
+      const auto& n = s.node(i);
+      if (!n.is_stmt && n.loop == red) red_node = i;
+      if (n.is_stmt && n.stmt.kind == StmtKind::Compute && n.stmt.op == op) {
+        compute_node = i;
+      }
+    }
+    if (red_node < 0 || compute_node < 0) continue;
+    for (int cur = compute_node; cur != -1; cur = s.node(cur).parent) {
+      if (cur == red_node) {
+        critical.push_back(red);
+        break;
+      }
+    }
+  }
+  std::sort(critical.begin(), critical.end());
+  critical.erase(std::unique(critical.begin(), critical.end()), critical.end());
+  return critical;
+}
+
+}  // namespace mcf

@@ -1,0 +1,64 @@
+// Pruning rules (paper §III-C).
+//
+//   Rule 1  Deduplication: expressions sharing the per-thread-block
+//           sub-tiling expression (after blockIdx binding) are equivalent.
+//   Rule 2  No overwhelmed intermediate storage: schedules that consume
+//           partial tiles (Fig. 6(b)) are dropped, as are schedules whose
+//           accumulated tensors keep so many resident tiles that they
+//           alone exceed `rule2_budget_fraction` of shared memory.
+//   Rule 3  Padding: tile sizes that pad a power-of-two dimension, or pad
+//           any dimension by more than `rule3_max_pad_ratio`, are dropped.
+//   Rule 4  Shared memory: eq. (1) estimate must stay below
+//           `rule4_slack x` the per-block limit.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/schedule.hpp"
+
+namespace mcf {
+
+struct PruneOptions {
+  bool rule1_dedup = true;
+  bool rule2_resident = true;
+  double rule2_budget_fraction = 1.0;
+  bool rule3_padding = true;
+  double rule3_max_pad_ratio = 0.05;
+  bool rule4_smem = true;
+  double rule4_slack = 1.2;
+  std::int64_t smem_limit_bytes = 163 * 1024;  ///< from the target GpuSpec
+  int dtype_bytes = 2;
+};
+
+/// Candidate counts after each cumulative rule (paper Fig. 7).  Doubles:
+/// the original space routinely exceeds 10^8.
+struct PruneFunnel {
+  double original = 0.0;
+  double after_rule1 = 0.0;
+  double after_rule2 = 0.0;
+  double after_rule3 = 0.0;
+  double after_rule4 = 0.0;
+  std::size_t exprs_raw = 0;
+  std::size_t exprs_deduped = 0;
+};
+
+/// Rule-3 check for a single (dimension, tile) pair.
+[[nodiscard]] bool tile_passes_padding_rule(std::int64_t dim, std::int64_t tile,
+                                            double max_pad_ratio);
+
+/// Rule-2 check on a built schedule (exact).
+[[nodiscard]] bool schedule_passes_rule2(const Schedule& s,
+                                         const PruneOptions& opts);
+
+/// Rule-4 check: eq. (1) estimate against the slack-scaled limit.
+[[nodiscard]] bool schedule_passes_rule4(const Schedule& s,
+                                         const PruneOptions& opts);
+
+/// Loops that must have extent 1 for the expression to pass Rule 2
+/// (derived from a probe schedule with small tiles); used for fast
+/// closed-form funnel counting.
+[[nodiscard]] std::vector<int> rule2_critical_loops(const ChainSpec& chain,
+                                                    const TileExpr& expr,
+                                                    const ScheduleOptions& sched);
+
+}  // namespace mcf

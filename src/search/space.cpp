@@ -1,0 +1,183 @@
+#include "search/space.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "gpu/smem.hpp"
+#include "support/logging.hpp"
+
+namespace mcf {
+
+std::vector<std::int64_t> tile_options_for_dim(std::int64_t dim,
+                                               std::int64_t quantum) {
+  std::vector<std::int64_t> out;
+  if (dim <= quantum) {
+    out.push_back(dim);
+    return out;
+  }
+  for (std::int64_t t = quantum; t <= dim; t += quantum) out.push_back(t);
+  if (dim % quantum != 0) out.push_back(dim);  // exact-fit option
+  return out;
+}
+
+SearchSpace::SearchSpace(const ChainSpec& chain, const SpaceOptions& space_opts,
+                         const PruneOptions& prune_opts,
+                         const ScheduleOptions& sched_opts)
+    : chain_(&chain),
+      space_opts_(space_opts),
+      prune_opts_(prune_opts),
+      sched_opts_(sched_opts) {
+  // ---- raw expression universe --------------------------------------------
+  RawExpressions raw = enumerate_expressions(chain);
+  std::vector<TileExpr> all;
+  if (space_opts_.include_deep) {
+    all.insert(all.end(), raw.deep.begin(), raw.deep.end());
+  }
+  if (space_opts_.include_flat) {
+    all.insert(all.end(), raw.flat.begin(), raw.flat.end());
+  }
+  funnel_.exprs_raw = all.size();
+
+  // ---- tile options ---------------------------------------------------------
+  options_.resize(static_cast<std::size_t>(chain.num_loops()));
+  options_r3_.resize(static_cast<std::size_t>(chain.num_loops()));
+  double combos_all = 1.0;
+  for (int l = 0; l < chain.num_loops(); ++l) {
+    options_[static_cast<std::size_t>(l)] =
+        tile_options_for_dim(chain.loop_dim(l), space_opts_.tile_quantum);
+    combos_all *= static_cast<double>(options_[static_cast<std::size_t>(l)].size());
+    for (const auto t : options_[static_cast<std::size_t>(l)]) {
+      if (!prune_opts_.rule3_padding ||
+          tile_passes_padding_rule(chain.loop_dim(l), t,
+                                   prune_opts_.rule3_max_pad_ratio)) {
+        options_r3_[static_cast<std::size_t>(l)].push_back(t);
+      }
+    }
+  }
+  funnel_.original = static_cast<double>(all.size()) * combos_all;
+
+  // ---- Rule 1: dedup by per-block sub-tiling expression ---------------------
+  if (prune_opts_.rule1_dedup) {
+    std::map<std::string, TileExpr> unique;
+    for (const auto& e : all) unique.try_emplace(e.structure_key(), e);
+    exprs_.clear();
+    for (auto& [key, e] : unique) exprs_.push_back(std::move(e));
+  } else {
+    exprs_ = std::move(all);
+  }
+  funnel_.exprs_deduped = exprs_.size();
+  funnel_.after_rule1 = static_cast<double>(exprs_.size()) * combos_all;
+
+  // ---- Rule 2 (closed-form funnel count via critical loops) -----------------
+  std::vector<std::vector<int>> critical(exprs_.size());
+  double after2 = 0.0;
+  for (std::size_t e = 0; e < exprs_.size(); ++e) {
+    critical[e] = rule2_critical_loops(chain, exprs_[e], sched_opts_);
+    double combos = 1.0;
+    for (int l = 0; l < chain.num_loops(); ++l) {
+      const auto& opts = options_[static_cast<std::size_t>(l)];
+      if (prune_opts_.rule2_resident &&
+          std::find(critical[e].begin(), critical[e].end(), l) != critical[e].end()) {
+        // Only unit-extent tiles survive: tile >= dim.
+        std::int64_t n_unit = 0;
+        for (const auto t : opts) {
+          if (t >= chain.loop_dim(l)) ++n_unit;
+        }
+        combos *= static_cast<double>(n_unit);
+      } else {
+        combos *= static_cast<double>(opts.size());
+      }
+    }
+    after2 += combos;
+  }
+  funnel_.after_rule2 = prune_opts_.rule2_resident ? after2 : funnel_.after_rule1;
+
+  // ---- Rule 3 (closed-form funnel count) ------------------------------------
+  double after3 = 0.0;
+  for (std::size_t e = 0; e < exprs_.size(); ++e) {
+    double combos = 1.0;
+    for (int l = 0; l < chain.num_loops(); ++l) {
+      const auto& opts = prune_opts_.rule3_padding
+                             ? options_r3_[static_cast<std::size_t>(l)]
+                             : options_[static_cast<std::size_t>(l)];
+      if (prune_opts_.rule2_resident &&
+          std::find(critical[e].begin(), critical[e].end(), l) != critical[e].end()) {
+        std::int64_t n_unit = 0;
+        for (const auto t : opts) {
+          if (t >= chain.loop_dim(l)) ++n_unit;
+        }
+        combos *= static_cast<double>(n_unit);
+      } else {
+        combos *= static_cast<double>(opts.size());
+      }
+    }
+    after3 += combos;
+  }
+  funnel_.after_rule3 = after3;
+
+  // ---- materialise candidates, applying exact rules 2 & 4 -------------------
+  const int nl = chain.num_loops();
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(nl), 0);
+  for (std::size_t e = 0; e < exprs_.size(); ++e) {
+    std::fill(cursor.begin(), cursor.end(), 0);
+    for (;;) {
+      CandidateConfig c;
+      c.expr_id = static_cast<int>(e);
+      c.tiles.resize(static_cast<std::size_t>(nl));
+      bool viable = true;
+      for (int l = 0; l < nl; ++l) {
+        const auto& opts = prune_opts_.rule3_padding
+                               ? options_r3_[static_cast<std::size_t>(l)]
+                               : options_[static_cast<std::size_t>(l)];
+        if (opts.empty()) {
+          viable = false;
+          break;
+        }
+        c.tiles[static_cast<std::size_t>(l)] = opts[cursor[static_cast<std::size_t>(l)]];
+      }
+      if (viable && passes_rules(c)) candidates_.push_back(std::move(c));
+      // Advance mixed-radix cursor.
+      int l = 0;
+      for (; l < nl; ++l) {
+        const auto& opts = prune_opts_.rule3_padding
+                               ? options_r3_[static_cast<std::size_t>(l)]
+                               : options_[static_cast<std::size_t>(l)];
+        cursor[static_cast<std::size_t>(l)] += 1;
+        if (cursor[static_cast<std::size_t>(l)] < opts.size()) break;
+        cursor[static_cast<std::size_t>(l)] = 0;
+      }
+      if (l == nl) break;
+    }
+  }
+  funnel_.after_rule4 = static_cast<double>(candidates_.size());
+  MCF_LOG(Info) << chain.name() << ": search space " << funnel_.original
+                << " -> " << candidates_.size() << " candidates ("
+                << exprs_.size() << " expressions)";
+}
+
+Schedule SearchSpace::schedule_for(const CandidateConfig& c) const {
+  MCF_CHECK(c.expr_id >= 0 && c.expr_id < static_cast<int>(exprs_.size()))
+      << "bad expr id";
+  return build_schedule(*chain_, exprs_[static_cast<std::size_t>(c.expr_id)],
+                        c.tiles, sched_opts_);
+}
+
+bool SearchSpace::passes_rules(const CandidateConfig& c) const {
+  const Schedule s = schedule_for(c);
+  if (!s.valid()) return false;
+  if (prune_opts_.rule2_resident && !schedule_passes_rule2(s, prune_opts_)) {
+    return false;
+  }
+  if (!prune_opts_.rule2_resident && !s.consume_complete()) {
+    // Even without Rule 2, partial-tile schedules are not executable by
+    // the backend; keep them out of the tunable set.
+    return false;
+  }
+  if (prune_opts_.rule4_smem && !schedule_passes_rule4(s, prune_opts_)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mcf

@@ -1,0 +1,77 @@
+// Search-space generation (paper §III-A) and candidate materialisation.
+//
+// A candidate is (tiling expression, tile size per loop).  Tile options
+// are multiples of 16 up to the dimension (tensor-core minimum), plus the
+// dimension itself when it is not a multiple of 16 — reproducing the
+// paper's candidate counting (e.g. 26 x ceil(1024/16)^2 x ceil(512/16)^2
+// = 109,051,904 for the Fig. 7 example).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/schedule.hpp"
+#include "ir/chain.hpp"
+#include "ir/expr.hpp"
+#include "search/prune.hpp"
+
+namespace mcf {
+
+struct SpaceOptions {
+  /// Disable flat tilings to reproduce Chimera's restricted space (§VI-A:
+  /// MCFuser-Chimera).
+  bool include_flat = true;
+  bool include_deep = true;
+  /// Tensor-core tile quantum.
+  std::int64_t tile_quantum = 16;
+};
+
+/// One point of the search space.
+struct CandidateConfig {
+  int expr_id = -1;                 ///< index into SearchSpace::expressions()
+  std::vector<std::int64_t> tiles;  ///< per loop id
+};
+
+/// The pruned, materialised search space for one chain on one GPU.
+class SearchSpace {
+ public:
+  SearchSpace(const ChainSpec& chain, const SpaceOptions& space_opts,
+              const PruneOptions& prune_opts,
+              const ScheduleOptions& sched_opts = {});
+
+  [[nodiscard]] const ChainSpec& chain() const noexcept { return *chain_; }
+  /// Rule-1-deduplicated expressions.
+  [[nodiscard]] const std::vector<TileExpr>& expressions() const noexcept { return exprs_; }
+  /// Candidates surviving all enabled pruning rules.
+  [[nodiscard]] const std::vector<CandidateConfig>& candidates() const noexcept { return candidates_; }
+  /// Stage-by-stage candidate counts (paper Fig. 7).
+  [[nodiscard]] const PruneFunnel& funnel() const noexcept { return funnel_; }
+  /// Tile options per loop (after no pruning; rule 3 filters later).
+  [[nodiscard]] const std::vector<std::vector<std::int64_t>>& tile_options() const noexcept { return options_; }
+  /// Tile options per loop that pass Rule 3 (used by mutation).
+  [[nodiscard]] const std::vector<std::vector<std::int64_t>>& tile_options_r3() const noexcept { return options_r3_; }
+  [[nodiscard]] const ScheduleOptions& schedule_options() const noexcept { return sched_opts_; }
+
+  /// Builds the schedule of a candidate (with this space's options).
+  [[nodiscard]] Schedule schedule_for(const CandidateConfig& c) const;
+
+  /// Re-applies rules 2-4 to an arbitrary config (used by mutation).
+  [[nodiscard]] bool passes_rules(const CandidateConfig& c) const;
+
+ private:
+  const ChainSpec* chain_;
+  SpaceOptions space_opts_;
+  PruneOptions prune_opts_;
+  ScheduleOptions sched_opts_;
+  std::vector<TileExpr> exprs_;
+  std::vector<std::vector<std::int64_t>> options_;
+  std::vector<std::vector<std::int64_t>> options_r3_;
+  std::vector<CandidateConfig> candidates_;
+  PruneFunnel funnel_;
+};
+
+/// Enumerates the tile options of one dimension.
+[[nodiscard]] std::vector<std::int64_t> tile_options_for_dim(std::int64_t dim,
+                                                             std::int64_t quantum);
+
+}  // namespace mcf

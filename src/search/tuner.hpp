@@ -1,0 +1,78 @@
+// Heuristic exploration (paper §IV-B, Algorithm 1).
+//
+// Evolutionary search seeded from the pruned space: every generation is
+// scored with the *analytical* model (no training), only the top-k are
+// "measured" on the (simulated) hardware, and the loop stops on its own
+// once the best measured time converges — the paper's two improvements
+// over Ansor's tuner.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gpu/timing.hpp"
+#include "model/analytical.hpp"
+#include "search/space.hpp"
+#include "support/rng.hpp"
+
+namespace mcf {
+
+struct TunerOptions {
+  int population = 256;          ///< N in Algorithm 1
+  int topk = 8;                  ///< n in Algorithm 1 (paper §VI-E2)
+  double epsilon = 0.004;        ///< relative convergence gap
+  int min_generations = 3;       ///< never converge before this
+  int max_generations = 24;      ///< safety stop
+  std::uint64_t seed = 42;
+  double expr_mutation_prob = 0.15;  ///< chance to mutate the expression
+  MeasureOptions measure;        ///< simulator options (noise seed etc.)
+};
+
+/// Counters for Table IV's tuning-time modelling.
+struct TuningStats {
+  int generations = 0;
+  int estimates = 0;        ///< analytical-model invocations
+  int measurements = 0;     ///< simulated hardware measurements (compile+run)
+  int compile_failures = 0; ///< candidates rejected at lowering
+  double wall_seconds = 0.0;
+};
+
+struct TunedResult {
+  bool ok = false;
+  CandidateConfig best;
+  double best_time_s = 0.0;
+  KernelMeasurement best_measurement;
+  TuningStats stats;
+  /// (analytical estimate, simulated measurement) for every measured
+  /// candidate — the paper's Fig. 11 data.
+  std::vector<std::pair<double, double>> est_vs_measured;
+};
+
+class Tuner {
+ public:
+  Tuner(const SearchSpace& space, GpuSpec gpu, TunerOptions options = {});
+
+  [[nodiscard]] TunedResult run();
+
+ private:
+  [[nodiscard]] double estimate(const CandidateConfig& c);
+  /// Returns the measured time or nullopt on compile failure.
+  [[nodiscard]] std::optional<double> measure(const CandidateConfig& c);
+  [[nodiscard]] CandidateConfig random_candidate();
+  [[nodiscard]] CandidateConfig mutate(const CandidateConfig& parent);
+
+  const SearchSpace& space_;
+  GpuSpec gpu_;
+  TunerOptions opt_;
+  AnalyticalModel model_;
+  TimingSimulator sim_;
+  Rng rng_;
+  TuningStats stats_;
+  std::map<std::uint64_t, double> est_cache_;
+  std::vector<std::pair<double, double>> est_meas_;
+};
+
+}  // namespace mcf

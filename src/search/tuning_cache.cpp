@@ -1,0 +1,102 @@
+#include "search/tuning_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+std::string chain_cache_key(const ChainSpec& chain) {
+  std::ostringstream os;
+  os << "b" << chain.batch() << "m" << chain.m();
+  for (const auto d : chain.inner()) os << "x" << d;
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    os << ":" << epilogue_name(chain.epilogue(op));
+  }
+  return os.str();
+}
+
+namespace {
+std::string record_key(const ChainSpec& chain, const GpuSpec& gpu) {
+  return chain_cache_key(chain) + "|" + gpu.name;
+}
+}  // namespace
+
+bool TuningCache::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return false;
+  bool clean = true;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream is(line);
+    std::string chain_key;
+    std::string gpu_name;
+    CachedSchedule entry;
+    std::string tiles;
+    if (!(is >> chain_key >> gpu_name >> entry.expr_key >> tiles >>
+          entry.time_s)) {
+      clean = false;
+      continue;
+    }
+    std::istringstream ts(tiles);
+    std::string tok;
+    while (std::getline(ts, tok, ',')) {
+      entry.tiles.push_back(std::stoll(tok));
+    }
+    entries_[chain_key + "|" + gpu_name] = std::move(entry);
+  }
+  return clean;
+}
+
+bool TuningCache::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "# mcfuser tuning cache: chain gpu expr tiles time_s\n";
+  for (const auto& [key, entry] : entries_) {
+    const auto sep = key.find('|');
+    f << key.substr(0, sep) << " " << key.substr(sep + 1) << " "
+      << entry.expr_key << " ";
+    for (std::size_t i = 0; i < entry.tiles.size(); ++i) {
+      if (i) f << ",";
+      f << entry.tiles[i];
+    }
+    f << " " << entry.time_s << "\n";
+  }
+  return static_cast<bool>(f);
+}
+
+void TuningCache::put(const ChainSpec& chain, const GpuSpec& gpu,
+                      CachedSchedule entry) {
+  entries_[record_key(chain, gpu)] = std::move(entry);
+}
+
+std::optional<CachedSchedule> TuningCache::get(const ChainSpec& chain,
+                                               const GpuSpec& gpu) const {
+  const auto it = entries_.find(record_key(chain, gpu));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CandidateConfig> TuningCache::resolve(
+    const ChainSpec& chain, const GpuSpec& gpu,
+    const SearchSpace& space) const {
+  const auto entry = get(chain, gpu);
+  if (!entry) return std::nullopt;
+  for (int e = 0; e < static_cast<int>(space.expressions().size()); ++e) {
+    if (space.expressions()[static_cast<std::size_t>(e)].structure_key() !=
+        entry->expr_key) {
+      continue;
+    }
+    CandidateConfig c;
+    c.expr_id = e;
+    c.tiles = entry->tiles;
+    if (static_cast<int>(c.tiles.size()) != chain.num_loops()) return std::nullopt;
+    if (!space.passes_rules(c)) return std::nullopt;
+    return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcf

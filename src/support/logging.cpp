@@ -1,0 +1,67 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace mcf {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_io_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename of the file for compact output.
+  std::string path(file);
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) path = path.substr(slash + 1);
+  stream_ << "[" << log_level_name(level_) << " " << path << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << stream_.str() << "\n";
+}
+
+CheckFailure::CheckFailure(const char* cond, const char* file, int line) {
+  stream_ << "MCF_CHECK failed: " << cond << " at " << file << ":" << line
+          << " ";
+}
+
+CheckFailure::~CheckFailure() noexcept(false) {
+  {
+    const std::lock_guard<std::mutex> lock(g_io_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace mcf

@@ -1,0 +1,73 @@
+// Lightweight leveled logging for the mcfuser library.
+//
+// Usage:
+//   MCF_LOG(Info) << "tuned " << n << " candidates";
+// Levels below the global threshold are compiled to a no-op stream.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace mcf {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Converts a level to its display tag ("DEBUG", "INFO", ...).
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+
+/// Accumulates one log record and flushes it (with prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace mcf
+
+#define MCF_LOG(severity)                                               \
+  if (::mcf::LogLevel::severity < ::mcf::log_level()) {                 \
+  } else                                                                \
+    ::mcf::detail::LogMessage(::mcf::LogLevel::severity, __FILE__, __LINE__)
+
+// Always-on invariant check (library-internal, independent of NDEBUG).
+#define MCF_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::mcf::detail::CheckFailure(#cond, __FILE__, __LINE__).stream()
+
+namespace mcf::detail {
+
+/// Aborts with a message when an MCF_CHECK fails.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line);
+  [[noreturn]] ~CheckFailure() noexcept(false);
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace mcf::detail

@@ -1,0 +1,47 @@
+// Small statistics helpers used by the benchmark harnesses and tests:
+// mean / stddev / quantiles / Pearson & Spearman correlation / geomean.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcf {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be > 0.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Input need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson product-moment correlation. Returns 0 for degenerate inputs.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+/// Ranks with ties averaged; exposed for testing.
+[[nodiscard]] std::vector<double> average_ranks(std::span<const double> xs);
+
+/// Simple online accumulator for min/max/mean.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mcf

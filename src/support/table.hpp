@@ -1,0 +1,48 @@
+// ASCII / CSV table writer used by the benchmark harnesses so that every
+// figure/table of the paper is regenerated as a readable text table plus a
+// machine-readable CSV next to it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcf {
+
+/// Column-aligned text table with an optional title.
+/// Cells are strings; helpers format doubles with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Number formatting helper: fixed `digits` decimals.
+  [[nodiscard]] static std::string num(double v, int digits = 2);
+  /// Engineering formatting: 1234567 -> "1.23e+06" when |v| >= 1e6.
+  [[nodiscard]] static std::string sci(double v, int digits = 2);
+
+  /// Renders as an aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (header + rows, comma separated, quoted when needed).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace mcf

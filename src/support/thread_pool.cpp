@@ -1,0 +1,105 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+namespace {
+// Set while a pool worker executes a task; nested parallel_for calls from
+// inside a task run inline to avoid waiting on the queue they occupy.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_inside_pool_worker = true;
+    task();
+    t_inside_pool_worker = false;
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& body) {
+  if (n <= 0) return;
+  const auto workers = static_cast<std::int64_t>(size());
+  if (n == 1 || workers <= 1 || t_inside_pool_worker) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Static chunking: enough chunks for balance, not so many for overhead.
+  const std::int64_t chunks = std::min<std::int64_t>(n, workers * 4);
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    enqueue([&, c] {
+      const std::int64_t lo = c * n / chunks;
+      const std::int64_t hi = (c + 1) * n / chunks;
+      try {
+        for (std::int64_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        ++done;
+      }
+      done_cv.notify_one();
+    });
+  }
+  (void)next;
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done.load() == chunks; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mcf

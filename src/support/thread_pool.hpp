@@ -1,0 +1,48 @@
+// Minimal work-stealing-free thread pool used by the functional interpreter
+// (one task per simulated thread block) and the reference tensor ops.
+//
+// Design notes (C++ Core Guidelines CP.*): the pool owns its threads (RAII),
+// tasks are plain std::function<void()>, parallel_for blocks until all
+// chunks complete and rethrows the first captured exception.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mcf {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(i) for i in [0, n) across the pool; blocks until done.
+  /// Chunked statically; rethrows the first exception raised by any chunk.
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body);
+
+  /// Process-wide pool (lazily constructed; sized to hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mcf

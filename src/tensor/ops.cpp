@@ -1,0 +1,235 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/logging.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mcf::ops {
+
+namespace {
+
+// Blocked single-batch GEMM kernel: c[M,N] = a[M,K] * b[K,N] (c overwritten).
+// Row-major; blocking keeps the working set in L1/L2.
+void gemm_2d(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::int64_t m, std::int64_t k,
+             std::int64_t n) {
+  constexpr std::int64_t BM = 64;
+  constexpr std::int64_t BK = 64;
+  constexpr std::int64_t BN = 64;
+  std::fill(c.begin(), c.end(), 0.0f);
+  for (std::int64_t i0 = 0; i0 < m; i0 += BM) {
+    const std::int64_t i1 = std::min(i0 + BM, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += BK) {
+      const std::int64_t k1 = std::min(k0 + BK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += BN) {
+        const std::int64_t j1 = std::min(j0 + BN, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float av = a[static_cast<std::size_t>(i * k + kk)];
+            if (av == 0.0f) continue;
+            const float* brow = &b[static_cast<std::size_t>(kk * n)];
+            float* crow = &c[static_cast<std::size_t>(i * n)];
+            for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  MCF_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+            c.shape().rank() == 2)
+      << "gemm expects rank-2 tensors";
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  MCF_CHECK(b.shape()[0] == k) << "gemm inner-dim mismatch";
+  MCF_CHECK(c.shape()[0] == m && c.shape()[1] == n) << "gemm output shape";
+  // Parallelise over row stripes.
+  const std::int64_t stripes =
+      std::min<std::int64_t>((m + 63) / 64, ThreadPool::global().size());
+  if (stripes <= 1) {
+    gemm_2d(a.data(), b.data(), c.data(), m, k, n);
+    return;
+  }
+  ThreadPool::global().parallel_for(stripes, [&](std::int64_t s) {
+    const std::int64_t lo = s * m / stripes;
+    const std::int64_t hi = (s + 1) * m / stripes;
+    if (lo >= hi) return;
+    gemm_2d(a.data().subspan(static_cast<std::size_t>(lo * k),
+                             static_cast<std::size_t>((hi - lo) * k)),
+            b.data(),
+            c.data().subspan(static_cast<std::size_t>(lo * n),
+                             static_cast<std::size_t>((hi - lo) * n)),
+            hi - lo, k, n);
+  });
+}
+
+void batched_gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  MCF_CHECK(a.shape().rank() == 3 && b.shape().rank() == 3 &&
+            c.shape().rank() == 3)
+      << "batched_gemm expects rank-3 tensors";
+  const std::int64_t batch = a.shape()[0];
+  const std::int64_t m = a.shape()[1];
+  const std::int64_t k = a.shape()[2];
+  const std::int64_t n = b.shape()[2];
+  MCF_CHECK(b.shape()[0] == batch && c.shape()[0] == batch) << "batch dims";
+  MCF_CHECK(b.shape()[1] == k) << "inner dim";
+  MCF_CHECK(c.shape()[1] == m && c.shape()[2] == n) << "output shape";
+  ThreadPool::global().parallel_for(batch, [&](std::int64_t bi) {
+    gemm_2d(a.batch_slice(bi), b.batch_slice(bi), c.batch_slice(bi), m, k, n);
+  });
+}
+
+namespace {
+void softmax_rows(std::span<const float> in, std::span<float> out,
+                  std::int64_t rows, std::int64_t cols, float scale) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = &in[static_cast<std::size_t>(r * cols)];
+    float* y = &out[static_cast<std::size_t>(r * cols)];
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, x[c] * scale);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(x[c] * scale - mx);
+      y[c] = e;
+      sum += e;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+  }
+}
+}  // namespace
+
+void scaled_softmax(const Tensor& in, float scale, Tensor& out) {
+  MCF_CHECK(in.shape() == out.shape()) << "softmax shape mismatch";
+  const auto& s = in.shape();
+  MCF_CHECK(s.rank() == 2 || s.rank() == 3) << "softmax rank";
+  const std::int64_t cols = s[s.rank() - 1];
+  const std::int64_t rows = s.numel() / cols;
+  softmax_rows(in.data(), out.data(), rows, cols, scale);
+}
+
+void softmax(const Tensor& in, Tensor& out) { scaled_softmax(in, 1.0f, out); }
+
+void relu(const Tensor& in, Tensor& out) {
+  MCF_CHECK(in.shape() == out.shape()) << "relu shape";
+  const auto x = in.data();
+  const auto y = out.data();
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::max(0.0f, x[i]);
+}
+
+void gelu(const Tensor& in, Tensor& out) {
+  MCF_CHECK(in.shape() == out.shape()) << "gelu shape";
+  const auto x = in.data();
+  const auto y = out.data();
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x[i];
+    const float t = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(t));
+  }
+}
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  MCF_CHECK(a.shape() == b.shape() && a.shape() == out.shape()) << "add shape";
+  const auto da = a.data();
+  const auto db = b.data();
+  const auto dy = out.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dy[i] = da[i] + db[i];
+}
+
+void bias_add(const Tensor& in, const Tensor& bias, Tensor& out) {
+  MCF_CHECK(in.shape() == out.shape()) << "bias_add shape";
+  const auto& s = in.shape();
+  const std::int64_t n = s[s.rank() - 1];
+  MCF_CHECK(bias.shape().rank() == 1 && bias.shape()[0] == n) << "bias shape";
+  const std::int64_t rows = s.numel() / n;
+  const auto x = in.data();
+  const auto bvec = bias.data();
+  const auto y = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      y[static_cast<std::size_t>(r * n + c)] =
+          x[static_cast<std::size_t>(r * n + c)] + bvec[static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+void layernorm(const Tensor& in, Tensor& out, float eps) {
+  MCF_CHECK(in.shape() == out.shape()) << "layernorm shape";
+  const auto& s = in.shape();
+  const std::int64_t n = s[s.rank() - 1];
+  const std::int64_t rows = s.numel() / n;
+  const auto x = in.data();
+  const auto y = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = &x[static_cast<std::size_t>(r * n)];
+    float* orow = &y[static_cast<std::size_t>(r * n)];
+    double mu = 0.0;
+    for (std::int64_t c = 0; c < n; ++c) mu += row[c];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::int64_t c = 0; c < n; ++c) {
+      const double d = row[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (std::int64_t c = 0; c < n; ++c) {
+      orow[c] = static_cast<float>((row[c] - mu) * inv);
+    }
+  }
+}
+
+void attention_reference(const Tensor& q, const Tensor& kt, const Tensor& v,
+                         float scale, Tensor& o) {
+  const std::int64_t batch = q.shape()[0];
+  const std::int64_t m = q.shape()[1];
+  const std::int64_t n = kt.shape()[2];
+  Tensor s(Shape{batch, m, n});
+  batched_gemm(q, kt, s);
+  Tensor p(Shape{batch, m, n});
+  scaled_softmax(s, scale, p);
+  batched_gemm(p, v, o);
+}
+
+void gemm_chain_reference(const Tensor& a, const Tensor& bm, const Tensor& d,
+                          Tensor& e, ChainEpilogue mid, float softmax_scale) {
+  const std::int64_t batch = a.shape()[0];
+  const std::int64_t m = a.shape()[1];
+  const std::int64_t n = bm.shape()[2];
+  Tensor c(Shape{batch, m, n});
+  batched_gemm(a, bm, c);
+  switch (mid) {
+    case ChainEpilogue::None:
+      break;
+    case ChainEpilogue::Relu: {
+      Tensor t(c.shape());
+      relu(c, t);
+      c = std::move(t);
+      break;
+    }
+    case ChainEpilogue::Gelu: {
+      Tensor t(c.shape());
+      gelu(c, t);
+      c = std::move(t);
+      break;
+    }
+    case ChainEpilogue::Softmax: {
+      Tensor t(c.shape());
+      scaled_softmax(c, softmax_scale, t);
+      c = std::move(t);
+      break;
+    }
+  }
+  batched_gemm(c, d, e);
+}
+
+}  // namespace mcf::ops

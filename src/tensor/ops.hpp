@@ -1,0 +1,55 @@
+// Reference operator implementations.
+//
+// These are the "ground truth" used to validate every fused kernel the
+// search produces, and the numerical backbone of the end-to-end model
+// executor.  GEMM is blocked + multithreaded so that test suites over the
+// paper's workload tables stay fast; everything else is straightforward.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace mcf::ops {
+
+/// C = A(MxK) * B(KxN). C must be preallocated MxN; it is overwritten.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Batched: A (B,M,K) * B (B,K,N) -> C (B,M,N).
+void batched_gemm(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Row-wise softmax over the last dimension (rank 2 or 3).
+void softmax(const Tensor& in, Tensor& out);
+
+/// Numerically-stable scaled softmax: softmax(in * scale).
+void scaled_softmax(const Tensor& in, float scale, Tensor& out);
+
+/// Elementwise max(x, 0).
+void relu(const Tensor& in, Tensor& out);
+
+/// tanh-approximation GeLU (matches BERT).
+void gelu(const Tensor& in, Tensor& out);
+
+/// out = a + b (same shape).
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Adds a length-N bias to each row of a (...,N) tensor.
+void bias_add(const Tensor& in, const Tensor& bias, Tensor& out);
+
+/// LayerNorm over the last dimension with unit gamma / zero beta.
+void layernorm(const Tensor& in, Tensor& out, float eps = 1e-5f);
+
+/// Reference self-attention for one (batch*heads) group of rank-3 tensors:
+/// O = softmax(Q*K^T * scale) * V, with Q (B,M,K), K (B,N,K) passed already
+/// transposed as Kt (B,K,N), V (B,N,H), O (B,M,H).
+void attention_reference(const Tensor& q, const Tensor& kt, const Tensor& v,
+                         float scale, Tensor& o);
+
+/// Reference 2-GEMM chain: E = (A*B)*D with A (B,M,K), Bm (B,K,N),
+/// D (B,N,H), E (B,M,H); optional ReLU between the two GEMMs.
+enum class ChainEpilogue { None, Relu, Gelu, Softmax };
+void gemm_chain_reference(const Tensor& a, const Tensor& bm, const Tensor& d,
+                          Tensor& e, ChainEpilogue mid = ChainEpilogue::None,
+                          float softmax_scale = 1.0f);
+
+}  // namespace mcf::ops

@@ -1,0 +1,119 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace mcf {
+
+std::int64_t Shape::numel() const noexcept {
+  std::int64_t n = 1;
+  for (const auto d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ",";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  MCF_CHECK(shape_.numel() >= 0) << "negative shape " << shape_.to_string();
+  data_.assign(static_cast<std::size_t>(shape_.numel()), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill) : Tensor(std::move(shape)) {
+  this->fill(fill);
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  MCF_CHECK(shape_.rank() == 2) << "rank-2 accessor on " << shape_.to_string();
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+float& Tensor::at(std::int64_t b, std::int64_t r, std::int64_t c) {
+  MCF_CHECK(shape_.rank() == 3) << "rank-3 accessor on " << shape_.to_string();
+  return data_[static_cast<std::size_t>((b * shape_[1] + r) * shape_[2] + c)];
+}
+
+float Tensor::at(std::int64_t b, std::int64_t r, std::int64_t c) const {
+  return const_cast<Tensor*>(this)->at(b, r, c);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::fill_random(std::uint64_t seed) {
+  // xorshift-free deterministic fill: SplitMix64 stream mapped to [-1, 1].
+  std::uint64_t state = splitmix64(seed);
+  for (auto& x : data_) {
+    state = splitmix64(state);
+    const double u = static_cast<double>(state >> 11) * 0x1.0p-53;
+    x = static_cast<float>(2.0 * u - 1.0);
+  }
+}
+
+std::span<const float> Tensor::batch_slice(std::int64_t b) const {
+  MCF_CHECK(shape_.rank() == 3) << "batch_slice needs rank 3";
+  const std::int64_t stride = shape_[1] * shape_[2];
+  return std::span<const float>(data_).subspan(
+      static_cast<std::size_t>(b * stride), static_cast<std::size_t>(stride));
+}
+
+std::span<float> Tensor::batch_slice(std::int64_t b) {
+  MCF_CHECK(shape_.rank() == 3) << "batch_slice needs rank 3";
+  const std::int64_t stride = shape_[1] * shape_[2];
+  return std::span<float>(data_).subspan(static_cast<std::size_t>(b * stride),
+                                         static_cast<std::size_t>(stride));
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  MCF_CHECK(a.shape() == b.shape())
+      << "shape mismatch " << a.shape().to_string() << " vs "
+      << b.shape().to_string();
+  double worst = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(da[i]) - db[i]));
+  }
+  return worst;
+}
+
+double max_rel_diff(const Tensor& a, const Tensor& b, double atol) {
+  MCF_CHECK(a.shape() == b.shape()) << "shape mismatch";
+  double worst = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double diff = std::abs(static_cast<double>(da[i]) - db[i]);
+    const double denom = std::max(atol, std::abs(static_cast<double>(db[i])));
+    worst = std::max(worst, diff / denom);
+  }
+  return worst;
+}
+
+bool allclose(const Tensor& a, const Tensor& ref, double rtol, double atol) {
+  if (!(a.shape() == ref.shape())) return false;
+  const auto da = a.data();
+  const auto dr = ref.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double diff = std::abs(static_cast<double>(da[i]) - dr[i]);
+    if (diff > atol + rtol * std::abs(static_cast<double>(dr[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace mcf

@@ -1,0 +1,85 @@
+// Dense row-major float tensor used by the reference operators and the
+// functional kernel interpreter.
+//
+// The library deliberately supports a single dtype (float32) for functional
+// execution; the GPU timing model accounts for fp16 tensor-core arithmetic
+// separately (see gpu/spec.hpp).  Keeping numerics in fp32 makes the
+// correctness tolerances tight while preserving every structural property
+// the paper's experiments depend on.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcf {
+
+/// Shape of a dense tensor; up to 4 dimensions are used in this repo
+/// (batch, heads folded into batch, rows, cols).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
+  [[nodiscard]] std::int64_t operator[](std::size_t i) const { return dims_.at(i); }
+  [[nodiscard]] std::int64_t numel() const noexcept;
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const noexcept { return dims_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) = default;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+/// Row-major dense float tensor with value-semantics storage.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t numel() const noexcept { return static_cast<std::int64_t>(data_.size()); }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  /// 2-D accessors (rank must be 2).
+  [[nodiscard]] float& at(std::int64_t r, std::int64_t c);
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c) const;
+  /// 3-D accessors (rank must be 3: batch, rows, cols).
+  [[nodiscard]] float& at(std::int64_t b, std::int64_t r, std::int64_t c);
+  [[nodiscard]] float at(std::int64_t b, std::int64_t r, std::int64_t c) const;
+
+  void fill(float v);
+
+  /// Fills with deterministic pseudo-random values in [-1, 1].
+  void fill_random(std::uint64_t seed);
+
+  /// Returns a rank-2 view descriptor of batch `b` for rank-3 tensors
+  /// (rows*cols contiguous slice).
+  [[nodiscard]] std::span<const float> batch_slice(std::int64_t b) const;
+  [[nodiscard]] std::span<float> batch_slice(std::int64_t b);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Maximum absolute elementwise difference; shapes must match.
+[[nodiscard]] double max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Maximum relative difference with absolute floor `atol`.
+[[nodiscard]] double max_rel_diff(const Tensor& a, const Tensor& b,
+                                  double atol = 1e-5);
+
+/// True when all elements differ by at most atol + rtol*|ref|.
+[[nodiscard]] bool allclose(const Tensor& a, const Tensor& ref,
+                            double rtol = 1e-4, double atol = 1e-5);
+
+}  // namespace mcf

@@ -1,0 +1,65 @@
+#include "workloads/suites.hpp"
+
+namespace mcf {
+
+std::vector<ChainSpec> gemm_chain_suite() {
+  // Table II: name / batch / M / N / K / H.
+  struct Row {
+    const char* name;
+    std::int64_t batch, m, n, k, h;
+  };
+  static constexpr Row kRows[] = {
+      {"G1", 1, 512, 256, 64, 64},     {"G2", 1, 512, 256, 64, 128},
+      {"G3", 1, 512, 256, 64, 256},    {"G4", 1, 512, 512, 256, 256},
+      {"G5", 1, 512, 512, 512, 256},   {"G6", 1, 512, 512, 1024, 256},
+      {"G7", 1, 512, 512, 128, 128},   {"G8", 1, 1024, 512, 128, 128},
+      {"G9", 1, 2048, 512, 128, 128},  {"G10", 1, 1024, 1024, 128, 128},
+      {"G11", 4, 1024, 1024, 128, 128}, {"G12", 8, 1024, 1024, 128, 128},
+  };
+  std::vector<ChainSpec> out;
+  out.reserve(std::size(kRows));
+  for (const auto& r : kRows) {
+    out.push_back(ChainSpec::gemm_chain(r.name, r.batch, r.m, r.n, r.k, r.h));
+  }
+  return out;
+}
+
+std::vector<ChainSpec> attention_suite() {
+  // Table III: name / heads / M / N / K / H / network.
+  struct Row {
+    const char* name;
+    std::int64_t heads, m, n, k, h;
+  };
+  static constexpr Row kRows[] = {
+      {"S1", 8, 512, 512, 64, 64},    // Bert-Small
+      {"S2", 12, 512, 512, 64, 64},   // Bert-Base
+      {"S3", 16, 512, 512, 64, 64},   // Bert-Large
+      {"S4", 12, 256, 256, 64, 64},   // ViT-Base
+      {"S5", 16, 256, 256, 64, 64},   // ViT-Large
+      {"S6", 16, 256, 256, 80, 80},   // ViT-Huge
+      {"S7", 1, 512, 256, 64, 64},    // MLP-Mixer
+      {"S8", 1, 768, 384, 64, 64},    // MLP-Mixer
+      {"S9", 1, 1024, 512, 64, 64},   // MLP-Mixer
+  };
+  std::vector<ChainSpec> out;
+  out.reserve(std::size(kRows));
+  for (const auto& r : kRows) {
+    out.push_back(ChainSpec::attention(r.name, r.heads, r.m, r.n, r.k, r.h));
+  }
+  return out;
+}
+
+BertConfig bert_small() { return BertConfig{"Bert-Small", 4, 512, 8, 2048, 512}; }
+BertConfig bert_base() { return BertConfig{"Bert-Base", 12, 768, 12, 3072, 512}; }
+BertConfig bert_large() { return BertConfig{"Bert-Large", 24, 1024, 16, 4096, 512}; }
+
+std::vector<BertConfig> bert_suite() {
+  return {bert_small(), bert_base(), bert_large()};
+}
+
+ChainSpec bert_attention_chain(const BertConfig& cfg, std::int64_t seq_len) {
+  return ChainSpec::attention(cfg.name + "-attn", cfg.heads, seq_len, seq_len,
+                              cfg.head_dim(), cfg.head_dim());
+}
+
+}  // namespace mcf

@@ -1,0 +1,45 @@
+// The paper's evaluation workloads.
+//
+//   Table II — batch GEMM chains G1..G12
+//   Table III — self-attention modules S1..S9 (BERT / ViT / MLP-Mixer)
+//   §VI-C — end-to-end BERT model configurations
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/chain.hpp"
+
+namespace mcf {
+
+/// G1..G12 (paper Table II).  (batch,M,K)x(batch,K,N) then
+/// (batch,M,N)x(batch,N,H).
+[[nodiscard]] std::vector<ChainSpec> gemm_chain_suite();
+
+/// S1..S9 (paper Table III): heads folded into batch, online-softmax
+/// epilogue between the two GEMMs.
+[[nodiscard]] std::vector<ChainSpec> attention_suite();
+
+/// BERT model configuration for the end-to-end experiments (§VI-C).
+struct BertConfig {
+  std::string name;
+  int layers = 12;
+  std::int64_t hidden = 768;
+  std::int64_t heads = 12;
+  std::int64_t ffn = 3072;
+  std::int64_t seq_len = 512;
+
+  [[nodiscard]] std::int64_t head_dim() const { return hidden / heads; }
+};
+
+[[nodiscard]] BertConfig bert_small();
+[[nodiscard]] BertConfig bert_base();
+[[nodiscard]] BertConfig bert_large();
+[[nodiscard]] std::vector<BertConfig> bert_suite();
+
+/// The attention chain of one BERT layer at a given sequence length.
+[[nodiscard]] ChainSpec bert_attention_chain(const BertConfig& cfg,
+                                             std::int64_t seq_len);
+
+}  // namespace mcf

@@ -1,0 +1,121 @@
+#include "baselines/gbdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace mcf {
+namespace {
+
+double mse(const GbdtRegressor& model, const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = model.predict(x[i]) - y[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+TEST(Gbdt, UntrainedPredictsZero) {
+  GbdtRegressor model;
+  EXPECT_FALSE(model.trained());
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+TEST(Gbdt, FitsConstantExactly) {
+  GbdtRegressor model;
+  std::vector<std::vector<double>> x = {{0.0}, {1.0}, {2.0}};
+  std::vector<double> y = {5.0, 5.0, 5.0};
+  model.fit(x, y);
+  EXPECT_TRUE(model.trained());
+  EXPECT_NEAR(model.predict(x[1]), 5.0, 1e-9);
+}
+
+TEST(Gbdt, FitsStepFunction) {
+  GbdtRegressor model;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 64; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 32 ? 1.0 : 3.0);
+  }
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict(std::vector<double>{5.0}), 1.0, 0.1);
+  EXPECT_NEAR(model.predict(std::vector<double>{50.0}), 3.0, 0.1);
+}
+
+TEST(Gbdt, ReducesErrorOnLinearTarget) {
+  Rng rng = make_rng(5);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 256; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b);
+  }
+  GbdtRegressor model;
+  model.fit(x, y);
+  // Variance of y is ~ (9+4)/12; fit must explain most of it.
+  EXPECT_LT(mse(model, x, y), 0.1);
+}
+
+TEST(Gbdt, LearnsInteraction) {
+  Rng rng = make_rng(6);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 512; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    x.push_back({a, b});
+    y.push_back(a * b);  // pure interaction, no marginal effect
+  }
+  GbdtRegressor::Options opts;
+  opts.trees = 80;
+  GbdtRegressor model(opts);
+  model.fit(x, y);
+  EXPECT_LT(mse(model, x, y), 0.05);
+}
+
+TEST(Gbdt, RanksMonotonicTarget) {
+  // The tuner use case: ranking matters more than calibration.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 128; ++i) {
+    x.push_back({static_cast<double>(i % 16), static_cast<double>(i / 16)});
+    y.push_back(x.back()[0] * 2.0 + x.back()[1]);
+  }
+  GbdtRegressor model;
+  model.fit(x, y);
+  int inversions = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (y[i] > y[i - 1] && model.predict(x[i]) < model.predict(x[i - 1])) {
+      ++inversions;
+    }
+  }
+  EXPECT_LT(inversions, 12);
+}
+
+TEST(Gbdt, HandlesTinyDatasets) {
+  GbdtRegressor model;
+  model.fit({{1.0}}, {2.0});
+  EXPECT_NEAR(model.predict(std::vector<double>{1.0}), 2.0, 1e-9);
+  model.fit({}, {});
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Gbdt, RefitReplacesModel) {
+  GbdtRegressor model;
+  model.fit({{0.0}, {1.0}}, {0.0, 0.0});
+  EXPECT_NEAR(model.predict(std::vector<double>{0.5}), 0.0, 1e-9);
+  model.fit({{0.0}, {1.0}}, {7.0, 7.0});
+  EXPECT_NEAR(model.predict(std::vector<double>{0.5}), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,184 @@
+// Tests for the paper's §III-B memory-access optimisation: standard
+// hoisting (Fig. 4(a)), extent-1 collapse (Fig. 4(b) / Fig. 5(b)) and the
+// residency analysis behind pruning Rule 2.
+#include <gtest/gtest.h>
+
+#include "dag/schedule.hpp"
+
+namespace mcf {
+namespace {
+
+ChainSpec paper_chain() {
+  return ChainSpec::gemm_chain("ex", 1, 1024, 1024, 512, 512);
+}
+
+int find_load(const Schedule& s, int tensor) {
+  for (int i = 1; i < s.num_nodes(); ++i) {
+    const auto& n = s.node(i);
+    if (n.is_stmt && n.stmt.kind == StmtKind::Load && n.stmt.tensor == tensor)
+      return i;
+  }
+  return -1;
+}
+
+int find_store(const Schedule& s, int tensor) {
+  for (int i = 1; i < s.num_nodes(); ++i) {
+    const auto& n = s.node(i);
+    if (n.is_stmt && n.stmt.kind == StmtKind::Store && n.stmt.tensor == tensor)
+      return i;
+  }
+  return -1;
+}
+
+int enclosing_loop(const Schedule& s, int node) {
+  return s.node(s.node(node).parent).loop;
+}
+
+TEST(Hoist, StoreLeavesReductionLoop) {
+  // Paper Fig. 4(a): Store(E) moves from within loop n to the h scope —
+  // in our canonical form (h block-bound) it lands at the root.
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const int se = find_store(s, c.output_tensor());
+  ASSERT_GE(se, 0);
+  EXPECT_EQ(enclosing_loop(s, se), -1);  // root scope: stored once
+  EXPECT_DOUBLE_EQ(s.trip_count(se), 1.0);
+}
+
+TEST(Hoist, StoreStaysInsideWithoutHoisting) {
+  const ChainSpec c = paper_chain();
+  ScheduleOptions opt;
+  opt.hoist = false;
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64},
+                                    opt);
+  const int se = find_store(s, c.output_tensor());
+  EXPECT_EQ(enclosing_loop(s, se), 2);  // still inside n
+  EXPECT_DOUBLE_EQ(s.trip_count(se), 16.0);
+}
+
+TEST(Hoist, UnitExtentCollapseHoistsLoadA) {
+  // Paper Fig. 4(b): with k collapsed to a single iteration (Tk = K),
+  // Load(A) escapes both k and n and runs once per block.
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 512, 64, 64});
+  const int la = find_load(s, 0);
+  EXPECT_EQ(enclosing_loop(s, la), -1);
+  EXPECT_DOUBLE_EQ(s.trip_count(la), 1.0);
+}
+
+TEST(Hoist, WithoutUnitCollapseLoadAStaysInN) {
+  // Chimera/Ansor mode (§II-B(b)): the same schedule reloads A per n.
+  const ChainSpec c = paper_chain();
+  ScheduleOptions opt;
+  opt.collapse_unit_loops = false;
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 512, 64, 64},
+                                    opt);
+  const int la = find_load(s, 0);
+  EXPECT_EQ(enclosing_loop(s, la), 1);  // stuck inside the unit k loop
+  EXPECT_DOUBLE_EQ(s.trip_count(la), 16.0);  // n reloads it
+}
+
+TEST(Hoist, NonUnitReductionKeepsLoadAInK) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const int la = find_load(s, 0);
+  EXPECT_EQ(enclosing_loop(s, la), 1);  // k indexes A, extent > 1: stays
+  EXPECT_DOUBLE_EQ(s.trip_count(la), 16.0 * 8.0);
+}
+
+TEST(Hoist, LoadBStaysWithItsIndices) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const int lb = find_load(s, c.op_weight_tensor(0));  // B(k,n)
+  EXPECT_EQ(enclosing_loop(s, lb), 1);  // under k
+}
+
+TEST(Hoist, LoadDOutsideK) {
+  // D(n,h) is not indexed by k; its load must not sit in the k loop.
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const int ld = find_load(s, c.op_weight_tensor(1));
+  EXPECT_EQ(enclosing_loop(s, ld), 2);  // under n
+  EXPECT_DOUBLE_EQ(s.trip_count(ld), 16.0);
+}
+
+TEST(Hoist, FlatStoreCoversResidentTiles) {
+  // Flat mn(k,h) with Th < H: the store is forced out of the reduction
+  // loop n and covers every resident h tile.
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const int se = find_store(s, c.output_tensor());
+  ASSERT_GE(se, 0);
+  EXPECT_EQ(enclosing_loop(s, se), -1);
+  EXPECT_EQ(s.node(se).stmt.covered_loops, (std::vector<int>{3}));
+}
+
+TEST(Hoist, FlatStoreNoCoverageWhenThIsFull) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 512});
+  const int se = find_store(s, c.output_tensor());
+  EXPECT_TRUE(s.node(se).stmt.covered_loops.empty());
+  EXPECT_EQ(enclosing_loop(s, se), -1);
+}
+
+TEST(Residency, SingleTileForDeepNk) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  for (int t = 0; t < c.num_tensors(); ++t) {
+    EXPECT_EQ(s.resident_tiles()[static_cast<std::size_t>(t)], 1)
+        << "tensor " << c.tensor(t).name;
+  }
+}
+
+TEST(Residency, FlatOutputKeepsHTilesResident) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  EXPECT_EQ(s.resident_tiles()[static_cast<std::size_t>(c.output_tensor())],
+            512 / 64);
+  EXPECT_EQ(s.resident_loops(c.output_tensor()), (std::vector<int>{3}));
+  // The intermediate C still needs only one tile.
+  EXPECT_EQ(s.resident_tiles()[static_cast<std::size_t>(c.op_output_tensor(0))], 1);
+}
+
+TEST(Residency, FlatFullThIsSingleTile) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 512});
+  EXPECT_EQ(s.resident_tiles()[static_cast<std::size_t>(c.output_tensor())], 1);
+}
+
+TEST(Residency, KnPartialTilesMultiplyIntermediate) {
+  // Fig. 6(b): sub-expression kn caches partial C tiles for every n.
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 1, 2}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  EXPECT_FALSE(s.consume_complete());
+  EXPECT_GT(s.resident_tiles()[static_cast<std::size_t>(c.op_output_tensor(0))], 1);
+}
+
+TEST(Residency, AccumulatorPersistsEvenWithoutHoisting) {
+  // Without store hoisting, E still accumulates across n, so liveness
+  // (and hence residency over h) must not shrink.
+  const ChainSpec c = paper_chain();
+  ScheduleOptions opt;
+  opt.hoist = false;
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64},
+                                    opt);
+  EXPECT_EQ(s.resident_tiles()[static_cast<std::size_t>(c.output_tensor())],
+            512 / 64);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,184 @@
+#include "dag/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcf {
+namespace {
+
+ChainSpec paper_chain() {
+  return ChainSpec::gemm_chain("ex", 1, 1024, 1024, 512, 512);
+}
+
+/// Finds the node index of the (unique) statement matching a predicate.
+template <typename Pred>
+int find_stmt(const Schedule& s, Pred pred) {
+  for (int i = 1; i < s.num_nodes(); ++i) {
+    const auto& n = s.node(i);
+    if (n.is_stmt && pred(n.stmt)) return i;
+  }
+  return -1;
+}
+
+/// Loop id of the statement's enclosing scope (-1 for root).
+int enclosing_loop(const Schedule& s, int stmt_node) {
+  const int parent = s.node(stmt_node).parent;
+  return s.node(parent).loop;
+}
+
+TEST(Schedule, DeepNkStructureAndExtents) {
+  const ChainSpec c = paper_chain();
+  const TileExpr e = make_deep_expr(c, {0, 3, 2, 1});  // [mh]nk
+  const std::vector<std::int64_t> tiles = {64, 64, 64, 64};
+  const Schedule s = build_schedule(c, e, tiles);
+  ASSERT_TRUE(s.valid());
+  EXPECT_TRUE(s.consume_complete());
+  EXPECT_EQ(s.extents()[0], 16);  // 1024/64
+  EXPECT_EQ(s.extents()[1], 8);   // 512/64
+  EXPECT_EQ(s.num_blocks(), 16 * 8);  // m x h blocks
+}
+
+TEST(Schedule, TilesAreClampedToDims) {
+  const ChainSpec c = ChainSpec::gemm_chain("t", 1, 32, 32, 32, 32);
+  const TileExpr e = make_deep_expr(c, {0, 3, 2, 1});
+  const std::vector<std::int64_t> tiles = {512, 512, 512, 512};
+  const Schedule s = build_schedule(c, e, tiles);
+  for (int l = 0; l < c.num_loops(); ++l) {
+    EXPECT_EQ(s.tiles()[static_cast<std::size_t>(l)], 32);
+    EXPECT_EQ(s.extents()[static_cast<std::size_t>(l)], 1);
+  }
+}
+
+TEST(Schedule, ComputePlacementDeepNk) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const int cc = find_stmt(s, [](const Statement& st) {
+    return st.kind == StmtKind::Compute && st.op == 0;
+  });
+  const int ce = find_stmt(s, [](const Statement& st) {
+    return st.kind == StmtKind::Compute && st.op == 1;
+  });
+  ASSERT_GE(cc, 0);
+  ASSERT_GE(ce, 0);
+  EXPECT_EQ(enclosing_loop(s, cc), 1);  // CC under k
+  EXPECT_EQ(enclosing_loop(s, ce), 2);  // CE under n (after k's subtree)
+}
+
+TEST(Schedule, ComputePlacementFlat) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 512});
+  const int cc = find_stmt(s, [](const Statement& st) {
+    return st.kind == StmtKind::Compute && st.op == 0;
+  });
+  const int ce = find_stmt(s, [](const Statement& st) {
+    return st.kind == StmtKind::Compute && st.op == 1;
+  });
+  EXPECT_EQ(enclosing_loop(s, cc), 1);  // CC inside the k group
+  EXPECT_EQ(enclosing_loop(s, ce), 3);  // CE inside the h group
+}
+
+TEST(Schedule, ExecutionOrderProducerBeforeConsumer) {
+  const ChainSpec c = paper_chain();
+  for (const auto& e :
+       {make_deep_expr(c, {0, 3, 2, 1}), make_flat_expr(c, {0, 2}, {1, 3})}) {
+    const Schedule s =
+        build_schedule(c, e, std::vector<std::int64_t>{64, 64, 64, 512});
+    const auto order = s.statements_in_order();
+    int pos_cc = -1;
+    int pos_ce = -1;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const Statement& st = s.node(order[i]).stmt;
+      if (st.kind == StmtKind::Compute && st.op == 0) pos_cc = static_cast<int>(i);
+      if (st.kind == StmtKind::Compute && st.op == 1) pos_ce = static_cast<int>(i);
+    }
+    EXPECT_LT(pos_cc, pos_ce);
+  }
+}
+
+TEST(Schedule, KnOrderConsumesPartialTiles) {
+  // Sub-expression kn (paper Fig. 6(b)): the consumer sits inside the
+  // producer's reduction loop — flagged, not silently accepted.
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 1, 2}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  ASSERT_TRUE(s.valid());
+  EXPECT_FALSE(s.consume_complete());
+}
+
+TEST(Schedule, KnWithUnitReductionIsComplete) {
+  // With Tk = K the reduction collapses and kn becomes legal.
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 1, 2}),
+                                    std::vector<std::int64_t>{64, 512, 64, 64});
+  EXPECT_TRUE(s.consume_complete());
+}
+
+TEST(Schedule, LoadStatementsPresent) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  int loads = 0;
+  int stores = 0;
+  for (const int i : s.statements_in_order()) {
+    const auto& st = s.node(i).stmt;
+    if (st.kind == StmtKind::Load) ++loads;
+    if (st.kind == StmtKind::Store) ++stores;
+  }
+  EXPECT_EQ(loads, 3);   // A, B, D (C stays resident)
+  EXPECT_EQ(stores, 1);  // E only
+}
+
+TEST(Schedule, TripCountMultipliesAncestorExtents) {
+  const ChainSpec c = paper_chain();
+  ScheduleOptions no_hoist;
+  no_hoist.hoist = false;
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64},
+                                    no_hoist);
+  const int cc = find_stmt(s, [](const Statement& st) {
+    return st.kind == StmtKind::Compute && st.op == 0;
+  });
+  EXPECT_DOUBLE_EQ(s.trip_count(cc), 16.0 * 8.0);  // extents of n and k
+}
+
+TEST(Schedule, TileElems) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 128, 16});
+  EXPECT_EQ(s.tile_elems(0), 64 * 32);  // A tile m x k
+  EXPECT_EQ(s.tile_elems(c.output_tensor()), 64 * 16);  // E tile m x h
+}
+
+TEST(Schedule, BatchMultipliesBlocks) {
+  const ChainSpec c = ChainSpec::gemm_chain("b", 8, 1024, 1024, 128, 128);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{128, 128, 128, 128});
+  EXPECT_EQ(s.num_blocks(), 8 * 8 * 1);  // batch x m-blocks x h-blocks
+}
+
+TEST(Schedule, PseudoRenderingShowsLoopsAndTiles) {
+  const ChainSpec c = paper_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const std::string p = s.to_pseudo();
+  EXPECT_NE(p.find("for n in range(16)"), std::string::npos);
+  EXPECT_NE(p.find("Compute(tile C)"), std::string::npos);
+  EXPECT_NE(p.find("blockIdx"), std::string::npos);
+}
+
+TEST(Schedule, ThreeOpChainBuilds) {
+  const ChainSpec c("triple", 1, 64, {32, 48, 16, 24});
+  const TileExpr e = make_deep_expr(c, {0, 4, 3, 2, 1});
+  const Schedule s = build_schedule(
+      c, e, std::vector<std::int64_t>{16, 16, 16, 16, 16});
+  ASSERT_TRUE(s.valid());
+  int computes = 0;
+  for (const int i : s.statements_in_order()) {
+    if (s.node(i).stmt.kind == StmtKind::Compute) ++computes;
+  }
+  EXPECT_EQ(computes, 3);
+}
+
+}  // namespace
+}  // namespace mcf

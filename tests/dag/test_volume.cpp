@@ -1,0 +1,157 @@
+// Static volume analysis: hand-computed traffic and FLOP counts.
+#include <gtest/gtest.h>
+
+#include "dag/volume.hpp"
+
+namespace mcf {
+namespace {
+
+// Small exactly-divisible chain: M=128, K=64, N=128, H=64.
+ChainSpec small_chain() { return ChainSpec::gemm_chain("v", 1, 128, 128, 64, 64); }
+
+TEST(Volume, DeepNkHandComputedTraffic) {
+  const ChainSpec c = small_chain();
+  // Tiles 64/32/64/64: extents m=2, k=2, n=2, h=1; blocks = 2*1 = 2.
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 64, 64});
+  const VolumeReport v = analyze_volume(s);
+  EXPECT_DOUBLE_EQ(v.n_blocks, 2.0);
+  // Per block: LA 2x2 trips x (64*32*2B), LB same, LD 2 trips x (64*64*2B),
+  // SE 1 x (64*64*2B).
+  const double la = 4 * 64 * 32 * 2;
+  const double lb = 4 * 32 * 64 * 2;
+  const double ld = 2 * 64 * 64 * 2;
+  EXPECT_DOUBLE_EQ(v.load_bytes, 2.0 * (la + lb + ld));
+  EXPECT_DOUBLE_EQ(v.store_bytes, 2.0 * (64 * 64 * 2));
+}
+
+TEST(Volume, FlopsMatchChainTotalWhenExact) {
+  // When tiles divide dims exactly, counted FLOPs equal the chain total.
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 64, 64});
+  const VolumeReport v = analyze_volume(s);
+  EXPECT_DOUBLE_EQ(v.flops, c.total_flops());
+}
+
+TEST(Volume, PaddingInflatesFlops) {
+  // M=100 with tile 64 pads to 128: counted work exceeds the nominal.
+  const ChainSpec c = ChainSpec::gemm_chain("p", 1, 100, 128, 64, 64);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const VolumeReport v = analyze_volume(s);
+  EXPECT_GT(v.flops, c.total_flops());
+}
+
+TEST(Volume, UnitCollapseReducesLoadTraffic) {
+  const ChainSpec c = small_chain();
+  ScheduleOptions with;
+  ScheduleOptions without;
+  without.collapse_unit_loops = false;
+  const std::vector<std::int64_t> tiles = {64, 64, 64, 64};  // Tk=K: unit k
+  const double bytes_with =
+      analyze_volume(build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}), tiles, with))
+          .load_bytes;
+  const double bytes_without =
+      analyze_volume(
+          build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}), tiles, without))
+          .load_bytes;
+  EXPECT_LT(bytes_with, bytes_without);
+}
+
+TEST(Volume, CoveredStoreBytesEqualFullOutput) {
+  // Flat with Th<H: one store statement covers all resident h tiles, so
+  // total store traffic is exactly the output size.
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 32});
+  const VolumeReport v = analyze_volume(s);
+  EXPECT_DOUBLE_EQ(v.store_bytes, 128.0 * 64 * 2);  // M x H x fp16
+}
+
+TEST(Volume, SoftmaxEpilogueAddsFlops) {
+  const ChainSpec plain = small_chain();
+  const ChainSpec attn = ChainSpec::attention("a", 1, 128, 128, 64, 64);
+  const std::vector<std::int64_t> tiles = {64, 64, 64, 64};
+  const VolumeReport vp =
+      analyze_volume(build_schedule(plain, make_deep_expr(plain, {0, 3, 2, 1}), tiles));
+  const VolumeReport va =
+      analyze_volume(build_schedule(attn, make_deep_expr(attn, {0, 3, 2, 1}), tiles));
+  EXPECT_DOUBLE_EQ(vp.epilogue_flops, 0.0);
+  EXPECT_GT(va.epilogue_flops, 0.0);
+  EXPECT_DOUBLE_EQ(va.flops, vp.flops);  // contraction work identical
+}
+
+TEST(Volume, EpilogueFiresOncePerCompletedTile) {
+  // Softmax epilogue trips = compute trips / reduction extent.
+  const ChainSpec attn = ChainSpec::attention("a", 1, 128, 128, 64, 64);
+  // Tk=32 -> k extent 2; epilogue must not double with it.
+  const VolumeReport v2 = analyze_volume(build_schedule(
+      attn, make_deep_expr(attn, {0, 3, 2, 1}), std::vector<std::int64_t>{64, 32, 64, 64}));
+  const VolumeReport v1 = analyze_volume(build_schedule(
+      attn, make_deep_expr(attn, {0, 3, 2, 1}), std::vector<std::int64_t>{64, 64, 64, 64}));
+  EXPECT_DOUBLE_EQ(v1.epilogue_flops, v2.epilogue_flops);
+}
+
+TEST(Volume, DtypeBytesScalesTraffic) {
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  VolumeOptions fp16;
+  VolumeOptions fp32;
+  fp32.dtype_bytes = 4;
+  EXPECT_DOUBLE_EQ(analyze_volume(s, fp32).total_bytes(),
+                   2.0 * analyze_volume(s, fp16).total_bytes());
+}
+
+TEST(Volume, BatchScalesEverything) {
+  const ChainSpec c1 = ChainSpec::gemm_chain("b1", 1, 128, 128, 64, 64);
+  const ChainSpec c4 = ChainSpec::gemm_chain("b4", 4, 128, 128, 64, 64);
+  const std::vector<std::int64_t> tiles = {64, 64, 64, 64};
+  const VolumeReport v1 =
+      analyze_volume(build_schedule(c1, make_deep_expr(c1, {0, 3, 2, 1}), tiles));
+  const VolumeReport v4 =
+      analyze_volume(build_schedule(c4, make_deep_expr(c4, {0, 3, 2, 1}), tiles));
+  EXPECT_DOUBLE_EQ(v4.total_bytes(), 4.0 * v1.total_bytes());
+  EXPECT_DOUBLE_EQ(v4.flops, 4.0 * v1.flops);
+  EXPECT_DOUBLE_EQ(v4.n_blocks, 4.0 * v1.n_blocks);
+}
+
+TEST(Volume, RowElemsTracksInnermostIndex) {
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 16, 64});
+  for (const auto& st : analyze_volume(s).stmts) {
+    if (st.kind == StmtKind::Load && st.tensor == 0) {
+      EXPECT_EQ(st.row_elems, 32);  // A rows are k-contiguous
+    }
+    if (st.kind == StmtKind::Load && st.tensor == c.op_weight_tensor(0)) {
+      EXPECT_EQ(st.row_elems, 16);  // B rows are n-contiguous
+    }
+  }
+}
+
+TEST(Volume, MoreBlocksSameTrafficWhenHSplit) {
+  // Splitting h into more blocks must multiply A traffic (re-streamed per
+  // h block) but keep E stores constant.
+  const ChainSpec c = ChainSpec::gemm_chain("h", 1, 128, 128, 64, 128);
+  const VolumeReport coarse = analyze_volume(build_schedule(
+      c, make_deep_expr(c, {0, 3, 2, 1}), std::vector<std::int64_t>{64, 32, 64, 128}));
+  const VolumeReport fine = analyze_volume(build_schedule(
+      c, make_deep_expr(c, {0, 3, 2, 1}), std::vector<std::int64_t>{64, 32, 64, 32}));
+  EXPECT_DOUBLE_EQ(fine.store_bytes, coarse.store_bytes);
+  double a_coarse = 0;
+  double a_fine = 0;
+  for (const auto& st : coarse.stmts) {
+    if (st.kind == StmtKind::Load && st.tensor == 0)
+      a_coarse = st.bytes_per_trip * st.trips_per_block * coarse.n_blocks;
+  }
+  for (const auto& st : fine.stmts) {
+    if (st.kind == StmtKind::Load && st.tensor == 0)
+      a_fine = st.bytes_per_trip * st.trips_per_block * fine.n_blocks;
+  }
+  EXPECT_DOUBLE_EQ(a_fine, 4.0 * a_coarse);
+}
+
+}  // namespace
+}  // namespace mcf

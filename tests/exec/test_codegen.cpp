@@ -1,0 +1,94 @@
+#include "exec/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/program.hpp"
+
+namespace mcf {
+namespace {
+
+ChainSpec chain() { return ChainSpec::gemm_chain("cg", 1, 512, 512, 256, 256); }
+
+TEST(Codegen, EmitsKernelSkeleton) {
+  const ChainSpec c = chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const std::string src = emit_kernel_source(s, a100());
+  EXPECT_NE(src.find("@triton.jit"), std::string::npos);
+  EXPECT_NE(src.find("tl.dot(smem_A, smem_B)"), std::string::npos);
+  EXPECT_NE(src.find("tl.store(E_ptr"), std::string::npos);
+  EXPECT_NE(src.find("tl.program_id"), std::string::npos);
+}
+
+TEST(Codegen, HoistedLoadAppearsBeforeLoop) {
+  const ChainSpec c = chain();
+  // Tk = K: Load(A) hoists to the function body before any loop.
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 256, 64, 64});
+  const std::string src = emit_kernel_source(s, a100());
+  const auto load_pos = src.find("smem_A = tl.load");
+  const auto loop_pos = src.find("for n in range");
+  ASSERT_NE(load_pos, std::string::npos);
+  ASSERT_NE(loop_pos, std::string::npos);
+  EXPECT_LT(load_pos, loop_pos);
+}
+
+TEST(Codegen, SoftmaxEpilogueAnnotated) {
+  const ChainSpec c = ChainSpec::attention("cga", 4, 256, 256, 64, 64);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const std::string src = emit_kernel_source(s, a100());
+  EXPECT_NE(src.find("online-softmax"), std::string::npos);
+}
+
+TEST(Codegen, CoveredStoreAnnotated) {
+  const ChainSpec c = chain();
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const std::string src = emit_kernel_source(s, a100());
+  EXPECT_NE(src.find("covers all resident tiles of: h"), std::string::npos);
+}
+
+TEST(CompiledKernel, AcceptsValidSchedule) {
+  const ChainSpec c = chain();
+  CompiledKernel kernel(build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                       std::vector<std::int64_t>{64, 64, 64, 64}),
+                        a100());
+  EXPECT_TRUE(kernel.ok()) << kernel.error();
+  EXPECT_GT(kernel.volume().total_bytes(), 0.0);
+  EXPECT_GT(kernel.smem().total_bytes, 0);
+}
+
+TEST(CompiledKernel, RejectsPartialConsume) {
+  const ChainSpec c = chain();
+  CompiledKernel kernel(build_schedule(c, make_deep_expr(c, {0, 3, 1, 2}),
+                                       std::vector<std::int64_t>{64, 64, 64, 64}),
+                        a100());
+  EXPECT_FALSE(kernel.ok());
+  EXPECT_NE(kernel.error().find("Rule-2"), std::string::npos);
+}
+
+TEST(CompiledKernel, RejectsSmemOverflow) {
+  // Giant tiles blow the per-block budget at lowering time.
+  const ChainSpec c = ChainSpec::gemm_chain("big", 1, 2048, 2048, 1024, 1024);
+  CompiledKernel kernel(
+      build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                     std::vector<std::int64_t>{512, 512, 512, 512}),
+      a100());
+  EXPECT_FALSE(kernel.ok());
+  EXPECT_NE(kernel.error().find("shared memory"), std::string::npos);
+}
+
+TEST(CompiledKernel, MeasureProducesTime) {
+  const ChainSpec c = chain();
+  CompiledKernel kernel(build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                       std::vector<std::int64_t>{64, 64, 64, 64}),
+                        a100());
+  ASSERT_TRUE(kernel.ok());
+  const auto m = kernel.measure();
+  EXPECT_TRUE(m.ok);
+  EXPECT_GT(m.time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,264 @@
+// Functional interpreter correctness.
+//
+// Property tests (TEST_P) sweep tiling expressions x tile sizes x chain
+// kinds and assert two invariants for every consume-complete schedule:
+//   1. the fused kernel's numerical output equals the unfused reference;
+//   2. the dynamically counted traffic/FLOPs equal dag/volume's static
+//      analysis exactly (the repo's analogue of the paper's NVPTX
+//      validation).
+#include <gtest/gtest.h>
+
+#include "dag/volume.hpp"
+#include "exec/interpreter.hpp"
+#include "tensor/ops.hpp"
+
+namespace mcf {
+namespace {
+
+enum class ChainKind { Plain, Relu, Attention };
+
+const char* kind_name(ChainKind k) {
+  switch (k) {
+    case ChainKind::Plain:
+      return "plain";
+    case ChainKind::Relu:
+      return "relu";
+    case ChainKind::Attention:
+      return "attention";
+  }
+  return "?";
+}
+
+ChainSpec make_chain(ChainKind kind, std::int64_t batch, std::int64_t m,
+                     std::int64_t n, std::int64_t k, std::int64_t h) {
+  switch (kind) {
+    case ChainKind::Plain:
+      return ChainSpec::gemm_chain("plain", batch, m, n, k, h);
+    case ChainKind::Relu:
+      return ChainSpec("relu", batch, m, {k, n, h}, {Epilogue::Relu, Epilogue::None});
+    case ChainKind::Attention:
+      return ChainSpec::attention("attn", batch, m, n, k, h);
+  }
+  return ChainSpec::gemm_chain("plain", batch, m, n, k, h);
+}
+
+void reference(const ChainSpec& chain, ChainKind kind, const Tensor& a,
+               const std::vector<Tensor>& w, Tensor& out) {
+  const ops::ChainEpilogue epi = kind == ChainKind::Plain
+                                     ? ops::ChainEpilogue::None
+                                     : (kind == ChainKind::Relu
+                                            ? ops::ChainEpilogue::Relu
+                                            : ops::ChainEpilogue::Softmax);
+  ops::gemm_chain_reference(a, w[0], w[1], out, epi, chain.softmax_scale());
+}
+
+struct Case {
+  ChainKind kind;
+  bool flat;
+  std::vector<int> order;  // deep order (ignored when flat)
+  std::vector<std::int64_t> tiles;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string name = kind_name(c.kind);
+  name += c.flat ? "_flat" : "_deep";
+  for (const int l : c.order) name += std::to_string(l);
+  for (const auto t : c.tiles) name += "_" + std::to_string(t);
+  return name;
+}
+
+class FusedKernelProperty : public testing::TestWithParam<Case> {};
+
+TEST_P(FusedKernelProperty, MatchesReferenceAndStaticCounts) {
+  const Case& p = GetParam();
+  // Dims chosen so every tile in the sweep divides or pads them.
+  const std::int64_t batch = 2;
+  const std::int64_t m = 96;
+  const std::int64_t n = 96;
+  const std::int64_t k = 48;
+  const std::int64_t h = 48;
+  const ChainSpec chain = make_chain(p.kind, batch, m, n, k, h);
+
+  const TileExpr expr = p.flat ? make_flat_expr(chain, {0, 2}, {1, 3})
+                               : make_deep_expr(chain, p.order);
+  const Schedule s = build_schedule(chain, expr, p.tiles);
+  ASSERT_TRUE(s.valid());
+  if (!s.consume_complete()) GTEST_SKIP() << "Rule-2 schedule, not executable";
+
+  Tensor a(Shape{batch, m, k});
+  Tensor b(Shape{batch, k, n});
+  Tensor d(Shape{batch, n, h});
+  a.fill_random(101);
+  b.fill_random(102);
+  d.fill_random(103);
+  std::vector<Tensor> w;
+  w.push_back(std::move(b));
+  w.push_back(std::move(d));
+
+  Tensor out(Shape{batch, m, h});
+  const ExecutionCounters counters = Interpreter(s).run(a, w, out);
+
+  Tensor ref(Shape{batch, m, h});
+  reference(chain, p.kind, a, w, ref);
+  EXPECT_TRUE(allclose(out, ref, 1e-3, 1e-4))
+      << "max diff " << max_abs_diff(out, ref);
+
+  const VolumeReport vol = analyze_volume(s);
+  EXPECT_DOUBLE_EQ(counters.load_bytes, vol.load_bytes);
+  EXPECT_DOUBLE_EQ(counters.store_bytes, vol.store_bytes);
+  EXPECT_DOUBLE_EQ(counters.flops, vol.flops);
+  EXPECT_DOUBLE_EQ(counters.epilogue_flops, vol.epilogue_flops);
+  EXPECT_DOUBLE_EQ(counters.stmt_trips, vol.stmt_trips);
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  const std::vector<std::vector<int>> deep_orders = {
+      {0, 3, 2, 1},  // mhnk -> nk
+      {0, 2, 3, 1},  // -> nk variant
+      {0, 3, 1, 2},  // -> kn (complete only when Tk == K)
+  };
+  const std::vector<std::vector<std::int64_t>> tile_sets = {
+      {32, 16, 32, 16}, {48, 48, 48, 48}, {96, 16, 96, 48},
+      {32, 48, 32, 48}, {16, 32, 48, 16},
+  };
+  for (const ChainKind kind :
+       {ChainKind::Plain, ChainKind::Relu, ChainKind::Attention}) {
+    for (const auto& order : deep_orders) {
+      for (const auto& tiles : tile_sets) {
+        cases.push_back(Case{kind, false, order, tiles});
+      }
+    }
+    for (const auto& tiles : tile_sets) {
+      cases.push_back(Case{kind, true, {}, tiles});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FusedKernelProperty,
+                         testing::ValuesIn(make_cases()), case_name);
+
+// ---- targeted scenarios ----------------------------------------------------
+
+TEST(Interpreter, PaddedDimsStillCorrect) {
+  // 80 is not a multiple of 32: loads zero-pad, stores clip.
+  const ChainSpec chain = ChainSpec::gemm_chain("pad", 1, 80, 80, 80, 80);
+  const Schedule s = build_schedule(chain, make_deep_expr(chain, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{32, 32, 32, 32});
+  Tensor a(Shape{1, 80, 80});
+  Tensor b(Shape{1, 80, 80});
+  Tensor d(Shape{1, 80, 80});
+  a.fill_random(7);
+  b.fill_random(8);
+  d.fill_random(9);
+  std::vector<Tensor> w;
+  w.push_back(std::move(b));
+  w.push_back(std::move(d));
+  Tensor out(Shape{1, 80, 80});
+  Interpreter(s).run(a, w, out);
+  Tensor ref(Shape{1, 80, 80});
+  ops::gemm_chain_reference(a, w[0], w[1], ref);
+  EXPECT_TRUE(allclose(out, ref, 1e-3, 1e-4));
+}
+
+TEST(Interpreter, PaddedAttentionMasksSoftmaxColumns) {
+  // Padded n columns must not leak exp(0) mass into the distribution.
+  const ChainSpec chain = ChainSpec::attention("padattn", 2, 80, 80, 32, 32);
+  const Schedule s = build_schedule(chain, make_deep_expr(chain, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{32, 32, 32, 32});
+  Tensor q(Shape{2, 80, 32});
+  Tensor kt(Shape{2, 32, 80});
+  Tensor v(Shape{2, 80, 32});
+  q.fill_random(11);
+  kt.fill_random(12);
+  v.fill_random(13);
+  std::vector<Tensor> w;
+  w.push_back(std::move(kt));
+  w.push_back(std::move(v));
+  Tensor out(Shape{2, 80, 32});
+  Interpreter(s).run(q, w, out);
+  Tensor ref(Shape{2, 80, 32});
+  ops::attention_reference(q, w[0], w[1], chain.softmax_scale(), ref);
+  EXPECT_TRUE(allclose(out, ref, 1e-3, 1e-4))
+      << "max diff " << max_abs_diff(out, ref);
+}
+
+TEST(Interpreter, SerialAndParallelAgreeExactly) {
+  const ChainSpec chain = ChainSpec::gemm_chain("par", 3, 64, 64, 32, 32);
+  const Schedule s = build_schedule(chain, make_deep_expr(chain, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{32, 32, 32, 32});
+  Tensor a(Shape{3, 64, 32});
+  Tensor b(Shape{3, 32, 64});
+  Tensor d(Shape{3, 64, 32});
+  a.fill_random(21);
+  b.fill_random(22);
+  d.fill_random(23);
+  std::vector<Tensor> w;
+  w.push_back(std::move(b));
+  w.push_back(std::move(d));
+  Tensor out_par(Shape{3, 64, 32});
+  Tensor out_ser(Shape{3, 64, 32});
+  InterpreterOptions ser;
+  ser.parallel = false;
+  Interpreter(s).run(a, w, out_par);
+  Interpreter(s, ser).run(a, w, out_ser);
+  EXPECT_EQ(max_abs_diff(out_par, out_ser), 0.0);
+}
+
+TEST(Interpreter, ThreeOpChainNumerics) {
+  const ChainSpec chain("triple", 2, 48, {32, 48, 24, 40});
+  const TileExpr expr = make_deep_expr(chain, {0, 4, 3, 2, 1});
+  const Schedule s = build_schedule(
+      chain, expr, std::vector<std::int64_t>{24, 16, 24, 24, 40});
+  ASSERT_TRUE(s.valid());
+  ASSERT_TRUE(s.consume_complete());
+  Tensor a(Shape{2, 48, 32});
+  Tensor w0(Shape{2, 32, 48});
+  Tensor w1(Shape{2, 48, 24});
+  Tensor w2(Shape{2, 24, 40});
+  a.fill_random(31);
+  w0.fill_random(32);
+  w1.fill_random(33);
+  w2.fill_random(34);
+  std::vector<Tensor> w;
+  w.push_back(std::move(w0));
+  w.push_back(std::move(w1));
+  w.push_back(std::move(w2));
+  Tensor out(Shape{2, 48, 40});
+  Interpreter(s).run(a, w, out);
+  // Reference: three chained batched GEMMs.
+  Tensor x1(Shape{2, 48, 48});
+  Tensor x2(Shape{2, 48, 24});
+  Tensor ref(Shape{2, 48, 40});
+  ops::batched_gemm(a, w[0], x1);
+  ops::batched_gemm(x1, w[1], x2);
+  ops::batched_gemm(x2, w[2], ref);
+  EXPECT_TRUE(allclose(out, ref, 1e-3, 1e-4));
+}
+
+TEST(Interpreter, RejectsPartialConsumeSchedules) {
+  const ChainSpec chain = ChainSpec::gemm_chain("bad", 1, 64, 64, 64, 64);
+  const Schedule s = build_schedule(chain, make_deep_expr(chain, {0, 3, 1, 2}),
+                                    std::vector<std::int64_t>{32, 32, 32, 32});
+  ASSERT_FALSE(s.consume_complete());
+  EXPECT_DEATH(Interpreter{s}, "Rule-2");
+}
+
+TEST(Interpreter, ShapeValidation) {
+  const ChainSpec chain = ChainSpec::gemm_chain("shape", 1, 64, 64, 32, 32);
+  const Schedule s = build_schedule(chain, make_deep_expr(chain, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{32, 32, 32, 32});
+  Tensor a(Shape{1, 64, 16});  // wrong K
+  Tensor b(Shape{1, 32, 64});
+  Tensor d(Shape{1, 64, 32});
+  std::vector<Tensor> w;
+  w.push_back(std::move(b));
+  w.push_back(std::move(d));
+  Tensor out(Shape{1, 64, 32});
+  EXPECT_DEATH(Interpreter(s).run(a, w, out), "input shape");
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,128 @@
+// Shared-memory estimate (eq. 1) vs the actual allocation plan — the
+// machinery behind pruning Rule 4 and Fig. 10.
+#include <gtest/gtest.h>
+
+#include "gpu/smem.hpp"
+
+namespace mcf {
+namespace {
+
+ChainSpec small_chain() { return ChainSpec::gemm_chain("s", 1, 128, 128, 64, 64); }
+
+TEST(SmemEstimate, Eq1SumsSingleTileFootprints) {
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 64, 64});
+  // A 64x32 + B 32x64 + C 64x64 + D 64x64 + E 64x64, fp16.
+  const std::int64_t expected =
+      (64 * 32 + 32 * 64 + 64 * 64 + 64 * 64 + 64 * 64) * 2;
+  EXPECT_EQ(smem_estimate(s), expected);
+}
+
+TEST(SmemEstimate, DtypeScales) {
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 64, 64});
+  EXPECT_EQ(smem_estimate(s, 4), 2 * smem_estimate(s, 2));
+}
+
+TEST(SmemPlan, ActualExceedsEstimateWithDoubleBuffering) {
+  // Streamed loads double-buffer; eq. (1) does not know that — this is
+  // the source of Fig. 10's underestimation band.
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 64, 64});
+  const SmemPlan plan = plan_smem(s);
+  EXPECT_GT(plan.total_bytes, smem_estimate(s));
+}
+
+TEST(SmemPlan, NoDoubleBufferForOneShotLoads) {
+  const ChainSpec c = small_chain();
+  // All extents 1: every load executes once.
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{128, 64, 128, 64});
+  const SmemPlan plan = plan_smem(s);
+  for (const auto& b : plan.buffers) EXPECT_FALSE(b.double_buffered);
+}
+
+TEST(SmemPlan, ReuseCanUndercutEstimate) {
+  // Fig. 10 quadrant IV: disjoint live ranges alias, so the actual
+  // allocation can be *smaller* than eq. (1)'s sum.
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{128, 64, 128, 64});
+  SmemOptions with;
+  SmemOptions without;
+  without.reuse = false;
+  const SmemPlan p_with = plan_smem(s, with);
+  const SmemPlan p_without = plan_smem(s, without);
+  EXPECT_LE(p_with.total_bytes, p_without.total_bytes);
+}
+
+TEST(SmemPlan, ResidencyMultipliesOutputBuffer) {
+  const ChainSpec c = ChainSpec::gemm_chain("r", 1, 128, 128, 64, 256);
+  const Schedule coarse = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                         std::vector<std::int64_t>{64, 64, 64, 256});
+  const Schedule fine = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                       std::vector<std::int64_t>{64, 64, 64, 64});
+  auto out_bytes = [&](const Schedule& s) {
+    for (const auto& b : plan_smem(s).buffers) {
+      if (b.tensor == c.output_tensor()) return b.bytes;
+    }
+    return std::int64_t{0};
+  };
+  // 4 resident 64-wide tiles == one 256-wide tile (same bytes, modulo
+  // bank padding granularity).
+  EXPECT_NEAR(static_cast<double>(out_bytes(fine)),
+              static_cast<double>(out_bytes(coarse)), 4096.0);
+}
+
+TEST(SmemPlan, BankPaddingAddsRowBytes) {
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  SmemOptions padded;
+  SmemOptions flat;
+  flat.bank_pad = false;
+  EXPECT_GT(plan_smem(s, padded).total_bytes, plan_smem(s, flat).total_bytes);
+}
+
+TEST(SmemPlan, SoftmaxStatsReserved) {
+  const ChainSpec attn = ChainSpec::attention("a", 1, 128, 128, 64, 64);
+  const Schedule s = build_schedule(attn, make_deep_expr(attn, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const SmemPlan plan = plan_smem(s);
+  EXPECT_EQ(plan.stats_bytes, 2 * 64 * 4);  // two fp32 vectors of Tm
+}
+
+TEST(SmemPlan, BuffersDoNotOverlapWhenLive) {
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 64, 64});
+  const SmemPlan plan = plan_smem(s);
+  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+      const auto& a = plan.buffers[i];
+      const auto& b = plan.buffers[j];
+      const bool live_overlap =
+          !(a.live_end < b.live_begin || b.live_end < a.live_begin);
+      const bool mem_overlap = a.offset < b.offset + b.bytes &&
+                               b.offset < a.offset + a.bytes;
+      EXPECT_FALSE(live_overlap && mem_overlap)
+          << "buffers " << i << "/" << j << " collide";
+    }
+  }
+}
+
+TEST(SmemPlan, ToStringListsBuffers) {
+  const ChainSpec c = small_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 32, 64, 64});
+  const SmemPlan plan = plan_smem(s);
+  const std::string str = plan.to_string(s);
+  EXPECT_NE(str.find("total="), std::string::npos);
+  EXPECT_NE(str.find("A:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,161 @@
+// Timing simulator invariants: efficiency curves, bandwidth/compute
+// asymptotes, occupancy and determinism.
+#include <gtest/gtest.h>
+
+#include "gpu/timing.hpp"
+
+#include "dag/volume.hpp"
+
+namespace mcf {
+namespace {
+
+TEST(GpuSpec, Presets) {
+  const GpuSpec a = a100();
+  EXPECT_EQ(a.num_sms, 108);
+  EXPECT_NEAR(a.flops_per_byte(), 312e12 / 1555e9, 1e-9);
+  const GpuSpec r = rtx3080();
+  EXPECT_EQ(r.name, "RTX3080");
+  EXPECT_LT(r.peak_flops, a.peak_flops);
+  EXPECT_EQ(gpu_by_name("a100").num_sms, 108);
+}
+
+TEST(Timing, BandwidthEfficiencyMonotonic) {
+  double prev = 0.0;
+  for (const double row : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    const double eff = TimingSimulator::bandwidth_efficiency(row);
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+  EXPECT_DOUBLE_EQ(TimingSimulator::bandwidth_efficiency(128.0), 1.0);
+  EXPECT_DOUBLE_EQ(TimingSimulator::bandwidth_efficiency(4096.0), 1.0);
+}
+
+TEST(Timing, MmaEfficiencyPrefersLargerTiles) {
+  EXPECT_LT(TimingSimulator::mma_efficiency(16, 16, 16),
+            TimingSimulator::mma_efficiency(64, 64, 64));
+  EXPECT_LE(TimingSimulator::mma_efficiency(64, 64, 64),
+            TimingSimulator::mma_efficiency(128, 64, 128));
+  EXPECT_LE(TimingSimulator::mma_efficiency(128, 64, 128), 1.0);
+}
+
+TEST(Timing, PipelineEfficiencyApproachesOne) {
+  EXPECT_LT(TimingSimulator::pipeline_efficiency(1), 0.5);
+  EXPECT_GT(TimingSimulator::pipeline_efficiency(64), 0.95);
+  EXPECT_LT(TimingSimulator::pipeline_efficiency(4),
+            TimingSimulator::pipeline_efficiency(16));
+}
+
+TEST(Timing, BandwidthBoundKernelScalesWithBytes) {
+  const TimingSimulator sim(a100());
+  MeasureOptions opts;
+  opts.noise_amp = 0.0;
+  opts.include_launch = false;
+  const auto m1 = sim.measure_raw(100e6, 1e6, 1000, 32 * 1024, 1.0, 1.0, 0, opts);
+  const auto m2 = sim.measure_raw(200e6, 1e6, 1000, 32 * 1024, 1.0, 1.0, 0, opts);
+  ASSERT_TRUE(m1.ok && m2.ok);
+  EXPECT_NEAR(m2.time_s / m1.time_s, 2.0, 0.05);
+}
+
+TEST(Timing, ComputeBoundKernelScalesWithFlops) {
+  const TimingSimulator sim(a100());
+  MeasureOptions opts;
+  opts.noise_amp = 0.0;
+  opts.include_launch = false;
+  const auto m1 = sim.measure_raw(1e6, 1e12, 1000, 32 * 1024, 1.0, 1.0, 0, opts);
+  const auto m2 = sim.measure_raw(1e6, 2e12, 1000, 32 * 1024, 1.0, 1.0, 0, opts);
+  EXPECT_NEAR(m2.time_s / m1.time_s, 2.0, 0.05);
+}
+
+TEST(Timing, FewBlocksUnderutilise) {
+  const TimingSimulator sim(a100());
+  MeasureOptions opts;
+  opts.noise_amp = 0.0;
+  opts.include_launch = false;
+  const auto few = sim.measure_raw(1e6, 1e12, 4, 32 * 1024, 1.0, 1.0, 0, opts);
+  const auto many = sim.measure_raw(1e6, 1e12, 4096, 32 * 1024, 1.0, 1.0, 0, opts);
+  EXPECT_GT(few.time_s, 5.0 * many.time_s);
+  EXPECT_LT(few.utilization, many.utilization);
+}
+
+TEST(Timing, SmemLimitsOccupancy) {
+  const TimingSimulator sim(a100());
+  MeasureOptions opts;
+  opts.noise_amp = 0.0;
+  const auto small = sim.measure_raw(1e8, 1e10, 4096, 16 * 1024, 1.0, 1.0, 0, opts);
+  const auto big = sim.measure_raw(1e8, 1e10, 4096, 150 * 1024, 1.0, 1.0, 0, opts);
+  EXPECT_GT(small.blocks_per_sm, big.blocks_per_sm);
+}
+
+TEST(Timing, SmemOverflowFailsCompile) {
+  const TimingSimulator sim(a100());
+  const auto m = sim.measure_raw(1e6, 1e6, 16, 200 * 1024, 1.0, 1.0, 0, {});
+  EXPECT_FALSE(m.ok);
+  EXPECT_NE(m.fail_reason.find("shared memory"), std::string::npos);
+}
+
+TEST(Timing, LaunchOverheadAdded) {
+  const TimingSimulator sim(a100());
+  MeasureOptions with;
+  with.noise_amp = 0.0;
+  MeasureOptions without = with;
+  without.include_launch = false;
+  const auto m1 = sim.measure_raw(1e6, 1e6, 128, 1024, 1.0, 1.0, 0, with);
+  const auto m2 = sim.measure_raw(1e6, 1e6, 128, 1024, 1.0, 1.0, 0, without);
+  EXPECT_NEAR(m1.time_s - m2.time_s, a100().launch_overhead_s, 1e-9);
+}
+
+TEST(Timing, NoiseIsDeterministicAndBounded) {
+  const TimingSimulator sim(a100());
+  MeasureOptions opts;
+  opts.noise_amp = 0.03;
+  const auto m1 = sim.measure_raw(5e6, 5e9, 512, 8 * 1024, 0.9, 0.8, 100, opts);
+  const auto m2 = sim.measure_raw(5e6, 5e9, 512, 8 * 1024, 0.9, 0.8, 100, opts);
+  EXPECT_DOUBLE_EQ(m1.time_s, m2.time_s);
+  MeasureOptions clean = opts;
+  clean.noise_amp = 0.0;
+  const auto m0 = sim.measure_raw(5e6, 5e9, 512, 8 * 1024, 0.9, 0.8, 100, clean);
+  EXPECT_NEAR(m1.time_s / m0.time_s, 1.0, 0.031);
+}
+
+TEST(Timing, ScheduleMeasureEndToEnd) {
+  const ChainSpec c = ChainSpec::gemm_chain("t", 1, 512, 256, 64, 64);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const TimingSimulator sim(a100());
+  const auto m = sim.measure(s);
+  ASSERT_TRUE(m.ok);
+  EXPECT_GT(m.time_s, 0.0);
+  EXPECT_GT(m.smem_bytes, 0);
+  EXPECT_EQ(m.n_blocks, s.num_blocks());
+}
+
+TEST(Timing, MemoryBoundShapeIsBandwidthDominated) {
+  // Skinny chain (tall M, tiny N/K/H): even fused it stays bandwidth
+  // bound — streaming A dominates the little compute there is.  The
+  // comparison uses peak-rate times (the op/byte definition of §II-A);
+  // the simulator's utilization adjustments apply to both sides.
+  const ChainSpec c = ChainSpec::gemm_chain("mb", 1, 8192, 16, 16, 16);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{128, 16, 16, 16});
+  const GpuSpec gpu = a100();
+  const VolumeReport vol = analyze_volume(s);
+  EXPECT_GT(vol.total_bytes() / gpu.mem_bandwidth,
+            vol.total_flops() / gpu.peak_flops);
+  const auto m = TimingSimulator(gpu).measure(s);
+  ASSERT_TRUE(m.ok);
+}
+
+TEST(Timing, RtxSlowerThanA100) {
+  const ChainSpec c = ChainSpec::gemm_chain("x", 1, 1024, 1024, 256, 256);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  MeasureOptions opts;
+  opts.noise_amp = 0.0;
+  const auto ma = TimingSimulator(a100()).measure(s, opts);
+  const auto mr = TimingSimulator(rtx3080()).measure(s, opts);
+  ASSERT_TRUE(ma.ok && mr.ok);
+  EXPECT_GT(mr.time_s, ma.time_s);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,91 @@
+#include "graph/bert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcf {
+namespace {
+
+TEST(Bert, ConfigsMatchPaperTable) {
+  EXPECT_EQ(bert_small().hidden, 512);
+  EXPECT_EQ(bert_small().heads, 8);
+  EXPECT_EQ(bert_base().layers, 12);
+  EXPECT_EQ(bert_base().heads, 12);
+  EXPECT_EQ(bert_large().hidden, 1024);
+  EXPECT_EQ(bert_large().head_dim(), 64);
+  EXPECT_EQ(bert_base().seq_len, 512);
+}
+
+TEST(Bert, GraphSizeScalesWithLayers) {
+  const NetGraph small = build_bert(bert_small());
+  const NetGraph base = build_bert(bert_base());
+  const int per_layer_small = (small.size() - 1) / bert_small().layers;
+  const int per_layer_base = (base.size() - 1) / bert_base().layers;
+  EXPECT_EQ(per_layer_small, per_layer_base);
+  EXPECT_EQ(small.size(), 1 + per_layer_small * bert_small().layers);
+}
+
+TEST(Bert, LayerContainsAttentionCore) {
+  const NetGraph g = build_bert(bert_small());
+  int qk = 0;
+  int softmax = 0;
+  int pv = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.name.find("attn.qk") != std::string::npos) ++qk;
+    if (n.type == OpType::Softmax) ++softmax;
+    if (n.name.find("attn.pv") != std::string::npos) ++pv;
+  }
+  EXPECT_EQ(qk, bert_small().layers);
+  EXPECT_EQ(softmax, bert_small().layers);
+  EXPECT_EQ(pv, bert_small().layers);
+}
+
+TEST(Bert, AttentionDimsPerHead) {
+  const NetGraph g = build_bert(bert_base());
+  for (const auto& n : g.nodes()) {
+    if (n.name == "l0.attn.qk") {
+      EXPECT_EQ(n.batch, 12);
+      EXPECT_EQ(n.m, 512);
+      EXPECT_EQ(n.n, 512);
+      EXPECT_EQ(n.k, 64);
+    }
+    if (n.name == "l0.attn.pv") {
+      EXPECT_EQ(n.n, 64);
+      EXPECT_EQ(n.k, 512);
+    }
+  }
+}
+
+TEST(Bert, FfnUsesConfiguredWidth) {
+  const NetGraph g = build_bert(bert_large());
+  bool found = false;
+  for (const auto& n : g.nodes()) {
+    if (n.name == "l0.ffn.fc1") {
+      EXPECT_EQ(n.n, 4096);
+      EXPECT_EQ(n.k, 1024);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Bert, AttentionChainHelper) {
+  const ChainSpec c = bert_attention_chain(bert_base(), 1024);
+  EXPECT_EQ(c.batch(), 12);
+  EXPECT_EQ(c.m(), 1024);
+  EXPECT_EQ(c.inner(), (std::vector<std::int64_t>{64, 1024, 64}));
+  EXPECT_EQ(c.epilogue(0), Epilogue::OnlineSoftmax);
+}
+
+TEST(Bert, FlopsDominatedByMatmuls) {
+  const BertConfig cfg = bert_base();
+  const NetGraph g = build_bert(cfg);
+  // Rough per-layer FLOPs: qkv 3*s*h^2*2 + attn 2*2*s^2*h + proj 2*s*h^2 +
+  // ffn 2*2*s*h*ffn.
+  const double s = 512;
+  const double h = 768;
+  const double per_layer = 2 * s * h * h * 4 + 2 * 2 * s * s * h + 2 * 2 * s * h * 3072;
+  EXPECT_NEAR(g.total_flops(), per_layer * 12, per_layer);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,99 @@
+#include "graph/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bert.hpp"
+
+namespace mcf {
+namespace {
+
+GraphRunResult run_bert(const BertConfig& cfg, GraphBackend backend,
+                        bool use_mcfuser) {
+  GraphExecOptions opts;
+  opts.backend = backend;
+  opts.use_mcfuser = use_mcfuser;
+  GraphExecutor ex(a100(), opts);
+  const NetGraph g = build_bert(cfg);
+  return ex.run(g);
+}
+
+TEST(Executor, BackendOrdering) {
+  const BertConfig cfg = bert_small();
+  const double eager = run_bert(cfg, GraphBackend::Eager, false).time_s;
+  const double relay = run_bert(cfg, GraphBackend::Relay, false).time_s;
+  const double ansor = run_bert(cfg, GraphBackend::Ansor, false).time_s;
+  EXPECT_GT(eager, relay);
+  EXPECT_GT(relay, ansor);
+}
+
+TEST(Executor, McfuserImprovesEveryBackend) {
+  const BertConfig cfg = bert_small();
+  for (const GraphBackend b : {GraphBackend::Relay, GraphBackend::Ansor}) {
+    const double base = run_bert(cfg, b, false).time_s;
+    const double fused = run_bert(cfg, b, true).time_s;
+    EXPECT_LT(fused, base);
+    // Paper Fig. 9 band: 1.1x - 1.6x end-to-end.
+    EXPECT_GT(base / fused, 1.05);
+    EXPECT_LT(base / fused, 1.8);
+  }
+}
+
+TEST(Executor, FusionReducesKernelLaunches) {
+  const BertConfig cfg = bert_small();
+  const auto base = run_bert(cfg, GraphBackend::Relay, false);
+  const auto fused = run_bert(cfg, GraphBackend::Relay, true);
+  // 5 attention-core kernels collapse into 1 per layer.
+  EXPECT_EQ(base.kernel_launches - fused.kernel_launches, 4 * cfg.layers);
+}
+
+TEST(Executor, EagerLaunchesEveryNode) {
+  const BertConfig cfg = bert_small();
+  const NetGraph g = build_bert(cfg);
+  const auto eager = run_bert(cfg, GraphBackend::Eager, false);
+  EXPECT_EQ(eager.kernel_launches, g.size() - 1);  // all but the input
+}
+
+TEST(Executor, EpilogueAbsorptionReducesLaunches) {
+  const BertConfig cfg = bert_small();
+  const auto eager = run_bert(cfg, GraphBackend::Eager, false);
+  const auto relay = run_bert(cfg, GraphBackend::Relay, false);
+  EXPECT_LT(relay.kernel_launches, eager.kernel_launches);
+}
+
+TEST(Executor, TunesEachUniqueShapeOnce) {
+  const BertConfig cfg = bert_base();  // 12 identical layers
+  const auto fused = run_bert(cfg, GraphBackend::Ansor, true);
+  EXPECT_EQ(fused.mcfuser_subgraphs, 1);  // one unique attention shape
+  const auto base = run_bert(cfg, GraphBackend::Ansor, false);
+  EXPECT_GT(base.unique_tuned_subgraphs, fused.unique_tuned_subgraphs);
+}
+
+TEST(Executor, AttentionShareGrowsWithSequenceLength) {
+  // The paper's §II motivation: longer sequences shift time into the
+  // attention core.
+  BertConfig short_cfg = bert_large();
+  short_cfg.seq_len = 256;
+  BertConfig long_cfg = bert_large();
+  long_cfg.seq_len = 1024;
+  const auto s = run_bert(short_cfg, GraphBackend::Eager, false);
+  const auto l = run_bert(long_cfg, GraphBackend::Eager, false);
+  EXPECT_GT(l.attention_time_s / l.time_s, s.attention_time_s / s.time_s);
+}
+
+TEST(Executor, AttentionTimeShareExceedsFlopsShare) {
+  // MBCI in one sentence: attention burns far more time than FLOPs.
+  const auto r = run_bert(bert_base(), GraphBackend::Eager, false);
+  const double flops_share = r.attention_flops / r.flops;
+  const double time_share = r.attention_time_s / r.time_s;
+  EXPECT_GT(time_share, 1.5 * flops_share);
+}
+
+TEST(Executor, FlopsIndependentOfBackend) {
+  const BertConfig cfg = bert_small();
+  const auto a = run_bert(cfg, GraphBackend::Eager, false);
+  const auto b = run_bert(cfg, GraphBackend::Ansor, true);
+  EXPECT_DOUBLE_EQ(a.flops, b.flops);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,85 @@
+#include "graph/mixer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hpp"
+#include "graph/partitioner.hpp"
+
+namespace mcf {
+namespace {
+
+TEST(Mixer, GraphShape) {
+  const MixerConfig cfg = mixer_base();
+  const NetGraph g = build_mixer(cfg);
+  EXPECT_EQ(g.size(), 1 + 14 * cfg.layers);
+  int token_chains = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.name.find("token.fc1") != std::string::npos) {
+      EXPECT_EQ(n.m, cfg.channels);
+      EXPECT_EQ(n.n, cfg.token_hidden);
+      EXPECT_EQ(n.k, cfg.patches);
+      ++token_chains;
+    }
+  }
+  EXPECT_EQ(token_chains, cfg.layers);
+}
+
+TEST(Mixer, PartitionerFindsGeluChains) {
+  const MixerConfig cfg = mixer_small();
+  const NetGraph g = build_mixer(cfg);
+  const PartitionResult part = partition_mbci(g, a100());
+  ASSERT_EQ(part.mbci.size(), static_cast<std::size_t>(cfg.layers));
+  for (const auto& sub : part.mbci) {
+    EXPECT_EQ(sub.nodes.size(), 3u);  // fc1, gelu, fc2
+    EXPECT_EQ(sub.chain.epilogue(0), Epilogue::Gelu);
+    EXPECT_EQ(sub.chain.m(), cfg.channels);
+    EXPECT_EQ(sub.chain.inner(),
+              (std::vector<std::int64_t>{cfg.patches, cfg.token_hidden,
+                                         cfg.patches}));
+  }
+}
+
+TEST(Mixer, TokenMlpIsMbci) {
+  const NetGraph g = build_mixer(mixer_base());
+  const PartitionResult part = partition_mbci(g, a100());
+  ASSERT_FALSE(part.mbci.empty());
+  EXPECT_TRUE(is_mbci(part.mbci.front().chain, a100()));
+}
+
+TEST(Mixer, ChannelMlpStaysUnfused) {
+  // The channel MLP keeps its biases, so the gelu chain pattern must not
+  // swallow it.
+  const NetGraph g = build_mixer(mixer_small());
+  const PartitionResult part = partition_mbci(g, a100());
+  for (const auto& sub : part.mbci) {
+    for (const int id : sub.nodes) {
+      EXPECT_EQ(g.node(id).name.find("channel."), std::string::npos);
+    }
+  }
+}
+
+TEST(Mixer, McfuserImprovesEndToEnd) {
+  const MixerConfig cfg = mixer_small();
+  const NetGraph g = build_mixer(cfg);
+  auto run = [&](bool fuse) {
+    GraphExecOptions opts;
+    opts.backend = GraphBackend::Relay;
+    opts.use_mcfuser = fuse;
+    GraphExecutor ex(a100(), opts);
+    return ex.run(g);
+  };
+  const GraphRunResult base = run(false);
+  const GraphRunResult fused = run(true);
+  EXPECT_LT(fused.time_s, base.time_s);
+  EXPECT_EQ(fused.mcfuser_subgraphs, 1);  // one unique token-MLP shape
+  // fc1 + gelu + fc2 collapse into one kernel per layer.
+  EXPECT_EQ(base.kernel_launches - fused.kernel_launches, 2 * cfg.layers);
+}
+
+TEST(Mixer, ConfigsDistinct) {
+  EXPECT_LT(mixer_small().channels, mixer_base().channels);
+  EXPECT_EQ(mixer_base().patches, 196);
+}
+
+}  // namespace
+}  // namespace mcf

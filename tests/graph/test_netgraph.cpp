@@ -1,0 +1,63 @@
+#include "graph/netgraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcf {
+namespace {
+
+GraphNode node(OpType t, std::vector<int> inputs, std::int64_t b,
+               std::int64_t m, std::int64_t n, std::int64_t k = 0) {
+  GraphNode g;
+  g.type = t;
+  g.inputs = std::move(inputs);
+  g.batch = b;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  return g;
+}
+
+TEST(NetGraph, AddAssignsSequentialIds) {
+  NetGraph g("t");
+  const int a = g.add(node(OpType::Input, {}, 1, 8, 8));
+  const int b = g.add(node(OpType::Relu, {a}, 1, 8, 8));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(g.size(), 2);
+}
+
+TEST(NetGraph, ConsumersTracked) {
+  NetGraph g("t");
+  const int a = g.add(node(OpType::Input, {}, 1, 8, 8));
+  const int b = g.add(node(OpType::Relu, {a}, 1, 8, 8));
+  const int c = g.add(node(OpType::GeLU, {a}, 1, 8, 8));
+  EXPECT_EQ(g.consumers(a), (std::vector<int>{b, c}));
+  EXPECT_TRUE(g.consumers(c).empty());
+}
+
+TEST(NetGraph, MatmulFlops) {
+  GraphNode n = node(OpType::MatMul, {}, 2, 8, 16, 4);
+  EXPECT_DOUBLE_EQ(n.flops(), 2.0 * 2 * 8 * 16 * 4);
+  GraphNode e = node(OpType::Relu, {}, 2, 8, 16);
+  EXPECT_DOUBLE_EQ(e.flops(), 0.0);
+}
+
+TEST(NetGraph, TotalFlopsSumsMatmuls) {
+  NetGraph g("t");
+  const int a = g.add(node(OpType::Input, {}, 1, 8, 4));
+  const int b = g.add(node(OpType::MatMul, {a}, 1, 8, 16, 4));
+  g.add(node(OpType::Relu, {b}, 1, 8, 16));
+  EXPECT_DOUBLE_EQ(g.total_flops(), 2.0 * 8 * 16 * 4);
+}
+
+TEST(NetGraph, OutElems) {
+  EXPECT_EQ(node(OpType::Softmax, {}, 4, 8, 16).out_elems(), 4 * 8 * 16);
+}
+
+TEST(NetGraphDeathTest, RejectsForwardReferences) {
+  NetGraph g("t");
+  EXPECT_DEATH(g.add(node(OpType::Relu, {5}, 1, 8, 8)), "topologically");
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,145 @@
+#include "graph/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bert.hpp"
+
+namespace mcf {
+namespace {
+
+TEST(Phi, MatchesPaperFormulaForSingleGemm) {
+  // phi = 2*TM*TN*K / (2*TM*TN + TM*K + TN*K) with TM=TN=256.
+  const ChainSpec c = ChainSpec::gemm_chain("phi", 1, 1024, 1024, 1024, 1024);
+  const double tm = 256;
+  const double k = 1024;
+  const double phi_op = 2 * tm * tm * k / (2 * tm * tm + 2 * tm * k);
+  // Both ops have the same shape here; the weighted mean equals phi_op.
+  EXPECT_NEAR(chain_flops_per_byte(c, 256), phi_op, 1e-9);
+}
+
+TEST(Phi, SmallKIsMemoryBound) {
+  const GpuSpec gpu = a100();
+  const ChainSpec small_k = ChainSpec::gemm_chain("mb", 1, 1024, 1024, 16, 16);
+  const ChainSpec big_k = ChainSpec::gemm_chain("cb", 1, 1024, 1024, 1024, 1024);
+  EXPECT_TRUE(is_mbci(small_k, gpu));
+  EXPECT_FALSE(is_mbci(big_k, gpu));
+}
+
+TEST(Phi, AttentionAtSeq512IsMbci) {
+  const GpuSpec gpu = a100();
+  EXPECT_TRUE(is_mbci(ChainSpec::attention("a", 12, 512, 512, 64, 64), gpu));
+}
+
+TEST(Partitioner, FindsOneRegionPerBertLayer) {
+  const BertConfig cfg = bert_base();
+  const NetGraph g = build_bert(cfg);
+  const PartitionResult part = partition_mbci(g, a100());
+  EXPECT_EQ(part.mbci.size(), static_cast<std::size_t>(cfg.layers));
+  // Each region: qk, scale, mask, softmax, pv.
+  for (const auto& sub : part.mbci) {
+    EXPECT_EQ(sub.nodes.size(), 5u);
+    EXPECT_EQ(sub.chain.epilogue(0), Epilogue::OnlineSoftmax);
+    EXPECT_EQ(sub.chain.batch(), cfg.heads);
+  }
+}
+
+TEST(Partitioner, RestExcludesClaimedAndInputs) {
+  const NetGraph g = build_bert(bert_small());
+  const PartitionResult part = partition_mbci(g, a100());
+  std::size_t claimed = 0;
+  for (const auto& sub : part.mbci) claimed += sub.nodes.size();
+  EXPECT_EQ(part.rest.size() + claimed + 1, static_cast<std::size_t>(g.size()));
+}
+
+TEST(Partitioner, PlainGemmChainPatternWithoutSoftmax) {
+  NetGraph g("chain");
+  GraphNode in;
+  in.type = OpType::Input;
+  in.m = 512;
+  in.n = 64;
+  const int a = g.add(in);
+  GraphNode mm1;
+  mm1.type = OpType::BatchedMatMul;
+  mm1.inputs = {a};
+  mm1.batch = 1;
+  mm1.m = 512;
+  mm1.n = 256;
+  mm1.k = 64;
+  const int b = g.add(mm1);
+  GraphNode mm2;
+  mm2.type = OpType::BatchedMatMul;
+  mm2.inputs = {b};
+  mm2.batch = 1;
+  mm2.m = 512;
+  mm2.n = 64;
+  mm2.k = 256;
+  g.add(mm2);
+  const PartitionResult part = partition_mbci(g, a100());
+  ASSERT_EQ(part.mbci.size(), 1u);
+  EXPECT_EQ(part.mbci.front().chain.num_ops(), 2);
+  EXPECT_EQ(part.mbci.front().chain.epilogue(0), Epilogue::None);
+}
+
+TEST(Partitioner, MultiConsumerIntermediateBlocksFusion) {
+  NetGraph g("shared");
+  GraphNode in;
+  in.type = OpType::Input;
+  in.m = 512;
+  in.n = 64;
+  const int a = g.add(in);
+  GraphNode mm1;
+  mm1.type = OpType::BatchedMatMul;
+  mm1.inputs = {a};
+  mm1.batch = 1;
+  mm1.m = 512;
+  mm1.n = 256;
+  mm1.k = 64;
+  const int b = g.add(mm1);
+  GraphNode mm2 = mm1;
+  mm2.inputs = {b};
+  mm2.n = 64;
+  mm2.k = 256;
+  g.add(mm2);
+  GraphNode extra;
+  extra.type = OpType::Relu;  // second consumer of the intermediate
+  extra.inputs = {b};
+  extra.m = 512;
+  extra.n = 256;
+  g.add(extra);
+  EXPECT_TRUE(partition_mbci(g, a100()).mbci.empty());
+}
+
+TEST(Partitioner, RequireMbciFlagGatesComputeBoundChains) {
+  NetGraph g("cb");
+  GraphNode in;
+  in.type = OpType::Input;
+  in.m = 1024;
+  in.n = 1024;
+  const int a = g.add(in);
+  GraphNode mm1;
+  mm1.type = OpType::BatchedMatMul;
+  mm1.inputs = {a};
+  mm1.batch = 1;
+  mm1.m = 1024;
+  mm1.n = 1024;
+  mm1.k = 1024;
+  const int b = g.add(mm1);
+  GraphNode mm2 = mm1;
+  mm2.inputs = {b};
+  g.add(mm2);
+  EXPECT_TRUE(partition_mbci(g, a100(), /*require_mbci=*/true).mbci.empty());
+  EXPECT_EQ(partition_mbci(g, a100(), /*require_mbci=*/false).mbci.size(), 1u);
+}
+
+TEST(Partitioner, ChainDimsExtractedCorrectly) {
+  const NetGraph g = build_bert(bert_large());
+  const PartitionResult part = partition_mbci(g, a100());
+  ASSERT_FALSE(part.mbci.empty());
+  const ChainSpec& c = part.mbci.front().chain;
+  EXPECT_EQ(c.m(), 512);
+  EXPECT_EQ(c.inner(), (std::vector<std::int64_t>{64, 512, 64}));
+  EXPECT_EQ(c.batch(), 16);
+}
+
+}  // namespace
+}  // namespace mcf

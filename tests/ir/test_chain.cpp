@@ -1,0 +1,131 @@
+#include "ir/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcf {
+namespace {
+
+ChainSpec paper_chain() {
+  // The paper's running example: C = A x B, E = C x D.
+  return ChainSpec::gemm_chain("ex", 1, 1024, 1024, 512, 512);
+}
+
+TEST(Chain, LoopCountAndDims) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(c.num_loops(), 4);
+  EXPECT_EQ(c.loop_dim(0), 1024);  // m
+  EXPECT_EQ(c.loop_dim(1), 512);   // k
+  EXPECT_EQ(c.loop_dim(2), 1024);  // n
+  EXPECT_EQ(c.loop_dim(3), 512);   // h
+}
+
+TEST(Chain, LoopNamesMatchPaper) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(c.loop_name(0), 'm');
+  EXPECT_EQ(c.loop_name(1), 'k');
+  EXPECT_EQ(c.loop_name(2), 'n');
+  EXPECT_EQ(c.loop_name(3), 'h');
+}
+
+TEST(Chain, ReductionAndColumnLoops) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(c.reduction_loop(0), 1);  // k reduces op0
+  EXPECT_EQ(c.out_col_loop(0), 2);    // n is op0's output column
+  EXPECT_EQ(c.reduction_loop(1), 2);  // n reduces op1
+  EXPECT_EQ(c.out_col_loop(1), 3);    // h is op1's output column
+}
+
+TEST(Chain, GlobalSpatialLoops) {
+  const ChainSpec c = paper_chain();
+  EXPECT_TRUE(c.is_global_spatial(0));   // m
+  EXPECT_FALSE(c.is_global_spatial(1));  // k
+  EXPECT_FALSE(c.is_global_spatial(2));  // n (reduction of op1)
+  EXPECT_TRUE(c.is_global_spatial(3));   // h
+}
+
+TEST(Chain, RelatedLoopsPerOp) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(c.related_loops(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(c.related_loops(1), (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Chain, TensorTableMatchesPaperNaming) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(c.num_tensors(), 5);
+  EXPECT_EQ(c.tensor(0).name, "A");
+  EXPECT_EQ(c.tensor(c.op_weight_tensor(0)).name, "B");
+  EXPECT_EQ(c.tensor(c.op_weight_tensor(1)).name, "D");
+  EXPECT_EQ(c.tensor(c.op_output_tensor(0)).name, "C");
+  EXPECT_EQ(c.tensor(c.op_output_tensor(1)).name, "E");
+}
+
+TEST(Chain, TensorKindsAndRoles) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(c.tensor(0).kind, TensorKind::Input);
+  EXPECT_EQ(c.tensor(c.op_weight_tensor(0)).kind, TensorKind::Weight);
+  EXPECT_EQ(c.tensor(c.op_output_tensor(0)).kind, TensorKind::Intermediate);
+  EXPECT_EQ(c.tensor(c.output_tensor()).kind, TensorKind::Output);
+}
+
+TEST(Chain, TensorIndexLoops) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(c.tensor(0).loops, (std::vector<int>{0, 1}));                       // A(m,k)
+  EXPECT_EQ(c.tensor(c.op_weight_tensor(0)).loops, (std::vector<int>{1, 2}));   // B(k,n)
+  EXPECT_EQ(c.tensor(c.op_output_tensor(0)).loops, (std::vector<int>{0, 2}));   // C(m,n)
+  EXPECT_EQ(c.tensor(c.op_weight_tensor(1)).loops, (std::vector<int>{2, 3}));   // D(n,h)
+  EXPECT_EQ(c.tensor(c.output_tensor()).loops, (std::vector<int>{0, 3}));       // E(m,h)
+}
+
+TEST(Chain, IntermediateProducerConsumerLinks) {
+  const ChainSpec c = paper_chain();
+  const auto& inter = c.tensor(c.op_output_tensor(0));
+  EXPECT_EQ(inter.producer_op, 0);
+  EXPECT_EQ(inter.consumer_op, 1);
+  EXPECT_EQ(c.op_input_tensor(1), c.op_output_tensor(0));
+}
+
+TEST(Chain, TotalFlops) {
+  const ChainSpec c = ChainSpec::gemm_chain("t", 2, 8, 16, 4, 32);
+  // op0: 2*8*4*16, op1: 2*8*16*32, batch 2.
+  EXPECT_DOUBLE_EQ(c.total_flops(), 2.0 * (2.0 * 8 * 4 * 16 + 2.0 * 8 * 16 * 32));
+}
+
+TEST(Chain, MinTrafficElems) {
+  const ChainSpec c = ChainSpec::gemm_chain("t", 2, 8, 16, 4, 32);
+  // A(8x4) + B(4x16) + D(16x32) + E(8x32), x batch 2.
+  EXPECT_EQ(c.min_traffic_elems(), 2 * (8 * 4 + 4 * 16 + 16 * 32 + 8 * 32));
+}
+
+TEST(Chain, AttentionFactorySetsSoftmax) {
+  const ChainSpec c = ChainSpec::attention("s", 12, 512, 512, 64, 64);
+  EXPECT_EQ(c.batch(), 12);
+  EXPECT_EQ(c.epilogue(0), Epilogue::OnlineSoftmax);
+  EXPECT_EQ(c.epilogue(1), Epilogue::None);
+  EXPECT_NEAR(c.softmax_scale(), 1.0f / std::sqrt(64.0f), 1e-7);
+}
+
+TEST(Chain, ThreeOperatorChain) {
+  const ChainSpec c("triple", 1, 64, {32, 48, 16, 24});
+  EXPECT_EQ(c.num_ops(), 3);
+  EXPECT_EQ(c.num_loops(), 5);
+  EXPECT_EQ(c.loop_name(4), 'g');
+  EXPECT_TRUE(c.is_global_spatial(4));
+  EXPECT_FALSE(c.is_global_spatial(3));  // h reduces op2 here
+  EXPECT_EQ(c.tensor(c.output_tensor()).loops, (std::vector<int>{0, 4}));
+}
+
+TEST(Chain, ToStringMentionsNameAndEpilogue) {
+  const ChainSpec c = ChainSpec::attention("s1", 8, 512, 512, 64, 64);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("s1"), std::string::npos);
+  EXPECT_NE(s.find("softmax"), std::string::npos);
+}
+
+TEST(ChainDeathTest, RejectsEmptyChain) {
+  EXPECT_DEATH(ChainSpec("bad", 1, 8, {16}), "at least one operator");
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,121 @@
+#include "ir/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcf {
+namespace {
+
+ChainSpec paper_chain() {
+  return ChainSpec::gemm_chain("ex", 1, 1024, 1024, 512, 512);
+}
+
+TEST(Expr, DeepExpressionBindsSpatialLoops) {
+  const ChainSpec c = paper_chain();
+  const TileExpr e = make_deep_expr(c, {0, 3, 2, 1});  // mhnk
+  EXPECT_EQ(e.block_loops(), (std::vector<int>{0, 3}));
+  EXPECT_EQ(e.tree_loops(), (std::vector<int>{2, 1}));  // n(k)
+  EXPECT_TRUE(e.is_deep());
+}
+
+TEST(Expr, DeepInteriorSpatialAlsoBound) {
+  const ChainSpec c = paper_chain();
+  // mnkh: h is innermost yet still bound to blockIdx (paper Rule 1:
+  // mhnk and mnkh share sub-expression nk).
+  const TileExpr e = make_deep_expr(c, {0, 2, 1, 3});
+  EXPECT_EQ(e.tree_loops(), (std::vector<int>{2, 1}));
+}
+
+TEST(Expr, Rule1EquivalenceOfMhnkAndMnkh) {
+  const ChainSpec c = paper_chain();
+  const TileExpr a = make_deep_expr(c, {0, 3, 2, 1});  // mhnk
+  const TileExpr b = make_deep_expr(c, {0, 2, 1, 3});  // mnkh
+  EXPECT_EQ(a.structure_key(), b.structure_key());
+}
+
+TEST(Expr, DifferentReductionOrderDiffers) {
+  const ChainSpec c = paper_chain();
+  const TileExpr nk = make_deep_expr(c, {0, 3, 2, 1});
+  const TileExpr kn = make_deep_expr(c, {0, 3, 1, 2});
+  EXPECT_NE(nk.structure_key(), kn.structure_key());
+}
+
+TEST(Expr, FlatExpressionShape) {
+  const ChainSpec c = paper_chain();
+  const TileExpr e = make_flat_expr(c, {0, 2}, {1, 3});  // mn(k,h)
+  EXPECT_FALSE(e.is_deep());
+  EXPECT_EQ(e.block_loops(), (std::vector<int>{0}));  // only m bindable
+  // Tree: n with sequential children k and h.
+  const int n_node = e.find_loop(2);
+  ASSERT_GE(n_node, 0);
+  EXPECT_EQ(e.node(n_node).children.size(), 2u);
+}
+
+TEST(Expr, FlatPrintingMatchesPaperNotation) {
+  const ChainSpec c = paper_chain();
+  const TileExpr e = make_flat_expr(c, {0, 2}, {1, 3});
+  EXPECT_EQ(e.to_string(c), "[m]n(k,h)");
+}
+
+TEST(Expr, DeepPrinting) {
+  const ChainSpec c = paper_chain();
+  const TileExpr e = make_deep_expr(c, {0, 3, 2, 1});
+  EXPECT_EQ(e.to_string(c), "[mh]nk");
+}
+
+TEST(Expr, EnumerationCountsMatchPaper) {
+  // Paper Fig. 3: 24 deep + 2 flat tilings for the 2-GEMM chain.
+  const ChainSpec c = paper_chain();
+  const RawExpressions raw = enumerate_expressions(c);
+  EXPECT_EQ(raw.deep.size(), 24u);
+  EXPECT_EQ(raw.flat.size(), 2u);
+  EXPECT_EQ(raw.total(), 26u);
+}
+
+TEST(Expr, EnumerationThreeOpChain) {
+  const ChainSpec c("triple", 1, 64, {32, 48, 16, 24});
+  const RawExpressions raw = enumerate_expressions(c);
+  EXPECT_EQ(raw.deep.size(), 120u);  // 5! permutations
+  // Flat: perms of shared loops {m, n, h} = 6.
+  EXPECT_EQ(raw.flat.size(), 6u);
+}
+
+TEST(Expr, PathAndAncestors) {
+  const ChainSpec c = paper_chain();
+  const TileExpr e = make_deep_expr(c, {0, 3, 2, 1});
+  const int n_node = e.find_loop(2);
+  const int k_node = e.find_loop(1);
+  EXPECT_TRUE(e.is_ancestor(n_node, k_node));
+  EXPECT_FALSE(e.is_ancestor(k_node, n_node));
+  EXPECT_EQ(e.path_from_root(k_node).size(), 3u);  // root, n, k
+}
+
+TEST(Expr, DepthOfDeepAndFlat) {
+  const ChainSpec c = paper_chain();
+  EXPECT_EQ(make_deep_expr(c, {0, 3, 2, 1}).depth(), 2);  // n -> k
+  EXPECT_EQ(make_flat_expr(c, {0, 2}, {1, 3}).depth(), 2);  // n -> (k|h)
+}
+
+TEST(Expr, FindLoopAbsentReturnsMinusOne) {
+  const ChainSpec c = paper_chain();
+  const TileExpr e = make_deep_expr(c, {0, 3, 2, 1});
+  EXPECT_EQ(e.find_loop(0), -1);  // m is block-bound
+  EXPECT_EQ(e.find_loop(3), -1);  // h is block-bound
+}
+
+TEST(Expr, StructureKeysOfAllDeepExpressionsCollapse) {
+  // With all spatial loops bound, 24 deep orders collapse to 4 classes
+  // (n/k order x blockIdx binding order) — the paper reports 5 total
+  // with the single flat class.
+  const ChainSpec c = paper_chain();
+  const RawExpressions raw = enumerate_expressions(c);
+  std::set<std::string> keys;
+  for (const auto& e : raw.deep) keys.insert(e.structure_key());
+  EXPECT_EQ(keys.size(), 4u);
+  for (const auto& e : raw.flat) keys.insert(e.structure_key());
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,91 @@
+// The paper's eqs. (2)-(5).
+#include <gtest/gtest.h>
+
+#include "model/analytical.hpp"
+
+namespace mcf {
+namespace {
+
+TEST(Analytical, HandComputedEstimate) {
+  const GpuSpec gpu = a100();
+  const AnalyticalModel model(gpu);
+  VolumeReport vol;
+  vol.load_bytes = 1e9;
+  vol.store_bytes = 0.5e9;
+  vol.flops = 3e12;
+  vol.epilogue_flops = 0.0;
+  vol.n_blocks = 108;  // == N_SM: alpha = 2
+  const AnalyticalEstimate e = model.estimate(vol);
+  EXPECT_DOUBLE_EQ(e.mem_time_s, 1.5e9 / gpu.mem_bandwidth);
+  EXPECT_DOUBLE_EQ(e.comp_time_s, 3e12 / gpu.peak_flops);
+  EXPECT_DOUBLE_EQ(e.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(e.time_s, (e.mem_time_s + e.comp_time_s) * 2.0);
+}
+
+TEST(Analytical, AlphaApproachesOne) {
+  const AnalyticalModel model(a100());
+  VolumeReport vol;
+  vol.load_bytes = 1e6;
+  vol.n_blocks = 1e6;
+  EXPECT_NEAR(model.estimate(vol).alpha, 1.0, 1e-3);
+}
+
+TEST(Analytical, AlphaPenalisesFewBlocks) {
+  const AnalyticalModel model(a100());
+  VolumeReport one;
+  one.load_bytes = 1e6;
+  one.n_blocks = 1;
+  VolumeReport many = one;
+  many.n_blocks = 1080;
+  EXPECT_GT(model.estimate(one).alpha, model.estimate(many).alpha);
+  EXPECT_DOUBLE_EQ(model.estimate(one).alpha, 109.0);
+}
+
+TEST(Analytical, MonotonicInTraffic) {
+  const AnalyticalModel model(a100());
+  const ChainSpec c = ChainSpec::gemm_chain("m", 1, 512, 512, 128, 128);
+  const Schedule coarse = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                         std::vector<std::int64_t>{128, 64, 128, 128});
+  const Schedule fine = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                       std::vector<std::int64_t>{16, 16, 16, 16});
+  // The 16-wide tiling re-streams operands massively; even with its
+  // higher block count the estimate must be worse.
+  EXPECT_GT(model.estimate(fine).time_s, model.estimate(coarse).time_s);
+}
+
+TEST(Analytical, IgnoresEfficiencyEffects) {
+  // Two volume reports with identical totals estimate identically even if
+  // a real GPU would treat their tile shapes differently — this coarseness
+  // is by design (the Fig. 11 scatter comes from it).
+  const AnalyticalModel model(a100());
+  VolumeReport a;
+  a.load_bytes = 1e8;
+  a.flops = 1e11;
+  a.n_blocks = 512;
+  VolumeReport b = a;
+  b.stmts.push_back(StmtVolume{});  // different detail, same totals
+  EXPECT_DOUBLE_EQ(model.estimate(a).time_s, model.estimate(b).time_s);
+}
+
+TEST(Analytical, EpilogueFlopsIncluded) {
+  const AnalyticalModel model(a100());
+  VolumeReport base;
+  base.load_bytes = 1e6;
+  base.flops = 1e10;
+  base.n_blocks = 256;
+  VolumeReport with = base;
+  with.epilogue_flops = 1e10;
+  EXPECT_GT(model.estimate(with).time_s, model.estimate(base).time_s);
+}
+
+TEST(Analytical, ScheduleOverloadMatchesVolumeOverload) {
+  const ChainSpec c = ChainSpec::gemm_chain("s", 1, 256, 256, 64, 64);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const AnalyticalModel model(a100());
+  EXPECT_DOUBLE_EQ(model.estimate(s).time_s,
+                   model.estimate(analyze_volume(s)).time_s);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,107 @@
+#include "search/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/spec.hpp"
+#include "ir/expr.hpp"
+
+namespace mcf {
+namespace {
+
+TEST(Rule3, PowerOfTwoDimRequiresExactDivision) {
+  EXPECT_TRUE(tile_passes_padding_rule(1024, 64, 0.05));
+  EXPECT_TRUE(tile_passes_padding_rule(1024, 1024, 0.05));
+  EXPECT_FALSE(tile_passes_padding_rule(1024, 48, 0.05));  // pads to 1056
+  EXPECT_FALSE(tile_passes_padding_rule(512, 96, 0.05));
+}
+
+TEST(Rule3, NonPow2DimAllowsSmallPadding) {
+  // dim 500, tile 125 -> no padding.
+  EXPECT_TRUE(tile_passes_padding_rule(500, 125, 0.05));
+  // dim 500, tile 48 -> ceil = 11 -> 528 (5.6% padding): rejected at 5%.
+  EXPECT_FALSE(tile_passes_padding_rule(500, 48, 0.05));
+  // Same tile accepted with a looser bound.
+  EXPECT_TRUE(tile_passes_padding_rule(500, 48, 0.10));
+}
+
+TEST(Rule3, Dim80Cases) {
+  EXPECT_TRUE(tile_passes_padding_rule(80, 16, 0.05));   // exact
+  EXPECT_TRUE(tile_passes_padding_rule(80, 80, 0.05));   // exact
+  EXPECT_FALSE(tile_passes_padding_rule(80, 32, 0.05));  // pads to 96
+  EXPECT_FALSE(tile_passes_padding_rule(80, 64, 0.05));  // pads to 128
+}
+
+TEST(Rule2, PartialConsumeFails) {
+  const ChainSpec c = ChainSpec::gemm_chain("p", 1, 512, 512, 256, 256);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 1, 2}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  PruneOptions opts;
+  opts.smem_limit_bytes = a100().smem_per_block;
+  EXPECT_FALSE(schedule_passes_rule2(s, opts));
+}
+
+TEST(Rule2, ModerateResidencyWithinBudgetPasses) {
+  // Flat with 2 resident 64-wide output tiles: small footprint, allowed.
+  const ChainSpec c = ChainSpec::gemm_chain("f", 1, 512, 512, 64, 128);
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  ASSERT_TRUE(s.consume_complete());
+  PruneOptions opts;
+  opts.smem_limit_bytes = a100().smem_per_block;
+  EXPECT_TRUE(schedule_passes_rule2(s, opts));
+}
+
+TEST(Rule2, OverwhelmingResidencyFails) {
+  // Flat over a huge H with small Th: the resident accumulator alone
+  // exceeds shared memory (the paper's Fig. 6(b) concern).
+  const ChainSpec c = ChainSpec::gemm_chain("f", 1, 512, 512, 64, 4096);
+  const Schedule s = build_schedule(c, make_flat_expr(c, {0, 2}, {1, 3}),
+                                    std::vector<std::int64_t>{128, 64, 64, 64});
+  ASSERT_TRUE(s.consume_complete());
+  // 64 resident tiles x 128x64 x 2B = 1 MiB > any smem.
+  PruneOptions opts;
+  opts.smem_limit_bytes = a100().smem_per_block;
+  EXPECT_FALSE(schedule_passes_rule2(s, opts));
+}
+
+TEST(Rule4, EstimateAgainstSlackedLimit) {
+  const ChainSpec c = ChainSpec::gemm_chain("r4", 1, 512, 512, 256, 256);
+  const Schedule big = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                      std::vector<std::int64_t>{256, 256, 256, 256});
+  const Schedule small = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                        std::vector<std::int64_t>{64, 64, 64, 64});
+  PruneOptions opts;
+  opts.smem_limit_bytes = a100().smem_per_block;
+  EXPECT_FALSE(schedule_passes_rule4(big, opts));
+  EXPECT_TRUE(schedule_passes_rule4(small, opts));
+}
+
+TEST(Rule4, SlackAdmitsBorderlineCandidates) {
+  const ChainSpec c = ChainSpec::gemm_chain("r4", 1, 512, 512, 256, 256);
+  // Footprint: (128*128)*3 + 128*256*2 elems = 114688 elems = 229376 B.
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{128, 128, 128, 128});
+  PruneOptions tight;
+  tight.smem_limit_bytes = 150 * 1024;
+  tight.rule4_slack = 1.0;
+  PruneOptions slack = tight;
+  slack.rule4_slack = 1.2;
+  EXPECT_FALSE(schedule_passes_rule4(s, tight));
+  EXPECT_TRUE(schedule_passes_rule4(s, slack));
+}
+
+TEST(CriticalLoops, KnExpressionNeedsUnitK) {
+  const ChainSpec c = ChainSpec::gemm_chain("cl", 1, 1024, 1024, 512, 512);
+  const TileExpr kn = make_deep_expr(c, {0, 3, 1, 2});
+  const auto critical = rule2_critical_loops(c, kn, {});
+  EXPECT_EQ(critical, (std::vector<int>{1}));  // loop k must collapse
+}
+
+TEST(CriticalLoops, NkExpressionHasNone) {
+  const ChainSpec c = ChainSpec::gemm_chain("cl", 1, 1024, 1024, 512, 512);
+  const TileExpr nk = make_deep_expr(c, {0, 3, 2, 1});
+  EXPECT_TRUE(rule2_critical_loops(c, nk, {}).empty());
+}
+
+}  // namespace
+}  // namespace mcf

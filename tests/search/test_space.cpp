@@ -1,0 +1,130 @@
+#include "search/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/spec.hpp"
+
+namespace mcf {
+namespace {
+
+PruneOptions a100_prune() {
+  PruneOptions p;
+  p.smem_limit_bytes = a100().smem_per_block;
+  return p;
+}
+
+TEST(TileOptions, MultiplesOf16UpToDim) {
+  EXPECT_EQ(tile_options_for_dim(1024, 16).size(), 64u);  // paper: ceil(1024/16)
+  EXPECT_EQ(tile_options_for_dim(512, 16).size(), 32u);
+  EXPECT_EQ(tile_options_for_dim(64, 16),
+            (std::vector<std::int64_t>{16, 32, 48, 64}));
+}
+
+TEST(TileOptions, NonMultipleDimGetsExactOption) {
+  const auto opts = tile_options_for_dim(500, 16);
+  EXPECT_EQ(opts.size(), 32u);  // 31 multiples + the dim itself
+  EXPECT_EQ(opts.back(), 500);
+}
+
+TEST(TileOptions, TinyDimSingleOption) {
+  EXPECT_EQ(tile_options_for_dim(8, 16), (std::vector<std::int64_t>{8}));
+}
+
+TEST(Space, PaperFunnelOriginalCount) {
+  // Paper §III-C: (24+2) x ceil(1024/16)^2 x ceil(512/16)^2 = 109,051,904.
+  const ChainSpec c = ChainSpec::gemm_chain("fig7", 1, 1024, 1024, 512, 512);
+  const SearchSpace space(c, SpaceOptions{}, a100_prune());
+  EXPECT_DOUBLE_EQ(space.funnel().original, 109051904.0);
+  EXPECT_EQ(space.funnel().exprs_raw, 26u);
+}
+
+TEST(Space, FunnelIsMonotoneDecreasing) {
+  const ChainSpec c = ChainSpec::gemm_chain("fig7", 1, 1024, 1024, 512, 512);
+  const SearchSpace space(c, SpaceOptions{}, a100_prune());
+  const PruneFunnel& f = space.funnel();
+  EXPECT_GE(f.original, f.after_rule1);
+  EXPECT_GE(f.after_rule1, f.after_rule2);
+  EXPECT_GE(f.after_rule2, f.after_rule3);
+  EXPECT_GE(f.after_rule3, f.after_rule4);
+  // Orders of magnitude as in Fig. 7: ~1e8 down to <= ~1e4.
+  EXPECT_GT(f.original, 1e8);
+  EXPECT_LT(f.after_rule4, 2e4);
+}
+
+TEST(Space, Rule1CollapsesTo5Expressions) {
+  const ChainSpec c = ChainSpec::gemm_chain("fig7", 1, 1024, 1024, 512, 512);
+  const SearchSpace space(c, SpaceOptions{}, a100_prune());
+  EXPECT_EQ(space.funnel().exprs_deduped, 5u);  // matches the paper
+}
+
+TEST(Space, AllCandidatesPassRules) {
+  const ChainSpec c = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+  const SearchSpace space(c, SpaceOptions{}, a100_prune());
+  ASSERT_FALSE(space.candidates().empty());
+  for (const auto& cand : space.candidates()) {
+    EXPECT_TRUE(space.passes_rules(cand));
+    const Schedule s = space.schedule_for(cand);
+    EXPECT_TRUE(s.valid());
+    EXPECT_TRUE(s.consume_complete());
+  }
+}
+
+TEST(Space, ChimeraSpaceIsSubset) {
+  const ChainSpec c = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+  SpaceOptions full;
+  SpaceOptions chimera;
+  chimera.include_flat = false;
+  const SearchSpace s_full(c, full, a100_prune());
+  const SearchSpace s_chim(c, chimera, a100_prune());
+  EXPECT_LE(s_chim.expressions().size(), s_full.expressions().size());
+  EXPECT_LE(s_chim.candidates().size(), s_full.candidates().size());
+}
+
+TEST(Space, DisablingRule3KeepsPaddedTiles) {
+  const ChainSpec c = ChainSpec::gemm_chain("g", 1, 96, 96, 96, 96);
+  PruneOptions with = a100_prune();
+  PruneOptions without = a100_prune();
+  without.rule3_padding = false;
+  const SearchSpace s_with(c, SpaceOptions{}, with);
+  const SearchSpace s_without(c, SpaceOptions{}, without);
+  EXPECT_GE(s_without.candidates().size(), s_with.candidates().size());
+}
+
+TEST(Space, Rule4TightensWithSmallSmem) {
+  const ChainSpec c = ChainSpec::gemm_chain("g", 1, 512, 512, 256, 256);
+  PruneOptions big = a100_prune();
+  PruneOptions small = a100_prune();
+  small.smem_limit_bytes = 32 * 1024;
+  const SearchSpace s_big(c, SpaceOptions{}, big);
+  const SearchSpace s_small(c, SpaceOptions{}, small);
+  EXPECT_LT(s_small.candidates().size(), s_big.candidates().size());
+}
+
+TEST(Space, ScheduleForRoundTrip) {
+  const ChainSpec c = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+  const SearchSpace space(c, SpaceOptions{}, a100_prune());
+  const auto& cand = space.candidates().front();
+  const Schedule s = space.schedule_for(cand);
+  for (int l = 0; l < c.num_loops(); ++l) {
+    EXPECT_EQ(s.tiles()[static_cast<std::size_t>(l)],
+              cand.tiles[static_cast<std::size_t>(l)]);
+  }
+}
+
+TEST(Space, AttentionSpaceNonEmptyAndLegal) {
+  const ChainSpec c = ChainSpec::attention("s1", 8, 512, 512, 64, 64);
+  const SearchSpace space(c, SpaceOptions{}, a100_prune());
+  EXPECT_GT(space.candidates().size(), 50u);
+}
+
+TEST(Space, ViTHugeNonPow2HeadDim) {
+  // S6: head dim 80 (not a power of two) — rule 3 admits 16 and 80.
+  const ChainSpec c = ChainSpec::attention("s6", 16, 256, 256, 80, 80);
+  const SearchSpace space(c, SpaceOptions{}, a100_prune());
+  EXPECT_FALSE(space.candidates().empty());
+  const auto& k_opts = space.tile_options_r3()[1];
+  EXPECT_EQ(k_opts, (std::vector<std::int64_t>{16, 80}));
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,120 @@
+#include "search/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/analytical.hpp"
+#include "support/stats.hpp"
+
+namespace mcf {
+namespace {
+
+SearchSpace make_space(const ChainSpec& c, const GpuSpec& gpu) {
+  PruneOptions prune;
+  prune.smem_limit_bytes = gpu.smem_per_block;
+  return SearchSpace(c, SpaceOptions{}, prune);
+}
+
+TEST(Tuner, FindsAMeasurableCandidate) {
+  const ChainSpec c = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  Tuner tuner(space, gpu);
+  const TunedResult r = tuner.run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.best_time_s, 0.0);
+  EXPECT_TRUE(r.best_measurement.ok);
+  EXPECT_GT(r.stats.measurements, 0);
+  EXPECT_GT(r.stats.estimates, 0);
+}
+
+TEST(Tuner, DeterministicForFixedSeed) {
+  const ChainSpec c = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  TunerOptions opts;
+  opts.seed = 99;
+  const TunedResult r1 = Tuner(space, gpu, opts).run();
+  const TunedResult r2 = Tuner(space, gpu, opts).run();
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_DOUBLE_EQ(r1.best_time_s, r2.best_time_s);
+  EXPECT_EQ(r1.best.tiles, r2.best.tiles);
+}
+
+TEST(Tuner, BeatsMedianOfSpace) {
+  const ChainSpec c = ChainSpec::attention("s4", 12, 256, 256, 64, 64);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  const TunedResult r = Tuner(space, gpu).run();
+  ASSERT_TRUE(r.ok);
+  // Measure a uniform sample of the space and compare to the median.
+  TimingSimulator sim(gpu);
+  std::vector<double> sample;
+  const auto& cands = space.candidates();
+  for (std::size_t i = 0; i < cands.size(); i += std::max<std::size_t>(1, cands.size() / 50)) {
+    const auto m = sim.measure(space.schedule_for(cands[i]));
+    if (m.ok) sample.push_back(m.time_s);
+  }
+  ASSERT_GT(sample.size(), 10u);
+  EXPECT_LT(r.best_time_s, quantile(sample, 0.5));
+  EXPECT_LE(r.best_time_s, quantile(sample, 0.05) * 1.10);
+}
+
+TEST(Tuner, ConvergesBeforeGenerationCap) {
+  const ChainSpec c = ChainSpec::gemm_chain("g7", 1, 512, 512, 128, 128);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  TunerOptions opts;
+  opts.max_generations = 64;
+  const TunedResult r = Tuner(space, gpu, opts).run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_LT(r.stats.generations, 64);
+}
+
+TEST(Tuner, EstimatesVsMeasurementsCorrelate) {
+  // The property behind Fig. 11: the analytical model must rank usefully
+  // across the whole space (the tuner's own measured set is top-k cream
+  // with restricted range, so the sample here is uniform).
+  const ChainSpec c = ChainSpec::gemm_chain("g4", 1, 512, 512, 256, 256);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  const AnalyticalModel model(gpu);
+  TimingSimulator sim(gpu);
+  std::vector<double> est;
+  std::vector<double> meas;
+  const auto& cands = space.candidates();
+  for (std::size_t i = 0; i < cands.size();
+       i += std::max<std::size_t>(1, cands.size() / 120)) {
+    const Schedule s = space.schedule_for(cands[i]);
+    const auto m = sim.measure(s);
+    if (!m.ok) continue;
+    est.push_back(model.estimate(s).time_s);
+    meas.push_back(m.time_s);
+  }
+  ASSERT_GE(est.size(), 40u);
+  EXPECT_GT(pearson(est, meas), 0.6);
+  EXPECT_GT(spearman(est, meas), 0.5);
+}
+
+TEST(Tuner, MeasuresFarFewerThanItEstimates) {
+  // The efficiency claim of §IV: estimates are cheap, measurements rare.
+  const ChainSpec c = ChainSpec::gemm_chain("g8", 1, 1024, 512, 128, 128);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  const TunedResult r = Tuner(space, gpu).run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_LT(r.stats.measurements, r.stats.estimates / 2);
+  EXPECT_LT(r.stats.measurements, 120);
+}
+
+TEST(Tuner, EmptySpaceReturnsNotOk) {
+  const ChainSpec c = ChainSpec::gemm_chain("tiny", 1, 512, 256, 64, 64);
+  PruneOptions impossible;
+  impossible.smem_limit_bytes = 64;  // nothing fits
+  const SearchSpace space(c, SpaceOptions{}, impossible);
+  GpuSpec gpu = a100();
+  const TunedResult r = Tuner(space, gpu).run();
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,105 @@
+#include "search/tuning_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "search/mcfuser.hpp"
+
+namespace mcf {
+namespace {
+
+ChainSpec chain() { return ChainSpec::gemm_chain("cc", 1, 512, 256, 64, 64); }
+
+TEST(TuningCache, ChainKeyIsShapeBased) {
+  const ChainSpec a = ChainSpec::gemm_chain("first", 1, 512, 256, 64, 64);
+  const ChainSpec b = ChainSpec::gemm_chain("second", 1, 512, 256, 64, 64);
+  EXPECT_EQ(chain_cache_key(a), chain_cache_key(b));  // names don't matter
+  const ChainSpec c = ChainSpec::gemm_chain("third", 1, 512, 256, 64, 128);
+  EXPECT_NE(chain_cache_key(a), chain_cache_key(c));
+  const ChainSpec d = ChainSpec::attention("attn", 1, 512, 256, 64, 64);
+  EXPECT_NE(chain_cache_key(a), chain_cache_key(d));  // epilogues matter
+}
+
+TEST(TuningCache, PutGetRoundTrip) {
+  TuningCache cache;
+  const GpuSpec gpu = a100();
+  EXPECT_FALSE(cache.get(chain(), gpu).has_value());
+  cache.put(chain(), gpu, CachedSchedule{"b0|2(1)", {64, 64, 64, 64}, 1e-5});
+  const auto hit = cache.get(chain(), gpu);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->tiles, (std::vector<std::int64_t>{64, 64, 64, 64}));
+  // Different GPU: separate entry.
+  EXPECT_FALSE(cache.get(chain(), rtx3080()).has_value());
+}
+
+TEST(TuningCache, SaveLoadRoundTrip) {
+  const std::string path = "tuning_cache_test.txt";
+  {
+    TuningCache cache;
+    cache.put(chain(), a100(), CachedSchedule{"key", {32, 64, 128, 16}, 2e-5});
+    ASSERT_TRUE(cache.save(path));
+  }
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  const auto hit = loaded.get(chain(), a100());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->tiles, (std::vector<std::int64_t>{32, 64, 128, 16}));
+  EXPECT_NEAR(hit->time_s, 2e-5, 1e-12);
+  std::filesystem::remove(path);
+}
+
+TEST(TuningCache, LoadMissingFileFails) {
+  TuningCache cache;
+  EXPECT_FALSE(cache.load("does_not_exist.txt"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TuningCache, FuseCachedSkipsTuningOnHit) {
+  const GpuSpec gpu = a100();
+  const MCFuser fuser(gpu);
+  TuningCache cache;
+  const FusionResult first = fuser.fuse_cached(chain(), cache);
+  ASSERT_TRUE(first.ok);
+  EXPECT_GT(first.tuned.stats.measurements, 0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const FusionResult second = fuser.fuse_cached(chain(), cache);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.tuned.stats.measurements, 0);  // no tuning
+  // The cached kernel reproduces the tuned one.
+  EXPECT_EQ(second.tuned.best.tiles, first.tuned.best.tiles);
+  EXPECT_NEAR(second.tuned.best_time_s, first.tuned.best_time_s,
+              0.05 * first.tuned.best_time_s);
+}
+
+TEST(TuningCache, StaleEntryFallsBackToTuning) {
+  const GpuSpec gpu = a100();
+  const MCFuser fuser(gpu);
+  TuningCache cache;
+  // Poison the cache with tiles of the wrong arity.
+  cache.put(chain(), gpu, CachedSchedule{"b0b3|2(1)", {64, 64}, 1e-6});
+  const FusionResult r = fuser.fuse_cached(chain(), cache);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.tuned.stats.measurements, 0);  // had to tune
+}
+
+TEST(TuningCache, ResolveRejectsRuleViolations) {
+  const GpuSpec gpu = a100();
+  const ChainSpec c = chain();
+  PruneOptions prune;
+  prune.smem_limit_bytes = gpu.smem_per_block;
+  const SearchSpace space(c, SpaceOptions{}, prune);
+  TuningCache cache;
+  // Tiles that pad a power-of-two dimension violate rule 3.
+  cache.put(c, gpu,
+            CachedSchedule{space.expressions().front().structure_key(),
+                           {48, 48, 48, 48},
+                           1e-6});
+  EXPECT_FALSE(cache.resolve(c, gpu, space).has_value());
+}
+
+}  // namespace
+}  // namespace mcf

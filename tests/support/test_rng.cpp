@@ -1,0 +1,64 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcf {
+namespace {
+
+TEST(Rng, SplitmixIsDeterministic) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Rng, HashStringDistinguishes) {
+  EXPECT_NE(hash_string("G1"), hash_string("G2"));
+  EXPECT_EQ(hash_string("attn"), hash_string("attn"));
+}
+
+TEST(Rng, HashNoiseWithinBounds) {
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double v = hash_noise(k, 0.05);
+    EXPECT_GE(v, 0.95);
+    EXPECT_LE(v, 1.05);
+  }
+}
+
+TEST(Rng, HashNoiseZeroAmplitudeIsOne) {
+  EXPECT_DOUBLE_EQ(hash_noise(123, 0.0), 1.0);
+}
+
+TEST(Rng, HashNoiseCoversRange) {
+  // The noise should actually spread over the interval, not cluster.
+  double lo = 1.0;
+  double hi = 1.0;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const double v = hash_noise(k, 0.05);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.97);
+  EXPECT_GT(hi, 1.03);
+}
+
+TEST(Rng, MakeRngReproducibleStreams) {
+  Rng a = make_rng(7);
+  Rng b = make_rng(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+  Rng c = make_rng(8);
+  EXPECT_NE(make_rng(7)(), c());
+}
+
+TEST(Rng, SmallSeedsDecorrelated) {
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t s = 0; s < 64; ++s) firsts.insert(make_rng(s)());
+  EXPECT_EQ(firsts.size(), 64u);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,119 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mcf {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, StddevSingleIsZero) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, GeomeanBasic) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanOfEqualValues) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  EXPECT_NEAR(geomean(xs), 3.0, 1e-12);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {3, 2, 1};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonInvariantToAffineTransform) {
+  const std::vector<double> xs = {1, 3, 2, 5, 4};
+  const std::vector<double> ys = {2, 1, 4, 3, 5};
+  std::vector<double> xs2;
+  for (const double x : xs) xs2.push_back(3.0 * x + 7.0);
+  EXPECT_NEAR(pearson(xs, ys), pearson(xs2, ys), 1e-12);
+}
+
+TEST(Stats, AverageRanksNoTies) {
+  const std::vector<double> xs = {30.0, 10.0, 20.0};
+  const auto r = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Stats, AverageRanksWithTies) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  const auto r = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  // y = x^3 is a nonlinear monotonic map: Spearman 1, Pearson < 1.
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(x * x * x);
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Stats, RunningStatsTracksMinMaxMean) {
+  RunningStats rs;
+  rs.add(3.0);
+  rs.add(-1.0);
+  rs.add(4.0);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+}
+
+TEST(Stats, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcf

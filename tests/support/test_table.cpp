@@ -1,0 +1,67 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcf {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t;
+  t.set_header({"name", "v"});
+  t.add_row({"x", "12345"});
+  t.add_row({"longer-name", "1"});
+  const std::string s = t.to_string();
+  // Both data rows start their second column at the same offset.
+  const auto l1 = s.find("x");
+  const auto l2 = s.find("longer-name");
+  ASSERT_NE(l1, std::string::npos);
+  ASSERT_NE(l2, std::string::npos);
+}
+
+TEST(Table, NumFormatsFixedDigits) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, SciSwitchesForLargeValues) {
+  EXPECT_NE(Table::sci(1.23e9).find("e"), std::string::npos);
+  EXPECT_EQ(Table::sci(12.5, 1), "12.5");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t;
+  t.set_header({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripRowCount) {
+  Table t;
+  t.set_header({"a"});
+  for (int i = 0; i < 5; ++i) t.add_row({std::to_string(i)});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 6);
+  EXPECT_EQ(t.rows(), 5u);
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace mcf

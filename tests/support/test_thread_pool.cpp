@@ -1,0 +1,67 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mcf {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<std::int64_t> contrib(10000, 0);
+  pool.parallel_for(10000, [&](std::int64_t i) { contrib[static_cast<std::size_t>(i)] = i; });
+  const auto total = std::accumulate(contrib.begin(), contrib.end(), std::int64_t{0});
+  EXPECT_EQ(total, 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool& pool = ThreadPool::global();
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::int64_t) {
+    ThreadPool::global().parallel_for(8, [&](std::int64_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::int64_t i) {
+                          if (i == 31) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,251 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcf::ops {
+namespace {
+
+/// Naive triple-loop GEMM oracle.
+void naive_gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+TEST(Ops, GemmMatchesNaive) {
+  Tensor a(Shape{37, 29});
+  Tensor b(Shape{29, 41});
+  a.fill_random(1);
+  b.fill_random(2);
+  Tensor c(Shape{37, 41});
+  Tensor ref(Shape{37, 41});
+  gemm(a, b, c);
+  naive_gemm(a, b, ref);
+  EXPECT_LT(max_abs_diff(c, ref), 1e-4);
+}
+
+TEST(Ops, GemmLargeParallelPathMatchesNaive) {
+  Tensor a(Shape{256, 64});
+  Tensor b(Shape{64, 96});
+  a.fill_random(5);
+  b.fill_random(6);
+  Tensor c(Shape{256, 96});
+  Tensor ref(Shape{256, 96});
+  gemm(a, b, c);
+  naive_gemm(a, b, ref);
+  EXPECT_LT(max_abs_diff(c, ref), 1e-4);
+}
+
+TEST(Ops, GemmIdentity) {
+  Tensor a(Shape{8, 8});
+  a.fill_random(3);
+  Tensor eye(Shape{8, 8});
+  for (int i = 0; i < 8; ++i) eye.at(i, i) = 1.0f;
+  Tensor c(Shape{8, 8});
+  gemm(a, eye, c);
+  EXPECT_EQ(max_abs_diff(c, a), 0.0);
+}
+
+TEST(Ops, BatchedGemmPerBatchIndependence) {
+  Tensor a(Shape{3, 16, 8});
+  Tensor b(Shape{3, 8, 12});
+  a.fill_random(7);
+  b.fill_random(8);
+  Tensor c(Shape{3, 16, 12});
+  batched_gemm(a, b, c);
+  // Batch 1 equals a standalone 2-D GEMM of its slices.
+  Tensor a1(Shape{16, 8});
+  Tensor b1(Shape{8, 12});
+  std::copy(a.batch_slice(1).begin(), a.batch_slice(1).end(), a1.data().begin());
+  std::copy(b.batch_slice(1).begin(), b.batch_slice(1).end(), b1.data().begin());
+  Tensor c1(Shape{16, 12});
+  gemm(a1, b1, c1);
+  Tensor got(Shape{16, 12});
+  std::copy(c.batch_slice(1).begin(), c.batch_slice(1).end(), got.data().begin());
+  EXPECT_LT(max_abs_diff(got, c1), 1e-5);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor x(Shape{13, 27});
+  x.fill_random(11);
+  Tensor y(x.shape());
+  softmax(x, y);
+  for (std::int64_t r = 0; r < 13; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < 27; ++c) s += y.at(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxShiftInvariance) {
+  Tensor x(Shape{4, 8});
+  x.fill_random(12);
+  Tensor shifted(x.shape());
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    shifted.data()[i] = x.data()[i] + 100.0f;
+  }
+  Tensor y1(x.shape());
+  Tensor y2(x.shape());
+  softmax(x, y1);
+  softmax(shifted, y2);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-5);
+}
+
+TEST(Ops, ScaledSoftmaxMatchesManualScale) {
+  Tensor x(Shape{4, 8});
+  x.fill_random(13);
+  Tensor pre(x.shape());
+  for (std::size_t i = 0; i < x.data().size(); ++i) pre.data()[i] = x.data()[i] * 0.125f;
+  Tensor y1(x.shape());
+  Tensor y2(x.shape());
+  scaled_softmax(x, 0.125f, y1);
+  softmax(pre, y2);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-6);
+}
+
+TEST(Ops, SoftmaxRank3OverLastDim) {
+  Tensor x(Shape{2, 3, 5});
+  x.fill_random(14);
+  Tensor y(x.shape());
+  softmax(x, y);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t r = 0; r < 3; ++r) {
+      double s = 0.0;
+      for (std::int64_t c = 0; c < 5; ++c) s += y.at(b, r, c);
+      EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  Tensor x(Shape{4});
+  x.data()[0] = -2.0f;
+  x.data()[1] = 0.0f;
+  x.data()[2] = 3.0f;
+  x.data()[3] = -0.1f;
+  Tensor y(x.shape());
+  relu(x, y);
+  EXPECT_EQ(y.data()[0], 0.0f);
+  EXPECT_EQ(y.data()[1], 0.0f);
+  EXPECT_EQ(y.data()[2], 3.0f);
+  EXPECT_EQ(y.data()[3], 0.0f);
+}
+
+TEST(Ops, GeluKnownValues) {
+  Tensor x(Shape{3});
+  x.data()[0] = 0.0f;
+  x.data()[1] = 10.0f;
+  x.data()[2] = -10.0f;
+  Tensor y(x.shape());
+  gelu(x, y);
+  EXPECT_NEAR(y.data()[0], 0.0f, 1e-6);
+  EXPECT_NEAR(y.data()[1], 10.0f, 1e-3);
+  EXPECT_NEAR(y.data()[2], 0.0f, 1e-3);
+}
+
+TEST(Ops, AddElementwise) {
+  Tensor a(Shape{2, 2}, 1.0f);
+  Tensor b(Shape{2, 2}, 2.5f);
+  Tensor y(Shape{2, 2});
+  add(a, b, y);
+  for (const float v : y.data()) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(Ops, BiasAddBroadcastsRows) {
+  Tensor x(Shape{3, 4}, 1.0f);
+  Tensor bias(Shape{4});
+  for (int i = 0; i < 4; ++i) bias.data()[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  Tensor y(x.shape());
+  bias_add(x, bias, y);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(y.at(r, c), 1.0f + static_cast<float>(c));
+    }
+  }
+}
+
+TEST(Ops, LayernormZeroMeanUnitVar) {
+  Tensor x(Shape{5, 64});
+  x.fill_random(21);
+  Tensor y(x.shape());
+  layernorm(x, y);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double mu = 0.0;
+    double var = 0.0;
+    for (std::int64_t c = 0; c < 64; ++c) mu += y.at(r, c);
+    mu /= 64.0;
+    for (std::int64_t c = 0; c < 64; ++c) var += (y.at(r, c) - mu) * (y.at(r, c) - mu);
+    var /= 64.0;
+    EXPECT_NEAR(mu, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Ops, AttentionReferenceRowStochasticProperty) {
+  // With V = identity-ish ones the attention output equals softmax-weighted
+  // averages and must stay within the V value range.
+  Tensor q(Shape{2, 8, 4});
+  Tensor kt(Shape{2, 4, 8});
+  Tensor v(Shape{2, 8, 4}, 1.0f);
+  q.fill_random(31);
+  kt.fill_random(32);
+  Tensor o(Shape{2, 8, 4});
+  attention_reference(q, kt, v, 0.5f, o);
+  for (const float x : o.data()) EXPECT_NEAR(x, 1.0f, 1e-5);
+}
+
+TEST(Ops, GemmChainReferenceMatchesTwoGemms) {
+  Tensor a(Shape{1, 16, 8});
+  Tensor b(Shape{1, 8, 12});
+  Tensor d(Shape{1, 12, 6});
+  a.fill_random(41);
+  b.fill_random(42);
+  d.fill_random(43);
+  Tensor e(Shape{1, 16, 6});
+  gemm_chain_reference(a, b, d, e);
+  Tensor c(Shape{1, 16, 12});
+  batched_gemm(a, b, c);
+  Tensor e2(Shape{1, 16, 6});
+  batched_gemm(c, d, e2);
+  EXPECT_LT(max_abs_diff(e, e2), 1e-5);
+}
+
+TEST(Ops, GemmChainReluEpilogueApplied) {
+  Tensor a(Shape{1, 8, 4});
+  Tensor b(Shape{1, 4, 8});
+  Tensor d(Shape{1, 8, 4});
+  a.fill_random(51);
+  b.fill_random(52);
+  d.fill_random(53);
+  Tensor with(Shape{1, 8, 4});
+  Tensor without(Shape{1, 8, 4});
+  gemm_chain_reference(a, b, d, with, ChainEpilogue::Relu);
+  gemm_chain_reference(a, b, d, without, ChainEpilogue::None);
+  EXPECT_GT(max_abs_diff(with, without), 0.0);
+}
+
+TEST(Ops, GemmChainSoftmaxEpilogueMatchesAttention) {
+  Tensor q(Shape{2, 16, 8});
+  Tensor kt(Shape{2, 8, 16});
+  Tensor v(Shape{2, 16, 8});
+  q.fill_random(61);
+  kt.fill_random(62);
+  v.fill_random(63);
+  Tensor o1(Shape{2, 16, 8});
+  Tensor o2(Shape{2, 16, 8});
+  gemm_chain_reference(q, kt, v, o1, ChainEpilogue::Softmax, 0.25f);
+  attention_reference(q, kt, v, 0.25f, o2);
+  EXPECT_LT(max_abs_diff(o1, o2), 1e-5);
+}
+
+}  // namespace
+}  // namespace mcf::ops

@@ -1,0 +1,101 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcf {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[1], 3);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+}
+
+TEST(Shape, ToString) { EXPECT_EQ(Shape({2, 3}).to_string(), "[2,3]"); }
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t(Shape{4, 4});
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillValue) {
+  Tensor t(Shape{2, 2}, 1.5f);
+  for (const float v : t.data()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(Tensor, RowMajor2dAccess) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.data()[5], 7.0f);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(Tensor, RowMajor3dAccess) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.data()[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(Tensor, FillRandomDeterministicAndBounded) {
+  Tensor a(Shape{16, 16});
+  Tensor b(Shape{16, 16});
+  a.fill_random(3);
+  b.fill_random(3);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  for (const float v : a.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  Tensor c(Shape{16, 16});
+  c.fill_random(4);
+  EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Tensor, BatchSliceIsContiguousView) {
+  Tensor t(Shape{3, 2, 2});
+  t.at(2, 1, 1) = 5.0f;
+  const auto slice = std::as_const(t).batch_slice(2);
+  EXPECT_EQ(slice.size(), 4u);
+  EXPECT_EQ(slice[3], 5.0f);
+}
+
+TEST(Tensor, BatchSliceWritable) {
+  Tensor t(Shape{2, 2, 2});
+  auto slice = t.batch_slice(1);
+  slice[0] = 3.0f;
+  EXPECT_EQ(t.at(1, 0, 0), 3.0f);
+}
+
+TEST(Compare, MaxAbsDiff) {
+  Tensor a(Shape{2, 2}, 1.0f);
+  Tensor b(Shape{2, 2}, 1.0f);
+  b.at(0, 1) = 1.25f;
+  EXPECT_FLOAT_EQ(static_cast<float>(max_abs_diff(a, b)), 0.25f);
+}
+
+TEST(Compare, AllcloseRespectsTolerances) {
+  Tensor a(Shape{2}, 100.0f);
+  Tensor b(Shape{2}, 100.01f);
+  EXPECT_TRUE(allclose(a, b, 1e-3, 0.0));
+  EXPECT_FALSE(allclose(a, b, 1e-6, 0.0));
+}
+
+TEST(Compare, AllcloseShapeMismatchIsFalse) {
+  EXPECT_FALSE(allclose(Tensor(Shape{2}), Tensor(Shape{3})));
+}
+
+TEST(Compare, MaxRelDiffUsesFloor) {
+  Tensor a(Shape{1}, 0.0f);
+  Tensor b(Shape{1}, 1e-7f);
+  // With atol floor 1e-5 the relative difference stays small.
+  EXPECT_LT(max_rel_diff(a, b, 1e-5), 0.02);
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,71 @@
+#include "workloads/suites.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/partitioner.hpp"
+
+namespace mcf {
+namespace {
+
+TEST(Suites, GemmChainTableII) {
+  const auto suite = gemm_chain_suite();
+  ASSERT_EQ(suite.size(), 12u);
+  EXPECT_EQ(suite[0].name(), "G1");
+  // G1: batch 1, M 512, N 256, K 64, H 64.
+  EXPECT_EQ(suite[0].m(), 512);
+  EXPECT_EQ(suite[0].inner(), (std::vector<std::int64_t>{64, 256, 64}));
+  // G6: K = 1024.
+  EXPECT_EQ(suite[5].inner()[0], 1024);
+  // G9: M = 2048.
+  EXPECT_EQ(suite[8].m(), 2048);
+  // G12: batch 8, 1024x1024, K=H=128.
+  EXPECT_EQ(suite[11].batch(), 8);
+  EXPECT_EQ(suite[11].m(), 1024);
+  EXPECT_EQ(suite[11].inner(), (std::vector<std::int64_t>{128, 1024, 128}));
+}
+
+TEST(Suites, AttentionTableIII) {
+  const auto suite = attention_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  EXPECT_EQ(suite[0].batch(), 8);    // S1 Bert-Small heads
+  EXPECT_EQ(suite[2].batch(), 16);   // S3 Bert-Large heads
+  EXPECT_EQ(suite[5].inner()[0], 80);  // S6 ViT-Huge head dim
+  EXPECT_EQ(suite[8].m(), 1024);     // S9 MLP-Mixer
+  for (const auto& c : suite) {
+    EXPECT_EQ(c.epilogue(0), Epilogue::OnlineSoftmax);
+  }
+}
+
+TEST(Suites, AllGemmChainsAreMbciOnA100) {
+  const GpuSpec gpu = a100();
+  for (const auto& c : gemm_chain_suite()) {
+    EXPECT_TRUE(is_mbci(c, gpu)) << c.name();
+  }
+}
+
+TEST(Suites, AllAttentionModulesAreMbci) {
+  const GpuSpec gpu = a100();
+  for (const auto& c : attention_suite()) {
+    EXPECT_TRUE(is_mbci(c, gpu)) << c.name();
+  }
+}
+
+TEST(Suites, BertConfigs) {
+  const auto suite = bert_suite();
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name, "Bert-Small");
+  EXPECT_EQ(suite[2].layers, 24);
+  for (const auto& cfg : suite) EXPECT_EQ(cfg.head_dim(), 64);
+}
+
+TEST(Suites, BertAttentionMatchesTableIIIShapes) {
+  // S2 is Bert-Base attention at seq 512.
+  const ChainSpec s2 = attention_suite()[1];
+  const ChainSpec from_cfg = bert_attention_chain(bert_base(), 512);
+  EXPECT_EQ(s2.batch(), from_cfg.batch());
+  EXPECT_EQ(s2.m(), from_cfg.m());
+  EXPECT_EQ(s2.inner(), from_cfg.inner());
+}
+
+}  // namespace
+}  // namespace mcf

@@ -1,0 +1,211 @@
+// mcfuser — command-line driver for the fusion pass.
+//
+//   mcfuser fuse    --m 512 --n 256 --k 64 --h 64 [--batch N]
+//                   [--attention | --gelu | --relu] [--gpu a100|rtx3080]
+//                   [--cache FILE] [--emit] [--pseudo]
+//   mcfuser compare <same shape flags>     run every baseline on the chain
+//   mcfuser suite   gemm | attention       paper Table II / III sweep
+//   mcfuser info    [--gpu NAME]           GPU model parameters
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/ansor_like.hpp"
+#include "baselines/bolt_like.hpp"
+#include "baselines/chimera_like.hpp"
+#include "baselines/flash_like.hpp"
+#include "baselines/unfused.hpp"
+#include "exec/codegen.hpp"
+#include "search/mcfuser.hpp"
+#include "support/table.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+using namespace mcf;
+
+struct Args {
+  std::string command;
+  std::string positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::int64_t num(const std::string& key, std::int64_t dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::stoll(it->second);
+  }
+  [[nodiscard]] std::string str(const std::string& key, std::string dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? std::move(dflt) : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.count(key) != 0;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string key = tok.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";
+      }
+    } else if (args.positional.empty()) {
+      args.positional = tok;
+    }
+  }
+  return args;
+}
+
+ChainSpec chain_from(const Args& args) {
+  const std::int64_t batch = args.num("batch", 1);
+  const std::int64_t m = args.num("m", 512);
+  const std::int64_t n = args.num("n", 256);
+  const std::int64_t k = args.num("k", 64);
+  const std::int64_t h = args.num("h", 64);
+  if (args.has("attention")) {
+    return ChainSpec::attention("cli", batch, m, n, k, h);
+  }
+  if (args.has("gelu")) {
+    return ChainSpec("cli", batch, m, {k, n, h}, {Epilogue::Gelu, Epilogue::None});
+  }
+  if (args.has("relu")) {
+    return ChainSpec("cli", batch, m, {k, n, h}, {Epilogue::Relu, Epilogue::None});
+  }
+  return ChainSpec::gemm_chain("cli", batch, m, n, k, h);
+}
+
+int cmd_fuse(const Args& args) {
+  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
+  const ChainSpec chain = chain_from(args);
+  std::printf("fusing %s on %s\n", chain.to_string().c_str(), gpu.name.c_str());
+
+  const MCFuser fuser(gpu);
+  FusionResult result;
+  TuningCache cache;
+  const std::string cache_path = args.str("cache", "");
+  if (!cache_path.empty()) {
+    cache.load(cache_path);
+    result = fuser.fuse_cached(chain, cache);
+    if (!cache.save(cache_path)) {
+      std::fprintf(stderr, "warning: could not write %s\n", cache_path.c_str());
+    }
+  } else {
+    result = fuser.fuse(chain);
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "fusion failed\n");
+    return 1;
+  }
+  std::printf("space: %.3g raw -> %zu candidates; tuning: %d measurements\n",
+              result.funnel.original, result.space_size,
+              result.tuned.stats.measurements);
+  std::printf("best simulated time: %.2f us (%.1f%% of peak FLOPs)\n",
+              result.time_s() * 1e6,
+              100.0 * chain.total_flops() / result.time_s() / gpu.peak_flops);
+  if (args.has("pseudo") || !args.has("emit")) {
+    std::printf("\n%s", result.kernel->schedule().to_pseudo().c_str());
+  }
+  if (args.has("emit")) {
+    std::printf("\n%s", emit_kernel_source(result.kernel->schedule(), gpu).c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
+  const ChainSpec chain = chain_from(args);
+  std::printf("comparing frameworks on %s (%s)\n\n", chain.to_string().c_str(),
+              gpu.name.c_str());
+  Table table;
+  table.set_header({"framework", "time (us)", "vs PyTorch", "fused"});
+  const SubgraphResult pt = UnfusedBaseline(gpu).run(chain);
+  auto row = [&](const std::string& name, double t, bool fused) {
+    table.add_row({name, Table::num(t * 1e6, 2), Table::num(pt.time_s / t, 2) + "x",
+                   fused ? "yes" : "no"});
+  };
+  row("PyTorch", pt.time_s, false);
+  AnsorOptions aopts;
+  aopts.trials = static_cast<int>(args.num("trials", 1000));
+  const SubgraphResult an = AnsorLikeBaseline(gpu, aopts).run(chain);
+  row("Ansor", an.time_s, an.fused);
+  const BoltLikeBaseline bolt(gpu);
+  if (bolt.supports_gpu()) {
+    const SubgraphResult b = bolt.run(chain);
+    row("BOLT", b.time_s, b.fused);
+  } else {
+    table.add_row({"BOLT", "n/a (sm86)", "-", "-"});
+  }
+  if (chain.num_ops() == 2 && chain.epilogue(0) == Epilogue::OnlineSoftmax) {
+    const SubgraphResult f = FlashAttentionLikeBaseline(gpu).run(chain);
+    row("FlashAttention", f.time_s, f.fused);
+  }
+  const SubgraphResult ch = ChimeraLikeBaseline(gpu).run(chain);
+  row("MCFuser-Chimera", ch.time_s, ch.fused);
+  const FusionResult mc = MCFuser(gpu).fuse(chain);
+  if (mc.ok) row("MCFuser", mc.time_s(), true);
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_suite(const Args& args) {
+  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
+  const bool attention = args.positional == "attention";
+  const auto suite = attention ? attention_suite() : gemm_chain_suite();
+  Table table(std::string(attention ? "Table III" : "Table II") + " suite on " +
+              gpu.name);
+  table.set_header({"workload", "shape", "PyTorch (us)", "MCFuser (us)",
+                    "speedup"});
+  for (const ChainSpec& chain : suite) {
+    const double pt = UnfusedBaseline(gpu).run(chain).time_s;
+    const FusionResult mc = MCFuser(gpu).fuse(chain);
+    if (!mc.ok) return 1;
+    table.add_row({chain.name(), chain.to_string(), Table::num(pt * 1e6, 1),
+                   Table::num(mc.time_s() * 1e6, 1),
+                   Table::num(pt / mc.time_s(), 2) + "x"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
+  std::printf("%s: %d SMs, %.0f TFLOPS fp16 TC, %.0f GB/s DRAM, "
+              "%lld KiB smem/block, %lld MiB L2 @ %.1f TB/s\n",
+              gpu.name.c_str(), gpu.num_sms, gpu.peak_flops / 1e12,
+              gpu.mem_bandwidth / 1e9,
+              static_cast<long long>(gpu.smem_per_block / 1024),
+              static_cast<long long>(gpu.l2_bytes / (1024 * 1024)),
+              gpu.l2_bandwidth / 1e12);
+  std::printf("P/W = %.1f FLOP/byte (MBCI threshold)\n", gpu.flops_per_byte());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mcfuser <fuse|compare|suite|info> [flags]\n"
+               "  fuse    --m M --n N --k K --h H [--batch B] "
+               "[--attention|--gelu|--relu] [--gpu NAME] [--cache FILE] [--emit]\n"
+               "  compare <same shape flags> [--trials T]\n"
+               "  suite   gemm|attention [--gpu NAME]\n"
+               "  info    [--gpu NAME]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "fuse") return cmd_fuse(args);
+  if (args.command == "compare") return cmd_compare(args);
+  if (args.command == "suite") return cmd_suite(args);
+  if (args.command == "info") return cmd_info(args);
+  return usage();
+}
