@@ -1,0 +1,303 @@
+// Tuning-throughput benchmark: the evaluation-pipeline overhaul measured
+// against the frozen pre-overhaul code paths (bench/legacy_tuner.hpp,
+// bench/legacy_interpreter.hpp).
+//
+// Two sections, both on the Fig. 7 workload family (the paper's
+// pruning-funnel GEMM chain plus attention/GEMM neighbours):
+//
+//   * tuner:        wall-clock of a fixed-generation-budget tuning run,
+//                   legacy serial loop vs the batched pipeline, plus
+//                   candidates/second (estimates + measurements per wall
+//                   second).  Generation count is pinned so both tuners do
+//                   the same algorithmic work and the ratio is a pure
+//                   throughput ratio.
+//   * interpreter:  blocks/second and GFLOP/s of the functional
+//                   interpreter over a spread of schedules, legacy
+//                   per-block-allocating executor vs the arena-backed
+//                   micro-kernel.
+//
+// Emits the paper-style table + CSV (common.hpp) and writes
+// BENCH_tuning_throughput.json (stable schema, see docs/performance.md)
+// so future PRs can track the trajectory.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "exec/interpreter.hpp"
+#include "gpu/spec.hpp"
+#include "legacy_interpreter.hpp"
+#include "legacy_tuner.hpp"
+#include "search/tuner.hpp"
+#include "support/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace mcf;
+using clk = std::chrono::steady_clock;
+
+double secs(clk::time_point a, clk::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Fastest-of-N: the standard noise-robust estimator for microbenchmarks
+// on a shared machine (interference only ever adds time).
+double best_of(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+double geomean(const std::vector<double>& v) {
+  double lg = 0.0;
+  for (const double x : v) lg += std::log(x);
+  return std::exp(lg / static_cast<double>(v.size()));
+}
+
+struct TunerRow {
+  std::string name;
+  double legacy_wall_s = 0.0;
+  double new_wall_s = 0.0;
+  double legacy_cands_per_s = 0.0;
+  double new_cands_per_s = 0.0;
+  bool same_best = false;
+};
+
+struct InterpRow {
+  std::string name;
+  std::string tiles;
+  std::int64_t blocks = 0;
+  double legacy_blocks_per_s = 0.0;
+  double new_blocks_per_s = 0.0;
+  double legacy_gflops = 0.0;
+  double new_gflops = 0.0;
+};
+
+TunerRow bench_tuner(const ChainSpec& chain, const GpuSpec& gpu) {
+  PruneOptions prune;
+  prune.smem_limit_bytes = gpu.smem_per_block;
+  const SearchSpace space(chain, SpaceOptions{}, prune);
+
+  // Pinned generation budget: epsilon 0 disables early convergence inside
+  // the budget, so legacy and new run the same number of generations and
+  // wall-clock compares throughput, not stopping luck.
+  TunerOptions opts;
+  opts.epsilon = 0.0;
+  opts.min_generations = 16;
+  opts.max_generations = 16;
+
+  constexpr int kRepeats = 7;
+  std::vector<double> legacy_wall;
+  std::vector<double> new_wall;
+  TunedResult rl;
+  TunedResult rn;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = clk::now();
+    bench::legacy::LegacyTuner lt(space, gpu, opts);
+    rl = lt.run();
+    const auto t1 = clk::now();
+    Tuner nt(space, gpu, opts);
+    rn = nt.run();
+    const auto t2 = clk::now();
+    legacy_wall.push_back(secs(t0, t1));
+    new_wall.push_back(secs(t1, t2));
+  }
+
+  TunerRow row;
+  row.name = chain.name();
+  row.legacy_wall_s = best_of(legacy_wall);
+  row.new_wall_s = best_of(new_wall);
+  row.legacy_cands_per_s =
+      (rl.stats.estimates + rl.stats.measurements) / row.legacy_wall_s;
+  row.new_cands_per_s =
+      (rn.stats.estimates + rn.stats.measurements) / row.new_wall_s;
+  row.same_best = rl.ok && rn.ok && rl.best.expr_id == rn.best.expr_id &&
+                  rl.best.tiles == rn.best.tiles;
+  return row;
+}
+
+InterpRow bench_interp(const ChainSpec& chain, const SearchSpace& space,
+                       std::size_t cand_index) {
+  const auto& cands = space.candidates();
+  const CandidateConfig& cand = cands[cand_index];
+  const Schedule s = space.schedule_for(cand);
+
+  Tensor a(Shape{chain.batch(), chain.m(), chain.inner().front()});
+  Tensor out(Shape{chain.batch(), chain.m(), chain.inner().back()});
+  a.fill_random(1);
+  std::vector<Tensor> w;
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    Tensor t(Shape{chain.batch(), chain.inner()[static_cast<std::size_t>(op)],
+                   chain.inner()[static_cast<std::size_t>(op) + 1]});
+    t.fill_random(static_cast<std::uint64_t>(op) + 2);
+    w.push_back(std::move(t));
+  }
+
+  const InterpreterOptions opt;
+  constexpr int kRepeats = 7;
+  std::vector<double> legacy_t;
+  std::vector<double> new_t;
+  ExecutionCounters counters;
+  const Interpreter interp(s);
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = clk::now();
+    bench::legacy::run(s, opt, a, w, out);
+    const auto t1 = clk::now();
+    counters = interp.run(a, w, out);
+    const auto t2 = clk::now();
+    legacy_t.push_back(secs(t0, t1));
+    new_t.push_back(secs(t1, t2));
+  }
+
+  InterpRow row;
+  row.name = chain.name();
+  for (const auto t : cand.tiles) {
+    row.tiles += (row.tiles.empty() ? "" : "x") + std::to_string(t);
+  }
+  row.blocks = s.num_blocks();
+  const double lm = best_of(legacy_t);
+  const double nm = best_of(new_t);
+  row.legacy_blocks_per_s = static_cast<double>(row.blocks) / lm;
+  row.new_blocks_per_s = static_cast<double>(row.blocks) / nm;
+  const double total_flops = counters.flops + counters.epilogue_flops;
+  row.legacy_gflops = total_flops / lm / 1e9;
+  row.new_gflops = total_flops / nm / 1e9;
+  return row;
+}
+
+int run() {
+  const GpuSpec gpu = a100();
+
+  // ---- tuner throughput -----------------------------------------------------
+  // The Fig. 7 funnel chain itself plus a GEMM and an attention neighbour
+  // from the paper's workload tables.
+  const std::vector<ChainSpec> tuner_chains = {
+      ChainSpec::gemm_chain("fig7", 1, 1024, 1024, 512, 512),
+      ChainSpec::gemm_chain("fig7-g4", 1, 512, 512, 256, 256),
+      ChainSpec::attention("fig7-s4", 12, 256, 256, 64, 64),
+  };
+  std::vector<TunerRow> tuner_rows;
+  for (const auto& c : tuner_chains) tuner_rows.push_back(bench_tuner(c, gpu));
+
+  Table tuner_table("Tuning throughput — legacy serial loop vs batched pipeline");
+  tuner_table.set_header({"workload", "legacy wall (ms)", "new wall (ms)",
+                          "speedup", "legacy cand/s", "new cand/s",
+                          "same best"});
+  std::vector<double> tuner_speedups;
+  for (const auto& r : tuner_rows) {
+    tuner_speedups.push_back(r.legacy_wall_s / r.new_wall_s);
+    tuner_table.add_row({r.name, Table::num(r.legacy_wall_s * 1e3, 2),
+                         Table::num(r.new_wall_s * 1e3, 2),
+                         mcf::bench::speedup(r.legacy_wall_s, r.new_wall_s),
+                         Table::num(r.legacy_cands_per_s, 0),
+                         Table::num(r.new_cands_per_s, 0),
+                         r.same_best ? "yes" : "no"});
+  }
+  const double tuner_geo = geomean(tuner_speedups);
+
+  // ---- interpreter throughput -----------------------------------------------
+  // Scaled-down Fig. 7 shapes: full-size chains take seconds per run in a
+  // functional interpreter; the mini variants keep tile structure
+  // (multiples of 16, padded cases) while fitting a benchmark budget.
+  PruneOptions prune;
+  prune.smem_limit_bytes = gpu.smem_per_block;
+  const std::vector<ChainSpec> interp_chains = {
+      ChainSpec::gemm_chain("fig7-mini", 2, 256, 256, 128, 128),
+      ChainSpec::gemm_chain("fig7-mini-wide", 1, 512, 256, 64, 64),
+      ChainSpec::attention("fig7-mini-attn", 4, 128, 128, 64, 64),
+  };
+  std::vector<InterpRow> interp_rows;
+  for (const auto& c : interp_chains) {
+    const SearchSpace space(c, SpaceOptions{}, prune);
+    const std::size_t n = space.candidates().size();
+    // A deterministic spread: small-tile, mid and large-tile schedules.
+    for (const std::size_t idx : {n / 8, n / 2, (7 * n) / 8}) {
+      interp_rows.push_back(bench_interp(c, space, idx));
+    }
+  }
+
+  Table interp_table(
+      "Interpreter throughput — per-block allocations vs arena micro-kernel");
+  interp_table.set_header({"workload", "tiles", "blocks", "legacy blk/s",
+                           "new blk/s", "speedup", "new GFLOP/s"});
+  std::vector<double> interp_speedups;
+  for (const auto& r : interp_rows) {
+    interp_speedups.push_back(r.new_blocks_per_s / r.legacy_blocks_per_s);
+    interp_table.add_row(
+        {r.name, r.tiles, std::to_string(r.blocks),
+         Table::num(r.legacy_blocks_per_s, 0), Table::num(r.new_blocks_per_s, 0),
+         mcf::bench::speedup(1.0 / r.legacy_blocks_per_s,
+                             1.0 / r.new_blocks_per_s),
+         Table::num(r.new_gflops, 1)});
+  }
+  const double interp_geo = geomean(interp_speedups);
+
+  if (!mcf::bench::emit(tuner_table, "tuning_throughput_tuner")) return 1;
+  if (!mcf::bench::emit(interp_table, "tuning_throughput_interp")) return 1;
+  std::printf("tuner geomean speedup: %.2fx\ninterpreter geomean speedup: %.2fx\n",
+              tuner_geo, interp_geo);
+
+  // ---- JSON (stable schema, consumed by future PRs / CI) --------------------
+  FILE* f = std::fopen("BENCH_tuning_throughput.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_tuning_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"tuning_throughput\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"threads\": %u,\n", ThreadPool::global().size());
+  std::fprintf(f, "  \"tuner\": {\n");
+  std::fprintf(f, "    \"geomean_speedup\": %.4f,\n", tuner_geo);
+  std::fprintf(f, "    \"workloads\": [\n");
+  for (std::size_t i = 0; i < tuner_rows.size(); ++i) {
+    const auto& r = tuner_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"legacy_wall_s\": %.6g, "
+                 "\"new_wall_s\": %.6g, \"speedup\": %.4f, "
+                 "\"legacy_cands_per_s\": %.6g, \"new_cands_per_s\": %.6g, "
+                 "\"same_best\": %s}%s\n",
+                 r.name.c_str(), r.legacy_wall_s, r.new_wall_s,
+                 r.legacy_wall_s / r.new_wall_s, r.legacy_cands_per_s,
+                 r.new_cands_per_s, r.same_best ? "true" : "false",
+                 i + 1 < tuner_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"interpreter\": {\n");
+  std::fprintf(f, "    \"geomean_speedup\": %.4f,\n", interp_geo);
+  std::fprintf(f, "    \"workloads\": [\n");
+  for (std::size_t i = 0; i < interp_rows.size(); ++i) {
+    const auto& r = interp_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"tiles\": \"%s\", \"blocks\": %lld, "
+                 "\"legacy_blocks_per_s\": %.6g, \"new_blocks_per_s\": %.6g, "
+                 "\"speedup\": %.4f, \"legacy_gflops\": %.4f, "
+                 "\"new_gflops\": %.4f}%s\n",
+                 r.name.c_str(), r.tiles.c_str(),
+                 static_cast<long long>(r.blocks), r.legacy_blocks_per_s,
+                 r.new_blocks_per_s, r.new_blocks_per_s / r.legacy_blocks_per_s,
+                 r.legacy_gflops, r.new_gflops,
+                 i + 1 < interp_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fclose(f);
+  std::printf("[json written to BENCH_tuning_throughput.json]\n");
+
+  // Regression gate: the overhaul's acceptance thresholds.
+  if (tuner_geo < 2.0) {
+    std::fprintf(stderr, "FAIL: tuner speedup %.2fx < 2x\n", tuner_geo);
+    return 1;
+  }
+  if (interp_geo < 3.0) {
+    std::fprintf(stderr, "FAIL: interpreter speedup %.2fx < 3x\n", interp_geo);
+    return 1;
+  }
+  std::printf("PASS: tuner >= 2x, interpreter >= 3x\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

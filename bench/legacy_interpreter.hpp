@@ -1,0 +1,384 @@
+// Frozen pre-overhaul interpreter hot path, kept as the measurement
+// baseline for bench_tuning_throughput.
+//
+// This is the block executor as it stood before the arena/micro-kernel
+// rework: every block allocates its own tile buffers, the GEMM inner loop
+// is the scalar zero-skip form, and counter aggregation serialises behind
+// a single mutex.  It exists so the throughput bench can report a
+// new-vs-old speedup against the real old code path forever, not against
+// a number written down once.  Do not "optimise" this file.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "dag/schedule.hpp"
+#include "exec/interpreter.hpp"
+#include "support/logging.hpp"
+#include "support/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mcf::bench::legacy {
+
+// Epilogue FLOP accounting constants — must mirror dag/volume.cpp.
+constexpr double kSoftmaxFlopsPerElem = 8.0;
+constexpr double kReluFlopsPerElem = 1.0;
+constexpr double kGeluFlopsPerElem = 8.0;
+constexpr double kRescaleFlopsPerElem = 4.0;
+
+/// Per-block execution state (pre-overhaul: reallocated for every block).
+struct BlockState {
+  std::int64_t batch = 0;
+  std::vector<std::int64_t> idx;
+  std::vector<std::vector<float>> bufs;
+  std::vector<std::vector<float>> run_max;
+  std::vector<std::vector<float>> run_sum;
+  ExecutionCounters counters;
+};
+
+class BlockExecutor {
+ public:
+  BlockExecutor(const Schedule& s, const InterpreterOptions& opt,
+                const Tensor& a, std::span<const Tensor> weights, Tensor& out)
+      : s_(s), chain_(s.chain()), opt_(opt), a_(a), weights_(weights), out_(out) {}
+
+  ExecutionCounters run_block(std::int64_t block_id) {
+    BlockState st;
+    decode_block(block_id, st);
+    alloc_buffers(st);
+    exec_node(s_.root(), st);
+    return st.counters;
+  }
+
+ private:
+  void decode_block(std::int64_t block_id, BlockState& st) const {
+    st.idx.assign(static_cast<std::size_t>(chain_.num_loops()), 0);
+    std::int64_t rem = block_id;
+    const auto& bl = s_.block_loops();
+    for (auto it = bl.rbegin(); it != bl.rend(); ++it) {
+      const std::int64_t e = s_.extents()[static_cast<std::size_t>(*it)];
+      st.idx[static_cast<std::size_t>(*it)] = rem % e;
+      rem /= e;
+    }
+    st.batch = rem;
+    MCF_CHECK(st.batch < chain_.batch()) << "block id out of range";
+  }
+
+  void alloc_buffers(BlockState& st) const {
+    st.bufs.resize(static_cast<std::size_t>(chain_.num_tensors()));
+    for (int t = 0; t < chain_.num_tensors(); ++t) {
+      const std::int64_t elems =
+          s_.tile_elems(t) * s_.resident_tiles()[static_cast<std::size_t>(t)];
+      st.bufs[static_cast<std::size_t>(t)].assign(static_cast<std::size_t>(elems), 0.0f);
+    }
+    st.run_max.resize(static_cast<std::size_t>(chain_.num_ops()));
+    st.run_sum.resize(static_cast<std::size_t>(chain_.num_ops()));
+    for (int op = 0; op < chain_.num_ops(); ++op) {
+      if (chain_.epilogue(op) == Epilogue::OnlineSoftmax) {
+        st.run_max[static_cast<std::size_t>(op)].assign(
+            static_cast<std::size_t>(s_.tiles()[0]),
+            -std::numeric_limits<float>::infinity());
+        st.run_sum[static_cast<std::size_t>(op)].assign(
+            static_cast<std::size_t>(s_.tiles()[0]), 0.0f);
+      }
+    }
+  }
+
+  std::int64_t slot_offset(int t, const BlockState& st,
+                           const std::vector<std::int64_t>* override_idx) const {
+    const auto& loops = s_.resident_loops(t);
+    std::int64_t slot = 0;
+    for (const int l : loops) {
+      const std::int64_t e = s_.extents()[static_cast<std::size_t>(l)];
+      const std::int64_t v =
+          override_idx ? (*override_idx)[static_cast<std::size_t>(l)]
+                       : st.idx[static_cast<std::size_t>(l)];
+      slot = slot * e + v;
+    }
+    return slot * s_.tile_elems(t);
+  }
+
+  void exec_node(int node, BlockState& st) {
+    const auto& n = s_.node(node);
+    if (n.is_stmt) {
+      exec_stmt(n.stmt, st);
+      return;
+    }
+    if (n.loop < 0) {
+      for (const int c : n.children) exec_node(c, st);
+      return;
+    }
+    const std::int64_t e = s_.extents()[static_cast<std::size_t>(n.loop)];
+    for (std::int64_t i = 0; i < e; ++i) {
+      st.idx[static_cast<std::size_t>(n.loop)] = i;
+      for (const int c : n.children) exec_node(c, st);
+    }
+    st.idx[static_cast<std::size_t>(n.loop)] = 0;
+  }
+
+  void exec_stmt(const Statement& stmt, BlockState& st) {
+    st.counters.stmt_trips += 1.0;
+    switch (stmt.kind) {
+      case StmtKind::Load:
+        exec_load(stmt, st);
+        break;
+      case StmtKind::Compute:
+        exec_compute(stmt, st);
+        break;
+      case StmtKind::Store:
+        exec_store(stmt, st);
+        break;
+    }
+  }
+
+  const Tensor& global_source(int t) const {
+    if (t == 0) return a_;
+    const auto& info = chain_.tensor(t);
+    MCF_CHECK(info.kind == TensorKind::Weight) << "load of non-input tensor";
+    return weights_[static_cast<std::size_t>(info.consumer_op)];
+  }
+
+  void exec_load(const Statement& stmt, BlockState& st) {
+    const int t = stmt.tensor;
+    const auto& info = chain_.tensor(t);
+    const Tensor& src = global_source(t);
+    const int lr = info.loops[0];
+    const int lc = info.loops[1];
+    const std::int64_t tr = s_.tiles()[static_cast<std::size_t>(lr)];
+    const std::int64_t tc = s_.tiles()[static_cast<std::size_t>(lc)];
+    const std::int64_t r0 = st.idx[static_cast<std::size_t>(lr)] * tr;
+    const std::int64_t c0 = st.idx[static_cast<std::size_t>(lc)] * tc;
+    const std::int64_t rows = chain_.loop_dim(lr);
+    const std::int64_t cols = chain_.loop_dim(lc);
+    const auto slice = src.batch_slice(st.batch);
+    float* dst = st.bufs[static_cast<std::size_t>(t)].data() +
+                 slot_offset(t, st, nullptr);
+    for (std::int64_t r = 0; r < tr; ++r) {
+      for (std::int64_t c = 0; c < tc; ++c) {
+        const std::int64_t gr = r0 + r;
+        const std::int64_t gc = c0 + c;
+        dst[r * tc + c] = (gr < rows && gc < cols)
+                              ? slice[static_cast<std::size_t>(gr * cols + gc)]
+                              : 0.0f;
+      }
+    }
+    st.counters.load_bytes +=
+        static_cast<double>(s_.tile_elems(t)) * opt_.dtype_bytes;
+  }
+
+  void exec_compute(const Statement& stmt, BlockState& st) {
+    const int op = stmt.op;
+    const int t_in = chain_.op_input_tensor(op);
+    const int t_w = chain_.op_weight_tensor(op);
+    const int t_out = chain_.op_output_tensor(op);
+    const int red = chain_.reduction_loop(op);
+    const int col = chain_.out_col_loop(op);
+    const std::int64_t tm = s_.tiles()[0];
+    const std::int64_t trd = s_.tiles()[static_cast<std::size_t>(red)];
+    const std::int64_t tcl = s_.tiles()[static_cast<std::size_t>(col)];
+
+    float* out = st.bufs[static_cast<std::size_t>(t_out)].data() +
+                 slot_offset(t_out, st, nullptr);
+    const float* in = st.bufs[static_cast<std::size_t>(t_in)].data() +
+                      slot_offset(t_in, st, nullptr);
+    const float* w = st.bufs[static_cast<std::size_t>(t_w)].data() +
+                     slot_offset(t_w, st, nullptr);
+
+    if (st.idx[static_cast<std::size_t>(red)] == 0) {
+      std::fill(out, out + tm * tcl, 0.0f);
+    }
+    // Pre-overhaul inner loop: scalar with a per-row zero-skip branch.
+    for (std::int64_t i = 0; i < tm; ++i) {
+      for (std::int64_t r = 0; r < trd; ++r) {
+        const float av = in[i * trd + r];
+        if (av == 0.0f) continue;
+        const float* wrow = &w[r * tcl];
+        float* orow = &out[i * tcl];
+        for (std::int64_t c = 0; c < tcl; ++c) orow[c] += av * wrow[c];
+      }
+    }
+    st.counters.flops += 2.0 * static_cast<double>(tm) * trd * tcl;
+    if (op > 0 && chain_.epilogue(op - 1) == Epilogue::OnlineSoftmax) {
+      st.counters.epilogue_flops +=
+          kRescaleFlopsPerElem * static_cast<double>(tm) * tcl;
+    }
+
+    const std::int64_t red_ext = s_.extents()[static_cast<std::size_t>(red)];
+    if (st.idx[static_cast<std::size_t>(red)] == red_ext - 1 &&
+        chain_.epilogue(op) != Epilogue::None) {
+      apply_epilogue(op, st);
+    }
+  }
+
+  void apply_epilogue(int op, BlockState& st) {
+    const int t_out = chain_.op_output_tensor(op);
+    const int col = chain_.out_col_loop(op);
+    const std::int64_t tm = s_.tiles()[0];
+    const std::int64_t tcl = s_.tiles()[static_cast<std::size_t>(col)];
+    float* x = st.bufs[static_cast<std::size_t>(t_out)].data() +
+               slot_offset(t_out, st, nullptr);
+    const Epilogue epi = chain_.epilogue(op);
+
+    if (epi == Epilogue::Relu) {
+      for (std::int64_t i = 0; i < tm * tcl; ++i) x[i] = std::max(0.0f, x[i]);
+      st.counters.epilogue_flops +=
+          kReluFlopsPerElem * static_cast<double>(tm) * tcl;
+      return;
+    }
+    if (epi == Epilogue::Gelu) {
+      constexpr float kSqrt2OverPi = 0.7978845608028654f;
+      for (std::int64_t i = 0; i < tm * tcl; ++i) {
+        const float v = x[i];
+        const float t = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+        x[i] = 0.5f * v * (1.0f + std::tanh(t));
+      }
+      st.counters.epilogue_flops +=
+          kGeluFlopsPerElem * static_cast<double>(tm) * tcl;
+      return;
+    }
+
+    MCF_CHECK(epi == Epilogue::OnlineSoftmax) << "unknown epilogue";
+    MCF_CHECK(op + 1 < chain_.num_ops())
+        << "online softmax requires a consumer operator";
+    const float scale = chain_.softmax_scale();
+    const std::int64_t c0 = st.idx[static_cast<std::size_t>(col)] * tcl;
+    const std::int64_t valid_cols = chain_.loop_dim(col);
+    auto& rmax = st.run_max[static_cast<std::size_t>(op)];
+    auto& rsum = st.run_sum[static_cast<std::size_t>(op)];
+
+    const int t_cons = chain_.op_output_tensor(op + 1);
+    auto& cons = st.bufs[static_cast<std::size_t>(t_cons)];
+    const std::int64_t cons_cols =
+        s_.tiles()[static_cast<std::size_t>(chain_.out_col_loop(op + 1))];
+    const std::int64_t cons_rows_total =
+        static_cast<std::int64_t>(cons.size()) / cons_cols;
+
+    for (std::int64_t i = 0; i < tm; ++i) {
+      float* row = &x[i * tcl];
+      for (std::int64_t c = 0; c < tcl; ++c) {
+        if (c0 + c >= valid_cols) row[c] = -std::numeric_limits<float>::infinity();
+        else row[c] *= scale;
+      }
+      float tile_max = -std::numeric_limits<float>::infinity();
+      for (std::int64_t c = 0; c < tcl; ++c) tile_max = std::max(tile_max, row[c]);
+      const float new_max = std::max(rmax[static_cast<std::size_t>(i)], tile_max);
+      float sum = 0.0f;
+      for (std::int64_t c = 0; c < tcl; ++c) {
+        const float e = (row[c] == -std::numeric_limits<float>::infinity())
+                            ? 0.0f
+                            : std::exp(row[c] - new_max);
+        row[c] = e;
+        sum += e;
+      }
+      const float corr =
+          (rmax[static_cast<std::size_t>(i)] == -std::numeric_limits<float>::infinity())
+              ? 0.0f
+              : std::exp(rmax[static_cast<std::size_t>(i)] - new_max);
+      rsum[static_cast<std::size_t>(i)] =
+          rsum[static_cast<std::size_t>(i)] * corr + sum;
+      rmax[static_cast<std::size_t>(i)] = new_max;
+      for (std::int64_t tile_row = i; tile_row < cons_rows_total; tile_row += tm) {
+        float* crow = &cons[static_cast<std::size_t>(tile_row * cons_cols)];
+        for (std::int64_t c = 0; c < cons_cols; ++c) crow[c] *= corr;
+      }
+    }
+    st.counters.epilogue_flops +=
+        kSoftmaxFlopsPerElem * static_cast<double>(tm) * tcl;
+  }
+
+  void exec_store(const Statement& stmt, BlockState& st) {
+    const int t = stmt.tensor;
+    const auto& info = chain_.tensor(t);
+    MCF_CHECK(info.kind == TensorKind::Output) << "store of non-output tensor";
+    const int lr = info.loops[0];
+    const int lc = info.loops[1];
+    const std::int64_t tr = s_.tiles()[static_cast<std::size_t>(lr)];
+    const std::int64_t tc = s_.tiles()[static_cast<std::size_t>(lc)];
+    const std::int64_t rows = chain_.loop_dim(lr);
+    const std::int64_t cols = chain_.loop_dim(lc);
+    auto slice = out_.batch_slice(st.batch);
+
+    const int producer = info.producer_op;
+    const bool normalize =
+        producer > 0 && chain_.epilogue(producer - 1) == Epilogue::OnlineSoftmax;
+    const std::vector<float>* rsum =
+        normalize ? &st.run_sum[static_cast<std::size_t>(producer - 1)] : nullptr;
+
+    std::vector<std::int64_t> combo_idx = st.idx;
+    const auto& covered = stmt.covered_loops;
+    std::vector<std::int64_t> counter(covered.size(), 0);
+    double tiles_written = 0.0;
+    for (;;) {
+      for (std::size_t j = 0; j < covered.size(); ++j) {
+        combo_idx[static_cast<std::size_t>(covered[j])] = counter[j];
+      }
+      const float* src = st.bufs[static_cast<std::size_t>(t)].data() +
+                         slot_offset(t, st, &combo_idx);
+      const std::int64_t r0 = combo_idx[static_cast<std::size_t>(lr)] * tr;
+      const std::int64_t c0 = combo_idx[static_cast<std::size_t>(lc)] * tc;
+      for (std::int64_t r = 0; r < tr; ++r) {
+        const std::int64_t gr = r0 + r;
+        if (gr >= rows) continue;
+        const float inv =
+            normalize ? 1.0f / std::max((*rsum)[static_cast<std::size_t>(r)], 1e-30f)
+                      : 1.0f;
+        for (std::int64_t c = 0; c < tc; ++c) {
+          const std::int64_t gc = c0 + c;
+          if (gc >= cols) continue;
+          slice[static_cast<std::size_t>(gr * cols + gc)] = src[r * tc + c] * inv;
+        }
+      }
+      tiles_written += 1.0;
+      std::size_t j = 0;
+      for (; j < covered.size(); ++j) {
+        counter[j] += 1;
+        if (counter[j] <
+            s_.extents()[static_cast<std::size_t>(covered[j])]) break;
+        counter[j] = 0;
+      }
+      if (j == covered.size()) break;
+    }
+    st.counters.store_bytes += tiles_written *
+                               static_cast<double>(s_.tile_elems(t)) *
+                               opt_.dtype_bytes;
+  }
+
+  const Schedule& s_;
+  const ChainSpec& chain_;
+  const InterpreterOptions& opt_;
+  const Tensor& a_;
+  std::span<const Tensor> weights_;
+  Tensor& out_;
+};
+
+/// Pre-overhaul Interpreter::run: per-block executor construction, mutex
+/// around the counter aggregation.
+inline ExecutionCounters run(const Schedule& s, const InterpreterOptions& opt,
+                             const Tensor& a, std::span<const Tensor> weights,
+                             Tensor& out) {
+  const std::int64_t n_blocks = s.num_blocks();
+  std::mutex agg_mutex;
+  ExecutionCounters total;
+  auto run_range = [&](std::int64_t b) {
+    BlockExecutor exec(s, opt, a, weights, out);
+    const ExecutionCounters c = exec.run_block(b);
+    const std::lock_guard<std::mutex> lock(agg_mutex);
+    total.load_bytes += c.load_bytes;
+    total.store_bytes += c.store_bytes;
+    total.flops += c.flops;
+    total.epilogue_flops += c.epilogue_flops;
+    total.stmt_trips += c.stmt_trips;
+  };
+  if (opt.parallel) {
+    ThreadPool::global().parallel_for(n_blocks, run_range);
+  } else {
+    for (std::int64_t b = 0; b < n_blocks; ++b) run_range(b);
+  }
+  return total;
+}
+
+}  // namespace mcf::bench::legacy

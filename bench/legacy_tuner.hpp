@@ -1,0 +1,289 @@
+// Frozen pre-overhaul tuner loop, kept as the measurement baseline for
+// bench_tuning_throughput.
+//
+// This is Algorithm 1 exactly as it stood before the batched-evaluation
+// rework: every candidate is estimated serially (rebuilding the Schedule
+// and re-running the volume analysis per call), mutation validity checks
+// rebuild the schedule again, measurements run one at a time, and the
+// refinement loop re-estimates the incumbent once per move.  It exists so
+// the throughput bench reports a new-vs-old speedup against the real old
+// code path forever.  Do not "optimise" this file.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "search/tuner.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace mcf::bench::legacy {
+
+class LegacyTuner {
+ public:
+  LegacyTuner(const SearchSpace& space, GpuSpec gpu, TunerOptions options = {})
+      : space_(space),
+        gpu_(std::move(gpu)),
+        opt_(options),
+        model_(gpu_),
+        sim_(gpu_),
+        rng_(make_rng(options.seed)) {}
+
+  [[nodiscard]] TunedResult run() {
+    const auto t_start = std::chrono::steady_clock::now();
+    TunedResult result;
+    const auto& cands = space_.candidates();
+    if (cands.empty()) return result;
+
+    const int n = std::min<int>(opt_.population, static_cast<int>(cands.size()));
+    std::vector<CandidateConfig> population;
+    {
+      std::vector<std::vector<std::size_t>> by_expr(space_.expressions().size());
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        by_expr[static_cast<std::size_t>(cands[i].expr_id)].push_back(i);
+      }
+      std::size_t nonempty = 0;
+      for (const auto& b : by_expr) nonempty += b.empty() ? 0 : 1;
+      const int quota = std::max(1, n / 2 / std::max<int>(1, static_cast<int>(nonempty)));
+      std::vector<std::pair<double, CandidateConfig>> seeds;
+      for (const auto& bucket : by_expr) {
+        if (bucket.empty()) continue;
+        std::uniform_int_distribution<std::size_t> pick(0, bucket.size() - 1);
+        std::vector<std::pair<double, CandidateConfig>> local;
+        const int oversample =
+            std::min<int>(8 * quota, static_cast<int>(bucket.size()));
+        for (int i = 0; i < oversample; ++i) {
+          CandidateConfig c = cands[bucket[pick(rng_)]];
+          local.emplace_back(estimate(c), std::move(c));
+        }
+        std::sort(local.begin(), local.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (int i = 0; i < quota && i < static_cast<int>(local.size()); ++i) {
+          seeds.push_back(std::move(local[static_cast<std::size_t>(i)]));
+        }
+      }
+      population.reserve(static_cast<std::size_t>(n));
+      for (auto& [est_t, c] : seeds) {
+        if (static_cast<int>(population.size()) >= n) break;
+        population.push_back(std::move(c));
+      }
+      while (static_cast<int>(population.size()) < n) {
+        population.push_back(random_candidate());
+      }
+    }
+
+    double best_t = 1e9;
+    CandidateConfig best_cand;
+    KernelMeasurement best_meas;
+    std::map<std::uint64_t, double> measured_cache;
+
+    for (int gen = 0; gen < opt_.max_generations; ++gen) {
+      ++stats_.generations;
+      std::vector<std::pair<double, std::size_t>> scored;
+      scored.reserve(population.size());
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        scored.emplace_back(estimate(population[i]), i);
+      }
+      std::sort(scored.begin(), scored.end());
+
+      double top1_t = 1e9;
+      CandidateConfig top1_cand;
+      const int k = std::min<int>(opt_.topk, static_cast<int>(scored.size()));
+      int taken = 0;
+      const std::size_t attempt_cap = std::min<std::size_t>(scored.size(), 4u * k);
+      for (std::size_t i = 0; i < attempt_cap && taken < k; ++i) {
+        const CandidateConfig& c = population[scored[i].second];
+        const std::uint64_t key = candidate_key(c);
+        double t;
+        if (const auto it = measured_cache.find(key); it != measured_cache.end()) {
+          t = it->second;
+          if (t >= 1e8) continue;
+        } else {
+          const auto m = measure(c);
+          t = m.value_or(1e9);
+          measured_cache.emplace(key, t);
+          if (!m.has_value()) continue;
+          est_meas_.emplace_back(scored[i].first, t);
+        }
+        ++taken;
+        if (t < top1_t) {
+          top1_t = t;
+          top1_cand = c;
+        }
+      }
+
+      const double improvement = (best_t - top1_t) / std::max(best_t, 1e-12);
+      if (top1_t < best_t) {
+        best_t = top1_t;
+        best_cand = top1_cand;
+      }
+      if (best_t < 1e8 && gen + 1 >= opt_.min_generations &&
+          improvement < opt_.epsilon) {
+        break;
+      }
+
+      std::vector<double> weights;
+      weights.reserve(population.size());
+      for (const auto& [est, idx] : scored) weights.push_back(1.0 / std::max(est, 1e-12));
+      std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+      std::vector<CandidateConfig> next;
+      next.reserve(population.size());
+      if (best_t < 1e8) {
+        next.push_back(best_cand);
+        next.push_back(mutate(best_cand));
+      }
+      while (next.size() < population.size()) {
+        const auto& parent = population[scored[pick(rng_)].second];
+        next.push_back(mutate(parent));
+      }
+      population = std::move(next);
+    }
+
+    if (best_t < 1e8) {
+      bool improved = true;
+      int refine_rounds = 0;
+      while (improved && refine_rounds++ < 4) {
+        improved = false;
+        const CandidateConfig base = best_cand;
+        std::vector<CandidateConfig> moves;
+        for (int e = 0; e < static_cast<int>(space_.expressions().size()); ++e) {
+          if (e == base.expr_id) continue;
+          CandidateConfig c = base;
+          c.expr_id = e;
+          moves.push_back(std::move(c));
+        }
+        for (int l = 0; l < space_.chain().num_loops(); ++l) {
+          const auto& opts = space_.tile_options_r3()[static_cast<std::size_t>(l)];
+          const auto cur = std::find(opts.begin(), opts.end(),
+                                     base.tiles[static_cast<std::size_t>(l)]);
+          if (cur == opts.end()) continue;
+          const std::size_t idx = static_cast<std::size_t>(cur - opts.begin());
+          for (const int dir : {-1, +1}) {
+            if ((dir < 0 && idx == 0) || (dir > 0 && idx + 1 >= opts.size())) continue;
+            CandidateConfig c = base;
+            c.tiles[static_cast<std::size_t>(l)] = opts[idx + static_cast<std::size_t>(dir)];
+            moves.push_back(std::move(c));
+          }
+        }
+        for (const auto& c : moves) {
+          if (!space_.passes_rules(c)) continue;
+          // Pre-overhaul quirk: estimate(base) recomputed on every move.
+          if (estimate(c) > 1.2 * estimate(base)) continue;
+          const std::uint64_t key = candidate_key(c);
+          double t;
+          if (const auto it = measured_cache.find(key); it != measured_cache.end()) {
+            t = it->second;
+          } else {
+            const auto m = measure(c);
+            t = m.value_or(1e9);
+            measured_cache.emplace(key, t);
+            if (m.has_value()) est_meas_.emplace_back(estimate(c), t);
+          }
+          if (t < best_t) {
+            best_t = t;
+            best_cand = c;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    if (best_t >= 1e8) return result;
+    const Schedule s = space_.schedule_for(best_cand);
+    best_meas = sim_.measure(s, opt_.measure);
+
+    result.ok = true;
+    result.best = best_cand;
+    result.best_time_s = best_t;
+    result.best_measurement = best_meas;
+    stats_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+            .count();
+    result.stats = stats_;
+    result.est_vs_measured = std::move(est_meas_);
+    return result;
+  }
+
+ private:
+  static std::uint64_t candidate_key(const CandidateConfig& c) {
+    std::uint64_t h = splitmix64(static_cast<std::uint64_t>(c.expr_id) + 1);
+    for (const auto t : c.tiles) h = hash_combine(h, static_cast<std::uint64_t>(t));
+    return h;
+  }
+
+  [[nodiscard]] double estimate(const CandidateConfig& c) {
+    const std::uint64_t key = candidate_key(c);
+    if (const auto it = est_cache_.find(key); it != est_cache_.end()) {
+      return it->second;
+    }
+    const Schedule s = space_.schedule_for(c);
+    ++stats_.estimates;
+    const double t = model_.estimate(s).time_s;
+    est_cache_.emplace(key, t);
+    return t;
+  }
+
+  [[nodiscard]] std::optional<double> measure(const CandidateConfig& c) {
+    const Schedule s = space_.schedule_for(c);
+    ++stats_.measurements;
+    const KernelMeasurement m = sim_.measure(s, opt_.measure);
+    if (!m.ok) {
+      ++stats_.compile_failures;
+      return std::nullopt;
+    }
+    return m.time_s;
+  }
+
+  [[nodiscard]] CandidateConfig random_candidate() {
+    const auto& cands = space_.candidates();
+    MCF_CHECK(!cands.empty()) << "empty search space";
+    std::uniform_int_distribution<std::size_t> pick(0, cands.size() - 1);
+    return cands[pick(rng_)];
+  }
+
+  [[nodiscard]] CandidateConfig mutate(const CandidateConfig& parent) {
+    const auto& chain = space_.chain();
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      CandidateConfig c = parent;
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      if (coin(rng_) < opt_.expr_mutation_prob &&
+          space_.expressions().size() > 1) {
+        std::uniform_int_distribution<int> pick(
+            0, static_cast<int>(space_.expressions().size()) - 1);
+        c.expr_id = pick(rng_);
+      } else {
+        std::uniform_int_distribution<int> pick_loop(0, chain.num_loops() - 1);
+        const int l = pick_loop(rng_);
+        const auto& opts = space_.tile_options_r3()[static_cast<std::size_t>(l)];
+        if (opts.size() < 2) continue;
+        const auto cur = std::find(opts.begin(), opts.end(),
+                                   c.tiles[static_cast<std::size_t>(l)]);
+        std::size_t idx = cur == opts.end()
+                              ? 0
+                              : static_cast<std::size_t>(cur - opts.begin());
+        const bool up = coin(rng_) < 0.5;
+        if (up && idx + 1 < opts.size()) ++idx;
+        else if (!up && idx > 0) --idx;
+        else continue;
+        c.tiles[static_cast<std::size_t>(l)] = opts[idx];
+      }
+      if (space_.passes_rules(c)) return c;
+    }
+    return random_candidate();
+  }
+
+  const SearchSpace& space_;
+  GpuSpec gpu_;
+  TunerOptions opt_;
+  AnalyticalModel model_;
+  TimingSimulator sim_;
+  Rng rng_;
+  TuningStats stats_;
+  std::map<std::uint64_t, double> est_cache_;
+  std::vector<std::pair<double, double>> est_meas_;
+};
+
+}  // namespace mcf::bench::legacy

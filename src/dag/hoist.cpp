@@ -121,8 +121,10 @@ void compute_residency(Schedule& s) {
     }
     return -1;
   };
+  // Inline storage: residency runs once per candidate schedule on the
+  // tuner's hot path, and these paths are at most tree-depth long.
   auto path = [&](int idx) {
-    std::vector<int> p;
+    InlineVec<int, 16> p;
     for (int cur = idx; cur != -1; cur = nodes[static_cast<std::size_t>(cur)].parent)
       p.push_back(cur);
     std::reverse(p.begin(), p.end());
@@ -132,7 +134,7 @@ void compute_residency(Schedule& s) {
   for (int t = 0; t < chain.num_tensors(); ++t) {
     // Statements touching tensor t: its loads/stores plus the computes of
     // its producer and consumer ops.
-    std::vector<int> touch;
+    InlineVec<int, 16> touch;
     for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
       const auto& n = nodes[static_cast<std::size_t>(i)];
       if (!n.is_stmt) continue;
@@ -150,20 +152,21 @@ void compute_residency(Schedule& s) {
     if (touch.empty()) continue;
 
     // Lowest common ancestor scope of all touching statements.
-    std::vector<int> lca_path = path(touch.front());
+    InlineVec<int, 16> lca_path = path(touch[0]);
+    std::size_t lca_len = lca_path.size();
     for (std::size_t k = 1; k < touch.size(); ++k) {
       const auto p2 = path(touch[k]);
       std::size_t j = 0;
-      while (j < lca_path.size() && j < p2.size() && lca_path[j] == p2[j]) ++j;
-      lca_path.resize(j);
+      while (j < lca_len && j < p2.size() && lca_path[j] == p2[j]) ++j;
+      lca_len = j;
     }
     // Strip trailing statement nodes from the LCA path (scope only).
-    while (!lca_path.empty() &&
-           nodes[static_cast<std::size_t>(lca_path.back())].is_stmt) {
-      lca_path.pop_back();
+    while (lca_len > 0 &&
+           nodes[static_cast<std::size_t>(lca_path[lca_len - 1])].is_stmt) {
+      --lca_len;
     }
-    MCF_CHECK(!lca_path.empty()) << "LCA must at least contain the root";
-    int lca = lca_path.back();
+    MCF_CHECK(lca_len > 0) << "LCA must at least contain the root";
+    int lca = lca_path[lca_len - 1];
 
     // Accumulated tensors persist across their reduction loop: lift the
     // allocation scope above it.

@@ -22,11 +22,13 @@ const char* stmt_kind_name(StmtKind k) noexcept {
 
 std::vector<int> Schedule::statements_in_order() const {
   std::vector<int> out;
+  out.reserve(nodes_.size());
   // Iterative pre-order traversal respecting child order.
-  std::vector<int> stack{root()};
+  InlineVec<int, 32> stack;
+  stack.push_back(root());
   while (!stack.empty()) {
     const int cur = stack.back();
-    stack.pop_back();
+    stack.truncate(stack.size() - 1);
     const Node& n = node(cur);
     if (n.is_stmt) out.push_back(cur);
     for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
@@ -39,7 +41,7 @@ std::vector<int> Schedule::statements_in_order() const {
 std::int64_t Schedule::num_blocks() const {
   std::int64_t blocks = chain_->batch();
   for (const int l : block_loops_) {
-    blocks *= extents_.at(static_cast<std::size_t>(l));
+    blocks *= extents_[static_cast<std::size_t>(l)];
   }
   return blocks;
 }
@@ -49,7 +51,7 @@ double Schedule::trip_count(int i) const {
   for (int cur = node(i).parent; cur != -1; cur = node(cur).parent) {
     const Node& n = node(cur);
     if (n.loop >= 0) {
-      trips *= static_cast<double>(extents_.at(static_cast<std::size_t>(n.loop)));
+      trips *= static_cast<double>(extents_[static_cast<std::size_t>(n.loop)]);
     }
   }
   return trips;
@@ -58,7 +60,7 @@ double Schedule::trip_count(int i) const {
 std::int64_t Schedule::tile_elems(int t) const {
   std::int64_t elems = 1;
   for (const int l : chain_->tensor(t).loops) {
-    elems *= tiles_.at(static_cast<std::size_t>(l));
+    elems *= tiles_[static_cast<std::size_t>(l)];
   }
   return elems;
 }
@@ -129,7 +131,7 @@ namespace {
 /// related to the op and whose root-path contains all tree-resident
 /// related loops.  Returns -1 when the expression cannot host the op.
 int find_compute_scope(const Schedule& s, const std::vector<Schedule::Node>& nodes,
-                       const std::vector<int>& related_in_tree) {
+                       const InlineVec<int, 8>& related_in_tree) {
   (void)s;
   if (related_in_tree.empty()) return 0;  // everything block-bound
   int best = -1;
@@ -142,7 +144,7 @@ int find_compute_scope(const Schedule& s, const std::vector<Schedule::Node>& nod
       continue;
     }
     // Collect loops on the path root..i.
-    std::vector<int> path_loops;
+    InlineVec<int, 16> path_loops;
     int depth = 0;
     for (int cur = i; cur != -1; cur = nodes[static_cast<std::size_t>(cur)].parent) {
       const auto& pn = nodes[static_cast<std::size_t>(cur)];
@@ -172,21 +174,32 @@ Schedule build_schedule(const ChainSpec& chain, const TileExpr& expr,
   MCF_CHECK(static_cast<int>(tiles.size()) == chain.num_loops())
       << "tile vector must cover every loop";
   Schedule s;
-  std::vector<std::int64_t> tile_vec(tiles.begin(), tiles.end());
-  std::vector<std::int64_t> extents(tile_vec.size());
+  InlineVec<std::int64_t, 8> tile_vec;
+  tile_vec.assign(tiles.begin(), tiles.end());
+  InlineVec<std::int64_t, 8> extents;
+  extents.resize(tile_vec.size());
   for (std::size_t l = 0; l < tile_vec.size(); ++l) {
     const std::int64_t dim = chain.loop_dim(static_cast<int>(l));
     tile_vec[l] = std::clamp<std::int64_t>(tile_vec[l], 1, dim);
     extents[l] = (dim + tile_vec[l] - 1) / tile_vec[l];
   }
-  std::vector<int> block = expr.block_loops();
+  const std::vector<int> expr_block = expr.block_loops();
+  InlineVec<int, 6> block;
+  block.assign(expr_block.begin(), expr_block.end());
   std::sort(block.begin(), block.end());
   ScheduleBuilderAccess::init(s, chain, std::move(tile_vec), std::move(extents),
                               std::move(block));
   auto& nodes = ScheduleBuilderAccess::nodes(s);
+  // Exact upper bound: the expression's loop nodes plus at most two loads,
+  // one compute and one store per operator.  A single reservation keeps
+  // node reallocation (and the per-node children copies it drags along)
+  // off the tuner's evaluation hot path.
+  nodes.reserve(static_cast<std::size_t>(expr.num_nodes()) +
+                4 * static_cast<std::size_t>(chain.num_ops()));
 
   // 1. Copy the loop tree.
-  std::vector<int> expr_to_sched(static_cast<std::size_t>(expr.num_nodes()), -1);
+  InlineVec<int, 16> expr_to_sched;
+  expr_to_sched.assign(static_cast<std::size_t>(expr.num_nodes()), -1);
   expr_to_sched[0] = 0;
   // The expression tree is stored in creation order so parents precede
   // children; a single pass suffices.
@@ -204,9 +217,10 @@ Schedule build_schedule(const ChainSpec& chain, const TileExpr& expr,
 
   // 2. Place compute statements in op order; attach loads before and the
   //    final store after (paper: loads/stores associated with the compute).
-  std::vector<int> compute_node(static_cast<std::size_t>(chain.num_ops()), -1);
+  InlineVec<int, 8> compute_node;
+  compute_node.assign(static_cast<std::size_t>(chain.num_ops()), -1);
   for (int op = 0; op < chain.num_ops(); ++op) {
-    std::vector<int> related_in_tree;
+    InlineVec<int, 8> related_in_tree;
     for (const int l : chain.related_loops(op)) {
       bool bound = std::find(s.block_loops().begin(), s.block_loops().end(),
                              l) != s.block_loops().end();
@@ -214,14 +228,17 @@ Schedule build_schedule(const ChainSpec& chain, const TileExpr& expr,
     }
     // Drop loops absent from the tree entirely (defensive; generation
     // always includes every unbound loop).
-    std::erase_if(related_in_tree, [&](int l) {
-      for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
-        if (!nodes[static_cast<std::size_t>(i)].is_stmt &&
-            nodes[static_cast<std::size_t>(i)].loop == l)
-          return false;
-      }
-      return true;
-    });
+    const auto kept = std::remove_if(
+        related_in_tree.begin(), related_in_tree.end(), [&](int l) {
+          for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+            if (!nodes[static_cast<std::size_t>(i)].is_stmt &&
+                nodes[static_cast<std::size_t>(i)].loop == l)
+              return false;
+          }
+          return true;
+        });
+    related_in_tree.truncate(
+        static_cast<std::size_t>(kept - related_in_tree.begin()));
     const int scope = find_compute_scope(s, nodes, related_in_tree);
     if (scope < 0) {
       ScheduleBuilderAccess::set_valid(s, false);

@@ -15,6 +15,7 @@
 
 #include "ir/chain.hpp"
 #include "ir/expr.hpp"
+#include "support/inline_vec.hpp"
 
 namespace mcf {
 
@@ -52,13 +53,15 @@ class Schedule {
     bool is_stmt = false;
     Statement stmt;               ///< valid when is_stmt
     int parent = -1;
-    std::vector<int> children;    ///< ordered; empty for statements
+    /// Ordered; empty for statements.  Inline storage: child lists are
+    /// tiny and schedule construction is the tuner's hot path.
+    InlineVec<int, 6> children;
   };
 
   [[nodiscard]] const ChainSpec& chain() const noexcept { return *chain_; }
-  [[nodiscard]] const std::vector<std::int64_t>& tiles() const noexcept { return tiles_; }
-  [[nodiscard]] const std::vector<std::int64_t>& extents() const noexcept { return extents_; }
-  [[nodiscard]] const std::vector<int>& block_loops() const noexcept { return block_loops_; }
+  [[nodiscard]] const InlineVec<std::int64_t, 8>& tiles() const noexcept { return tiles_; }
+  [[nodiscard]] const InlineVec<std::int64_t, 8>& extents() const noexcept { return extents_; }
+  [[nodiscard]] const InlineVec<int, 6>& block_loops() const noexcept { return block_loops_; }
 
   [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] const Node& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
@@ -72,11 +75,11 @@ class Schedule {
 
   /// Per-tensor count of simultaneously-resident shared-memory tiles
   /// (paper Rule 2 quantity).  Computed at build time.
-  [[nodiscard]] const std::vector<std::int64_t>& resident_tiles() const noexcept { return resident_; }
+  [[nodiscard]] const InlineVec<std::int64_t, 8>& resident_tiles() const noexcept { return resident_; }
 
   /// Per-tensor loops whose extents multiply into resident_tiles(); the
   /// interpreter uses them to address multi-tile buffers.
-  [[nodiscard]] const std::vector<int>& resident_loops(int t) const {
+  [[nodiscard]] const InlineVec<int, 6>& resident_loops(int t) const {
     return resident_loops_.at(static_cast<std::size_t>(t));
   }
 
@@ -100,12 +103,12 @@ class Schedule {
 
  private:
   const ChainSpec* chain_ = nullptr;
-  std::vector<std::int64_t> tiles_;
-  std::vector<std::int64_t> extents_;
-  std::vector<int> block_loops_;
+  InlineVec<std::int64_t, 8> tiles_;
+  InlineVec<std::int64_t, 8> extents_;
+  InlineVec<int, 6> block_loops_;
   std::vector<Node> nodes_;
-  std::vector<std::int64_t> resident_;
-  std::vector<std::vector<int>> resident_loops_;
+  InlineVec<std::int64_t, 8> resident_;
+  std::vector<InlineVec<int, 6>> resident_loops_;
   bool consume_complete_ = true;
   bool valid_ = true;
 

@@ -8,16 +8,16 @@ namespace mcf {
 
 struct ScheduleBuilderAccess {
   static std::vector<Schedule::Node>& nodes(Schedule& s) { return s.nodes_; }
-  static std::vector<std::int64_t>& resident(Schedule& s) { return s.resident_; }
-  static std::vector<std::vector<int>>& resident_loops(Schedule& s) {
+  static InlineVec<std::int64_t, 8>& resident(Schedule& s) { return s.resident_; }
+  static std::vector<InlineVec<int, 6>>& resident_loops(Schedule& s) {
     return s.resident_loops_;
   }
   static void set_consume_complete(Schedule& s, bool v) { s.consume_complete_ = v; }
   static void set_valid(Schedule& s, bool v) { s.valid_ = v; }
   static void init(Schedule& s, const ChainSpec& chain,
-                   std::vector<std::int64_t> tiles,
-                   std::vector<std::int64_t> extents,
-                   std::vector<int> block_loops) {
+                   InlineVec<std::int64_t, 8> tiles,
+                   InlineVec<std::int64_t, 8> extents,
+                   InlineVec<int, 6> block_loops) {
     s.chain_ = &chain;
     s.tiles_ = std::move(tiles);
     s.extents_ = std::move(extents);

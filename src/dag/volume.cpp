@@ -28,6 +28,7 @@ VolumeReport analyze_volume(const Schedule& s, const VolumeOptions& options) {
   const double dtype = static_cast<double>(options.dtype_bytes);
 
   const auto stmts = s.statements_in_order();
+  rep.stmts.reserve(stmts.size());
   for (const int idx : stmts) {
     const Statement& st = s.node(idx).stmt;
     StmtVolume v;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
@@ -18,34 +17,93 @@ constexpr double kReluFlopsPerElem = 1.0;
 constexpr double kGeluFlopsPerElem = 8.0;
 constexpr double kRescaleFlopsPerElem = 4.0;
 
-/// Per-block execution state.
-struct BlockState {
+/// Reusable per-worker-slot execution state.  One Scratch lives per thread
+/// pool slot for the whole kernel run: blocks executing on the same slot
+/// reuse its allocations, so the steady-state hot path performs no heap
+/// allocation at all.  All tile buffers share one flat arena; the
+/// online-softmax running stats live in a second small arena.
+struct alignas(64) Scratch {
   std::int64_t batch = 0;
-  std::vector<std::int64_t> idx;          // current tile index per loop
-  std::vector<std::vector<float>> bufs;   // per tensor: resident*tile floats
-  // Online-softmax running stats per op (only softmax ops allocate).
-  std::vector<std::vector<float>> run_max;
-  std::vector<std::vector<float>> run_sum;
-  ExecutionCounters counters;
+  std::vector<std::int64_t> idx;   // current tile index per loop
+  std::vector<float> arena;        // all tensors: resident*tile floats each
+  std::vector<float> stats;        // run_max ++ run_sum per softmax op
+  ExecutionCounters* acc = nullptr;  // counter sink of the current block
 };
 
 class BlockExecutor {
  public:
   BlockExecutor(const Schedule& s, const InterpreterOptions& opt,
                 const Tensor& a, std::span<const Tensor> weights, Tensor& out)
-      : s_(s), chain_(s.chain()), opt_(opt), a_(a), weights_(weights), out_(out) {}
+      : s_(s), chain_(s.chain()), opt_(opt), a_(a), weights_(weights), out_(out) {
+    // Arena layout: one contiguous float span per tensor, offsets fixed by
+    // the schedule (tile size x resident tile count).
+    buf_offset_.resize(static_cast<std::size_t>(chain_.num_tensors()) + 1, 0);
+    for (int t = 0; t < chain_.num_tensors(); ++t) {
+      const std::int64_t elems =
+          s_.tile_elems(t) * s_.resident_tiles()[static_cast<std::size_t>(t)];
+      buf_offset_[static_cast<std::size_t>(t) + 1] =
+          buf_offset_[static_cast<std::size_t>(t)] + elems;
+    }
+    // Stats layout: [run_max(tm), run_sum(tm)] per online-softmax op.
+    stat_offset_.resize(static_cast<std::size_t>(chain_.num_ops()), -1);
+    std::int64_t stat_floats = 0;
+    for (int op = 0; op < chain_.num_ops(); ++op) {
+      if (chain_.epilogue(op) == Epilogue::OnlineSoftmax) {
+        stat_offset_[static_cast<std::size_t>(op)] = stat_floats;
+        stat_floats += 2 * s_.tiles()[0];
+      }
+    }
+    stat_floats_ = stat_floats;
+  }
 
-  ExecutionCounters run_block(std::int64_t block_id) {
-    BlockState st;
+  /// Executes one simulated thread block on the given slot scratch,
+  /// folding dynamic counters into `counters`.
+  void run_block(std::int64_t block_id, Scratch& st,
+                 ExecutionCounters& counters) const {
+    st.acc = &counters;
+    prepare(st);
     decode_block(block_id, st);
-    alloc_buffers(st);
     exec_node(s_.root(), st);
-    return st.counters;
   }
 
  private:
-  void decode_block(std::int64_t block_id, BlockState& st) const {
-    st.idx.assign(static_cast<std::size_t>(chain_.num_loops()), 0);
+  /// Readies the scratch for a fresh block: allocates on a slot's first
+  /// block (the only heap traffic of the whole run), then only resets the
+  /// softmax running stats.  The tile arena needs no blanket zeroing:
+  /// loads overwrite their full tile (padded fringe included) before any
+  /// read, and accumulator tiles are zeroed when their reduction restarts
+  /// — consume-completeness (checked at construction) guarantees no other
+  /// read-before-write exists.
+  void prepare(Scratch& st) const {
+    const std::int64_t arena_floats = buf_offset_.back();
+    if (static_cast<std::int64_t>(st.arena.size()) != arena_floats) {
+      st.arena.assign(static_cast<std::size_t>(arena_floats), 0.0f);
+      st.stats.resize(static_cast<std::size_t>(stat_floats_));
+      st.idx.resize(static_cast<std::size_t>(chain_.num_loops()));
+    }
+    const std::int64_t tm = s_.tiles()[0];
+    for (int op = 0; op < chain_.num_ops(); ++op) {
+      const std::int64_t off = stat_offset_[static_cast<std::size_t>(op)];
+      if (off < 0) continue;
+      std::fill_n(st.stats.begin() + off, tm,
+                  -std::numeric_limits<float>::infinity());
+      std::fill_n(st.stats.begin() + off + tm, tm, 0.0f);
+    }
+  }
+
+  [[nodiscard]] float* buf(int t, Scratch& st) const {
+    return st.arena.data() + buf_offset_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] float* run_max(int op, Scratch& st) const {
+    return st.stats.data() + stat_offset_[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] float* run_sum(int op, Scratch& st) const {
+    return st.stats.data() + stat_offset_[static_cast<std::size_t>(op)] +
+           s_.tiles()[0];
+  }
+
+  void decode_block(std::int64_t block_id, Scratch& st) const {
+    std::fill(st.idx.begin(), st.idx.end(), 0);
     std::int64_t rem = block_id;
     // Innermost-first mixed radix over block loops, batch outermost.
     const auto& bl = s_.block_loops();
@@ -58,29 +116,9 @@ class BlockExecutor {
     MCF_CHECK(st.batch < chain_.batch()) << "block id out of range";
   }
 
-  void alloc_buffers(BlockState& st) const {
-    st.bufs.resize(static_cast<std::size_t>(chain_.num_tensors()));
-    for (int t = 0; t < chain_.num_tensors(); ++t) {
-      const std::int64_t elems =
-          s_.tile_elems(t) * s_.resident_tiles()[static_cast<std::size_t>(t)];
-      st.bufs[static_cast<std::size_t>(t)].assign(static_cast<std::size_t>(elems), 0.0f);
-    }
-    st.run_max.resize(static_cast<std::size_t>(chain_.num_ops()));
-    st.run_sum.resize(static_cast<std::size_t>(chain_.num_ops()));
-    for (int op = 0; op < chain_.num_ops(); ++op) {
-      if (chain_.epilogue(op) == Epilogue::OnlineSoftmax) {
-        st.run_max[static_cast<std::size_t>(op)].assign(
-            static_cast<std::size_t>(s_.tiles()[0]),
-            -std::numeric_limits<float>::infinity());
-        st.run_sum[static_cast<std::size_t>(op)].assign(
-            static_cast<std::size_t>(s_.tiles()[0]), 0.0f);
-      }
-    }
-  }
-
   /// Buffer slot offset for tensor t under the current indices (override
   /// lets stores iterate covered-loop combinations).
-  std::int64_t slot_offset(int t, const BlockState& st,
+  std::int64_t slot_offset(int t, const Scratch& st,
                            const std::vector<std::int64_t>* override_idx) const {
     const auto& loops = s_.resident_loops(t);
     std::int64_t slot = 0;
@@ -94,7 +132,7 @@ class BlockExecutor {
     return slot * s_.tile_elems(t);
   }
 
-  void exec_node(int node, BlockState& st) {
+  void exec_node(int node, Scratch& st) const {
     const auto& n = s_.node(node);
     if (n.is_stmt) {
       exec_stmt(n.stmt, st);
@@ -112,8 +150,8 @@ class BlockExecutor {
     st.idx[static_cast<std::size_t>(n.loop)] = 0;
   }
 
-  void exec_stmt(const Statement& stmt, BlockState& st) {
-    st.counters.stmt_trips += 1.0;
+  void exec_stmt(const Statement& stmt, Scratch& st) const {
+    st.acc->stmt_trips += 1.0;
     switch (stmt.kind) {
       case StmtKind::Load:
         exec_load(stmt, st);
@@ -135,7 +173,7 @@ class BlockExecutor {
     return weights_[static_cast<std::size_t>(info.consumer_op)];
   }
 
-  void exec_load(const Statement& stmt, BlockState& st) {
+  void exec_load(const Statement& stmt, Scratch& st) const {
     const int t = stmt.tensor;
     const auto& info = chain_.tensor(t);
     const Tensor& src = global_source(t);
@@ -148,22 +186,24 @@ class BlockExecutor {
     const std::int64_t rows = chain_.loop_dim(lr);
     const std::int64_t cols = chain_.loop_dim(lc);
     const auto slice = src.batch_slice(st.batch);
-    float* dst = st.bufs[static_cast<std::size_t>(t)].data() +
-                 slot_offset(t, st, nullptr);
-    for (std::int64_t r = 0; r < tr; ++r) {
-      for (std::int64_t c = 0; c < tc; ++c) {
-        const std::int64_t gr = r0 + r;
-        const std::int64_t gc = c0 + c;
-        dst[r * tc + c] = (gr < rows && gc < cols)
-                              ? slice[static_cast<std::size_t>(gr * cols + gc)]
-                              : 0.0f;
-      }
+    float* dst = buf(t, st) + slot_offset(t, st, nullptr);
+    const std::int64_t full_rows = std::min(tr, rows - r0);
+    const std::int64_t full_cols = std::min(tc, cols - c0);
+    for (std::int64_t r = 0; r < full_rows; ++r) {
+      // Contiguous interior copy; the padded fringe zero-fills.
+      const float* srow = slice.data() + (r0 + r) * cols + c0;
+      float* drow = dst + r * tc;
+      std::copy_n(srow, full_cols, drow);
+      std::fill(drow + std::max<std::int64_t>(full_cols, 0), drow + tc, 0.0f);
     }
-    st.counters.load_bytes +=
+    for (std::int64_t r = std::max<std::int64_t>(full_rows, 0); r < tr; ++r) {
+      std::fill_n(dst + r * tc, tc, 0.0f);
+    }
+    st.acc->load_bytes +=
         static_cast<double>(s_.tile_elems(t)) * opt_.dtype_bytes;
   }
 
-  void exec_compute(const Statement& stmt, BlockState& st) {
+  void exec_compute(const Statement& stmt, Scratch& st) const {
     const int op = stmt.op;
     const int t_in = chain_.op_input_tensor(op);
     const int t_w = chain_.op_weight_tensor(op);
@@ -174,12 +214,9 @@ class BlockExecutor {
     const std::int64_t trd = s_.tiles()[static_cast<std::size_t>(red)];
     const std::int64_t tcl = s_.tiles()[static_cast<std::size_t>(col)];
 
-    float* out = st.bufs[static_cast<std::size_t>(t_out)].data() +
-                 slot_offset(t_out, st, nullptr);
-    const float* in = st.bufs[static_cast<std::size_t>(t_in)].data() +
-                      slot_offset(t_in, st, nullptr);
-    const float* w = st.bufs[static_cast<std::size_t>(t_w)].data() +
-                     slot_offset(t_w, st, nullptr);
+    float* out = buf(t_out, st) + slot_offset(t_out, st, nullptr);
+    const float* in = buf(t_in, st) + slot_offset(t_in, st, nullptr);
+    const float* w = buf(t_w, st) + slot_offset(t_w, st, nullptr);
 
     // Fresh accumulation tile: zero when the reduction restarts.
     if (st.idx[static_cast<std::size_t>(red)] == 0) {
@@ -187,18 +224,43 @@ class BlockExecutor {
     }
     // Consumer-side online-softmax rescale happens at the producer hook
     // (see below); here we only accumulate.
+    //
+    // Register-blocked contiguous FMA micro-kernel: four reduction rows
+    // per pass, so every accumulator-row load/store amortises four FMAs
+    // and the inner loop is branch-free and vectorisable.  The per-element
+    // zero-skip branch of the old scalar loop defeated vectorisation.
+    // The arena layout guarantees the in/weight/out tensors occupy
+    // disjoint spans, so the pointers can be declared non-aliasing — this
+    // is what lets the compiler vectorise the inner loop.
+    const std::int64_t r4 = trd & ~std::int64_t{3};
     for (std::int64_t i = 0; i < tm; ++i) {
-      for (std::int64_t r = 0; r < trd; ++r) {
-        const float av = in[i * trd + r];
-        if (av == 0.0f) continue;
-        const float* wrow = &w[r * tcl];
-        float* orow = &out[i * tcl];
+      const float* __restrict arow = &in[i * trd];
+      float* __restrict orow = &out[i * tcl];
+      std::int64_t r = 0;
+      for (; r < r4; r += 4) {
+        const float a0 = arow[r];
+        const float a1 = arow[r + 1];
+        const float a2 = arow[r + 2];
+        const float a3 = arow[r + 3];
+        const float* __restrict w0 = &w[r * tcl];
+        const float* __restrict w1 = w0 + tcl;
+        const float* __restrict w2 = w1 + tcl;
+        const float* __restrict w3 = w2 + tcl;
+#pragma omp simd
+        for (std::int64_t c = 0; c < tcl; ++c) {
+          orow[c] += a0 * w0[c] + a1 * w1[c] + a2 * w2[c] + a3 * w3[c];
+        }
+      }
+      for (; r < trd; ++r) {
+        const float av = arow[r];
+        const float* __restrict wrow = &w[r * tcl];
+#pragma omp simd
         for (std::int64_t c = 0; c < tcl; ++c) orow[c] += av * wrow[c];
       }
     }
-    st.counters.flops += 2.0 * static_cast<double>(tm) * trd * tcl;
+    st.acc->flops += 2.0 * static_cast<double>(tm) * trd * tcl;
     if (op > 0 && chain_.epilogue(op - 1) == Epilogue::OnlineSoftmax) {
-      st.counters.epilogue_flops +=
+      st.acc->epilogue_flops +=
           kRescaleFlopsPerElem * static_cast<double>(tm) * tcl;
     }
 
@@ -210,18 +272,17 @@ class BlockExecutor {
     }
   }
 
-  void apply_epilogue(int op, BlockState& st) {
+  void apply_epilogue(int op, Scratch& st) const {
     const int t_out = chain_.op_output_tensor(op);
     const int col = chain_.out_col_loop(op);
     const std::int64_t tm = s_.tiles()[0];
     const std::int64_t tcl = s_.tiles()[static_cast<std::size_t>(col)];
-    float* x = st.bufs[static_cast<std::size_t>(t_out)].data() +
-               slot_offset(t_out, st, nullptr);
+    float* x = buf(t_out, st) + slot_offset(t_out, st, nullptr);
     const Epilogue epi = chain_.epilogue(op);
 
     if (epi == Epilogue::Relu) {
       for (std::int64_t i = 0; i < tm * tcl; ++i) x[i] = std::max(0.0f, x[i]);
-      st.counters.epilogue_flops +=
+      st.acc->epilogue_flops +=
           kReluFlopsPerElem * static_cast<double>(tm) * tcl;
       return;
     }
@@ -232,7 +293,7 @@ class BlockExecutor {
         const float t = kSqrt2OverPi * (v + 0.044715f * v * v * v);
         x[i] = 0.5f * v * (1.0f + std::tanh(t));
       }
-      st.counters.epilogue_flops +=
+      st.acc->epilogue_flops +=
           kGeluFlopsPerElem * static_cast<double>(tm) * tcl;
       return;
     }
@@ -244,16 +305,18 @@ class BlockExecutor {
     const float scale = chain_.softmax_scale();
     const std::int64_t c0 = st.idx[static_cast<std::size_t>(col)] * tcl;
     const std::int64_t valid_cols = chain_.loop_dim(col);
-    auto& rmax = st.run_max[static_cast<std::size_t>(op)];
-    auto& rsum = st.run_sum[static_cast<std::size_t>(op)];
+    float* rmax = run_max(op, st);
+    float* rsum = run_sum(op, st);
 
     // The consumer accumulator to rescale (all resident slots).
     const int t_cons = chain_.op_output_tensor(op + 1);
-    auto& cons = st.bufs[static_cast<std::size_t>(t_cons)];
+    float* cons = buf(t_cons, st);
+    const std::int64_t cons_floats =
+        buf_offset_[static_cast<std::size_t>(t_cons) + 1] -
+        buf_offset_[static_cast<std::size_t>(t_cons)];
     const std::int64_t cons_cols =
         s_.tiles()[static_cast<std::size_t>(chain_.out_col_loop(op + 1))];
-    const std::int64_t cons_rows_total =
-        static_cast<std::int64_t>(cons.size()) / cons_cols;
+    const std::int64_t cons_rows_total = cons_floats / cons_cols;
 
     for (std::int64_t i = 0; i < tm; ++i) {
       float* row = &x[i * tcl];
@@ -264,7 +327,7 @@ class BlockExecutor {
       }
       float tile_max = -std::numeric_limits<float>::infinity();
       for (std::int64_t c = 0; c < tcl; ++c) tile_max = std::max(tile_max, row[c]);
-      const float new_max = std::max(rmax[static_cast<std::size_t>(i)], tile_max);
+      const float new_max = std::max(rmax[i], tile_max);
       float sum = 0.0f;
       for (std::int64_t c = 0; c < tcl; ++c) {
         const float e = (row[c] == -std::numeric_limits<float>::infinity())
@@ -274,23 +337,22 @@ class BlockExecutor {
         sum += e;
       }
       const float corr =
-          (rmax[static_cast<std::size_t>(i)] == -std::numeric_limits<float>::infinity())
+          (rmax[i] == -std::numeric_limits<float>::infinity())
               ? 0.0f
-              : std::exp(rmax[static_cast<std::size_t>(i)] - new_max);
-      rsum[static_cast<std::size_t>(i)] =
-          rsum[static_cast<std::size_t>(i)] * corr + sum;
-      rmax[static_cast<std::size_t>(i)] = new_max;
+              : std::exp(rmax[i] - new_max);
+      rsum[i] = rsum[i] * corr + sum;
+      rmax[i] = new_max;
       // Rescale row i of every resident consumer tile.
       for (std::int64_t tile_row = i; tile_row < cons_rows_total; tile_row += tm) {
-        float* crow = &cons[static_cast<std::size_t>(tile_row * cons_cols)];
+        float* crow = &cons[tile_row * cons_cols];
         for (std::int64_t c = 0; c < cons_cols; ++c) crow[c] *= corr;
       }
     }
-    st.counters.epilogue_flops +=
+    st.acc->epilogue_flops +=
         kSoftmaxFlopsPerElem * static_cast<double>(tm) * tcl;
   }
 
-  void exec_store(const Statement& stmt, BlockState& st) {
+  void exec_store(const Statement& stmt, Scratch& st) const {
     const int t = stmt.tensor;
     const auto& info = chain_.tensor(t);
     MCF_CHECK(info.kind == TensorKind::Output) << "store of non-output tensor";
@@ -307,8 +369,7 @@ class BlockExecutor {
     const int producer = info.producer_op;
     const bool normalize =
         producer > 0 && chain_.epilogue(producer - 1) == Epilogue::OnlineSoftmax;
-    const std::vector<float>* rsum =
-        normalize ? &st.run_sum[static_cast<std::size_t>(producer - 1)] : nullptr;
+    const float* rsum = normalize ? run_sum(producer - 1, st) : nullptr;
 
     // Iterate all combinations of covered loops (hoisted stores write every
     // resident tile); other loops use the current indices.
@@ -320,20 +381,20 @@ class BlockExecutor {
       for (std::size_t j = 0; j < covered.size(); ++j) {
         combo_idx[static_cast<std::size_t>(covered[j])] = counter[j];
       }
-      const float* src = st.bufs[static_cast<std::size_t>(t)].data() +
-                         slot_offset(t, st, &combo_idx);
+      const float* src = buf(t, st) + slot_offset(t, st, &combo_idx);
       const std::int64_t r0 = combo_idx[static_cast<std::size_t>(lr)] * tr;
       const std::int64_t c0 = combo_idx[static_cast<std::size_t>(lc)] * tc;
-      for (std::int64_t r = 0; r < tr; ++r) {
-        const std::int64_t gr = r0 + r;
-        if (gr >= rows) continue;
-        const float inv =
-            normalize ? 1.0f / std::max((*rsum)[static_cast<std::size_t>(r)], 1e-30f)
-                      : 1.0f;
-        for (std::int64_t c = 0; c < tc; ++c) {
-          const std::int64_t gc = c0 + c;
-          if (gc >= cols) continue;
-          slice[static_cast<std::size_t>(gr * cols + gc)] = src[r * tc + c] * inv;
+      // Contiguous interior rows; the clipped fringe never enters the loop.
+      const std::int64_t full_rows = std::min(tr, rows - r0);
+      const std::int64_t full_cols = std::min(tc, cols - c0);
+      for (std::int64_t r = 0; r < full_rows; ++r) {
+        const float* srow = src + r * tc;
+        float* drow = slice.data() + (r0 + r) * cols + c0;
+        if (normalize) {
+          const float inv = 1.0f / std::max(rsum[r], 1e-30f);
+          for (std::int64_t c = 0; c < full_cols; ++c) drow[c] = srow[c] * inv;
+        } else {
+          std::copy_n(srow, full_cols, drow);
         }
       }
       tiles_written += 1.0;
@@ -347,7 +408,7 @@ class BlockExecutor {
       }
       if (j == covered.size()) break;
     }
-    st.counters.store_bytes += tiles_written *
+    st.acc->store_bytes += tiles_written *
                                static_cast<double>(s_.tile_elems(t)) *
                                opt_.dtype_bytes;
   }
@@ -358,6 +419,9 @@ class BlockExecutor {
   const Tensor& a_;
   std::span<const Tensor> weights_;
   Tensor& out_;
+  std::vector<std::int64_t> buf_offset_;   // per tensor, prefix sums
+  std::vector<std::int64_t> stat_offset_;  // per op, -1 when no softmax
+  std::int64_t stat_floats_ = 0;
 };
 
 }  // namespace
@@ -386,23 +450,32 @@ ExecutionCounters Interpreter::run(const Tensor& a,
       << "output shape mismatch";
 
   const std::int64_t n_blocks = s_.num_blocks();
-  std::mutex agg_mutex;
-  ExecutionCounters total;
-  auto run_range = [&](std::int64_t b) {
-    BlockExecutor exec(s_, opt_, a, weights, out);
-    const ExecutionCounters c = exec.run_block(b);
-    const std::lock_guard<std::mutex> lock(agg_mutex);
-    total.load_bytes += c.load_bytes;
-    total.store_bytes += c.store_bytes;
-    total.flops += c.flops;
-    total.epilogue_flops += c.epilogue_flops;
-    total.stmt_trips += c.stmt_trips;
+  const BlockExecutor exec(s_, opt_, a, weights, out);
+  // One reusable scratch per worker slot, counters accumulated per slot
+  // by parallel_for_reduce and folded once at the end — no mutex on the
+  // block hot path.  The counters are exact integer-valued doubles (tile
+  // extents and byte counts well below 2^53), so the reduction order
+  // cannot change the result: parallel and serial runs are bit-identical.
+  auto fold = [](ExecutionCounters& into, const ExecutionCounters& c) {
+    into.load_bytes += c.load_bytes;
+    into.store_bytes += c.store_bytes;
+    into.flops += c.flops;
+    into.epilogue_flops += c.epilogue_flops;
+    into.stmt_trips += c.stmt_trips;
   };
   if (opt_.parallel) {
-    ThreadPool::global().parallel_for(n_blocks, run_range);
-  } else {
-    for (std::int64_t b = 0; b < n_blocks; ++b) run_range(b);
+    ThreadPool& pool = ThreadPool::global();
+    std::vector<Scratch> scratch(pool.concurrency());
+    return pool.parallel_for_reduce<ExecutionCounters>(
+        n_blocks, ExecutionCounters{},
+        [&](unsigned slot, std::int64_t b, ExecutionCounters& acc) {
+          exec.run_block(b, scratch[slot], acc);
+        },
+        fold);
   }
+  ExecutionCounters total;
+  Scratch st;
+  for (std::int64_t b = 0; b < n_blocks; ++b) exec.run_block(b, st, total);
   return total;
 }
 

@@ -1,6 +1,7 @@
 #include "model/analytical.hpp"
 
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mcf {
 
@@ -16,6 +17,26 @@ AnalyticalEstimate AnalyticalModel::estimate(const VolumeReport& vol) const {
 
 AnalyticalEstimate AnalyticalModel::estimate(const Schedule& s) const {
   return estimate(analyze_volume(s));
+}
+
+std::vector<AnalyticalEstimate> AnalyticalModel::estimate_batch(
+    std::span<const Schedule* const> schedules, ThreadPool* pool) const {
+  std::vector<AnalyticalEstimate> out(schedules.size());
+  auto body = [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] =
+        estimate(*schedules[static_cast<std::size_t>(i)]);
+  };
+  if (pool != nullptr) {
+    // Each estimate is a few microseconds: keep chunks coarse enough that
+    // scheduling overhead stays negligible.
+    pool->parallel_for(static_cast<std::int64_t>(schedules.size()), body,
+                       /*grain=*/8);
+  } else {
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(schedules.size()); ++i) {
+      body(i);
+    }
+  }
+  return out;
 }
 
 }  // namespace mcf

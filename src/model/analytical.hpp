@@ -11,11 +11,16 @@
 // all of those — their divergence is exactly the paper's Fig. 11 scatter.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "dag/schedule.hpp"
 #include "dag/volume.hpp"
 #include "gpu/spec.hpp"
 
 namespace mcf {
+
+class ThreadPool;
 
 struct AnalyticalEstimate {
   double time_s = 0.0;
@@ -35,6 +40,12 @@ class AnalyticalModel {
 
   /// Estimates from a precomputed volume report (hot path in the tuner).
   [[nodiscard]] AnalyticalEstimate estimate(const VolumeReport& vol) const;
+
+  /// Estimates a whole candidate batch, fanning the (pure, side-effect
+  /// free) per-schedule analysis across `pool` when one is given.  The
+  /// result order matches the input order regardless of thread count.
+  [[nodiscard]] std::vector<AnalyticalEstimate> estimate_batch(
+      std::span<const Schedule* const> schedules, ThreadPool* pool) const;
 
  private:
   GpuSpec spec_;

@@ -64,7 +64,8 @@ FusionResult MCFuser::fuse_cached(const ChainSpec& chain,
         SearchSpace(chain, options_.space, options_.prune, options_.sched)
             .expressions()[static_cast<std::size_t>(result.tuned.best.expr_id)]
             .structure_key();
-    entry.tiles = result.tuned.best.tiles;
+    entry.tiles.assign(result.tuned.best.tiles.begin(),
+                       result.tuned.best.tiles.end());
     entry.time_s = result.tuned.best_time_s;
     cache.put(chain, gpu_, std::move(entry));
   }

@@ -150,6 +150,8 @@ SearchSpace::SearchSpace(const ChainSpec& chain, const SpaceOptions& space_opts,
       if (l == nl) break;
     }
   }
+  candidate_keys_.reserve(candidates_.size());
+  for (const auto& c : candidates_) candidate_keys_.insert(candidate_key(c));
   funnel_.after_rule4 = static_cast<double>(candidates_.size());
   MCF_LOG(Info) << chain.name() << ": search space " << funnel_.original
                 << " -> " << candidates_.size() << " candidates ("
@@ -164,7 +166,10 @@ Schedule SearchSpace::schedule_for(const CandidateConfig& c) const {
 }
 
 bool SearchSpace::passes_rules(const CandidateConfig& c) const {
-  const Schedule s = schedule_for(c);
+  return passes_rules(schedule_for(c));
+}
+
+bool SearchSpace::passes_rules(const Schedule& s) const {
   if (!s.valid()) return false;
   if (prune_opts_.rule2_resident && !schedule_passes_rule2(s, prune_opts_)) {
     return false;

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "dag/schedule.hpp"
 #include "ir/chain.hpp"
 #include "ir/expr.hpp"
 #include "search/prune.hpp"
+#include "support/rng.hpp"
 
 namespace mcf {
 
@@ -28,9 +30,19 @@ struct SpaceOptions {
 
 /// One point of the search space.
 struct CandidateConfig {
-  int expr_id = -1;                 ///< index into SearchSpace::expressions()
-  std::vector<std::int64_t> tiles;  ///< per loop id
+  int expr_id = -1;                      ///< index into SearchSpace::expressions()
+  /// Per loop id.  Inline storage: candidates are copied on every
+  /// mutation/selection step of the tuner, and chains have few loops.
+  InlineVec<std::int64_t, 8> tiles;
 };
+
+/// Order-sensitive 64-bit identity of a candidate; the tuner's caches and
+/// SearchSpace::contains key on it.
+[[nodiscard]] inline std::uint64_t candidate_key(const CandidateConfig& c) {
+  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(c.expr_id) + 1);
+  for (const auto t : c.tiles) h = hash_combine(h, static_cast<std::uint64_t>(t));
+  return h;
+}
 
 /// The pruned, materialised search space for one chain on one GPU.
 class SearchSpace {
@@ -58,6 +70,21 @@ class SearchSpace {
   /// Re-applies rules 2-4 to an arbitrary config (used by mutation).
   [[nodiscard]] bool passes_rules(const CandidateConfig& c) const;
 
+  /// Same checks on an already-built schedule — callers that need the
+  /// schedule anyway (the tuner's evaluation pipeline) avoid rebuilding it.
+  [[nodiscard]] bool passes_rules(const Schedule& s) const;
+
+  /// O(1) rules verdict for grid points: every candidate the tuner can
+  /// reach by mutation (tile steps within tile_options_r3, expression
+  /// swaps) lies on the enumeration grid, and the grid was rule-checked
+  /// exhaustively at construction — so membership in the surviving set IS
+  /// the verdict, with no schedule build.  Exact for grid points; an
+  /// off-grid config (never produced by the tuner) would need
+  /// passes_rules().
+  [[nodiscard]] bool contains(const CandidateConfig& c) const {
+    return candidate_keys_.count(candidate_key(c)) != 0;
+  }
+
  private:
   const ChainSpec* chain_;
   SpaceOptions space_opts_;
@@ -67,6 +94,7 @@ class SearchSpace {
   std::vector<std::vector<std::int64_t>> options_;
   std::vector<std::vector<std::int64_t>> options_r3_;
   std::vector<CandidateConfig> candidates_;
+  std::unordered_set<std::uint64_t> candidate_keys_;
   PruneFunnel funnel_;
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <map>
 
 #include "support/logging.hpp"
 #include "support/rng.hpp"
@@ -12,11 +11,8 @@ namespace mcf {
 
 namespace {
 
-std::uint64_t candidate_key(const CandidateConfig& c) {
-  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(c.expr_id) + 1);
-  for (const auto t : c.tiles) h = hash_combine(h, static_cast<std::uint64_t>(t));
-  return h;
-}
+constexpr double kFailedTime = 1e9;
+constexpr double kFailedThreshold = 1e8;
 
 }  // namespace
 
@@ -26,29 +22,112 @@ Tuner::Tuner(const SearchSpace& space, GpuSpec gpu, TunerOptions options)
       opt_(options),
       model_(gpu_),
       sim_(gpu_),
-      rng_(make_rng(options.seed)) {}
-
-double Tuner::estimate(const CandidateConfig& c) {
-  const std::uint64_t key = candidate_key(c);
-  if (const auto it = est_cache_.find(key); it != est_cache_.end()) {
-    return it->second;
+      rng_(make_rng(options.seed)) {
+  if (opt_.num_threads > 0) {
+    own_pool_ = std::make_unique<ThreadPool>(
+        static_cast<unsigned>(opt_.num_threads));
   }
-  const Schedule s = space_.schedule_for(c);
-  ++stats_.estimates;
-  const double t = model_.estimate(s).time_s;
-  est_cache_.emplace(key, t);
-  return t;
+  // One rehash up front instead of many mid-run (the cache grows to
+  // roughly the number of distinct candidates the search visits).
+  cache_.reserve(std::min<std::size_t>(space.candidates().size(), 8192));
 }
 
-std::optional<double> Tuner::measure(const CandidateConfig& c) {
-  const Schedule s = space_.schedule_for(c);
-  ++stats_.measurements;
-  const KernelMeasurement m = sim_.measure(s, opt_.measure);
-  if (!m.ok) {
-    ++stats_.compile_failures;
-    return std::nullopt;
+ThreadPool& Tuner::pool() {
+  return own_pool_ ? *own_pool_ : ThreadPool::global();
+}
+
+double Tuner::estimate(const CandidateConfig& c) {
+  EvalEntry& e = cache_[candidate_key(c)];
+  if (e.has_est) return e.est;
+  if (!e.sched) e.sched.emplace(space_.schedule_for(c));
+  ++stats_.estimates;
+  e.est = model_.estimate(*e.sched).time_s;
+  e.has_est = true;
+  return e.est;
+}
+
+std::vector<double> Tuner::estimate_batch(std::span<const CandidateConfig> cs) {
+  const std::size_t n = cs.size();
+  std::vector<EvalEntry*> entries(n);
+  std::vector<std::size_t> miss;  // first occurrence of each unestimated key
+  {
+    std::unordered_set<std::uint64_t> miss_keys;
+    miss_keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = candidate_key(cs[i]);
+      EvalEntry& e = cache_[key];
+      entries[i] = &e;
+      if (!e.has_est && miss_keys.insert(key).second) miss.push_back(i);
+    }
   }
-  return m.time_s;
+  // Parallel phase: pure per-candidate work (schedule build + volume
+  // analysis) into distinct cache entries — the map itself is not mutated,
+  // so no lock is needed and the outcome is thread-count independent.
+  pool().parallel_for(static_cast<std::int64_t>(miss.size()), [&](std::int64_t j) {
+    EvalEntry* e = entries[miss[static_cast<std::size_t>(j)]];
+    if (!e->sched) {
+      e->sched.emplace(
+          space_.schedule_for(cs[miss[static_cast<std::size_t>(j)]]));
+    }
+  });
+  std::vector<const Schedule*> scheds;
+  scheds.reserve(miss.size());
+  for (const std::size_t i : miss) scheds.push_back(&*entries[i]->sched);
+  const std::vector<AnalyticalEstimate> ests =
+      model_.estimate_batch(scheds, &pool());
+  for (std::size_t j = 0; j < miss.size(); ++j) {
+    EvalEntry* e = entries[miss[j]];
+    e->est = ests[j].time_s;
+    e->has_est = true;
+  }
+  stats_.estimates += static_cast<int>(miss.size());
+
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = entries[i]->est;
+  return out;
+}
+
+void Tuner::measure_batch(std::span<const CandidateConfig> cs,
+                          std::span<const std::uint64_t> keys) {
+  // Serial phase: resolve entries and dedup the not-yet-measured ones.
+  std::vector<std::size_t> fresh;
+  std::vector<EvalEntry*> fresh_entries;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    EvalEntry& e = cache_[keys[i]];
+    if (e.measured) continue;
+    if (std::find(fresh_entries.begin(), fresh_entries.end(), &e) !=
+        fresh_entries.end()) {
+      continue;  // duplicate candidate in this wave
+    }
+    fresh.push_back(i);
+    fresh_entries.push_back(&e);
+  }
+  // Parallel phase: the simulator is pure; each wave member writes only
+  // its own cache entry.
+  pool().parallel_for(static_cast<std::int64_t>(fresh.size()), [&](std::int64_t j) {
+    EvalEntry* e = fresh_entries[static_cast<std::size_t>(j)];
+    if (!e->sched) {
+      e->sched.emplace(space_.schedule_for(cs[fresh[static_cast<std::size_t>(j)]]));
+    }
+    const KernelMeasurement m = sim_.measure(*e->sched, opt_.measure);
+    e->meas_ok = m.ok;
+    e->meas_time = m.ok ? m.time_s : kFailedTime;
+  });
+  // Serial phase: commit in wave (= rank) order so stats and the Fig. 11
+  // scatter data are identical for any thread count.
+  for (EvalEntry* e : fresh_entries) {
+    e->measured = true;
+    ++stats_.measurements;
+    if (!e->meas_ok) {
+      ++stats_.compile_failures;
+    } else {
+      est_meas_.emplace_back(e->est, e->meas_time);
+    }
+  }
+}
+
+void Tuner::drop_stashed_schedules() {
+  for (auto& [key, e] : cache_) e.sched.reset();
 }
 
 CandidateConfig Tuner::random_candidate() {
@@ -85,13 +164,21 @@ CandidateConfig Tuner::mutate(const CandidateConfig& parent) {
       else continue;
       c.tiles[static_cast<std::size_t>(l)] = opts[idx];
     }
-    if (space_.passes_rules(c)) return c;
+    // Rules verdict via grid membership — no schedule build (the schedule
+    // is built once later, in the parallel estimate phase).
+    if (space_.contains(c)) return c;
   }
   return random_candidate();
 }
 
 TunedResult Tuner::run() {
   const auto t_start = std::chrono::steady_clock::now();
+  auto lap = [prev = t_start]() mutable {
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - prev).count();
+    prev = now;
+    return dt;
+  };
   TunedResult result;
   const auto& cands = space_.candidates();
   if (cands.empty()) {
@@ -102,11 +189,15 @@ TunedResult Tuner::run() {
   // Line 1: initial population — stratified by expression class (every
   // sub-tiling structure gets equal sampling density, so a restricted
   // subspace is never searched more densely than the full space), half
-  // analytically screened, half random.
+  // analytically screened, half random.  The oversampled draws are scored
+  // in one parallel batch; ties break on draw order (seed-stable).
   const int n = std::min<int>(opt_.population, static_cast<int>(cands.size()));
   std::vector<CandidateConfig> population;
+  // Estimates ride along with the population so survivors are never
+  // re-scored: only fresh mutants (NaN slots) enter the next batch.
+  constexpr double kUnscored = -1.0;
+  std::vector<double> pop_est;
   {
-    // Bucket candidate indices by expression.
     std::vector<std::vector<std::size_t>> by_expr(space_.expressions().size());
     for (std::size_t i = 0; i < cands.size(); ++i) {
       by_expr[static_cast<std::size_t>(cands[i].expr_id)].push_back(i);
@@ -114,77 +205,139 @@ TunedResult Tuner::run() {
     std::size_t nonempty = 0;
     for (const auto& b : by_expr) nonempty += b.empty() ? 0 : 1;
     const int quota = std::max(1, n / 2 / std::max<int>(1, static_cast<int>(nonempty)));
-    std::vector<std::pair<double, CandidateConfig>> seeds;
+    // Serial RNG draws (bucket boundaries recorded), one batched scoring.
+    std::vector<CandidateConfig> draws;
+    std::vector<std::size_t> bucket_begin;
     for (const auto& bucket : by_expr) {
       if (bucket.empty()) continue;
+      bucket_begin.push_back(draws.size());
       std::uniform_int_distribution<std::size_t> pick(0, bucket.size() - 1);
-      std::vector<std::pair<double, CandidateConfig>> local;
       const int oversample =
           std::min<int>(8 * quota, static_cast<int>(bucket.size()));
       for (int i = 0; i < oversample; ++i) {
-        CandidateConfig c = cands[bucket[pick(rng_)]];
-        local.emplace_back(estimate(c), std::move(c));
-      }
-      std::sort(local.begin(), local.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      for (int i = 0; i < quota && i < static_cast<int>(local.size()); ++i) {
-        seeds.push_back(std::move(local[static_cast<std::size_t>(i)]));
+        draws.push_back(cands[bucket[pick(rng_)]]);
       }
     }
+    bucket_begin.push_back(draws.size());
+    const std::vector<double> draw_est = estimate_batch(draws);
     population.reserve(static_cast<std::size_t>(n));
-    for (auto& [est_t, c] : seeds) {
-      if (static_cast<int>(population.size()) >= n) break;
-      population.push_back(std::move(c));
+    for (std::size_t b = 0; b + 1 < bucket_begin.size(); ++b) {
+      std::vector<std::pair<double, std::size_t>> local;
+      local.reserve(bucket_begin[b + 1] - bucket_begin[b]);
+      for (std::size_t i = bucket_begin[b]; i < bucket_begin[b + 1]; ++i) {
+        local.emplace_back(draw_est[i], i);
+      }
+      std::sort(local.begin(), local.end());
+      for (int i = 0; i < quota && i < static_cast<int>(local.size()); ++i) {
+        if (static_cast<int>(population.size()) >= n) break;
+        population.push_back(draws[local[static_cast<std::size_t>(i)].second]);
+        pop_est.push_back(local[static_cast<std::size_t>(i)].first);
+      }
     }
     while (static_cast<int>(population.size()) < n) {
       population.push_back(random_candidate());
+      pop_est.push_back(kUnscored);
     }
   }
+  stats_.seed_seconds += lap();
 
-  double best_t = 1e9;
+  double best_t = kFailedTime;
   CandidateConfig best_cand;
   KernelMeasurement best_meas;
-  std::map<std::uint64_t, double> measured_cache;
+
+  // Hoisted per-generation working vectors (reserved once).
+  std::vector<std::pair<double, std::size_t>> scored;
+  std::vector<double> weights;
+  scored.reserve(population.size());
+  weights.reserve(population.size());
 
   for (int gen = 0; gen < opt_.max_generations; ++gen) {
     ++stats_.generations;
-    // Lines 5-6: estimate and sort by the analytical model.
-    std::vector<std::pair<double, std::size_t>> scored;
-    scored.reserve(population.size());
+    // Lines 5-6: estimate the whole population in one parallel batch and
+    // sort by the analytical model; equal estimates keep population order
+    // (index tie-break), so the ranking is thread-count independent.
+    (void)lap();
+    {
+      // Batch-score only the unscored slots (fresh mutants / randoms).
+      std::vector<CandidateConfig> need_cs;
+      std::vector<std::size_t> need_idx;
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        if (pop_est[i] == kUnscored) {
+          need_cs.push_back(population[i]);
+          need_idx.push_back(i);
+        }
+      }
+      const std::vector<double> need_est = estimate_batch(need_cs);
+      for (std::size_t j = 0; j < need_idx.size(); ++j) {
+        pop_est[need_idx[j]] = need_est[j];
+      }
+    }
+    scored.clear();
     for (std::size_t i = 0; i < population.size(); ++i) {
-      scored.emplace_back(estimate(population[i]), i);
+      scored.emplace_back(pop_est[i], i);
     }
     std::sort(scored.begin(), scored.end());
+    stats_.estimate_seconds += lap();
 
-    // Lines 7-9: measure the top-k, track the generation's best.  Known
-    // lowering failures (the paper's quadrant-II candidates, rejected
-    // during PTX compilation) don't use up top-k slots: the selection
-    // walks further down the analytical ranking.
-    double top1_t = 1e9;
+    // Lines 7-9: measure the top-k in concurrent waves, tracking the
+    // generation's best.  Known lowering failures (the paper's
+    // quadrant-II candidates, rejected during PTX compilation) don't use
+    // up top-k slots: the selection walks further down the analytical
+    // ranking.  Results are committed in rank order, so the outcome
+    // matches a serial walk measuring one candidate at a time (modulo a
+    // few extra cached measurements at the wave tail).
+    double top1_t = kFailedTime;
     CandidateConfig top1_cand;
     const int k = std::min<int>(opt_.topk, static_cast<int>(scored.size()));
     int taken = 0;
-    const std::size_t attempt_cap = std::min<std::size_t>(scored.size(), 4u * k);
-    for (std::size_t i = 0; i < attempt_cap && taken < k; ++i) {
-      const CandidateConfig& c = population[scored[i].second];
+    const std::size_t attempt_cap =
+        std::min<std::size_t>(scored.size(), 4u * static_cast<std::size_t>(k));
+    // Every ranked candidate is queued — cached or fresh — and committed
+    // strictly in rank order at flush time; only the fresh queue members
+    // actually hit the simulator (concurrently).  A flush fires as soon
+    // as the queue *could* fill the remaining top-k slots (queued cached
+    // successes count toward that), and unconditionally at the end — so
+    // the set of candidates measured is exactly the prefix a serial walk
+    // measuring one candidate at a time would have measured.
+    std::vector<std::size_t> wave;  // queued positions, in rank order
+    std::vector<CandidateConfig> wave_cs;
+    std::vector<std::uint64_t> wave_keys;
+    int wave_fresh = 0;      // queued, needs measuring
+    int wave_cached_ok = 0;  // queued, already measured, takes a slot
+    auto flush = [&] {
+      if (wave.empty()) return;
+      measure_batch(wave_cs, wave_keys);
+      for (std::size_t idx = 0; idx < wave.size(); ++idx) {
+        const EvalEntry& e = cache_[wave_keys[idx]];
+        if (e.meas_time >= kFailedThreshold) continue;  // failure: no slot
+        ++taken;
+        if (e.meas_time < top1_t) {
+          top1_t = e.meas_time;
+          top1_cand = population[scored[wave[idx]].second];
+        }
+      }
+      wave.clear();
+      wave_cs.clear();
+      wave_keys.clear();
+      wave_fresh = 0;
+      wave_cached_ok = 0;
+    };
+    for (std::size_t pos = 0; pos < attempt_cap && taken < k; ++pos) {
+      const CandidateConfig& c = population[scored[pos].second];
       const std::uint64_t key = candidate_key(c);
-      double t;
-      if (const auto it = measured_cache.find(key); it != measured_cache.end()) {
-        t = it->second;
-        if (t >= 1e8) continue;  // known failure: skip without a slot
-      } else {
-        const auto m = measure(c);
-        t = m.value_or(1e9);
-        measured_cache.emplace(key, t);
-        if (!m.has_value()) continue;
-        est_meas_.emplace_back(scored[i].first, t);
+      const EvalEntry& e = cache_[key];
+      wave.push_back(pos);
+      wave_cs.push_back(c);
+      wave_keys.push_back(key);
+      if (!e.measured) {
+        ++wave_fresh;
+      } else if (e.meas_time < kFailedThreshold) {
+        ++wave_cached_ok;
       }
-      ++taken;
-      if (t < top1_t) {
-        top1_t = t;
-        top1_cand = c;
-      }
+      if (wave_fresh >= k - taken - wave_cached_ok) flush();
     }
+    flush();
+    stats_.measure_seconds += lap();
 
     // Lines 10-12: convergence — stop once a generation's best measured
     // candidate no longer improves the incumbent by more than epsilon.
@@ -193,39 +346,51 @@ TunedResult Tuner::run() {
       best_t = top1_t;
       best_cand = top1_cand;
     }
-    if (best_t < 1e8 && gen + 1 >= opt_.min_generations &&
+    if (best_t < kFailedThreshold && gen + 1 >= opt_.min_generations &&
         improvement < opt_.epsilon) {
       break;
     }
 
     // Line 17: next population, fitness-weighted mutation with elitism
     // (the incumbent always survives so the search can refine around it).
-    std::vector<double> weights;
-    weights.reserve(population.size());
-    for (const auto& [est, idx] : scored) weights.push_back(1.0 / std::max(est, 1e-12));
-    // scored is sorted by estimate; build the weight list aligned with it.
+    // Schedules stashed for this generation are dropped first: mutation
+    // refills the stash with next generation's children.
+    drop_stashed_schedules();
+    weights.clear();
+    for (const auto& [est_t, idx] : scored) {
+      weights.push_back(1.0 / std::max(est_t, 1e-12));
+    }
+    // scored is sorted by estimate; the weight list is aligned with it.
     std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
     std::vector<CandidateConfig> next;
+    std::vector<double> next_est;
     next.reserve(population.size());
-    if (best_t < 1e8) {
+    next_est.reserve(population.size());
+    if (best_t < kFailedThreshold) {
       next.push_back(best_cand);
+      next_est.push_back(estimate(best_cand));
       next.push_back(mutate(best_cand));
+      next_est.push_back(kUnscored);
     }
     while (next.size() < population.size()) {
       const auto& parent = population[scored[pick(rng_)].second];
       next.push_back(mutate(parent));
+      next_est.push_back(kUnscored);
     }
     population = std::move(next);
+    pop_est = std::move(next_est);
+    stats_.mutate_seconds += lap();
   }
 
   // Refinement: hill-climb over the single-step tile neighbours of the
   // winner (estimate-filtered, measuring only promising moves).
-  if (best_t < 1e8) {
+  if (best_t < kFailedThreshold) {
     bool improved = true;
     int refine_rounds = 0;
     while (improved && refine_rounds++ < 4) {
       improved = false;
       const CandidateConfig base = best_cand;
+      const double base_est = estimate(base);  // hoisted out of the move loop
       std::vector<CandidateConfig> moves;
       // Expression sweep: the winner's tiles under every other structure.
       for (int e = 0; e < static_cast<int>(space_.expressions().size()); ++e) {
@@ -248,29 +413,31 @@ TunedResult Tuner::run() {
           moves.push_back(std::move(c));
         }
       }
-      for (const auto& c : moves) {
-        if (!space_.passes_rules(c)) continue;
-        if (estimate(c) > 1.2 * estimate(base)) continue;  // clearly worse
-        const std::uint64_t key = candidate_key(c);
-        double t;
-        if (const auto it = measured_cache.find(key); it != measured_cache.end()) {
-          t = it->second;
-        } else {
-          const auto m = measure(c);
-          t = m.value_or(1e9);
-          measured_cache.emplace(key, t);
-          if (m.has_value()) est_meas_.emplace_back(estimate(c), t);
-        }
-        if (t < best_t) {
-          best_t = t;
-          best_cand = c;
+      // Rules, estimates, then one concurrent measurement wave over the
+      // promising moves; folding in move order keeps the outcome
+      // deterministic for any thread count.
+      std::vector<CandidateConfig> promising;
+      std::vector<std::uint64_t> promising_keys;
+      for (auto& c : moves) {
+        if (!space_.contains(c)) continue;
+        if (estimate(c) > 1.2 * base_est) continue;  // clearly worse
+        promising_keys.push_back(candidate_key(c));
+        promising.push_back(std::move(c));
+      }
+      measure_batch(promising, promising_keys);
+      for (std::size_t i = 0; i < promising.size(); ++i) {
+        const EvalEntry& e = cache_[promising_keys[i]];
+        if (e.meas_time < best_t) {
+          best_t = e.meas_time;
+          best_cand = promising[i];
           improved = true;
         }
       }
+      drop_stashed_schedules();
     }
   }
 
-  if (best_t >= 1e8) {
+  if (best_t >= kFailedThreshold) {
     MCF_LOG(Warn) << "tuner: no measurable candidate for "
                   << space_.chain().name();
     return result;
@@ -278,6 +445,7 @@ TunedResult Tuner::run() {
   // Re-measure the winner to fill the full measurement record.
   const Schedule s = space_.schedule_for(best_cand);
   best_meas = sim_.measure(s, opt_.measure);
+  drop_stashed_schedules();
 
   result.ok = true;
   result.best = best_cand;

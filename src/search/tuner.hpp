@@ -5,11 +5,23 @@
 // "measured" on the (simulated) hardware, and the loop stops on its own
 // once the best measured time converges — the paper's two improvements
 // over Ansor's tuner.
+//
+// Evaluation pipeline: candidates flow through rules -> estimate ->
+// measure with the Schedule built at most once per candidate (the rules
+// check stashes it for the later stages), population estimates fan out
+// across a thread pool (the analytical model is pure), and top-k
+// measurements run in concurrent waves.  All selection decisions are made
+// on deterministically ordered data with index tie-breaking, so for a
+// fixed seed the result is identical no matter how many threads run the
+// evaluation.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
+#include <unordered_set>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,6 +29,7 @@
 #include "model/analytical.hpp"
 #include "search/space.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mcf {
 
@@ -29,6 +42,11 @@ struct TunerOptions {
   std::uint64_t seed = 42;
   double expr_mutation_prob = 0.15;  ///< chance to mutate the expression
   MeasureOptions measure;        ///< simulator options (noise seed etc.)
+  /// Threads for batched candidate evaluation: 0 = the process-wide pool
+  /// (MCF_NUM_THREADS / hardware concurrency), n > 0 = a private pool of
+  /// n workers (1 = fully serial).  The tuned result is identical for any
+  /// value — only wall-clock changes.
+  int num_threads = 0;
 };
 
 /// Counters for Table IV's tuning-time modelling.
@@ -38,6 +56,11 @@ struct TuningStats {
   int measurements = 0;     ///< simulated hardware measurements (compile+run)
   int compile_failures = 0; ///< candidates rejected at lowering
   double wall_seconds = 0.0;
+  // Phase breakdown of wall_seconds (throughput observability).
+  double seed_seconds = 0.0;      ///< initial population sampling + scoring
+  double estimate_seconds = 0.0;  ///< generational batch estimation
+  double measure_seconds = 0.0;   ///< top-k + refinement measurement waves
+  double mutate_seconds = 0.0;    ///< mutation / next-population assembly
 };
 
 struct TunedResult {
@@ -58,9 +81,35 @@ class Tuner {
   [[nodiscard]] TunedResult run();
 
  private:
+  /// Everything the pipeline knows about one candidate, keyed by its
+  /// config hash.  The stashed schedule is dropped once a generation
+  /// completes (memory stays bounded by the generation working set);
+  /// estimates and measurements are kept for the whole run so repeated
+  /// mutants cost a hash lookup instead of a schedule build.
+  struct EvalEntry {
+    bool has_est = false;
+    bool measured = false;
+    bool meas_ok = false;
+    double est = 0.0;
+    double meas_time = 1e9;
+    std::optional<Schedule> sched;  ///< built at most once
+  };
+
+  [[nodiscard]] ThreadPool& pool();
+  /// Single-candidate estimate (refinement path); cached.
   [[nodiscard]] double estimate(const CandidateConfig& c);
-  /// Returns the measured time or nullopt on compile failure.
-  [[nodiscard]] std::optional<double> measure(const CandidateConfig& c);
+  /// Batch estimate: schedules built in parallel for cache misses, then
+  /// one AnalyticalModel::estimate_batch sweep.  Result order matches the
+  /// input order for any thread count.
+  [[nodiscard]] std::vector<double> estimate_batch(
+      std::span<const CandidateConfig> cs);
+  /// Measures every not-yet-measured candidate in `keys` concurrently
+  /// (each exactly once) and updates stats.  Entries must have estimates.
+  void measure_batch(std::span<const CandidateConfig> cs,
+                     std::span<const std::uint64_t> keys);
+  /// Drops all stashed schedules (end-of-generation memory sweep).
+  void drop_stashed_schedules();
+
   [[nodiscard]] CandidateConfig random_candidate();
   [[nodiscard]] CandidateConfig mutate(const CandidateConfig& parent);
 
@@ -71,7 +120,8 @@ class Tuner {
   TimingSimulator sim_;
   Rng rng_;
   TuningStats stats_;
-  std::map<std::uint64_t, double> est_cache_;
+  std::unique_ptr<ThreadPool> own_pool_;  ///< when opt_.num_threads > 0
+  std::unordered_map<std::uint64_t, EvalEntry> cache_;
   std::vector<std::pair<double, double>> est_meas_;
 };
 

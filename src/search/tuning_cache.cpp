@@ -91,7 +91,7 @@ std::optional<CandidateConfig> TuningCache::resolve(
     }
     CandidateConfig c;
     c.expr_id = e;
-    c.tiles = entry->tiles;
+    c.tiles.assign(entry->tiles.begin(), entry->tiles.end());
     if (static_cast<int>(c.tiles.size()) != chain.num_loops()) return std::nullopt;
     if (!space.passes_rules(c)) return std::nullopt;
     return c;

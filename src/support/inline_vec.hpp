@@ -1,0 +1,181 @@
+// Small vector with inline storage for the schedule-tree hot path.
+//
+// Candidate evaluation builds (and discards) a Schedule per candidate;
+// profiling shows the cost is dominated by the many tiny heap vectors a
+// schedule carries (per-node child lists, per-tensor residency loops).
+// InlineVec keeps up to N elements in the object itself and only touches
+// the heap when it spills, which removes most of those allocations.
+//
+// Deliberately minimal: trivially-copyable element types, the handful of
+// operations the schedule code uses, contiguous T* iterators.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <type_traits>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for trivially copyable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+  InlineVec(const InlineVec& other) { copy_from(other); }
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      release();
+      copy_from(other);
+    }
+    return *this;
+  }
+  InlineVec(InlineVec&& other) noexcept { steal(other); }
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ~InlineVec() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+  [[nodiscard]] auto rbegin() const noexcept {
+    return std::make_reverse_iterator(end());
+  }
+  [[nodiscard]] auto rend() const noexcept {
+    return std::make_reverse_iterator(begin());
+  }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  void clear() noexcept { size_ = 0; }
+
+  /// Shrinks to the first n elements (n must not exceed size()).
+  void truncate(std::size_t n) noexcept { size_ = n; }
+
+  /// Grows/shrinks to n elements; new elements are value-initialised.
+  void resize(std::size_t n) {
+    while (cap_ < n) grow(cap_ * 2);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  /// Replaces the contents with n copies of v.
+  void assign(std::size_t n, const T& v) {
+    clear();
+    while (cap_ < n) grow(cap_ * 2);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = v;
+    size_ = n;
+  }
+
+  /// Replaces the contents with the range [first, last).
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  iterator insert(const_iterator pos, const T& v) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    if (size_ == cap_) grow(cap_ * 2);
+    for (std::size_t i = size_; i > at; --i) data_[i] = data_[i - 1];
+    data_[at] = v;
+    ++size_;
+    return data_ + at;
+  }
+
+  iterator erase(const_iterator pos) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    for (std::size_t i = at; i + 1 < size_; ++i) data_[i] = data_[i + 1];
+    --size_;
+    return data_ + at;
+  }
+
+  [[nodiscard]] bool operator==(const InlineVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+  [[nodiscard]] bool operator==(const std::vector<T>& other) const {
+    return size_ == other.size() &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  void grow(std::size_t new_cap) {
+    T* heap = new T[new_cap];
+    std::copy(data_, data_ + size_, heap);
+    release();
+    data_ = heap;
+    cap_ = new_cap;
+  }
+
+  void copy_from(const InlineVec& other) {
+    if (other.size_ > N) {
+      data_ = new T[other.cap_];
+      cap_ = other.cap_;
+    } else {
+      data_ = inline_;
+      cap_ = N;
+    }
+    size_ = other.size_;
+    std::copy(other.data_, other.data_ + other.size_, data_);
+  }
+
+  void steal(InlineVec& other) noexcept {
+    if (other.data_ == other.inline_) {
+      data_ = inline_;
+      cap_ = N;
+      size_ = other.size_;
+      std::copy(other.data_, other.data_ + other.size_, data_);
+    } else {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.cap_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  void release() noexcept {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    cap_ = N;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace mcf

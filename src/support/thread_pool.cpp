@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "support/logging.hpp"
@@ -9,16 +10,42 @@
 namespace mcf {
 
 namespace {
-// Set while a pool worker executes a task; nested parallel_for calls from
-// inside a task run inline to avoid waiting on the queue they occupy.
-thread_local bool t_inside_pool_worker = false;
+
+/// Identity of the pool worker running the current thread (nullptr outside
+/// any pool).  Nested parallel_for calls from inside a task run inline to
+/// avoid waiting on the queue they occupy, reusing the worker's slot.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  unsigned index = 0;
+};
+thread_local WorkerIdentity t_worker;
+
+unsigned env_thread_count() {
+  // Far above any sane worker count, far below where std::thread spawning
+  // starts failing — a typo'd value degrades with a warning, not a crash.
+  constexpr long kMaxThreads = 512;
+  const char* env = std::getenv("MCF_NUM_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  if (v < 1) {
+    MCF_LOG(Warn) << "ignoring MCF_NUM_THREADS=" << env << " (need >= 1)";
+    return 0;
+  }
+  if (v > kMaxThreads) {
+    MCF_LOG(Warn) << "clamping MCF_NUM_THREADS=" << env << " to " << kMaxThreads;
+    return static_cast<unsigned>(kMaxThreads);
+  }
+  return static_cast<unsigned>(v);
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = env_thread_count();
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -31,15 +58,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
-  }
-  cv_.notify_one();
-}
-
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  t_worker = WorkerIdentity{this, index};
   for (;;) {
     std::function<void()> task;
     {
@@ -49,52 +69,93 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    t_inside_pool_worker = true;
     task();
-    t_inside_pool_worker = false;
   }
 }
 
 void ThreadPool::parallel_for(std::int64_t n,
-                              const std::function<void(std::int64_t)>& body) {
+                              const std::function<void(std::int64_t)>& body,
+                              std::int64_t grain) {
+  parallel_for_slots(
+      n, [&body](unsigned, std::int64_t i) { body(i); }, grain);
+}
+
+void ThreadPool::parallel_for_slots(
+    std::int64_t n, const std::function<void(unsigned, std::int64_t)>& body,
+    std::int64_t grain) {
   if (n <= 0) return;
   const auto workers = static_cast<std::int64_t>(size());
-  if (n == 1 || workers <= 1 || t_inside_pool_worker) {
-    for (std::int64_t i = 0; i < n; ++i) body(i);
+  // Adaptive chunking: enough chunks for balance (4 per worker), never
+  // more than one chunk per `grain` items so tiny bodies amortise the
+  // scheduling overhead.
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t chunks =
+      std::min<std::int64_t>({n, workers * 4, std::max<std::int64_t>(1, n / grain)});
+  const bool inline_run =
+      chunks <= 1 || workers <= 1 || t_worker.pool != nullptr;
+  // The calling thread's slot: its fixed worker index when this call is
+  // nested inside one of our own tasks, the extra slot size() otherwise.
+  const unsigned caller_slot =
+      t_worker.pool == this ? t_worker.index : size();
+  if (inline_run) {
+    for (std::int64_t i = 0; i < n; ++i) body(caller_slot, i);
     return;
   }
-  // Static chunking: enough chunks for balance, not so many for overhead.
-  const std::int64_t chunks = std::min<std::int64_t>(n, workers * 4);
-  std::atomic<std::int64_t> next{0};
-  std::atomic<std::int64_t> done{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
 
-  for (std::int64_t c = 0; c < chunks; ++c) {
-    enqueue([&, c] {
-      const std::int64_t lo = c * n / chunks;
-      const std::int64_t hi = (c + 1) * n / chunks;
-      try {
-        for (std::int64_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      {
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        ++done;
-      }
-      done_cv.notify_one();
-    });
-  }
-  (void)next;
+  struct ForState {
+    std::atomic<std::int64_t> done{0};
+    std::int64_t chunks = 0;
+    bool complete = false;  // guarded by done_mutex; the ONLY wait signal
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  ForState state;
+  state.chunks = chunks;
+
+  // Batch-enqueue every chunk under one lock and wake the pool once —
+  // per-chunk notify_one ping-pong costs more than the work for small
+  // bodies.
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done.load() == chunks; });
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      tasks_.push([&state, &body, c, n, chunks] {
+        const std::int64_t lo = c * n / chunks;
+        const std::int64_t hi = (c + 1) * n / chunks;
+        try {
+          const unsigned slot = t_worker.index;
+          for (std::int64_t i = lo; i < hi; ++i) body(slot, i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> elock(state.error_mutex);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
+        // Only the last chunk touches the wait mutex.  The waiter's
+        // predicate reads `complete`, never the atomic: completion only
+        // becomes observable inside this critical section, and the
+        // notify happens while the mutex is still held — so the waiter
+        // cannot wake (spuriously or otherwise), see completion, and
+        // destroy the stack-allocated state before this worker is done
+        // touching it.
+        if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == state.chunks) {
+          const std::lock_guard<std::mutex> dlock(state.done_mutex);
+          state.complete = true;
+          state.done_cv.notify_one();
+        }
+      });
+    }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (chunks > 1) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(state.done_mutex);
+    state.done_cv.wait(lock, [&state] { return state.complete; });
+  }
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -1,9 +1,16 @@
 // Minimal work-stealing-free thread pool used by the functional interpreter
-// (one task per simulated thread block) and the reference tensor ops.
+// (one task per simulated thread block), the reference tensor ops, and the
+// tuner's batched candidate evaluation.
 //
 // Design notes (C++ Core Guidelines CP.*): the pool owns its threads (RAII),
 // tasks are plain std::function<void()>, parallel_for blocks until all
 // chunks complete and rethrows the first captured exception.
+//
+// Worker slots: every pool worker has a fixed index in [0, size()); the
+// calling thread (which runs work inline when the pool is too small or the
+// call is nested) uses slot size().  parallel_for_slots hands the slot to
+// the body so callers can keep per-worker scratch state — at most one task
+// runs per slot at any time within a single parallel_for_slots call.
 #pragma once
 
 #include <condition_variable>
@@ -18,7 +25,8 @@ namespace mcf {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  /// Spawns `threads` workers.  0 means: the MCF_NUM_THREADS environment
+  /// variable if set, otherwise hardware concurrency (at least 1).
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
 
@@ -27,16 +35,55 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
-  /// Runs body(i) for i in [0, n) across the pool; blocks until done.
-  /// Chunked statically; rethrows the first exception raised by any chunk.
-  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body);
+  /// Number of distinct worker slots a parallel_for_slots call can touch:
+  /// the pool workers plus the calling thread.
+  [[nodiscard]] unsigned concurrency() const noexcept { return size() + 1; }
 
-  /// Process-wide pool (lazily constructed; sized to hardware concurrency).
+  /// Runs body(i) for i in [0, n) across the pool; blocks until done.
+  /// Chunked adaptively (at least `grain` items per chunk); rethrows the
+  /// first exception raised by any chunk.
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body,
+                    std::int64_t grain = 1);
+
+  /// Like parallel_for, but hands the body the executing worker slot
+  /// (< concurrency()).  Within one call, no two concurrently running
+  /// chunks share a slot, so slot-indexed scratch needs no locking.
+  void parallel_for_slots(
+      std::int64_t n,
+      const std::function<void(unsigned, std::int64_t)>& body,
+      std::int64_t grain = 1);
+
+  /// Map-reduce over [0, n): each slot folds into its own accumulator
+  /// (seeded with `identity`), then the per-slot partials are combined in
+  /// ascending slot order on the calling thread.  Deterministic whenever
+  /// `combine` is associative and commutative over the map results (true
+  /// for exact sums, counters, min/max); floating-point sums that round
+  /// may differ run-to-run under different chunk placements.
+  ///   map(slot, i, acc): fold index i into acc (slot < concurrency(),
+  ///                      for callers that also keep per-slot scratch)
+  ///   combine(into, from)
+  template <typename T, typename Map, typename Combine>
+  [[nodiscard]] T parallel_for_reduce(std::int64_t n, T identity, Map&& map,
+                                      Combine&& combine, std::int64_t grain = 1) {
+    struct alignas(64) Slot {
+      T value;
+    };
+    std::vector<Slot> slots(concurrency(), Slot{identity});
+    parallel_for_slots(
+        n,
+        [&](unsigned slot, std::int64_t i) { map(slot, i, slots[slot].value); },
+        grain);
+    T total = std::move(identity);
+    for (auto& s : slots) combine(total, s.value);
+    return total;
+  }
+
+  /// Process-wide pool (lazily constructed; sized per MCF_NUM_THREADS or
+  /// hardware concurrency).
   static ThreadPool& global();
 
  private:
-  void worker_loop();
-  void enqueue(std::function<void()> task);
+  void worker_loop(unsigned index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -207,6 +207,76 @@ TEST(Interpreter, SerialAndParallelAgreeExactly) {
   EXPECT_EQ(max_abs_diff(out_par, out_ser), 0.0);
 }
 
+TEST(Interpreter, SerialAndParallelCountersBitIdentical) {
+  // Sweep several schedule shapes (padded dims, hoisted stores, softmax
+  // chains): output tensors AND dynamic counters must be bit-identical
+  // with the worker-slot arenas on and off — per-slot counter reduction
+  // may not perturb a single bit.
+  struct Shape3 {
+    ChainKind kind;
+    std::vector<std::int64_t> tiles;
+  };
+  const std::vector<Shape3> shapes = {
+      {ChainKind::Plain, {32, 16, 32, 16}},
+      {ChainKind::Plain, {96, 16, 96, 48}},
+      {ChainKind::Relu, {48, 48, 48, 48}},
+      {ChainKind::Attention, {16, 32, 48, 16}},
+      {ChainKind::Attention, {32, 48, 32, 48}},
+  };
+  for (const auto& p : shapes) {
+    const ChainSpec chain = make_chain(p.kind, 3, 96, 96, 48, 48);
+    const Schedule s =
+        build_schedule(chain, make_deep_expr(chain, {0, 3, 2, 1}), p.tiles);
+    if (!s.consume_complete()) continue;
+    Tensor a(Shape{3, 96, 48});
+    Tensor b(Shape{3, 48, 96});
+    Tensor d(Shape{3, 96, 48});
+    a.fill_random(41);
+    b.fill_random(42);
+    d.fill_random(43);
+    std::vector<Tensor> w;
+    w.push_back(std::move(b));
+    w.push_back(std::move(d));
+    Tensor out_par(Shape{3, 96, 48});
+    Tensor out_ser(Shape{3, 96, 48});
+    InterpreterOptions ser;
+    ser.parallel = false;
+    const ExecutionCounters cp = Interpreter(s).run(a, w, out_par);
+    const ExecutionCounters cs = Interpreter(s, ser).run(a, w, out_ser);
+    EXPECT_EQ(max_abs_diff(out_par, out_ser), 0.0) << kind_name(p.kind);
+    EXPECT_EQ(cp.load_bytes, cs.load_bytes) << kind_name(p.kind);
+    EXPECT_EQ(cp.store_bytes, cs.store_bytes) << kind_name(p.kind);
+    EXPECT_EQ(cp.flops, cs.flops) << kind_name(p.kind);
+    EXPECT_EQ(cp.epilogue_flops, cs.epilogue_flops) << kind_name(p.kind);
+    EXPECT_EQ(cp.stmt_trips, cs.stmt_trips) << kind_name(p.kind);
+  }
+}
+
+TEST(Interpreter, RepeatedRunsAreDeterministic) {
+  // Within a run, worker-slot arenas are reused across blocks; stale
+  // state from an earlier block (or run) must never leak into a result.
+  const ChainSpec chain = ChainSpec::attention("drift", 2, 80, 80, 32, 32);
+  const Schedule s = build_schedule(chain, make_deep_expr(chain, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{32, 32, 32, 32});
+  Tensor q(Shape{2, 80, 32});
+  Tensor kt(Shape{2, 32, 80});
+  Tensor v(Shape{2, 80, 32});
+  q.fill_random(61);
+  kt.fill_random(62);
+  v.fill_random(63);
+  std::vector<Tensor> w;
+  w.push_back(std::move(kt));
+  w.push_back(std::move(v));
+  const Interpreter interp(s);
+  Tensor first(Shape{2, 80, 32});
+  interp.run(q, w, first);
+  for (int r = 0; r < 3; ++r) {
+    Tensor again(Shape{2, 80, 32});
+    interp.run(q, w, again);
+    EXPECT_EQ(max_abs_diff(first, again), 0.0) << "run " << r;
+  }
+}
+
 TEST(Interpreter, ThreeOpChainNumerics) {
   const ChainSpec chain("triple", 2, 48, {32, 48, 24, 40});
   const TileExpr expr = make_deep_expr(chain, {0, 4, 3, 2, 1});

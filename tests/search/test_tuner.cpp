@@ -40,6 +40,36 @@ TEST(Tuner, DeterministicForFixedSeed) {
   EXPECT_EQ(r1.best.tiles, r2.best.tiles);
 }
 
+TEST(Tuner, DeterministicAcrossThreadCounts) {
+  // The batched evaluation pipeline must be a pure throughput knob: for a
+  // fixed seed the tuned result — winner, time, stats, and the full
+  // Fig. 11 scatter — is identical whether evaluation runs on one worker
+  // or many.
+  const ChainSpec c = ChainSpec::attention("s2", 8, 256, 256, 64, 64);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  TunerOptions serial;
+  serial.seed = 7;
+  serial.num_threads = 1;
+  TunerOptions threaded = serial;
+  threaded.num_threads = 4;
+  const TunedResult r1 = Tuner(space, gpu, serial).run();
+  const TunedResult r2 = Tuner(space, gpu, threaded).run();
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(r1.best.expr_id, r2.best.expr_id);
+  EXPECT_EQ(r1.best.tiles, r2.best.tiles);
+  // Bitwise equality, not ULP tolerance: the contract is exact identity.
+  EXPECT_EQ(r1.best_time_s, r2.best_time_s);
+  EXPECT_EQ(r1.stats.estimates, r2.stats.estimates);
+  EXPECT_EQ(r1.stats.measurements, r2.stats.measurements);
+  EXPECT_EQ(r1.stats.compile_failures, r2.stats.compile_failures);
+  ASSERT_EQ(r1.est_vs_measured.size(), r2.est_vs_measured.size());
+  for (std::size_t i = 0; i < r1.est_vs_measured.size(); ++i) {
+    EXPECT_EQ(r1.est_vs_measured[i].first, r2.est_vs_measured[i].first);
+    EXPECT_EQ(r1.est_vs_measured[i].second, r2.est_vs_measured[i].second);
+  }
+}
+
 TEST(Tuner, BeatsMedianOfSpace) {
   const ChainSpec c = ChainSpec::attention("s4", 12, 256, 256, 64, 64);
   const GpuSpec gpu = a100();

@@ -63,5 +63,70 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
+TEST(ThreadPool, SlotsAreInRangeAndCoverEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  std::atomic<bool> slot_ok{true};
+  pool.parallel_for_slots(500, [&](unsigned slot, std::int64_t i) {
+    if (slot >= pool.concurrency()) slot_ok = false;
+    hits[static_cast<std::size_t>(i)]++;
+  });
+  EXPECT_TRUE(slot_ok.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SlotsAreExclusiveWhileRunning) {
+  // No two concurrently running chunks may share a slot: per-slot scratch
+  // must be safe without locks.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> active(pool.concurrency());
+  std::atomic<bool> exclusive{true};
+  pool.parallel_for_slots(256, [&](unsigned slot, std::int64_t) {
+    if (active[slot].fetch_add(1) != 0) exclusive = false;
+    active[slot].fetch_sub(1);
+  });
+  EXPECT_TRUE(exclusive.load());
+}
+
+TEST(ThreadPool, ParallelForReduceSumsExactly) {
+  ThreadPool pool(4);
+  const auto total = pool.parallel_for_reduce<std::int64_t>(
+      10000, 0,
+      [](unsigned, std::int64_t i, std::int64_t& acc) { acc += i; },
+      [](std::int64_t& into, const std::int64_t& from) { into += from; });
+  EXPECT_EQ(total, 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, ParallelForReduceEmptyRangeIsIdentity) {
+  ThreadPool pool(2);
+  const auto total = pool.parallel_for_reduce<int>(
+      0, 0,
+      [](unsigned, std::int64_t, int&) { FAIL() << "body ran on empty range"; },
+      [](int& into, const int& from) { into += from; });
+  EXPECT_EQ(total, 0);
+}
+
+TEST(ThreadPool, GrainLimitsChunkCount) {
+  // With grain >= n the whole range must run as one chunk (inline, on the
+  // caller slot) — observable via the slot handed to the body.
+  ThreadPool pool(4);
+  std::vector<unsigned> slots(64, 1234u);
+  pool.parallel_for_slots(
+      64, [&](unsigned slot, std::int64_t i) { slots[static_cast<std::size_t>(i)] = slot; },
+      64);
+  for (const unsigned s : slots) EXPECT_EQ(s, pool.size());
+}
+
+TEST(ThreadPool, NestedCallReusesWorkerSlot) {
+  ThreadPool pool(4);
+  std::atomic<bool> ok{true};
+  pool.parallel_for_slots(8, [&](unsigned outer_slot, std::int64_t) {
+    pool.parallel_for_slots(4, [&](unsigned inner_slot, std::int64_t) {
+      if (inner_slot != outer_slot) ok = false;
+    });
+  });
+  EXPECT_TRUE(ok.load());
+}
+
 }  // namespace
 }  // namespace mcf
