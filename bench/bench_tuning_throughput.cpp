@@ -15,6 +15,10 @@
 //                   interpreter over a spread of schedules, legacy
 //                   per-block-allocating executor vs the arena-backed
 //                   micro-kernel.
+//   * backends:     the simulator and interpreter MeasureBackends side by
+//                   side on the same schedules — predicted/observed
+//                   kernel time, measure() call cost, and the rank
+//                   correlation between the two backends' times.
 //
 // Emits the paper-style table + CSV (common.hpp) and writes
 // BENCH_tuning_throughput.json (stable schema, see docs/performance.md)
@@ -31,7 +35,9 @@
 #include "gpu/spec.hpp"
 #include "legacy_interpreter.hpp"
 #include "legacy_tuner.hpp"
+#include "measure/backend.hpp"
 #include "search/tuner.hpp"
+#include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
@@ -74,6 +80,49 @@ struct InterpRow {
   double legacy_gflops = 0.0;
   double new_gflops = 0.0;
 };
+
+struct BackendRow {
+  std::string name;
+  std::string tiles;
+  double sim_time_s = 0.0;     ///< simulator-predicted kernel time
+  double interp_time_s = 0.0;  ///< interpreter-observed CPU kernel time
+  double sim_wall_s = 0.0;     ///< cost of one sim measure() call
+  double interp_wall_s = 0.0;  ///< cost of one interp measure() call
+};
+
+BackendRow bench_backend(const ChainSpec& chain, const SearchSpace& space,
+                         std::size_t cand_index, const MeasureBackend& sim,
+                         const MeasureBackend& interp) {
+  const CandidateConfig& cand = space.candidates()[cand_index];
+  const Schedule s = space.schedule_for(cand);
+  BackendRow row;
+  row.name = chain.name();
+  for (const auto t : cand.tiles) {
+    row.tiles += (row.tiles.empty() ? "" : "x") + std::to_string(t);
+  }
+  constexpr int kRepeats = 3;
+  std::vector<double> sim_wall;
+  std::vector<double> interp_wall;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = clk::now();
+    const KernelMeasurement ms = sim.measure(s);
+    const auto t1 = clk::now();
+    const KernelMeasurement mi = interp.measure(s);
+    const auto t2 = clk::now();
+    if (!ms.ok || !mi.ok) {
+      std::fprintf(stderr, "backend bench: measurement failed on %s\n",
+                   row.name.c_str());
+      std::exit(1);
+    }
+    row.sim_time_s = ms.time_s;
+    row.interp_time_s = mi.time_s;
+    sim_wall.push_back(secs(t0, t1));
+    interp_wall.push_back(secs(t1, t2));
+  }
+  row.sim_wall_s = best_of(sim_wall);
+  row.interp_wall_s = best_of(interp_wall);
+  return row;
+}
 
 TunerRow bench_tuner(const ChainSpec& chain, const GpuSpec& gpu) {
   PruneOptions prune;
@@ -234,10 +283,60 @@ int run() {
   }
   const double interp_geo = geomean(interp_speedups);
 
+  // ---- measure backends side by side ----------------------------------------
+  // The same schedules through the pluggable measurement subsystem: the
+  // simulator's predicted time next to the interpreter backend's observed
+  // CPU time, plus what one measure() call costs on each.  The rank
+  // correlation is the number that matters: the interpreter orders
+  // candidates like the simulator does (the conformance suite gates it).
+  const SimulatorBackend sim_backend(gpu);
+  const InterpreterBackend interp_backend(gpu);
+  std::vector<BackendRow> backend_rows;
+  for (const auto& c : interp_chains) {
+    const SearchSpace space(c, SpaceOptions{}, prune);
+    const std::size_t n = space.candidates().size();
+    // The pruned space still holds quadrant-II candidates (rule-4 slack)
+    // whose actual smem plan fails at lowering; scan forward to the next
+    // measurable one, deduplicating in case two scans converge (a
+    // duplicate point would pad the rank-correlation sample).
+    std::vector<std::size_t> chosen;
+    for (const std::size_t idx : {n / 8, n / 2, (7 * n) / 8}) {
+      std::size_t feasible = idx;
+      while (feasible < n &&
+             (std::find(chosen.begin(), chosen.end(), feasible) != chosen.end() ||
+              !sim_backend.measure(space.schedule_for(space.candidates()[feasible]))
+                   .ok)) {
+        ++feasible;
+      }
+      if (feasible == n) continue;
+      chosen.push_back(feasible);
+      backend_rows.push_back(
+          bench_backend(c, space, feasible, sim_backend, interp_backend));
+    }
+  }
+  std::vector<double> sim_times;
+  std::vector<double> interp_times;
+  Table backend_table(
+      "Measure backends — simulator (predicted) vs interpreter (CPU wall)");
+  backend_table.set_header({"workload", "tiles", "sim time (us)",
+                            "interp time (ms)", "sim call (us)",
+                            "interp call (ms)"});
+  for (const auto& r : backend_rows) {
+    sim_times.push_back(r.sim_time_s);
+    interp_times.push_back(r.interp_time_s);
+    backend_table.add_row({r.name, r.tiles, Table::num(r.sim_time_s * 1e6, 2),
+                           Table::num(r.interp_time_s * 1e3, 2),
+                           Table::num(r.sim_wall_s * 1e6, 1),
+                           Table::num(r.interp_wall_s * 1e3, 2)});
+  }
+  const double backend_rank_corr = spearman(sim_times, interp_times);
+
   if (!mcf::bench::emit(tuner_table, "tuning_throughput_tuner")) return 1;
   if (!mcf::bench::emit(interp_table, "tuning_throughput_interp")) return 1;
+  if (!mcf::bench::emit(backend_table, "tuning_throughput_backends")) return 1;
   std::printf("tuner geomean speedup: %.2fx\ninterpreter geomean speedup: %.2fx\n",
               tuner_geo, interp_geo);
+  std::printf("sim/interp backend rank correlation: %.3f\n", backend_rank_corr);
 
   // ---- JSON (stable schema, consumed by future PRs / CI) --------------------
   FILE* f = std::fopen("BENCH_tuning_throughput.json", "w");
@@ -247,7 +346,7 @@ int run() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"tuning_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"threads\": %u,\n", ThreadPool::global().size());
   std::fprintf(f, "  \"tuner\": {\n");
   std::fprintf(f, "    \"geomean_speedup\": %.4f,\n", tuner_geo);
@@ -280,6 +379,21 @@ int run() {
                  r.new_blocks_per_s, r.new_blocks_per_s / r.legacy_blocks_per_s,
                  r.legacy_gflops, r.new_gflops,
                  i + 1 < interp_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"measure_backends\": {\n");
+  std::fprintf(f, "    \"rank_correlation\": %.4f,\n", backend_rank_corr);
+  std::fprintf(f, "    \"workloads\": [\n");
+  for (std::size_t i = 0; i < backend_rows.size(); ++i) {
+    const auto& r = backend_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"tiles\": \"%s\", "
+                 "\"sim_time_s\": %.6g, \"interp_time_s\": %.6g, "
+                 "\"sim_measure_wall_s\": %.6g, "
+                 "\"interp_measure_wall_s\": %.6g}%s\n",
+                 r.name.c_str(), r.tiles.c_str(), r.sim_time_s,
+                 r.interp_time_s, r.sim_wall_s, r.interp_wall_s,
+                 i + 1 < backend_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);

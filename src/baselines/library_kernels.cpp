@@ -67,7 +67,7 @@ KernelMeasurement LibraryKernels::gemm_fixed(std::int64_t batch, std::int64_t m,
   opts.noise_seed = hash_combine(hash_combine(static_cast<std::uint64_t>(m * 31 + n),
                                               static_cast<std::uint64_t>(k * 17 + batch)),
                                  static_cast<std::uint64_t>(tm * 7 + tn));
-  return sim_.measure_raw(effective_bytes, flops, blocks, smem, mem_eff,
+  return backend_->measure_raw(effective_bytes, flops, blocks, smem, mem_eff,
                           comp_eff, stmt_trips, opts);
 }
 
@@ -108,7 +108,7 @@ KernelMeasurement LibraryKernels::softmax(std::int64_t rows,
   MeasureOptions opts;
   opts.noise_seed = hash_combine(static_cast<std::uint64_t>(rows),
                                  static_cast<std::uint64_t>(cols) * 131);
-  return sim_.measure_raw(
+  return backend_->measure_raw(
       bytes, flops, blocks, 8 * 1024,
       TimingSimulator::bandwidth_efficiency(static_cast<double>(cols) * kDtypeBytes),
       /*comp_eff=*/0.125, static_cast<double>(blocks) * 4.0, opts);
@@ -123,7 +123,7 @@ KernelMeasurement LibraryKernels::layernorm(std::int64_t rows,
   MeasureOptions opts;
   opts.noise_seed = hash_combine(static_cast<std::uint64_t>(rows) * 7,
                                  static_cast<std::uint64_t>(cols));
-  return sim_.measure_raw(
+  return backend_->measure_raw(
       bytes, flops, blocks, 4 * 1024,
       TimingSimulator::bandwidth_efficiency(static_cast<double>(cols) * kDtypeBytes),
       0.125, static_cast<double>(blocks) * 4.0, opts);
@@ -137,7 +137,7 @@ KernelMeasurement LibraryKernels::elementwise(std::int64_t elems, int inputs,
   MeasureOptions opts;
   opts.noise_seed = hash_combine(static_cast<std::uint64_t>(elems),
                                  static_cast<std::uint64_t>(inputs) * 977);
-  return sim_.measure_raw(bytes, flops, blocks, 2 * 1024, 1.0, 0.125,
+  return backend_->measure_raw(bytes, flops, blocks, 2 * 1024, 1.0, 0.125,
                           static_cast<double>(blocks) * 2.0, opts);
 }
 

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "gpu/timing.hpp"
+#include "measure/backend.hpp"
 
 namespace mcf {
 
@@ -21,9 +24,21 @@ struct GemmConfig {
 
 class LibraryKernels {
  public:
-  explicit LibraryKernels(GpuSpec gpu) : gpu_(std::move(gpu)), sim_(gpu_) {}
+  /// Default: the simulator's roofline, exactly as before the measurement
+  /// subsystem existed.
+  explicit LibraryKernels(GpuSpec gpu)
+      : gpu_(std::move(gpu)),
+        backend_(std::make_shared<SimulatorBackend>(gpu_)) {}
+
+  /// Library kernels timed through an arbitrary backend (its measure_raw
+  /// path — library kernels have no Schedule to execute).
+  LibraryKernels(GpuSpec gpu, std::shared_ptr<const MeasureBackend> backend)
+      : gpu_(std::move(gpu)), backend_(std::move(backend)) {}
 
   [[nodiscard]] const GpuSpec& gpu() const noexcept { return gpu_; }
+  [[nodiscard]] const MeasureBackend& backend() const noexcept {
+    return *backend_;
+  }
 
   /// Batched GEMM C[b,m,n] = A[b,m,k] * B[b,k,n]; menu-dispatched.
   /// `fused_epilogue_flops_per_elem` folds a pointwise epilogue into the
@@ -52,7 +67,7 @@ class LibraryKernels {
 
  private:
   GpuSpec gpu_;
-  TimingSimulator sim_;
+  std::shared_ptr<const MeasureBackend> backend_;
 };
 
 }  // namespace mcf

@@ -23,36 +23,12 @@
 #include "dag/volume.hpp"
 #include "gpu/smem.hpp"
 #include "gpu/spec.hpp"
+// MeasureOptions / KernelMeasurement moved to measure/measurement.hpp when
+// measurement became a pluggable subsystem (measure/backend.hpp); the
+// include keeps every pre-existing `#include "gpu/timing.hpp"` compiling.
+#include "measure/measurement.hpp"
 
 namespace mcf {
-
-struct MeasureOptions {
-  /// Extra entropy mixed into the deterministic noise (e.g. workload name).
-  std::uint64_t noise_seed = 0;
-  /// Relative amplitude of the deterministic measurement noise.
-  double noise_amp = 0.015;
-  bool include_launch = true;
-};
-
-/// Result of one simulated kernel "measurement".
-struct KernelMeasurement {
-  bool ok = false;
-  std::string fail_reason;
-  double time_s = 0.0;
-  // Decomposition (pre-noise):
-  double mem_time_s = 0.0;
-  double comp_time_s = 0.0;
-  double issue_time_s = 0.0;
-  double launch_time_s = 0.0;
-  // Diagnostics:
-  double mem_eff = 1.0;
-  double comp_eff = 1.0;
-  double utilization = 1.0;
-  int waves = 1;
-  int blocks_per_sm = 1;
-  std::int64_t n_blocks = 0;
-  std::int64_t smem_bytes = 0;
-};
 
 /// Stateless simulator bound to one GPU spec.
 class TimingSimulator {

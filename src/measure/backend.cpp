@@ -1,0 +1,273 @@
+#include "measure/backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <sstream>
+
+#include "exec/interpreter.hpp"
+#include "gpu/smem.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mcf {
+
+// ---- schedule digest --------------------------------------------------------
+
+std::uint64_t schedule_structure_digest(const Schedule& s) {
+  std::uint64_t h = hash_string(chain_cache_key(s.chain()));
+  for (const int l : s.block_loops()) {
+    h = hash_combine(h, static_cast<std::uint64_t>(l) + 1);
+  }
+  for (int i = 0; i < s.num_nodes(); ++i) {
+    const Schedule::Node& n = s.node(i);
+    h = hash_combine(h, static_cast<std::uint64_t>(n.loop) + 2);
+    if (n.is_stmt) {
+      h = hash_combine(h, static_cast<std::uint64_t>(n.stmt.kind) + 3);
+      h = hash_combine(h, static_cast<std::uint64_t>(n.stmt.tensor) + 4);
+      h = hash_combine(h, static_cast<std::uint64_t>(n.stmt.op) + 5);
+      for (const int c : n.stmt.covered_loops) {
+        h = hash_combine(h, static_cast<std::uint64_t>(c) + 6);
+      }
+    }
+    for (const int c : n.children) {
+      h = hash_combine(h, static_cast<std::uint64_t>(c) + 7);
+    }
+  }
+  for (const auto t : s.tiles()) {
+    h = hash_combine(h, static_cast<std::uint64_t>(t));
+  }
+  return h;
+}
+
+// ---- InterpreterBackend -----------------------------------------------------
+
+InterpreterBackend::InterpreterBackend(GpuSpec spec,
+                                       InterpreterBackendOptions options)
+    : sim_(std::move(spec)), opt_(std::move(options)) {
+  opt_.warmup = std::max(opt_.warmup, 0);
+  opt_.repeats = std::max(opt_.repeats, 1);
+  opt_.trim_fraction = std::clamp(opt_.trim_fraction, 0.0, 0.49);
+  if (!opt_.clock) {
+    opt_.clock = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+}
+
+KernelMeasurement InterpreterBackend::measure(
+    const Schedule& s, const MeasureOptions& /*options*/) const {
+  KernelMeasurement m;
+  // The same lowering gate as CompiledKernel: infeasible schedules fail
+  // with a reason instead of executing (conformance contract).
+  if (!s.valid()) {
+    m.fail_reason = "schedule has no legal statement placement";
+    return m;
+  }
+  if (!s.consume_complete()) {
+    m.fail_reason = "schedule consumes partial tiles (Rule-2 structure)";
+    return m;
+  }
+  const SmemPlan plan = plan_smem(s);
+  m.n_blocks = s.num_blocks();
+  m.smem_bytes = plan.total_bytes;
+  if (plan.total_bytes > spec().smem_per_block) {
+    m.fail_reason = "shared memory exceeds per-block limit (" +
+                    std::to_string(plan.total_bytes) + " > " +
+                    std::to_string(spec().smem_per_block) + " bytes)";
+    return m;
+  }
+
+  const ChainSpec& chain = s.chain();
+  Tensor a(Shape{chain.batch(), chain.m(), chain.inner().front()});
+  Tensor out(Shape{chain.batch(), chain.m(), chain.inner().back()});
+  a.fill_random(opt_.data_seed);
+  std::vector<Tensor> weights;
+  weights.reserve(static_cast<std::size_t>(chain.num_ops()));
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    Tensor w(Shape{chain.batch(), chain.inner()[static_cast<std::size_t>(op)],
+                   chain.inner()[static_cast<std::size_t>(op) + 1]});
+    w.fill_random(opt_.data_seed + static_cast<std::uint64_t>(op) + 1);
+    weights.push_back(std::move(w));
+  }
+
+  const Interpreter interp(s);
+  for (int i = 0; i < opt_.warmup; ++i) (void)interp.run(a, weights, out);
+  std::vector<double> samples(static_cast<std::size_t>(opt_.repeats));
+  for (double& sample : samples) {
+    const double t0 = opt_.clock();
+    (void)interp.run(a, weights, out);
+    // Clamp at a nanosecond: a sample below clock resolution must not
+    // produce time_s == 0 (the contract promises time_s > 0 on ok).
+    sample = std::max(opt_.clock() - t0, 1e-9);
+  }
+  // Trimmed mean: drop trim_fraction of the samples from each end.
+  std::sort(samples.begin(), samples.end());
+  const auto trim = static_cast<std::size_t>(
+      static_cast<double>(samples.size()) * opt_.trim_fraction);
+  const std::size_t lo = trim;
+  const std::size_t hi = samples.size() - trim;
+  m.time_s = std::accumulate(samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                             samples.begin() + static_cast<std::ptrdiff_t>(hi),
+                             0.0) /
+             static_cast<double>(hi - lo);
+  m.ok = true;
+  return m;
+}
+
+// ---- CachingBackend ---------------------------------------------------------
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+std::string tiles_string(const Schedule& s) {
+  std::string out;
+  for (const auto t : s.tiles()) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(t);
+  }
+  return out;
+}
+
+/// Composite first-field key: chain shape key, structure+options digest
+/// and tiles, space- and '|'-free so the TuningCache line format round
+/// trips it verbatim.  The options part comes from the inner backend
+/// (only the fields it consumes), so irrelevant option churn still hits.
+std::string measure_key(const Schedule& s, std::uint64_t options_digest) {
+  const std::uint64_t digest =
+      hash_combine(schedule_structure_digest(s), options_digest);
+  return chain_cache_key(s.chain()) + "@" + hex64(digest) + "@" +
+         tiles_string(s);
+}
+
+}  // namespace
+
+CachingBackend::CachingBackend(std::shared_ptr<const MeasureBackend> inner)
+    : inner_(std::move(inner)) {
+  MCF_CHECK(inner_ != nullptr) << "CachingBackend needs an inner backend";
+  name_ = "cached-" + std::string(inner_->name());
+}
+
+KernelMeasurement CachingBackend::measure(const Schedule& s,
+                                          const MeasureOptions& options) const {
+  const std::string key = measure_key(s, inner_->options_digest(options));
+  const std::string& gpu_name = inner_->spec().name;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = mem_.find(key); it != mem_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    // Persisted entries carry only time_s; rebuild the schedule geometry
+    // (the contract promises honest n_blocks/smem_bytes on ok results)
+    // and promote into the in-memory store so later hits are uniform.
+    if (const auto disk = disk_.get_raw(key, gpu_name)) {
+      KernelMeasurement m;
+      m.ok = true;
+      m.time_s = disk->time_s;
+      m.n_blocks = s.num_blocks();
+      m.smem_bytes = plan_smem(s).total_bytes;
+      mem_.emplace(key, m);
+      ++hits_;
+      return m;
+    }
+  }
+  // Measure outside the lock: inner backends can be slow, and measure()
+  // must stay concurrent.  Two threads racing on the same fresh key both
+  // measure; the first insert wins so every caller observes one value.
+  const KernelMeasurement measured = inner_->measure(s, options);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = mem_.emplace(key, measured);
+  if (inserted) {
+    ++misses_;
+    if (measured.ok) {
+      disk_.put_raw(key, gpu_name,
+                    CachedSchedule{hex64(schedule_structure_digest(s)),
+                                   {s.tiles().begin(), s.tiles().end()},
+                                   measured.time_s});
+    }
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+bool CachingBackend::save(const std::string& path) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return disk_.save(path);
+}
+
+bool CachingBackend::load(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return disk_.load(path);
+}
+
+std::size_t CachingBackend::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t CachingBackend::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t CachingBackend::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return mem_.size();
+}
+
+// ---- registry ---------------------------------------------------------------
+
+BackendRegistry::BackendRegistry() {
+  factories_["sim"] = [](const GpuSpec& gpu) {
+    return std::make_shared<SimulatorBackend>(gpu);
+  };
+  factories_["interp"] = [](const GpuSpec& gpu) {
+    return std::make_shared<InterpreterBackend>(gpu);
+  };
+  factories_["cached-sim"] = [](const GpuSpec& gpu) {
+    return std::make_shared<CachingBackend>(
+        std::make_shared<SimulatorBackend>(gpu));
+  };
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+bool BackendRegistry::add(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::shared_ptr<MeasureBackend> BackendRegistry::create(
+    const std::string& name, const GpuSpec& gpu) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(gpu);
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mcf

@@ -1,0 +1,264 @@
+// Pluggable measurement subsystem (ROADMAP: "real timing path behind the
+// same measure() interface").
+//
+// A MeasureBackend answers one question — "how long does this candidate
+// schedule take?" — and the tuner, the library-kernel baselines and the
+// benches consume the abstraction instead of holding a TimingSimulator
+// directly.  Three backends ship:
+//
+//   * SimulatorBackend    wraps the deterministic TimingSimulator; the
+//                         default everywhere, bit-for-bit identical to the
+//                         pre-subsystem behaviour.
+//   * InterpreterBackend  actually executes the schedule through
+//                         exec/interpreter on the CPU (worker-slot arenas)
+//                         and converts wall-clock samples into a
+//                         KernelMeasurement with warm-up / repeat /
+//                         outlier-trim controls.
+//   * CachingBackend      decorator over any backend; memoizes by
+//                         (chain key, gpu, schedule structure, tiles) and
+//                         persists through the TuningCache serialization.
+//
+// Every backend must honour the contract pinned by the conformance suite
+// (tests/measure/test_conformance.cpp, documented in docs/measurement.md):
+// ok=false + non-empty fail_reason on infeasible schedules, time_s > 0 on
+// success, bit-identical repeats when deterministic() promises it, and
+// safe concurrent measure() calls from a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/schedule.hpp"
+#include "gpu/spec.hpp"
+#include "gpu/timing.hpp"
+#include "measure/measurement.hpp"
+#include "search/tuning_cache.hpp"
+#include "support/rng.hpp"
+
+namespace mcf {
+
+class MeasureBackend {
+ public:
+  virtual ~MeasureBackend() = default;
+
+  /// Registry name ("sim", "interp", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual const GpuSpec& spec() const noexcept = 0;
+  /// True when repeated measure() of the same schedule with the same
+  /// options promises a bit-identical result.  Wall-clock backends return
+  /// false; the conformance suite keys its identity checks on this.
+  [[nodiscard]] virtual bool deterministic() const noexcept = 0;
+
+  /// Measures one fused-kernel schedule.  Must be safe to call
+  /// concurrently from multiple threads on the same backend instance.
+  [[nodiscard]] virtual KernelMeasurement measure(
+      const Schedule& s, const MeasureOptions& options = {}) const = 0;
+
+  /// Aggregate roofline path used by the library-kernel baselines: there
+  /// is no schedule to execute, so every backend shares the simulator's
+  /// arithmetic (overridden only by decorators, which forward to their
+  /// inner backend).
+  [[nodiscard]] virtual KernelMeasurement measure_raw(
+      double bytes, double flops, std::int64_t n_blocks,
+      std::int64_t smem_bytes, double mem_eff, double comp_eff,
+      double stmt_trips, const MeasureOptions& options) const = 0;
+
+  /// Digest of the MeasureOptions fields this backend's measure()
+  /// actually consumes; memoizing decorators key on it.  A backend that
+  /// ignores the options (the interpreter times real execution) returns a
+  /// constant, so option churn cannot defeat a cache layered over it.
+  [[nodiscard]] virtual std::uint64_t options_digest(
+      const MeasureOptions& options) const noexcept {
+    std::uint64_t h = splitmix64(options.noise_seed + 1);
+    h = hash_combine(h, static_cast<std::uint64_t>(options.noise_amp * 1e9));
+    h = hash_combine(h, options.include_launch ? 1u : 2u);
+    return h;
+  }
+};
+
+// ---- SimulatorBackend -------------------------------------------------------
+
+/// The deterministic timing model; delegates 1:1 to TimingSimulator.
+class SimulatorBackend : public MeasureBackend {
+ public:
+  explicit SimulatorBackend(GpuSpec spec) : sim_(std::move(spec)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "sim"; }
+  [[nodiscard]] const GpuSpec& spec() const noexcept override { return sim_.spec(); }
+  [[nodiscard]] bool deterministic() const noexcept override { return true; }
+
+  [[nodiscard]] KernelMeasurement measure(
+      const Schedule& s, const MeasureOptions& options = {}) const override {
+    return sim_.measure(s, options);
+  }
+  [[nodiscard]] KernelMeasurement measure_raw(
+      double bytes, double flops, std::int64_t n_blocks,
+      std::int64_t smem_bytes, double mem_eff, double comp_eff,
+      double stmt_trips, const MeasureOptions& options) const override {
+    return sim_.measure_raw(bytes, flops, n_blocks, smem_bytes, mem_eff,
+                            comp_eff, stmt_trips, options);
+  }
+
+  [[nodiscard]] const TimingSimulator& simulator() const noexcept { return sim_; }
+
+ private:
+  TimingSimulator sim_;
+};
+
+// ---- InterpreterBackend -----------------------------------------------------
+
+struct InterpreterBackendOptions {
+  /// Untimed executions before sampling (first-touch page faults, arena
+  /// allocation, cache warm-up).
+  int warmup = 1;
+  /// Timed wall-clock samples per measure() call.
+  int repeats = 3;
+  /// Fraction of samples trimmed from EACH end before averaging (0.25 with
+  /// repeats=4 drops the fastest and slowest sample).  The trimmed mean is
+  /// the standard outlier-robust estimator for shared-machine timing.
+  double trim_fraction = 0.25;
+  /// Seed for the deterministic random tensor contents.
+  std::uint64_t data_seed = 1;
+  /// Monotonic time source in seconds.  Null = std::chrono::steady_clock.
+  /// Tests inject a scripted clock to pin the sampling arithmetic.
+  std::function<double()> clock;
+};
+
+/// Executes the candidate on the CPU through exec/interpreter and times it.
+/// The absolute times are CPU-interpreter times, not GPU times — useful
+/// because they *rank* candidates by real executed work (the conformance
+/// suite asserts rank correlation against the simulator on the fig7
+/// family), and because this is the template a CUDA-event backend follows.
+class InterpreterBackend : public MeasureBackend {
+ public:
+  explicit InterpreterBackend(GpuSpec spec,
+                              InterpreterBackendOptions options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "interp"; }
+  [[nodiscard]] const GpuSpec& spec() const noexcept override { return sim_.spec(); }
+  /// Wall-clock sampling: repeats jitter run-to-run.
+  [[nodiscard]] bool deterministic() const noexcept override { return false; }
+
+  [[nodiscard]] KernelMeasurement measure(
+      const Schedule& s, const MeasureOptions& options = {}) const override;
+  [[nodiscard]] KernelMeasurement measure_raw(
+      double bytes, double flops, std::int64_t n_blocks,
+      std::int64_t smem_bytes, double mem_eff, double comp_eff,
+      double stmt_trips, const MeasureOptions& options) const override {
+    // No schedule to execute: raw aggregates fall back to the roofline.
+    return sim_.measure_raw(bytes, flops, n_blocks, smem_bytes, mem_eff,
+                            comp_eff, stmt_trips, options);
+  }
+
+  /// measure() executes the schedule as-is; the simulator-noise options
+  /// do not reach it.
+  [[nodiscard]] std::uint64_t options_digest(
+      const MeasureOptions&) const noexcept override {
+    return 0;
+  }
+
+  [[nodiscard]] const InterpreterBackendOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  TimingSimulator sim_;  ///< spec holder + measure_raw fallback
+  InterpreterBackendOptions opt_;
+};
+
+// ---- CachingBackend ---------------------------------------------------------
+
+/// Memoizing decorator: measure() results are cached by
+/// (chain shape key, gpu, schedule-structure digest, tiles, options) and
+/// can be persisted through the TuningCache line format, so a deployment
+/// can ship warm measurement caches next to its tuning logs.
+class CachingBackend : public MeasureBackend {
+ public:
+  explicit CachingBackend(std::shared_ptr<const MeasureBackend> inner);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] const GpuSpec& spec() const noexcept override {
+    return inner_->spec();
+  }
+  /// Memoization makes repeated measure() of the same schedule identical
+  /// even over a nondeterministic inner backend.
+  [[nodiscard]] bool deterministic() const noexcept override { return true; }
+
+  [[nodiscard]] KernelMeasurement measure(
+      const Schedule& s, const MeasureOptions& options = {}) const override;
+  [[nodiscard]] KernelMeasurement measure_raw(
+      double bytes, double flops, std::int64_t n_blocks,
+      std::int64_t smem_bytes, double mem_eff, double comp_eff,
+      double stmt_trips, const MeasureOptions& options) const override {
+    // Cheap arithmetic; not worth memoizing.
+    return inner_->measure_raw(bytes, flops, n_blocks, smem_bytes, mem_eff,
+                               comp_eff, stmt_trips, options);
+  }
+  [[nodiscard]] std::uint64_t options_digest(
+      const MeasureOptions& options) const noexcept override {
+    return inner_->options_digest(options);
+  }
+
+  /// Persistence via the TuningCache serialization (one record per cached
+  /// measurement; only ok results with their time_s survive a round trip).
+  [[nodiscard]] bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  std::shared_ptr<const MeasureBackend> inner_;
+  std::string name_;
+  mutable std::mutex mu_;
+  /// Full-fidelity in-memory store (diagnostics included).
+  mutable std::unordered_map<std::string, KernelMeasurement> mem_;
+  /// Serializable mirror of the ok entries (time_s only).
+  mutable TuningCache disk_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// Structural digest of a schedule: block loops, the scope/statement tree
+/// and the tile sizes all feed a 64-bit hash.  Two schedules with equal
+/// digests execute identically, which is what makes it a sound
+/// memoization key component.
+[[nodiscard]] std::uint64_t schedule_structure_digest(const Schedule& s);
+
+// ---- registry ---------------------------------------------------------------
+
+/// Name -> factory registry; the CLI's --backend flag and the conformance
+/// suite enumerate it.  Registration is thread-safe; built-ins ("sim",
+/// "interp", "cached-sim") self-register on first use.  A hardware
+/// backend (CUDA events / rocprof) plugs in with one add() call — see
+/// docs/measurement.md.
+class BackendRegistry {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<MeasureBackend>(const GpuSpec&)>;
+
+  static BackendRegistry& instance();
+
+  /// False (and no-op) when `name` is already registered.
+  bool add(const std::string& name, Factory factory);
+  /// Null when `name` is unknown.
+  [[nodiscard]] std::shared_ptr<MeasureBackend> create(
+      const std::string& name, const GpuSpec& gpu) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace mcf

@@ -1,5 +1,6 @@
 #include "search/mcfuser.hpp"
 
+#include "measure/backend.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 
@@ -8,6 +9,18 @@ namespace mcf {
 MCFuser::MCFuser(GpuSpec gpu, MCFuserOptions options)
     : gpu_(std::move(gpu)), options_(std::move(options)) {
   options_.prune.smem_limit_bytes = gpu_.smem_per_block;
+  if (!options_.backend.empty()) {
+    options_.tuner.backend =
+        BackendRegistry::instance().create(options_.backend, gpu_);
+    if (options_.tuner.backend == nullptr) {
+      std::string known;
+      for (const auto& n : BackendRegistry::instance().names()) {
+        known += (known.empty() ? "" : ", ") + n;
+      }
+      MCF_CHECK(false) << "unknown measure backend '" << options_.backend
+                       << "' (registered: " << known << ")";
+    }
+  }
 }
 
 FusionResult MCFuser::fuse(const ChainSpec& chain) const {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "exec/program.hpp"
 #include "search/space.hpp"
@@ -25,6 +26,11 @@ struct MCFuserOptions {
   PruneOptions prune;      ///< smem_limit_bytes is overwritten from the GPU
   ScheduleOptions sched;   ///< hoisting / unit-collapse flags
   TunerOptions tuner;
+  /// Measurement backend by registry name ("sim", "interp", "cached-sim",
+  /// see measure/backend.hpp).  Empty = tuner.backend if set, else the
+  /// simulator.  Resolved against the GPU at MCFuser construction; an
+  /// unknown name aborts with the registered names in the message.
+  std::string backend;
 };
 
 /// Everything the fusion pass produces for one chain.

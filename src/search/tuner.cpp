@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "measure/backend.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 
@@ -21,7 +22,8 @@ Tuner::Tuner(const SearchSpace& space, GpuSpec gpu, TunerOptions options)
       gpu_(std::move(gpu)),
       opt_(options),
       model_(gpu_),
-      sim_(gpu_),
+      backend_(options.backend ? options.backend
+                               : std::make_shared<SimulatorBackend>(gpu_)),
       rng_(make_rng(options.seed)) {
   if (opt_.num_threads > 0) {
     own_pool_ = std::make_unique<ThreadPool>(
@@ -102,14 +104,14 @@ void Tuner::measure_batch(std::span<const CandidateConfig> cs,
     fresh.push_back(i);
     fresh_entries.push_back(&e);
   }
-  // Parallel phase: the simulator is pure; each wave member writes only
-  // its own cache entry.
+  // Parallel phase: backends promise concurrency-safe measure(); each
+  // wave member writes only its own cache entry.
   pool().parallel_for(static_cast<std::int64_t>(fresh.size()), [&](std::int64_t j) {
     EvalEntry* e = fresh_entries[static_cast<std::size_t>(j)];
     if (!e->sched) {
       e->sched.emplace(space_.schedule_for(cs[fresh[static_cast<std::size_t>(j)]]));
     }
-    const KernelMeasurement m = sim_.measure(*e->sched, opt_.measure);
+    const KernelMeasurement m = backend_->measure(*e->sched, opt_.measure);
     e->meas_ok = m.ok;
     e->meas_time = m.ok ? m.time_s : kFailedTime;
   });
@@ -444,7 +446,7 @@ TunedResult Tuner::run() {
   }
   // Re-measure the winner to fill the full measurement record.
   const Schedule s = space_.schedule_for(best_cand);
-  best_meas = sim_.measure(s, opt_.measure);
+  best_meas = backend_->measure(s, opt_.measure);
   drop_stashed_schedules();
 
   result.ok = true;

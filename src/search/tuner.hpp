@@ -14,6 +14,11 @@
 // on deterministically ordered data with index tie-breaking, so for a
 // fixed seed the result is identical no matter how many threads run the
 // evaluation.
+//
+// Measurements go through a pluggable MeasureBackend
+// (TunerOptions::backend, measure/backend.hpp): the default simulator,
+// the CPU interpreter, a caching decorator, or a future hardware backend
+// all drive the identical search loop.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +38,8 @@
 
 namespace mcf {
 
+class MeasureBackend;
+
 struct TunerOptions {
   int population = 256;          ///< N in Algorithm 1
   int topk = 8;                  ///< n in Algorithm 1 (paper §VI-E2)
@@ -47,6 +54,11 @@ struct TunerOptions {
   /// n workers (1 = fully serial).  The tuned result is identical for any
   /// value — only wall-clock changes.
   int num_threads = 0;
+  /// How candidates are measured (measure/backend.hpp).  Null = a
+  /// SimulatorBackend on the tuner's GPU — bit-for-bit the pre-subsystem
+  /// behaviour (pinned by tests/search/test_tuner.cpp).  The backend's
+  /// measure() must be safe to call from the evaluation thread pool.
+  std::shared_ptr<MeasureBackend> backend;
 };
 
 /// Counters for Table IV's tuning-time modelling.
@@ -117,7 +129,7 @@ class Tuner {
   GpuSpec gpu_;
   TunerOptions opt_;
   AnalyticalModel model_;
-  TimingSimulator sim_;
+  std::shared_ptr<MeasureBackend> backend_;
   Rng rng_;
   TuningStats stats_;
   std::unique_ptr<ThreadPool> own_pool_;  ///< when opt_.num_threads > 0

@@ -1,6 +1,8 @@
 #include "search/tuning_cache.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "support/logging.hpp"
@@ -42,8 +44,24 @@ bool TuningCache::load(const std::string& path) {
     }
     std::istringstream ts(tiles);
     std::string tok;
+    bool tiles_ok = true;
     while (std::getline(ts, tok, ',')) {
-      entry.tiles.push_back(std::stoll(tok));
+      std::size_t used = 0;
+      std::int64_t value = 0;
+      try {
+        value = std::stoll(tok, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != tok.size() || tok.empty()) {
+        tiles_ok = false;  // non-numeric tile token: skip the whole line
+        break;
+      }
+      entry.tiles.push_back(value);
+    }
+    if (!tiles_ok) {
+      clean = false;
+      continue;
     }
     entries_[chain_key + "|" + gpu_name] = std::move(entry);
   }
@@ -53,6 +71,9 @@ bool TuningCache::load(const std::string& path) {
 bool TuningCache::save(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return false;
+  // max_digits10: times round-trip bit-exactly through the text format
+  // (the golden round-trip test pins this).
+  f << std::setprecision(std::numeric_limits<double>::max_digits10);
   f << "# mcfuser tuning cache: chain gpu expr tiles time_s\n";
   for (const auto& [key, entry] : entries_) {
     const auto sep = key.find('|');
@@ -70,6 +91,18 @@ bool TuningCache::save(const std::string& path) const {
 void TuningCache::put(const ChainSpec& chain, const GpuSpec& gpu,
                       CachedSchedule entry) {
   entries_[record_key(chain, gpu)] = std::move(entry);
+}
+
+void TuningCache::put_raw(const std::string& chain_key,
+                          const std::string& gpu_name, CachedSchedule entry) {
+  entries_[chain_key + "|" + gpu_name] = std::move(entry);
+}
+
+std::optional<CachedSchedule> TuningCache::get_raw(
+    const std::string& chain_key, const std::string& gpu_name) const {
+  const auto it = entries_.find(chain_key + "|" + gpu_name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<CachedSchedule> TuningCache::get(const ChainSpec& chain,
@@ -93,7 +126,10 @@ std::optional<CandidateConfig> TuningCache::resolve(
     c.expr_id = e;
     c.tiles.assign(entry->tiles.begin(), entry->tiles.end());
     if (static_cast<int>(c.tiles.size()) != chain.num_loops()) return std::nullopt;
-    if (!space.passes_rules(c)) return std::nullopt;
+    // Grid membership, not passes_rules: every entry this cache records
+    // came off the enumeration grid, so a miss means the space's rules or
+    // options changed under the entry — reject it and re-tune.
+    if (!space.contains(c)) return std::nullopt;
     return c;
   }
   return std::nullopt;

@@ -2,6 +2,8 @@
 // asymptotes, occupancy and determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gpu/timing.hpp"
 
 #include "dag/volume.hpp"
@@ -115,6 +117,87 @@ TEST(Timing, NoiseIsDeterministicAndBounded) {
   clean.noise_amp = 0.0;
   const auto m0 = sim.measure_raw(5e6, 5e9, 512, 8 * 1024, 0.9, 0.8, 100, clean);
   EXPECT_NEAR(m1.time_s / m0.time_s, 1.0, 0.031);
+}
+
+TEST(Timing, SameNoiseSeedIsBitIdenticalOnSchedules) {
+  // The noise contract, part 1: the "measurement noise" is a pure
+  // function of (seed, schedule, gpu) — same seed, same time, bit for
+  // bit, through the full measure() path.
+  const ChainSpec c = ChainSpec::gemm_chain("seed", 1, 512, 256, 64, 64);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const TimingSimulator sim(a100());
+  MeasureOptions opts;
+  opts.noise_seed = 0xdecafbad;
+  const auto m1 = sim.measure(s, opts);
+  const auto m2 = sim.measure(s, opts);
+  ASSERT_TRUE(m1.ok && m2.ok);
+  EXPECT_EQ(m1.time_s, m2.time_s);
+}
+
+TEST(Timing, DifferentNoiseSeedsPerturbWithinAmplitude) {
+  // Part 2: a different seed gives a different draw, and every draw lands
+  // inside [1 - amp, 1 + amp] of the noiseless time.
+  const ChainSpec c = ChainSpec::gemm_chain("amp", 1, 512, 256, 64, 64);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const TimingSimulator sim(a100());
+  MeasureOptions clean;
+  clean.noise_amp = 0.0;
+  const double t0 = sim.measure(s, clean).time_s;
+  MeasureOptions noisy;
+  noisy.noise_amp = 0.04;
+  bool any_differs = false;
+  double prev = 0.0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    noisy.noise_seed = seed;
+    const auto m = sim.measure(s, noisy);
+    ASSERT_TRUE(m.ok);
+    EXPECT_GE(m.time_s, t0 * (1.0 - noisy.noise_amp));
+    EXPECT_LE(m.time_s, t0 * (1.0 + noisy.noise_amp));
+    if (seed > 1 && m.time_s != prev) any_differs = true;
+    prev = m.time_s;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Timing, DecompositionSumsToPreNoiseTotal) {
+  // Part 3: the decomposition fields are pre-noise and account for the
+  // whole time.  With overlap, the executed part lies between
+  // max(mem, comp) (perfect overlap) and mem + comp (none); the noisy
+  // total is the pre-noise total scaled by the bounded noise factor.
+  const ChainSpec c = ChainSpec::gemm_chain("sum", 1, 512, 512, 128, 128);
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{64, 64, 64, 64});
+  const TimingSimulator sim(a100());
+  MeasureOptions opts;
+  opts.noise_amp = 0.025;
+  opts.noise_seed = 99;
+  const auto m = sim.measure(s, opts);
+  ASSERT_TRUE(m.ok);
+  EXPECT_GT(m.mem_time_s, 0.0);
+  EXPECT_GT(m.comp_time_s, 0.0);
+  EXPECT_GE(m.issue_time_s, 0.0);
+  EXPECT_GT(m.launch_time_s, 0.0);  // include_launch defaults to true
+  const double overlap_lo = std::max(m.mem_time_s, m.comp_time_s);
+  const double overlap_hi = m.mem_time_s + m.comp_time_s;
+  const double lo =
+      (overlap_lo + m.issue_time_s + m.launch_time_s) * (1.0 - opts.noise_amp);
+  const double hi =
+      (overlap_hi + m.issue_time_s + m.launch_time_s) * (1.0 + opts.noise_amp);
+  EXPECT_GE(m.time_s, lo);
+  EXPECT_LE(m.time_s, hi);
+  // And with noise off the total is exact: executed time + issue + launch
+  // where executed = max + leak * min for a fixed leak fraction in (0,1).
+  MeasureOptions clean = opts;
+  clean.noise_amp = 0.0;
+  const auto m0 = sim.measure(s, clean);
+  const double executed = m0.time_s - m0.issue_time_s - m0.launch_time_s;
+  const double leak =
+      (executed - std::max(m0.mem_time_s, m0.comp_time_s)) /
+      std::min(m0.mem_time_s, m0.comp_time_s);
+  EXPECT_GT(leak, 0.0);
+  EXPECT_LT(leak, 1.0);
 }
 
 TEST(Timing, ScheduleMeasureEndToEnd) {

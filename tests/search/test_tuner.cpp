@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "measure/backend.hpp"
 #include "model/analytical.hpp"
 #include "support/stats.hpp"
 
@@ -40,26 +43,14 @@ TEST(Tuner, DeterministicForFixedSeed) {
   EXPECT_EQ(r1.best.tiles, r2.best.tiles);
 }
 
-TEST(Tuner, DeterministicAcrossThreadCounts) {
-  // The batched evaluation pipeline must be a pure throughput knob: for a
-  // fixed seed the tuned result — winner, time, stats, and the full
-  // Fig. 11 scatter — is identical whether evaluation runs on one worker
-  // or many.
-  const ChainSpec c = ChainSpec::attention("s2", 8, 256, 256, 64, 64);
-  const GpuSpec gpu = a100();
-  const SearchSpace space = make_space(c, gpu);
-  TunerOptions serial;
-  serial.seed = 7;
-  serial.num_threads = 1;
-  TunerOptions threaded = serial;
-  threaded.num_threads = 4;
-  const TunedResult r1 = Tuner(space, gpu, serial).run();
-  const TunedResult r2 = Tuner(space, gpu, threaded).run();
+/// Bitwise identity of two tuned results, not ULP tolerance: the
+/// determinism contract is exact.
+void expect_identical(const TunedResult& r1, const TunedResult& r2) {
   ASSERT_TRUE(r1.ok && r2.ok);
   EXPECT_EQ(r1.best.expr_id, r2.best.expr_id);
   EXPECT_EQ(r1.best.tiles, r2.best.tiles);
-  // Bitwise equality, not ULP tolerance: the contract is exact identity.
   EXPECT_EQ(r1.best_time_s, r2.best_time_s);
+  EXPECT_EQ(r1.stats.generations, r2.stats.generations);
   EXPECT_EQ(r1.stats.estimates, r2.stats.estimates);
   EXPECT_EQ(r1.stats.measurements, r2.stats.measurements);
   EXPECT_EQ(r1.stats.compile_failures, r2.stats.compile_failures);
@@ -68,6 +59,67 @@ TEST(Tuner, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(r1.est_vs_measured[i].first, r2.est_vs_measured[i].first);
     EXPECT_EQ(r1.est_vs_measured[i].second, r2.est_vs_measured[i].second);
   }
+}
+
+TEST(Tuner, DeterministicAcrossThreadCounts) {
+  // The batched evaluation pipeline must be a pure throughput knob: for a
+  // fixed seed the tuned result — winner, time, stats, and the full
+  // Fig. 11 scatter — is identical whether evaluation runs on one worker
+  // or many (pinned here for 1, 2 and 8 workers under the simulator
+  // backend, the PR-1 guarantee).
+  const ChainSpec c = ChainSpec::attention("s2", 8, 256, 256, 64, 64);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  TunerOptions serial;
+  serial.seed = 7;
+  serial.num_threads = 1;
+  serial.backend = std::make_shared<SimulatorBackend>(gpu);
+  const TunedResult r1 = Tuner(space, gpu, serial).run();
+  for (const int threads : {2, 8}) {
+    TunerOptions threaded = serial;
+    threaded.num_threads = threads;
+    const TunedResult r2 = Tuner(space, gpu, threaded).run();
+    expect_identical(r1, r2);
+  }
+}
+
+TEST(Tuner, ExplicitSimulatorBackendIsBitIdenticalToDefault) {
+  // Regression pin for the MeasureBackend extraction: a Tuner handed an
+  // explicit SimulatorBackend produces exactly the result of the
+  // pre-subsystem Tuner (which held a TimingSimulator member), i.e. the
+  // default-constructed path.  Covers winner, counters and the full
+  // est_vs_measured trace.
+  const ChainSpec c = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  TunerOptions defaults;
+  defaults.seed = 123;
+  TunerOptions explicit_sim = defaults;
+  explicit_sim.backend = std::make_shared<SimulatorBackend>(gpu);
+  const TunedResult r1 = Tuner(space, gpu, defaults).run();
+  const TunedResult r2 = Tuner(space, gpu, explicit_sim).run();
+  expect_identical(r1, r2);
+}
+
+TEST(Tuner, CachingBackendPreservesResultAndSkipsRemeasures) {
+  // A caching decorator must be invisible to the search: same winner and
+  // traces, while the second run's inner measurements all hit the cache.
+  const ChainSpec c = ChainSpec::gemm_chain("g1c", 1, 512, 256, 64, 64);
+  const GpuSpec gpu = a100();
+  const SearchSpace space = make_space(c, gpu);
+  auto cached = std::make_shared<CachingBackend>(
+      std::make_shared<SimulatorBackend>(gpu));
+  TunerOptions plain;
+  plain.seed = 5;
+  TunerOptions with_cache = plain;
+  with_cache.backend = cached;
+  const TunedResult r1 = Tuner(space, gpu, plain).run();
+  const TunedResult r2 = Tuner(space, gpu, with_cache).run();
+  expect_identical(r1, r2);
+  const std::size_t misses_after_first = cached->misses();
+  const TunedResult r3 = Tuner(space, gpu, with_cache).run();
+  expect_identical(r1, r3);
+  EXPECT_EQ(cached->misses(), misses_after_first);  // all hits
 }
 
 TEST(Tuner, BeatsMedianOfSpace) {

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "search/mcfuser.hpp"
 
@@ -48,6 +50,116 @@ TEST(TuningCache, SaveLoadRoundTrip) {
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->tiles, (std::vector<std::int64_t>{32, 64, 128, 16}));
   EXPECT_NEAR(hit->time_s, 2e-5, 1e-12);
+  std::filesystem::remove(path);
+}
+
+TEST(TuningCache, GoldenRoundTripIsByteStable) {
+  // save -> load -> save must reproduce the file byte for byte: record
+  // order is canonical (sorted map) and times print with full precision.
+  const std::string path1 = "tuning_cache_golden_1.txt";
+  const std::string path2 = "tuning_cache_golden_2.txt";
+  TuningCache cache;
+  cache.put(chain(), a100(),
+            CachedSchedule{"b0|2(1)", {32, 64, 128, 16}, 1.2345678901234567e-5});
+  cache.put(chain(), rtx3080(),
+            CachedSchedule{"b0b3|2(1)", {64, 64, 64, 64}, 3.3e-6});
+  cache.put(ChainSpec::attention("a", 4, 128, 128, 64, 64), a100(),
+            CachedSchedule{"b0|2(1)", {16, 16, 16, 16, 16}, 0.5});
+  ASSERT_TRUE(cache.save(path1));
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.load(path1));
+  EXPECT_EQ(loaded.size(), 3u);
+  ASSERT_TRUE(loaded.save(path2));
+  auto slurp = [](const std::string& p) {
+    std::ifstream f(p);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+  };
+  EXPECT_EQ(slurp(path1), slurp(path2));
+  // All record fields survive, bit-exact time included.
+  const auto hit = loaded.get(chain(), a100());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->expr_key, "b0|2(1)");
+  EXPECT_EQ(hit->tiles, (std::vector<std::int64_t>{32, 64, 128, 16}));
+  EXPECT_EQ(hit->time_s, 1.2345678901234567e-5);
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
+}
+
+TEST(TuningCache, MalformedLinesAreSkippedAndReported) {
+  const std::string path = "tuning_cache_malformed.txt";
+  {
+    TuningCache cache;
+    cache.put(chain(), a100(), CachedSchedule{"good", {64, 64, 64, 64}, 1e-5});
+    ASSERT_TRUE(cache.save(path));
+    std::ofstream f(path, std::ios::app);
+    f << "short line\n";                         // too few fields
+    f << "key gpu expr 64,notanumber,64 1e-5\n"; // non-numeric tile
+    f << "\n";                                   // blank: fine, ignored
+    f << "# comment: fine, ignored\n";
+  }
+  TuningCache loaded;
+  EXPECT_FALSE(loaded.load(path));  // malformed lines were skipped
+  EXPECT_EQ(loaded.size(), 1u);     // the good record still loads
+  EXPECT_TRUE(loaded.get(chain(), a100()).has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(TuningCache, ResolveRejectsOffGridTiles) {
+  // Tiles of 8 divide the dims exactly and pass rules 2-4, but are off
+  // the quantum-16 enumeration grid; resolve() must reject them (cached
+  // entries can only ever come off the grid, so a miss means the space's
+  // options changed under the entry).
+  const GpuSpec gpu = a100();
+  const ChainSpec c = chain();
+  PruneOptions prune;
+  prune.smem_limit_bytes = gpu.smem_per_block;
+  const SearchSpace space(c, SpaceOptions{}, prune);
+  // Start from a real grid candidate and knock one tile off the grid
+  // (divisors of the original, so padding stays zero) until the rules
+  // still pass but grid membership does not.
+  std::optional<CandidateConfig> off_grid;
+  for (const CandidateConfig& base : space.candidates()) {
+    for (std::size_t l = 0; l < base.tiles.size() && !off_grid; ++l) {
+      for (const std::int64_t v : {8, 24, 40, 48}) {
+        CandidateConfig probe = base;
+        probe.tiles[l] = v;
+        if (!space.contains(probe) && space.passes_rules(probe)) {
+          off_grid = probe;
+          break;
+        }
+      }
+    }
+    if (off_grid) break;
+  }
+  ASSERT_TRUE(off_grid.has_value());
+  TuningCache cache;
+  cache.put(c, gpu,
+            CachedSchedule{space.expressions()[static_cast<std::size_t>(
+                                                   off_grid->expr_id)]
+                               .structure_key(),
+                           {off_grid->tiles.begin(), off_grid->tiles.end()},
+                           1e-6});
+  EXPECT_FALSE(cache.resolve(c, gpu, space).has_value());
+}
+
+TEST(TuningCache, RawKeyRecordsRoundTrip) {
+  // The string-keyed API the CachingBackend builds on: composite chain
+  // keys survive save/load as long as they are space- and '|'-free.
+  const std::string path = "tuning_cache_raw.txt";
+  {
+    TuningCache cache;
+    cache.put_raw("b1m512x64x256@abc123@64,64", "A100",
+                  CachedSchedule{"abc123", {64, 64}, 7.5e-6});
+    ASSERT_TRUE(cache.save(path));
+  }
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  const auto hit = loaded.get_raw("b1m512x64x256@abc123@64,64", "A100");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->time_s, 7.5e-6);
+  EXPECT_FALSE(loaded.get_raw("b1m512x64x256@abc123@64,64", "RTX3080"));
   std::filesystem::remove(path);
 }
 

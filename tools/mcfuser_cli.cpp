@@ -2,6 +2,7 @@
 //
 //   mcfuser fuse    --m 512 --n 256 --k 64 --h 64 [--batch N]
 //                   [--attention | --gelu | --relu] [--gpu a100|rtx3080]
+//                   [--backend=sim|interp|cached-sim]
 //                   [--cache FILE] [--emit] [--pseudo]
 //   mcfuser compare <same shape flags>     run every baseline on the chain
 //   mcfuser suite   gemm | attention       paper Table II / III sweep
@@ -19,6 +20,7 @@
 #include "baselines/flash_like.hpp"
 #include "baselines/unfused.hpp"
 #include "exec/codegen.hpp"
+#include "measure/backend.hpp"
 #include "search/mcfuser.hpp"
 #include "support/table.hpp"
 #include "workloads/suites.hpp"
@@ -51,11 +53,14 @@ Args parse(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string tok = argv[i];
     if (tok.rfind("--", 0) == 0) {
-      const std::string key = tok.substr(2);
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        args.flags[key] = argv[++i];
+      // Both --key value and --key=value spellings are accepted.
+      const std::string body = tok.substr(2);
+      if (const auto eq = body.find('='); eq != std::string::npos) {
+        args.flags[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.flags[body] = argv[++i];
       } else {
-        args.flags[key] = "1";
+        args.flags[body] = "1";
       }
     } else if (args.positional.empty()) {
       args.positional = tok;
@@ -85,9 +90,22 @@ ChainSpec chain_from(const Args& args) {
 int cmd_fuse(const Args& args) {
   const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
   const ChainSpec chain = chain_from(args);
-  std::printf("fusing %s on %s\n", chain.to_string().c_str(), gpu.name.c_str());
 
-  const MCFuser fuser(gpu);
+  MCFuserOptions opts;
+  opts.backend = args.str("backend", "sim");
+  if (BackendRegistry::instance().create(opts.backend, gpu) == nullptr) {
+    std::fprintf(stderr, "unknown --backend '%s'; registered:",
+                 opts.backend.c_str());
+    for (const auto& name : BackendRegistry::instance().names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  std::printf("fusing %s on %s (backend: %s)\n", chain.to_string().c_str(),
+              gpu.name.c_str(), opts.backend.c_str());
+
+  const MCFuser fuser(gpu, opts);
   FusionResult result;
   TuningCache cache;
   const std::string cache_path = args.str("cache", "");
@@ -107,8 +125,8 @@ int cmd_fuse(const Args& args) {
   std::printf("space: %.3g raw -> %zu candidates; tuning: %d measurements\n",
               result.funnel.original, result.space_size,
               result.tuned.stats.measurements);
-  std::printf("best simulated time: %.2f us (%.1f%% of peak FLOPs)\n",
-              result.time_s() * 1e6,
+  std::printf("best measured time (%s): %.2f us (%.1f%% of peak FLOPs)\n",
+              opts.backend.c_str(), result.time_s() * 1e6,
               100.0 * chain.total_flops() / result.time_s() / gpu.peak_flops);
   if (args.has("pseudo") || !args.has("emit")) {
     std::printf("\n%s", result.kernel->schedule().to_pseudo().c_str());
@@ -192,7 +210,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: mcfuser <fuse|compare|suite|info> [flags]\n"
                "  fuse    --m M --n N --k K --h H [--batch B] "
-               "[--attention|--gelu|--relu] [--gpu NAME] [--cache FILE] [--emit]\n"
+               "[--attention|--gelu|--relu] [--gpu NAME] "
+               "[--backend=sim|interp|cached-sim] [--cache FILE] [--emit]\n"
                "  compare <same shape flags> [--trials T]\n"
                "  suite   gemm|attention [--gpu NAME]\n"
                "  info    [--gpu NAME]\n");
