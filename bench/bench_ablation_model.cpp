@@ -6,7 +6,7 @@
 #include "common.hpp"
 #include "baselines/ansor_like.hpp"
 #include "gpu/timing.hpp"
-#include "search/mcfuser.hpp"
+#include "engine/engine.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "workloads/suites.hpp"
@@ -50,8 +50,8 @@ int main_impl() {
                     "random 4x budget", "Ansor model, 1000 trials"});
   std::vector<double> rnd_ratio;
   for (const ChainSpec& chain : workloads) {
-    const FusionResult mcf = MCFuser(gpu).fuse(chain);
-    if (!mcf.ok) return 1;
+    const FusionResult mcf = FusionEngine(gpu).fuse(chain);
+    if (!mcf.ok()) return 1;
     const int budget = mcf.tuned.stats.measurements;
     const double rnd1 = random_search(gpu, chain, budget, 1);
     const double rnd4 = random_search(gpu, chain, 4 * budget, 2);

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "search/mcfuser.hpp"
+#include "engine/engine.hpp"
 #include "support/stats.hpp"
 #include "workloads/suites.hpp"
 
@@ -17,9 +17,9 @@ namespace {
 using namespace mcf;
 
 double fuse_time(const GpuSpec& gpu, const ChainSpec& chain,
-                 const MCFuserOptions& opts) {
-  const FusionResult r = MCFuser(gpu, opts).fuse(chain);
-  return r.ok ? r.tuned.best_time_s : -1.0;
+                 const FusionEngineOptions& opts) {
+  const FusionResult r = FusionEngine(gpu, opts).fuse(chain);
+  return r.ok() ? r.tuned.best_time_s : -1.0;
 }
 
 int main_impl() {
@@ -33,16 +33,16 @@ int main_impl() {
               "(geomean over G1-G12, S2, S7; 1.00 = full MCFuser)");
   table.set_header({"variant", "slowdown", "notes"});
 
-  MCFuserOptions full;
-  MCFuserOptions no_flat;
+  FusionEngineOptions full;
+  FusionEngineOptions no_flat;
   no_flat.space.include_flat = false;
-  MCFuserOptions no_collapse;
+  FusionEngineOptions no_collapse;
   no_collapse.sched.collapse_unit_loops = false;
-  MCFuserOptions no_hoist;
+  FusionEngineOptions no_hoist;
   no_hoist.sched.hoist = false;
 
   std::vector<double> base_times;
-  std::vector<std::pair<std::string, MCFuserOptions>> variants = {
+  std::vector<std::pair<std::string, FusionEngineOptions>> variants = {
       {"no flat tilings (Chimera space)", no_flat},
       {"no extent-1 hoisting", no_collapse},
       {"no hoisting at all", no_hoist},

@@ -11,7 +11,7 @@
 #include "baselines/chimera_like.hpp"
 #include "baselines/flash_like.hpp"
 #include "baselines/unfused.hpp"
-#include "search/mcfuser.hpp"
+#include "engine/engine.hpp"
 #include "workloads/suites.hpp"
 
 namespace mcf::bench {
@@ -61,8 +61,8 @@ inline SubgraphRow run_subgraph(const GpuSpec& gpu, const ChainSpec& chain,
   row.chimera_s = chim.time_s;
   row.chimera_tuning = chim.tuning;
 
-  const FusionResult mcf = MCFuser(gpu).fuse(chain);
-  row.mcfuser_s = mcf.ok ? mcf.tuned.best_time_s : 0.0;
+  const FusionResult mcf = FusionEngine(gpu).fuse(chain);
+  row.mcfuser_s = mcf.ok() ? mcf.tuned.best_time_s : 0.0;
   row.mcfuser_measurements = mcf.tuned.stats.measurements;
   row.mcfuser_wall_s = mcf.tuned.stats.wall_seconds;
   return row;

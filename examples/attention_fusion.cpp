@@ -8,7 +8,7 @@
 
 #include "baselines/flash_like.hpp"
 #include "baselines/unfused.hpp"
-#include "search/mcfuser.hpp"
+#include "engine/engine.hpp"
 #include "tensor/ops.hpp"
 
 int main() {
@@ -21,8 +21,12 @@ int main() {
                                               /*n=*/512, /*k=*/64, /*h=*/64);
   std::printf("module: %s\n", attn.to_string().c_str());
 
-  const FusionResult fused = MCFuser(gpu).fuse(attn);
-  if (!fused.ok) return 1;
+  const FusionEngine engine(gpu);
+  const FusionResult fused = engine.fuse(attn);
+  if (!fused.ok()) {
+    std::fprintf(stderr, "fusion failed: %s\n", fused.reason.c_str());
+    return 1;
+  }
   const SubgraphResult eager = UnfusedBaseline(gpu).run(attn);
   const SubgraphResult flash = FlashAttentionLikeBaseline(gpu).run(attn);
 

@@ -1,0 +1,62 @@
+// FusionEngine as a service: asynchronous submission with FusionTicket
+// (wait / ready / progress / cancellation), graph-level batch fusion with
+// digest dedup, and the structured FusionStatus taxonomy.
+//
+//   build/examples/fusion_service
+#include <cstdio>
+
+#include "engine/engine.hpp"
+#include "graph/bert.hpp"
+
+int main() {
+  using namespace mcf;
+  const GpuSpec gpu = a100();
+
+  // One long-lived engine per deployment: it owns the GPU spec, the
+  // resolved measurement backend, the worker pool, and the result memo.
+  FusionEngineOptions opts;
+  opts.jobs = 4;
+  FusionEngine engine(gpu, opts);
+
+  // --- 1. Async submission: tickets are future-like handles. ---------------
+  std::printf("submitting 3 chains asynchronously (jobs=%d)\n", opts.jobs);
+  std::vector<FusionTicket> tickets;
+  tickets.push_back(engine.submit(ChainSpec::gemm_chain("g_small", 1, 128, 96, 64, 80)));
+  tickets.push_back(engine.submit(ChainSpec::attention("attn", 4, 128, 128, 64, 64)));
+  tickets.push_back(engine.submit(ChainSpec::gemm_chain("g_wide", 1, 256, 128, 32, 32)));
+  for (const FusionTicket& t : tickets) {
+    const FusionResult& r = t.get();  // blocks
+    const FusionTicket::Progress p = t.progress();
+    std::printf("  %-8s -> %-8s %8.2f us  (%d generations, %d measurements)\n",
+                t.chain().name().c_str(), fusion_status_name(r.status),
+                r.ok() ? r.time_s() * 1e6 : 0.0, p.generations, p.measurements);
+  }
+
+  // --- 2. Structured errors: every failure names its layer. ----------------
+  const ChainSpec bad("bad", /*batch=*/0, /*m=*/128, {64, 64});
+  const FusionResult rbad = engine.fuse(bad);
+  std::printf("\ninvalid chain -> %s: %s\n", fusion_status_name(rbad.status),
+              rbad.reason.c_str());
+
+  // --- 3. Graph-level batch fusion: dedup + concurrent tuning. -------------
+  const NetGraph graph = build_bert(bert_base());
+  const GraphFusionReport rep = engine.fuse_graph(graph);
+  std::printf("\n%s: %d MBCI subgraphs -> %d distinct chain(s), "
+              "%d tuned fresh, %d measurements\n",
+              rep.graph_name.c_str(), rep.mbci_subgraphs, rep.distinct_chains,
+              rep.tuned_chains, rep.total_measurements);
+  for (const GraphChainReport& c : rep.chains) {
+    std::printf("  [%s] x%d %s%s\n", c.digest.c_str(), c.occurrences,
+                c.result ? fusion_status_name(c.result->status) : "?",
+                c.reused ? " (memo)" : "");
+  }
+
+  // A second pass over the same graph tunes nothing: the engine memo
+  // already holds every digest.
+  const GraphFusionReport again = engine.fuse_graph(graph);
+  std::printf("second fuse_graph: tuned %d chains (memo hits: %zu)\n",
+              again.tuned_chains, engine.result_cache_size());
+
+  std::printf("\nJSON report:\n%s\n", again.to_json().c_str());
+  return rep.all_ok() && again.tuned_chains == 0 ? 0 : 1;
+}

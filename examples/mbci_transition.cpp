@@ -7,11 +7,12 @@
 
 #include "baselines/unfused.hpp"
 #include "graph/partitioner.hpp"
-#include "search/mcfuser.hpp"
+#include "engine/engine.hpp"
 
 int main() {
   using namespace mcf;
   const GpuSpec gpu = a100();
+  const FusionEngine engine(gpu);
   std::printf("P/W on %s = %.1f FLOP per element moved\n\n", gpu.name.c_str(),
               gpu.flops_per_byte());
   std::printf("%-6s %-12s %-10s %-12s %-12s %-9s\n", "K", "phi(op/elem)",
@@ -23,8 +24,8 @@ int main() {
     const double phi = chain_flops_per_byte(chain);
     const bool mbci = is_mbci(chain, gpu);
     const double unfused = UnfusedBaseline(gpu).run(chain).time_s;
-    const FusionResult fused = MCFuser(gpu).fuse(chain);
-    if (!fused.ok) return 1;
+    const FusionResult fused = engine.fuse(chain);
+    if (!fused.ok()) return 1;
     std::printf("%-6lld %-12.1f %-10s %-12.2f %-12.2f %.2fx\n",
                 static_cast<long long>(k), phi, mbci ? "yes" : "no",
                 unfused * 1e6, fused.time_s() * 1e6,

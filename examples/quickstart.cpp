@@ -7,7 +7,7 @@
 
 #include "baselines/unfused.hpp"
 #include "exec/codegen.hpp"
-#include "search/mcfuser.hpp"
+#include "engine/engine.hpp"
 #include "tensor/ops.hpp"
 
 int main() {
@@ -20,11 +20,15 @@ int main() {
                                                 /*n=*/256, /*k=*/64, /*h=*/64);
   std::printf("chain: %s\n\n", chain.to_string().c_str());
 
-  // 2. Fuse it for an A100.
+  // 2. Fuse it for an A100 through a FusionEngine (the long-lived
+  //    service object; see examples/fusion_service.cpp for the async and
+  //    whole-graph entry points).
   const GpuSpec gpu = a100();
-  const FusionResult result = MCFuser(gpu).fuse(chain);
-  if (!result.ok) {
-    std::fprintf(stderr, "fusion failed\n");
+  const FusionEngine engine(gpu);
+  const FusionResult result = engine.fuse(chain);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fusion failed: %s (%s)\n",
+                 fusion_status_name(result.status), result.reason.c_str());
     return 1;
   }
   std::printf("search space: %.0f raw candidates -> %zu after pruning\n",

@@ -14,8 +14,8 @@ ChimeraLikeBaseline::ChimeraLikeBaseline(GpuSpec gpu, Objective objective)
     : gpu_(std::move(gpu)), objective_(objective) {}
 
 FusionResult ChimeraLikeBaseline::fuse(const ChainSpec& chain) const {
-  MCFuser fuser(gpu_, MCFuser::chimera_options());
-  return fuser.fuse(chain);
+  const FusionEngine engine(gpu_, FusionEngine::chimera_options());
+  return engine.fuse(chain);
 }
 
 SubgraphResult ChimeraLikeBaseline::run(const ChainSpec& chain) const {
@@ -26,7 +26,7 @@ SubgraphResult ChimeraLikeBaseline::run(const ChainSpec& chain) const {
 
   if (objective_ == Objective::MeasuredTime) {
     const FusionResult f = fuse(chain);
-    if (!f.ok) return r;
+    if (!f.ok()) return r;
     r.fused = true;
     r.time_s = f.tuned.best_time_s;
     r.kernel_launches = 1;
@@ -39,7 +39,7 @@ SubgraphResult ChimeraLikeBaseline::run(const ChainSpec& chain) const {
 
   // Pure Chimera: enumerate the restricted space, rank by data movement,
   // measure candidates in that order until one lowers successfully.
-  MCFuserOptions opts = MCFuser::chimera_options();
+  FusionEngineOptions opts = FusionEngine::chimera_options();
   opts.prune.smem_limit_bytes = gpu_.smem_per_block;
   SearchSpace space(chain, opts.space, opts.prune, opts.sched);
   std::vector<std::pair<double, const CandidateConfig*>> ranked;

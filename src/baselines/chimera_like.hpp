@@ -6,7 +6,7 @@
 #pragma once
 
 #include "baselines/baseline.hpp"
-#include "search/mcfuser.hpp"
+#include "engine/engine.hpp"
 
 namespace mcf {
 

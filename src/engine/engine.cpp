@@ -1,0 +1,538 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/partitioner.hpp"
+#include "measure/backend.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace mcf {
+
+const char* fusion_status_name(FusionStatus s) noexcept {
+  switch (s) {
+    case FusionStatus::Ok:
+      return "ok";
+    case FusionStatus::InvalidChain:
+      return "invalid-chain";
+    case FusionStatus::InfeasibleSpace:
+      return "infeasible-space";
+    case FusionStatus::PruneEmpty:
+      return "prune-empty";
+    case FusionStatus::MeasureFailed:
+      return "measure-failed";
+    case FusionStatus::Cancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+// ---- FusionTicket -----------------------------------------------------------
+
+const ChainSpec& FusionTicket::chain() const {
+  MCF_CHECK(state_ != nullptr) << "chain() on an empty FusionTicket";
+  return state_->chain;
+}
+
+bool FusionTicket::ready() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->done;
+}
+
+void FusionTicket::wait() const {
+  MCF_CHECK(state_ != nullptr) << "wait() on an empty FusionTicket";
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+}
+
+bool FusionTicket::wait_for(double seconds) const {
+  MCF_CHECK(state_ != nullptr) << "wait_for() on an empty FusionTicket";
+  std::unique_lock<std::mutex> lk(state_->mu);
+  return state_->cv.wait_for(
+      lk, std::chrono::duration<double>(std::max(0.0, seconds)),
+      [&] { return state_->done; });
+}
+
+const FusionResult& FusionTicket::get() const {
+  wait();
+  return state_->result;
+}
+
+bool FusionTicket::cancel() {
+  if (!state_) return false;
+  state_->progress->request_cancel();
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return !state_->done;
+}
+
+FusionTicket::Progress FusionTicket::progress() const {
+  Progress p;
+  if (!state_) return p;
+  p.generations = state_->progress->generations.load(std::memory_order_relaxed);
+  p.estimates = state_->progress->estimates.load(std::memory_order_relaxed);
+  p.measurements =
+      state_->progress->measurements.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(state_->mu);
+  p.started = state_->started;
+  p.done = state_->done;
+  return p;
+}
+
+// ---- GraphFusionReport ------------------------------------------------------
+
+bool GraphFusionReport::all_ok() const noexcept {
+  for (const auto& c : chains) {
+    if (!c.result || !c.result->ok()) return false;
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += ' ';  // other control chars never appear in our strings
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string GraphFusionReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"graph\":\"";
+  os << json_escape(graph_name);
+  os << "\",\"nodes\":" << graph_nodes
+     << ",\"mbci_subgraphs\":" << mbci_subgraphs
+     << ",\"distinct_chains\":" << distinct_chains
+     << ",\"tuned_chains\":" << tuned_chains
+     << ",\"total_measurements\":" << total_measurements
+     << ",\"tuning_wall_s\":" << tuning_wall_s << ",\"chains\":[";
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const GraphChainReport& c = chains[i];
+    if (i) os << ",";
+    os << "{\"digest\":\"";
+    os << json_escape(c.digest);
+    os << "\",\"name\":\"";
+    os << json_escape(c.chain_name);
+    os << "\",\"desc\":\"";
+    os << json_escape(c.chain_desc);
+    os << "\",\"occurrences\":" << c.occurrences
+       << ",\"reused\":" << (c.reused ? "true" : "false") << ",\"status\":\""
+       << (c.result ? fusion_status_name(c.result->status) : "missing")
+       << "\",\"reason\":\"";
+    if (c.result) os << json_escape(c.result->reason);
+    os << "\"";
+    if (c.result && c.result->ok()) {
+      os << ",\"time_us\":" << c.result->time_s() * 1e6
+         << ",\"measurements\":" << c.result->tuned.stats.measurements
+         << ",\"space_size\":" << c.result->space_size << ",\"best_tiles\":[";
+      const auto& tiles = c.result->tuned.best.tiles;
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        if (t) os << ",";
+        os << tiles[t];
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "],\"sub_to_chain\":[";
+  for (std::size_t i = 0; i < sub_to_chain.size(); ++i) {
+    if (i) os << ",";
+    os << sub_to_chain[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---- FusionEngine -----------------------------------------------------------
+
+FusionEngine::FusionEngine(GpuSpec gpu, FusionEngineOptions options)
+    : gpu_(std::move(gpu)), opt_(std::move(options)) {
+  opt_.prune.smem_limit_bytes = gpu_.smem_per_block;
+  if (!opt_.backend.empty()) {
+    opt_.tuner.backend = BackendRegistry::instance().create(opt_.backend, gpu_);
+    if (opt_.tuner.backend == nullptr) {
+      std::string known;
+      for (const auto& n : BackendRegistry::instance().names()) {
+        known += (known.empty() ? "" : ", ") + n;
+      }
+      MCF_CHECK(false) << "unknown measure backend '" << opt_.backend
+                       << "' (registered: " << known << ")";
+    }
+  } else if (opt_.tuner.backend == nullptr) {
+    // Resolve the default once so every tuning run shares one (stateless)
+    // simulator — value-identical to the tuner's per-run default.
+    opt_.tuner.backend = std::make_shared<SimulatorBackend>(gpu_);
+  }
+}
+
+FusionEngine::~FusionEngine() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+FusionEngineOptions FusionEngine::chimera_options() {
+  FusionEngineOptions o;
+  o.space.include_flat = false;         // nested block execution orders only
+  o.sched.collapse_unit_loops = false;  // misses the extent-1 optimisation
+  return o;
+}
+
+FusionResult FusionEngine::run_one(const ChainSpec& chain,
+                                   std::shared_ptr<TuningProgress> progress,
+                                   const SearchSpace* prebuilt) const {
+  FusionResult result;
+  if (!chain.valid()) {
+    result.status = FusionStatus::InvalidChain;
+    result.reason = chain.validation_error();
+    MCF_LOG(Warn) << "FusionEngine: invalid chain '" << chain.name()
+                  << "': " << result.reason;
+    return result;
+  }
+  std::optional<SearchSpace> own_space;
+  if (prebuilt == nullptr) {
+    own_space.emplace(chain, opt_.space, opt_.prune, opt_.sched);
+  }
+  const SearchSpace& space = prebuilt ? *prebuilt : *own_space;
+  result.funnel = space.funnel();
+  result.space_size = space.candidates().size();
+  if (space.candidates().empty()) {
+    std::ostringstream os;
+    if (space.expressions().empty() || result.funnel.original <= 0.0) {
+      result.status = FusionStatus::InfeasibleSpace;
+      os << "space generation produced no tiling expressions for "
+         << chain.name();
+    } else {
+      result.status = FusionStatus::PruneEmpty;
+      os << "pruning left 0 of " << result.funnel.original
+         << " raw candidates (rule1 " << result.funnel.after_rule1
+         << " -> rule2 " << result.funnel.after_rule2 << " -> rule3 "
+         << result.funnel.after_rule3 << " -> rule4 "
+         << result.funnel.after_rule4 << ")";
+    }
+    result.reason = os.str();
+    MCF_LOG(Warn) << "FusionEngine: nothing to tune for " << chain.name()
+                  << ": " << result.reason;
+    return result;
+  }
+  TunerOptions topts = opt_.tuner;
+  // Per-workload deterministic noise stream for simulated measurements.
+  topts.measure.noise_seed =
+      hash_combine(topts.measure.noise_seed, hash_string(chain.name()));
+  topts.progress = std::move(progress);
+  Tuner tuner(space, gpu_, topts);
+  result.tuned = tuner.run();
+  if (result.tuned.cancelled) {
+    result.status = FusionStatus::Cancelled;
+    result.reason = result.tuned.fail_reason;
+    return result;
+  }
+  if (!result.tuned.ok) {
+    result.status = FusionStatus::MeasureFailed;
+    result.reason = result.tuned.fail_reason.empty()
+                        ? "no candidate measured successfully"
+                        : result.tuned.fail_reason;
+    return result;
+  }
+  result.kernel.emplace(space.schedule_for(result.tuned.best), gpu_);
+  if (!result.kernel->ok()) {
+    result.status = FusionStatus::MeasureFailed;
+    result.reason = "winner failed to lower: " + result.kernel->error();
+    MCF_LOG(Warn) << "FusionEngine: " << result.reason;
+    return result;
+  }
+  result.status = FusionStatus::Ok;
+  return result;
+}
+
+FusionResult FusionEngine::fuse(const ChainSpec& chain,
+                                std::shared_ptr<TuningProgress> progress) const {
+  return run_one(chain, std::move(progress));
+}
+
+unsigned FusionEngine::max_workers() const {
+  const unsigned n = opt_.jobs > 0 ? static_cast<unsigned>(opt_.jobs)
+                                   : std::thread::hardware_concurrency();
+  return std::max(1u, n);
+}
+
+void FusionEngine::spawn_worker_locked() {
+  if (stop_) return;
+  const std::size_t outstanding = queue_.size() + busy_;
+  if (workers_.size() >= max_workers() || workers_.size() >= outstanding) {
+    return;
+  }
+  workers_.emplace_back([this] { worker_loop(); });
+}
+
+void FusionEngine::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::TicketState> job;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      stopping = stop_;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+    FusionResult r;
+    if (stopping) {
+      // Shutdown never tunes the backlog: running jobs complete, queued
+      // jobs finish as Cancelled so waiters unblock immediately.
+      r.status = FusionStatus::Cancelled;
+      r.reason = "engine shutting down";
+    } else if (job->progress->cancel_requested()) {
+      // Cancelled while queued: started stays false so Progress can
+      // distinguish a queued-cancel from a mid-run cancel.
+      r.status = FusionStatus::Cancelled;
+      r.reason = "cancelled before the job started";
+    } else {
+      {
+        std::lock_guard<std::mutex> lk(job->mu);
+        job->started = true;
+      }
+      r = run_one(job->chain, job->progress);
+    }
+    finish(job, std::move(r));
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      --busy_;
+    }
+  }
+}
+
+void FusionEngine::finish(const std::shared_ptr<detail::TicketState>& state,
+                          FusionResult result) {
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    state->result = std::move(result);
+  }
+  if (!state->memo_digest.empty()) {
+    // Publish before signalling done: a fuse_chains waiter that wakes on
+    // done must find the memo entry.  The aliasing shared_ptr keeps the
+    // ticket state (and thus the result) alive as long as the memo does.
+    // Only Ok results are memoized — a failed tuning (which may be
+    // transient on nondeterministic hardware backends) must not poison
+    // its digest for the engine's lifetime; waiters of THIS call still
+    // see the failure through their tickets, and the next call re-tunes.
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    if (state->result.ok()) {
+      results_.emplace(state->memo_digest, std::shared_ptr<const FusionResult>(
+                                               state, &state->result));
+    }
+    inflight_.erase(state->memo_digest);
+  }
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+FusionTicket FusionEngine::submit(ChainSpec chain) {
+  auto state = std::make_shared<detail::TicketState>(std::move(chain));
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    MCF_CHECK(!stop_) << "submit() on a shut-down FusionEngine";
+    queue_.push_back(state);
+    spawn_worker_locked();
+  }
+  queue_cv_.notify_one();
+  return FusionTicket(std::move(state));
+}
+
+GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains,
+                                            const std::string& label) {
+  GraphFusionReport rep;
+  rep.graph_name = label;
+  rep.sub_to_chain.reserve(chains.size());
+
+  struct Pending {
+    std::size_t index;  ///< into rep.chains
+    FusionTicket ticket;
+    bool fresh;  ///< this call created the job (counts toward tuned_chains)
+  };
+  std::vector<Pending> pending;
+  std::unordered_map<std::string, std::size_t> index_by_digest;
+
+  for (const ChainSpec& chain : chains) {
+    const std::string digest = chain_cache_key(chain);
+    if (const auto it = index_by_digest.find(digest);
+        it != index_by_digest.end()) {
+      ++rep.chains[it->second].occurrences;
+      rep.sub_to_chain.push_back(static_cast<int>(it->second));
+      continue;
+    }
+    GraphChainReport cr;
+    cr.digest = digest;
+    cr.chain_name = chain.name();
+    cr.chain_desc = chain.to_string();
+    cr.occurrences = 1;
+
+    FusionTicket ticket;
+    bool fresh = false;
+    {
+      std::lock_guard<std::mutex> lk(memo_mu_);
+      if (const auto hit = results_.find(digest); hit != results_.end()) {
+        cr.result = hit->second;
+        cr.reused = true;
+      } else if (const auto inf = inflight_.find(digest);
+                 inf != inflight_.end()) {
+        // Another fuse_chains call is already tuning this digest; attach.
+        ticket = FusionTicket(inf->second);
+        cr.reused = true;
+      } else {
+        auto state = std::make_shared<detail::TicketState>(chain);
+        state->memo_digest = digest;
+        inflight_.emplace(digest, state);
+        ticket = FusionTicket(std::move(state));
+        fresh = true;
+      }
+    }
+    if (fresh) {
+      {
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        MCF_CHECK(!stop_) << "fuse_chains() on a shut-down FusionEngine";
+        queue_.push_back(ticket.state_);
+        spawn_worker_locked();
+      }
+      queue_cv_.notify_one();
+    }
+    const std::size_t idx = rep.chains.size();
+    rep.chains.push_back(std::move(cr));
+    index_by_digest.emplace(digest, idx);
+    rep.sub_to_chain.push_back(static_cast<int>(idx));
+    if (ticket.valid()) pending.push_back(Pending{idx, std::move(ticket), fresh});
+  }
+
+  for (Pending& p : pending) {
+    const FusionResult& r = p.ticket.get();
+    rep.chains[p.index].result = std::shared_ptr<const FusionResult>(
+        p.ticket.state_, &p.ticket.state_->result);
+    if (p.fresh) {
+      ++rep.tuned_chains;
+      rep.total_measurements += r.tuned.stats.measurements;
+      rep.tuning_wall_s += r.tuned.stats.wall_seconds;
+    }
+  }
+  rep.distinct_chains = static_cast<int>(rep.chains.size());
+  return rep;
+}
+
+GraphFusionReport FusionEngine::fuse_graph(const NetGraph& g) {
+  const PartitionResult part = partition_mbci(g, gpu_);
+  std::vector<ChainSpec> chains;
+  chains.reserve(part.mbci.size());
+  for (const MbciSubgraph& sub : part.mbci) chains.push_back(sub.chain);
+  GraphFusionReport rep = fuse_chains(chains, g.name());
+  rep.graph_nodes = g.size();
+  rep.mbci_subgraphs = static_cast<int>(part.mbci.size());
+  return rep;
+}
+
+FusionResult FusionEngine::fuse_cached_impl(const ChainSpec& chain,
+                                            TuningCache& cache,
+                                            std::mutex* cache_mu) const {
+  // `cache_mu` (when set) guards only the cache accesses — never the
+  // tuning run itself, so engine-owned-cache fusions still overlap.
+  const auto locked_resolve = [&](const SearchSpace& space) {
+    if (cache_mu == nullptr) return cache.resolve(chain, gpu_, space);
+    std::lock_guard<std::mutex> lk(*cache_mu);
+    return cache.resolve(chain, gpu_, space);
+  };
+  if (!chain.valid()) {
+    FusionResult result;
+    result.status = FusionStatus::InvalidChain;
+    result.reason = chain.validation_error();
+    return result;
+  }
+  SearchSpace space(chain, opt_.space, opt_.prune, opt_.sched);
+  if (const auto hit = locked_resolve(space)) {
+    FusionResult result;
+    result.funnel = space.funnel();
+    result.space_size = space.candidates().size();
+    result.kernel.emplace(space.schedule_for(*hit), gpu_);
+    if (result.kernel->ok()) {
+      const KernelMeasurement m = result.kernel->measure();
+      result.tuned.ok = true;
+      result.tuned.best = *hit;
+      result.tuned.best_time_s = m.time_s;
+      result.tuned.best_measurement = m;
+      result.status = FusionStatus::Ok;
+      MCF_LOG(Info) << "FusionEngine: tuning-cache hit for " << chain.name();
+      return result;
+    }
+    MCF_LOG(Warn) << "FusionEngine: stale cache entry for " << chain.name()
+                  << ", re-tuning";
+  }
+  FusionResult result = run_one(chain, nullptr, &space);
+  if (result.ok()) {
+    CachedSchedule entry;
+    entry.expr_key =
+        space.expressions()[static_cast<std::size_t>(result.tuned.best.expr_id)]
+            .structure_key();
+    entry.tiles.assign(result.tuned.best.tiles.begin(),
+                       result.tuned.best.tiles.end());
+    entry.time_s = result.tuned.best_time_s;
+    if (cache_mu == nullptr) {
+      cache.put(chain, gpu_, std::move(entry));
+    } else {
+      std::lock_guard<std::mutex> lk(*cache_mu);
+      cache.put(chain, gpu_, std::move(entry));
+    }
+  }
+  return result;
+}
+
+FusionResult FusionEngine::fuse_cached(const ChainSpec& chain,
+                                       TuningCache& cache) const {
+  return fuse_cached_impl(chain, cache, nullptr);
+}
+
+FusionResult FusionEngine::fuse_cached(const ChainSpec& chain) {
+  return fuse_cached_impl(chain, tuning_cache_, &cache_mu_);
+}
+
+bool FusionEngine::load_tuning_cache(const std::string& path) {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return tuning_cache_.load(path);
+}
+
+bool FusionEngine::save_tuning_cache(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return tuning_cache_.save(path);
+}
+
+std::size_t FusionEngine::result_cache_size() const {
+  std::lock_guard<std::mutex> lk(memo_mu_);
+  return results_.size();
+}
+
+}  // namespace mcf

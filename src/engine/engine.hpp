@@ -1,0 +1,287 @@
+// FusionEngine — the library's service-grade entry point.
+//
+// A long-lived engine owns everything one fusion deployment shares across
+// requests: the GPU spec, the resolved MeasureBackend, the worker pool for
+// concurrent chain tuning, a process-wide TuningCache, and a digest-keyed
+// memo of finished FusionResults.  Three front doors:
+//
+//   * fuse(chain)        — synchronous, runs inline on the caller's thread;
+//                          bit-identical to the classic MCFuser::fuse()
+//                          (pinned by tests/engine/test_regression.cpp).
+//   * submit(chain)      — asynchronous; returns a FusionTicket with
+//                          wait()/ready()/cancel() and live progress
+//                          counters fed from the tuner.
+//   * fuse_graph(graph)  — whole-graph batch fusion: partitions the graph,
+//                          deduplicates structurally-identical chains by
+//                          digest, tunes distinct chains concurrently
+//                          across the worker pool, and assembles a
+//                          GraphFusionReport.
+//
+// Every result carries a FusionStatus (engine/status.hpp) plus a
+// human-readable reason from the layer that failed — no more bool ok.
+//
+// Thread-safety: all public methods are safe to call concurrently from
+// multiple threads.  Results are deterministic per chain regardless of
+// jobs/threads (the tuner is seed-deterministic; concurrency only changes
+// wall-clock).  See docs/api.md for the full contract.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/status.hpp"
+#include "exec/program.hpp"
+#include "graph/netgraph.hpp"
+#include "search/space.hpp"
+#include "search/tuner.hpp"
+#include "search/tuning_cache.hpp"
+
+namespace mcf {
+
+class MeasureBackend;
+
+struct FusionEngineOptions {
+  SpaceOptions space;
+  PruneOptions prune;      ///< smem_limit_bytes is overwritten from the GPU
+  ScheduleOptions sched;   ///< hoisting / unit-collapse flags
+  TunerOptions tuner;
+  /// Measurement backend by registry name ("sim", "interp", "cached-sim",
+  /// see measure/backend.hpp).  Empty = tuner.backend if set, else the
+  /// simulator.  Resolved once at engine construction; an unknown name
+  /// aborts with the registered names in the message.
+  std::string backend;
+  /// Worker threads for asynchronous submission and graph-level batch
+  /// fusion (distinct chains tune concurrently).  0 = hardware
+  /// concurrency.  Workers start lazily on the first submit()/fuse_graph();
+  /// the synchronous fuse() never spawns threads.
+  int jobs = 0;
+};
+
+/// Everything the fusion pipeline produces for one chain.
+struct FusionResult {
+  /// Every engine path assigns a status; the default only survives on a
+  /// default-constructed (never-run) result.
+  FusionStatus status = FusionStatus::InvalidChain;
+  /// Human-readable failure detail from the layer that failed (prune
+  /// funnel, measurement backend, lowering, validation).  Empty on Ok.
+  std::string reason;
+  TunedResult tuned;
+  PruneFunnel funnel;
+  std::size_t space_size = 0;
+  /// Best fused kernel, compiled for the target GPU (Ok results only).
+  std::optional<CompiledKernel> kernel;
+
+  [[nodiscard]] bool ok() const noexcept { return status == FusionStatus::Ok; }
+  [[nodiscard]] double time_s() const noexcept { return tuned.best_time_s; }
+};
+
+namespace detail {
+
+/// Shared state between a FusionTicket and the engine worker running it.
+struct TicketState {
+  explicit TicketState(ChainSpec c)
+      : chain(std::move(c)), progress(std::make_shared<TuningProgress>()) {}
+
+  const ChainSpec chain;
+  const std::shared_ptr<TuningProgress> progress;
+  /// Set when the result must also be published to the engine's
+  /// digest-keyed memo (fuse_graph path).
+  std::string memo_digest;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  bool started = false;
+  FusionResult result;
+};
+
+}  // namespace detail
+
+/// Future-like handle to an asynchronous fusion job.  Cheap to copy; all
+/// copies observe the same job.  A default-constructed ticket is empty
+/// (valid() == false).
+class FusionTicket {
+ public:
+  /// Live counters mirrored from the tuner (see TuningProgress).
+  struct Progress {
+    int generations = 0;
+    int estimates = 0;
+    int measurements = 0;
+    bool started = false;
+    bool done = false;
+  };
+
+  FusionTicket() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] const ChainSpec& chain() const;
+
+  /// True once the result is available (never blocks).
+  [[nodiscard]] bool ready() const;
+  /// Blocks until the job completes.
+  void wait() const;
+  /// Blocks up to `seconds`; true when the job completed in time.
+  bool wait_for(double seconds) const;
+  /// Waits, then returns the result (owned by the shared state — valid as
+  /// long as any ticket copy is alive).
+  [[nodiscard]] const FusionResult& get() const;
+
+  /// Best-effort cancellation: a queued job finishes as Cancelled without
+  /// running; a running job stops (as Cancelled) at its next generation
+  /// or refinement-round boundary.  A job past tuning (or already done)
+  /// completes normally — never a silently truncated search.  Returns
+  /// true when the request was registered before the job finished.
+  bool cancel();
+
+  [[nodiscard]] Progress progress() const;
+
+ private:
+  friend class FusionEngine;
+  explicit FusionTicket(std::shared_ptr<detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+};
+
+/// Per-distinct-chain entry of a GraphFusionReport.
+struct GraphChainReport {
+  std::string digest;      ///< structural chain digest (chain_cache_key)
+  std::string chain_name;  ///< representative (first occurrence) name
+  std::string chain_desc;  ///< ChainSpec::to_string of the representative
+  int occurrences = 0;     ///< how many subgraphs share this digest
+  /// True when the result came from the engine's memo (tuned by an
+  /// earlier fuse_graph/fuse_chains call) instead of this call.
+  bool reused = false;
+  std::shared_ptr<const FusionResult> result;
+};
+
+/// What fuse_graph produced: one entry per distinct chain digest plus the
+/// subgraph -> chain mapping and aggregate tuning-economy counters.
+struct GraphFusionReport {
+  std::string graph_name;
+  int graph_nodes = 0;
+  int mbci_subgraphs = 0;       ///< fusable regions found by the partitioner
+  int distinct_chains = 0;      ///< == chains.size()
+  int tuned_chains = 0;         ///< tuned fresh during this call
+  int total_measurements = 0;   ///< hardware measurements spent this call
+  double tuning_wall_s = 0.0;   ///< summed tuner wall-clock this call
+  std::vector<GraphChainReport> chains;
+  /// For input subgraph/chain i: index into `chains`.
+  std::vector<int> sub_to_chain;
+
+  [[nodiscard]] bool all_ok() const noexcept;
+  /// Machine-readable report (the CLI's --json output).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// report emitters — to_json and the CLI's --json output share it.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+class FusionEngine {
+ public:
+  explicit FusionEngine(GpuSpec gpu, FusionEngineOptions options = {});
+  ~FusionEngine();
+
+  FusionEngine(const FusionEngine&) = delete;
+  FusionEngine& operator=(const FusionEngine&) = delete;
+
+  [[nodiscard]] const GpuSpec& gpu() const noexcept { return gpu_; }
+  [[nodiscard]] const FusionEngineOptions& options() const noexcept { return opt_; }
+  /// The resolved measurement backend every tuning run goes through.
+  [[nodiscard]] const std::shared_ptr<MeasureBackend>& backend() const noexcept {
+    return opt_.tuner.backend;
+  }
+
+  /// Synchronous single-chain fusion, inline on the calling thread.
+  /// `progress` optionally attaches an observation/cancellation channel.
+  [[nodiscard]] FusionResult fuse(
+      const ChainSpec& chain,
+      std::shared_ptr<TuningProgress> progress = nullptr) const;
+
+  /// Asynchronous submission onto the engine's worker pool.
+  [[nodiscard]] FusionTicket submit(ChainSpec chain);
+
+  /// Whole-graph batch fusion: partition -> digest-dedup -> concurrent
+  /// tuning of distinct chains -> report.  Results are memoized in the
+  /// engine, so repeated calls (or shared chains across graphs) tune once.
+  [[nodiscard]] GraphFusionReport fuse_graph(const NetGraph& g);
+
+  /// Same pipeline over an explicit chain list (callers that partitioned
+  /// already — GraphExecutor).  Order defines the sub_to_chain mapping.
+  [[nodiscard]] GraphFusionReport fuse_chains(const std::vector<ChainSpec>& chains,
+                                              const std::string& label = "");
+
+  /// Like fuse(), but consults `cache` first (a valid hit skips tuning
+  /// entirely — zero measurements) and records the winner on a miss.
+  [[nodiscard]] FusionResult fuse_cached(const ChainSpec& chain,
+                                         TuningCache& cache) const;
+  /// fuse_cached against the engine-owned process-wide cache.
+  [[nodiscard]] FusionResult fuse_cached(const ChainSpec& chain);
+
+  /// Engine-owned persistent tuning cache (guarded; load/save under lock).
+  bool load_tuning_cache(const std::string& path);
+  [[nodiscard]] bool save_tuning_cache(const std::string& path) const;
+
+  /// Distinct chain digests with a memoized successful result (failures
+  /// are reported but never memoized — the next request re-tunes).
+  [[nodiscard]] std::size_t result_cache_size() const;
+
+  /// Preset reproducing the paper's MCFuser-Chimera baseline: deep
+  /// tilings only, no extent-1 hoisting (§VI-A "Comparisons").
+  [[nodiscard]] static FusionEngineOptions chimera_options();
+
+ private:
+  /// The classic MCFuser::fuse() pipeline plus status/reason mapping.
+  /// `prebuilt` (nullable) reuses a SearchSpace the caller already built
+  /// for this chain with this engine's options (fuse_cached's miss path).
+  [[nodiscard]] FusionResult run_one(const ChainSpec& chain,
+                                     std::shared_ptr<TuningProgress> progress,
+                                     const SearchSpace* prebuilt = nullptr) const;
+
+  /// fuse_cached over any cache; `cache_mu` (nullable) guards only the
+  /// resolve/put calls, never the tuning run.
+  [[nodiscard]] FusionResult fuse_cached_impl(const ChainSpec& chain,
+                                              TuningCache& cache,
+                                              std::mutex* cache_mu) const;
+
+  /// Spawns one worker (caller holds queue_mu_) when the outstanding job
+  /// count exceeds the current worker count, up to the jobs cap — so N
+  /// submissions cost min(N, jobs) threads, never the full cap eagerly.
+  void spawn_worker_locked();
+  [[nodiscard]] unsigned max_workers() const;
+  void worker_loop();
+  void finish(const std::shared_ptr<detail::TicketState>& state,
+              FusionResult result);
+
+  GpuSpec gpu_;
+  FusionEngineOptions opt_;
+
+  // Async workers (lazy).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<detail::TicketState>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t busy_ = 0;  ///< workers currently running a job (queue_mu_)
+  bool stop_ = false;
+
+  // Digest-keyed memo of finished results + in-flight dedup.
+  mutable std::mutex memo_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const FusionResult>> results_;
+  std::unordered_map<std::string, std::shared_ptr<detail::TicketState>> inflight_;
+
+  // Engine-owned persistent tuning cache.
+  mutable std::mutex cache_mu_;
+  mutable TuningCache tuning_cache_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,24 @@
+// Structured fusion outcomes (the service-grade replacement for the old
+// `FusionResult::ok` bool): every failure mode of the pipeline — space
+// generation, pruning, tuning/measurement, lowering, cancellation — maps
+// to one FusionStatus value, and FusionResult::reason carries the
+// human-readable detail from the layer that failed.
+#pragma once
+
+#include <cstdint>
+
+namespace mcf {
+
+enum class FusionStatus : std::uint8_t {
+  Ok,               ///< tuned, compiled, ready to run
+  InvalidChain,     ///< ChainSpec failed construction-time validation
+  InfeasibleSpace,  ///< space generation produced no tiling expressions
+  PruneEmpty,       ///< raw space non-empty, but pruning left 0 candidates
+  MeasureFailed,    ///< no candidate measured/lowered successfully
+  Cancelled,        ///< cancelled via FusionTicket before completion
+};
+
+/// Stable display name ("ok", "invalid-chain", ...).
+[[nodiscard]] const char* fusion_status_name(FusionStatus s) noexcept;
+
+}  // namespace mcf

@@ -41,6 +41,10 @@ struct GpuSpec {
   [[nodiscard]] double flops_per_byte() const noexcept {
     return peak_flops / mem_bandwidth;
   }
+
+  /// Exact field-wise equality — "same hardware model", used to guard
+  /// against mixing costs from different (or tweaked) specs.
+  [[nodiscard]] bool operator==(const GpuSpec&) const = default;
 };
 
 /// NVIDIA A100-PCIe-40GB (108 SMs, 312 TFLOPS fp16 TC, 1.555 TB/s HBM2).

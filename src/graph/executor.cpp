@@ -16,17 +16,6 @@ std::string shape_key(const GraphNode& n) {
          "x" + std::to_string(n.m) + "x" + std::to_string(n.n) + "x" +
          std::to_string(n.k);
 }
-
-std::string chain_key(const ChainSpec& c) {
-  std::string key = "chain:" + std::to_string(c.batch()) + "x" +
-                    std::to_string(c.m());
-  for (const auto d : c.inner()) key += "x" + std::to_string(d);
-  for (int op = 0; op < c.num_ops(); ++op) {
-    key += ":";
-    key += epilogue_name(c.epilogue(op));
-  }
-  return key;
-}
 }  // namespace
 
 const char* graph_backend_name(GraphBackend b) noexcept {
@@ -45,7 +34,15 @@ const char* graph_backend_name(GraphBackend b) noexcept {
 
 GraphExecutor::GraphExecutor(GpuSpec gpu, GraphExecOptions options)
     : gpu_(std::move(gpu)), opt_(std::move(options)), lib_(gpu_), relay_(gpu_) {
-  opt_.mcfuser.prune.smem_limit_bytes = gpu_.smem_per_block;
+  engine_ = opt_.engine ? opt_.engine
+                        : std::make_shared<FusionEngine>(gpu_, opt_.mcfuser);
+  // Field-wise spec equality: a spec tweaked in place (a what-if smem
+  // limit, a different L2 model) must not silently mix with this
+  // executor's node costing.
+  MCF_CHECK(engine_->gpu() == gpu_)
+      << "shared FusionEngine targets '" << engine_->gpu().name
+      << "' (or a modified spec) but this executor costs nodes on '"
+      << gpu_.name << "' — mixed-GPU results would be meaningless";
 }
 
 double GraphExecutor::cost_matmul(const GraphNode& n, double epi_flops) const {
@@ -140,23 +137,25 @@ GraphRunResult GraphExecutor::run(const NetGraph& g) {
     }
   }
 
-  // MBCI regions.
+  // MBCI regions: the engine digest-deduplicates and tunes each distinct
+  // chain once (memoized across run() calls and shared executors).
   std::set<std::string> tuned_shapes;
   if (opt_.use_mcfuser) {
-    for (const auto& sub : part.mbci) {
-      const std::string key = chain_key(sub.chain);
-      auto it = fused_cache_.find(key);
-      if (it == fused_cache_.end()) {
-        MCFuser fuser(gpu_, opt_.mcfuser);
-        FusionResult f = fuser.fuse(sub.chain);
-        r.mcfuser_measurements += f.tuned.stats.measurements;
-        r.mcfuser_wall_s += f.tuned.stats.wall_seconds;
-        ++r.mcfuser_subgraphs;
-        it = fused_cache_.emplace(key, std::move(f)).first;
-      }
-      MCF_CHECK(it->second.ok) << "MCFuser failed on " << sub.chain.name();
-      r.time_s += it->second.tuned.best_time_s;
-      r.attention_time_s += it->second.tuned.best_time_s;
+    std::vector<ChainSpec> chains;
+    chains.reserve(part.mbci.size());
+    for (const auto& sub : part.mbci) chains.push_back(sub.chain);
+    const GraphFusionReport rep = engine_->fuse_chains(chains, g.name());
+    r.mcfuser_measurements += rep.total_measurements;
+    r.mcfuser_wall_s += rep.tuning_wall_s;
+    r.mcfuser_subgraphs += rep.tuned_chains;
+    for (std::size_t i = 0; i < part.mbci.size(); ++i) {
+      const GraphChainReport& cr =
+          rep.chains[static_cast<std::size_t>(rep.sub_to_chain[i])];
+      MCF_CHECK(cr.result && cr.result->ok())
+          << "MCFuser failed on " << part.mbci[i].chain.name() << ": "
+          << (cr.result ? cr.result->reason : "no result");
+      r.time_s += cr.result->tuned.best_time_s;
+      r.attention_time_s += cr.result->tuned.best_time_s;
       r.kernel_launches += 1;
     }
   } else {

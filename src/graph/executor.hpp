@@ -1,17 +1,22 @@
 // End-to-end graph executor (§VI-C): costs a NetGraph on the simulated
 // GPU under a chosen operator backend, optionally routing MBCI sub-graphs
-// through MCFuser — the paper's Relay / BOLT / MCFuser+Relay / Ansor /
-// MCFuser+Ansor configurations.
+// through the FusionEngine — the paper's Relay / BOLT / MCFuser+Relay /
+// Ansor / MCFuser+Ansor configurations.
+//
+// Fused regions go through FusionEngine::fuse_chains: structurally
+// identical chains are deduplicated by digest and tuned once, and the
+// engine's result memo persists across run() calls (tune-once-per-shape,
+// shareable across executors via GraphExecOptions::engine).
 #pragma once
 
-#include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/library_kernels.hpp"
 #include "baselines/relay_like.hpp"
+#include "engine/engine.hpp"
 #include "graph/netgraph.hpp"
 #include "graph/partitioner.hpp"
-#include "search/mcfuser.hpp"
 
 namespace mcf {
 
@@ -27,7 +32,12 @@ enum class GraphBackend : std::uint8_t {
 struct GraphExecOptions {
   GraphBackend backend = GraphBackend::Relay;
   bool use_mcfuser = false;
-  MCFuserOptions mcfuser;
+  /// Engine options when the executor constructs its own engine (ignored
+  /// when `engine` is provided).
+  FusionEngineOptions mcfuser;
+  /// Optional shared engine: several executors (or an outer service) can
+  /// pool one tuning cache / result memo.  Null = private engine.
+  std::shared_ptr<FusionEngine> engine;
 };
 
 struct GraphRunResult {
@@ -51,6 +61,11 @@ class GraphExecutor {
 
   [[nodiscard]] GraphRunResult run(const NetGraph& g);
 
+  /// The fusion engine serving this executor's MBCI regions.
+  [[nodiscard]] const std::shared_ptr<FusionEngine>& engine() const noexcept {
+    return engine_;
+  }
+
  private:
   [[nodiscard]] double cost_matmul(const GraphNode& n, double epi_flops) const;
   [[nodiscard]] double cost_simple(const GraphNode& n) const;
@@ -59,8 +74,8 @@ class GraphExecutor {
   GraphExecOptions opt_;
   LibraryKernels lib_;
   RelayLikeBaseline relay_;
-  /// MCFuser results cached by chain shape (models tune-once-per-shape).
-  std::map<std::string, FusionResult> fused_cache_;
+  /// Owns the digest-keyed result memo (tune-once-per-shape).
+  std::shared_ptr<FusionEngine> engine_;
 };
 
 }  // namespace mcf

@@ -30,11 +30,40 @@ ChainSpec::ChainSpec(std::string name, std::int64_t batch, std::int64_t m,
       inner_(std::move(inner)),
       epilogues_(std::move(epilogues)),
       softmax_scale_(softmax_scale) {
-  MCF_CHECK(batch_ >= 1) << "batch must be >= 1";
-  MCF_CHECK(m_ >= 1) << "m must be >= 1";
-  MCF_CHECK(inner_.size() >= 2) << "need at least one operator (2 inner dims)";
-  for (const auto d : inner_) MCF_CHECK(d >= 1) << "inner dims must be >= 1";
-  epilogues_.resize(static_cast<std::size_t>(num_ops()), Epilogue::None);
+  // Validation records the offending field instead of aborting: invalid
+  // chains are inert (no derived metadata) and the engine reports them as
+  // FusionStatus::InvalidChain.  Layers below the engine still fail fast
+  // (SearchSpace checks valid() at construction).
+  if (batch_ < 1) {
+    error_ = "batch must be >= 1 (got " + std::to_string(batch_) + ")";
+  } else if (m_ < 1) {
+    error_ = "m must be >= 1 (got " + std::to_string(m_) + ")";
+  } else if (inner_.size() < 2) {
+    error_ = "inner needs >= 2 dims (one operator); got " +
+             std::to_string(inner_.size());
+  } else if (inner_.size() + 1 > 8) {
+    // gpu loop naming (m,k,n,h,g,f,e,d) caps chains at 7 inner dims.
+    error_ = "inner has too many dims (" + std::to_string(inner_.size()) +
+             " > 7)";
+  } else {
+    for (std::size_t i = 0; i < inner_.size(); ++i) {
+      if (inner_[i] < 1) {
+        error_ = "inner[" + std::to_string(i) + "] must be >= 1 (got " +
+                 std::to_string(inner_[i]) + ")";
+        break;
+      }
+    }
+  }
+  // Pad the epilogue table whenever the operator count is well defined —
+  // even for invalid chains, so shape accessors (chain_cache_key, digests)
+  // stay safe to call on them.
+  if (inner_.size() >= 2) {
+    epilogues_.resize(static_cast<std::size_t>(num_ops()), Epilogue::None);
+  }
+  if (!error_.empty()) {
+    MCF_LOG(Warn) << "ChainSpec '" << name_ << "': " << error_;
+    return;
+  }
 
   // Build the tensor table. Naming follows the paper's 2-GEMM example
   // (A x B -> C, C x D -> E); longer chains continue alphabetically.
@@ -134,6 +163,7 @@ double ChainSpec::total_flops() const noexcept {
 }
 
 std::int64_t ChainSpec::min_traffic_elems() const noexcept {
+  if (inner_.empty()) return 0;  // invalid chain (empty inner): no traffic
   std::int64_t elems = m_ * inner_.front();  // In0
   for (std::size_t i = 0; i + 1 < inner_.size(); ++i) {
     elems += inner_[i] * inner_[i + 1];  // weights

@@ -66,6 +66,16 @@ class ChainSpec {
                                            std::int64_t n, std::int64_t k,
                                            std::int64_t h);
 
+  // ---- validation ---------------------------------------------------------
+  /// True when construction-time validation passed.  Invalid chains (zero
+  /// or negative dimensions, too few/many inner dims) carry the offending
+  /// field in validation_error() instead of aborting; the FusionEngine
+  /// surfaces them as FusionStatus::InvalidChain.  Derived metadata
+  /// (tensors, loops) is only populated for valid chains.
+  [[nodiscard]] bool valid() const noexcept { return error_.empty(); }
+  /// Empty when valid(); otherwise names the offending field and value.
+  [[nodiscard]] const std::string& validation_error() const noexcept { return error_; }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::int64_t batch() const noexcept { return batch_; }
   [[nodiscard]] std::int64_t m() const noexcept { return m_; }
@@ -120,6 +130,7 @@ class ChainSpec {
   std::vector<std::int64_t> inner_;
   std::vector<Epilogue> epilogues_;
   float softmax_scale_;
+  std::string error_;  ///< empty = valid
   std::vector<TensorInfo> tensors_;
 };
 

@@ -1,95 +1,22 @@
 #include "search/mcfuser.hpp"
 
-#include "measure/backend.hpp"
-#include "support/logging.hpp"
-#include "support/rng.hpp"
-
 namespace mcf {
 
 MCFuser::MCFuser(GpuSpec gpu, MCFuserOptions options)
-    : gpu_(std::move(gpu)), options_(std::move(options)) {
-  options_.prune.smem_limit_bytes = gpu_.smem_per_block;
-  if (!options_.backend.empty()) {
-    options_.tuner.backend =
-        BackendRegistry::instance().create(options_.backend, gpu_);
-    if (options_.tuner.backend == nullptr) {
-      std::string known;
-      for (const auto& n : BackendRegistry::instance().names()) {
-        known += (known.empty() ? "" : ", ") + n;
-      }
-      MCF_CHECK(false) << "unknown measure backend '" << options_.backend
-                       << "' (registered: " << known << ")";
-    }
-  }
-}
+    : engine_(std::make_shared<FusionEngine>(std::move(gpu),
+                                             std::move(options))) {}
 
 FusionResult MCFuser::fuse(const ChainSpec& chain) const {
-  FusionResult result;
-  SearchSpace space(chain, options_.space, options_.prune, options_.sched);
-  result.funnel = space.funnel();
-  result.space_size = space.candidates().size();
-  if (space.candidates().empty()) {
-    MCF_LOG(Warn) << "MCFuser: nothing to tune for " << chain.name();
-    return result;
-  }
-  TunerOptions topts = options_.tuner;
-  // Per-workload deterministic noise stream for simulated measurements.
-  topts.measure.noise_seed =
-      hash_combine(topts.measure.noise_seed, hash_string(chain.name()));
-  Tuner tuner(space, gpu_, topts);
-  result.tuned = tuner.run();
-  if (!result.tuned.ok) return result;
-  result.kernel.emplace(space.schedule_for(result.tuned.best), gpu_);
-  if (!result.kernel->ok()) {
-    MCF_LOG(Warn) << "MCFuser: winner failed to compile: "
-                  << result.kernel->error();
-    return result;
-  }
-  result.ok = true;
-  return result;
+  return engine_->fuse(chain);
 }
 
 FusionResult MCFuser::fuse_cached(const ChainSpec& chain,
                                   TuningCache& cache) const {
-  SearchSpace space(chain, options_.space, options_.prune, options_.sched);
-  if (const auto hit = cache.resolve(chain, gpu_, space)) {
-    FusionResult result;
-    result.funnel = space.funnel();
-    result.space_size = space.candidates().size();
-    result.kernel.emplace(space.schedule_for(*hit), gpu_);
-    if (result.kernel->ok()) {
-      const KernelMeasurement m = result.kernel->measure();
-      result.tuned.ok = true;
-      result.tuned.best = *hit;
-      result.tuned.best_time_s = m.time_s;
-      result.tuned.best_measurement = m;
-      result.ok = true;
-      MCF_LOG(Info) << "MCFuser: tuning-cache hit for " << chain.name();
-      return result;
-    }
-    MCF_LOG(Warn) << "MCFuser: stale cache entry for " << chain.name()
-                  << ", re-tuning";
-  }
-  FusionResult result = fuse(chain);
-  if (result.ok) {
-    CachedSchedule entry;
-    entry.expr_key =
-        SearchSpace(chain, options_.space, options_.prune, options_.sched)
-            .expressions()[static_cast<std::size_t>(result.tuned.best.expr_id)]
-            .structure_key();
-    entry.tiles.assign(result.tuned.best.tiles.begin(),
-                       result.tuned.best.tiles.end());
-    entry.time_s = result.tuned.best_time_s;
-    cache.put(chain, gpu_, std::move(entry));
-  }
-  return result;
+  return engine_->fuse_cached(chain, cache);
 }
 
 MCFuserOptions MCFuser::chimera_options() {
-  MCFuserOptions o;
-  o.space.include_flat = false;       // nested block execution orders only
-  o.sched.collapse_unit_loops = false;  // misses the extent-1 optimisation
-  return o;
+  return FusionEngine::chimera_options();
 }
 
 }  // namespace mcf

@@ -1,56 +1,47 @@
-// MCFuser facade — the library's primary public entry point.
+// MCFuser facade — the classic single-chain entry point, now a thin
+// synchronous wrapper over mcf::FusionEngine (engine/engine.hpp).
 //
 //   GpuSpec gpu = mcf::a100();
 //   mcf::MCFuser fuser(gpu);
 //   auto chain = mcf::ChainSpec::attention("bert_base", 12, 512, 512, 64, 64);
 //   mcf::FusionResult r = fuser.fuse(chain);
-//   // r.kernel: compiled fused kernel; r.tuned: best candidate + stats.
+//   // r.ok(): status == FusionStatus::Ok; r.kernel: compiled fused kernel.
+//
+// DEPRECATED for new code: prefer FusionEngine, which adds asynchronous
+// submission (FusionTicket), graph-level batch fusion with digest dedup
+// (fuse_graph), a shared tuning cache, and structured FusionStatus errors.
+// This wrapper is kept because its results are pinned bit-identical to the
+// pre-engine implementation (tests/engine/test_regression.cpp) — the
+// migration table lives in docs/api.md.
 //
 // Variants (MCFuser-Chimera, no-unit-collapse, restricted spaces) are
 // expressed through MCFuserOptions — the baselines use exactly this knob
 // set, so every comparison in the paper maps to an options delta.
 #pragma once
 
-#include <optional>
-#include <string>
+#include <memory>
 
-#include "exec/program.hpp"
-#include "search/space.hpp"
-#include "search/tuner.hpp"
-#include "search/tuning_cache.hpp"
+#include "engine/engine.hpp"
 
 namespace mcf {
 
-struct MCFuserOptions {
-  SpaceOptions space;
-  PruneOptions prune;      ///< smem_limit_bytes is overwritten from the GPU
-  ScheduleOptions sched;   ///< hoisting / unit-collapse flags
-  TunerOptions tuner;
-  /// Measurement backend by registry name ("sim", "interp", "cached-sim",
-  /// see measure/backend.hpp).  Empty = tuner.backend if set, else the
-  /// simulator.  Resolved against the GPU at MCFuser construction; an
-  /// unknown name aborts with the registered names in the message.
-  std::string backend;
-};
-
-/// Everything the fusion pass produces for one chain.
-struct FusionResult {
-  bool ok = false;
-  TunedResult tuned;
-  PruneFunnel funnel;
-  std::size_t space_size = 0;
-  /// Best fused kernel, compiled for the target GPU.
-  std::optional<CompiledKernel> kernel;
-
-  [[nodiscard]] double time_s() const { return tuned.best_time_s; }
-};
+/// Historic name; the engine option set is a strict superset of the old
+/// MCFuserOptions (it adds `jobs` for async/graph work, which the
+/// synchronous facade never uses).
+using MCFuserOptions = FusionEngineOptions;
 
 class MCFuser {
  public:
   explicit MCFuser(GpuSpec gpu, MCFuserOptions options = {});
 
-  [[nodiscard]] const GpuSpec& gpu() const noexcept { return gpu_; }
-  [[nodiscard]] const MCFuserOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const GpuSpec& gpu() const noexcept { return engine_->gpu(); }
+  [[nodiscard]] const MCFuserOptions& options() const noexcept {
+    return engine_->options();
+  }
+  /// The engine behind this facade (shared: outlives the wrapper).
+  [[nodiscard]] const std::shared_ptr<FusionEngine>& engine() const noexcept {
+    return engine_;
+  }
 
   /// Generates + prunes the space, tunes, compiles the winner.
   [[nodiscard]] FusionResult fuse(const ChainSpec& chain) const;
@@ -65,8 +56,7 @@ class MCFuser {
   [[nodiscard]] static MCFuserOptions chimera_options();
 
  private:
-  GpuSpec gpu_;
-  MCFuserOptions options_;
+  std::shared_ptr<FusionEngine> engine_;
 };
 
 }  // namespace mcf

@@ -28,6 +28,11 @@ SearchSpace::SearchSpace(const ChainSpec& chain, const SpaceOptions& space_opts,
       space_opts_(space_opts),
       prune_opts_(prune_opts),
       sched_opts_(sched_opts) {
+  // Invalid chains carry no derived metadata; callers that want a soft
+  // failure (FusionStatus::InvalidChain) must check before building a
+  // space — reaching this point with one is a programming error.
+  MCF_CHECK(chain.valid()) << "SearchSpace on invalid chain '" << chain.name()
+                           << "': " << chain.validation_error();
   // ---- raw expression universe --------------------------------------------
   RawExpressions raw = enumerate_expressions(chain);
   std::vector<TileExpr> all;

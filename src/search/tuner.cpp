@@ -43,6 +43,9 @@ double Tuner::estimate(const CandidateConfig& c) {
   if (e.has_est) return e.est;
   if (!e.sched) e.sched.emplace(space_.schedule_for(c));
   ++stats_.estimates;
+  if (opt_.progress) {
+    opt_.progress->estimates.fetch_add(1, std::memory_order_relaxed);
+  }
   e.est = model_.estimate(*e.sched).time_s;
   e.has_est = true;
   return e.est;
@@ -83,6 +86,10 @@ std::vector<double> Tuner::estimate_batch(std::span<const CandidateConfig> cs) {
     e->has_est = true;
   }
   stats_.estimates += static_cast<int>(miss.size());
+  if (opt_.progress) {
+    opt_.progress->estimates.fetch_add(static_cast<int>(miss.size()),
+                                       std::memory_order_relaxed);
+  }
 
   std::vector<double> out(n);
   for (std::size_t i = 0; i < n; ++i) out[i] = entries[i]->est;
@@ -114,6 +121,7 @@ void Tuner::measure_batch(std::span<const CandidateConfig> cs,
     const KernelMeasurement m = backend_->measure(*e->sched, opt_.measure);
     e->meas_ok = m.ok;
     e->meas_time = m.ok ? m.time_s : kFailedTime;
+    e->fail_note = m.ok ? std::string() : m.fail_reason;
   });
   // Serial phase: commit in wave (= rank) order so stats and the Fig. 11
   // scatter data are identical for any thread count.
@@ -122,9 +130,17 @@ void Tuner::measure_batch(std::span<const CandidateConfig> cs,
     ++stats_.measurements;
     if (!e->meas_ok) {
       ++stats_.compile_failures;
+      if (first_fail_reason_.empty()) {
+        first_fail_reason_ =
+            e->fail_note.empty() ? "measurement failed" : e->fail_note;
+      }
     } else {
       est_meas_.emplace_back(e->est, e->meas_time);
     }
+  }
+  if (opt_.progress) {
+    opt_.progress->measurements.fetch_add(
+        static_cast<int>(fresh_entries.size()), std::memory_order_relaxed);
   }
 }
 
@@ -182,9 +198,30 @@ TunedResult Tuner::run() {
     return dt;
   };
   TunedResult result;
+  auto cancelled = [&] {
+    return opt_.progress && opt_.progress->cancel_requested();
+  };
+  // Every exit path reports the real wall-clock spent — failed and
+  // cancelled runs burn time too, and the engine's tuning-economy
+  // counters must not undercount exactly the expensive failures.
+  auto stamp_wall = [&] {
+    stats_.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t_start)
+                              .count();
+  };
   const auto& cands = space_.candidates();
   if (cands.empty()) {
     MCF_LOG(Warn) << "tuner: empty search space for " << space_.chain().name();
+    result.fail_reason = "empty search space";
+    stamp_wall();
+    result.stats = stats_;
+    return result;
+  }
+  if (cancelled()) {
+    result.cancelled = true;
+    result.fail_reason = "cancelled before tuning started";
+    stamp_wall();
+    result.stats = stats_;
     return result;
   }
 
@@ -254,7 +291,18 @@ TunedResult Tuner::run() {
   weights.reserve(population.size());
 
   for (int gen = 0; gen < opt_.max_generations; ++gen) {
+    if (cancelled()) {
+      result.cancelled = true;
+      result.fail_reason = "cancelled during generation " +
+                           std::to_string(stats_.generations);
+      stamp_wall();
+      result.stats = stats_;
+      return result;
+    }
     ++stats_.generations;
+    if (opt_.progress) {
+      opt_.progress->generations.fetch_add(1, std::memory_order_relaxed);
+    }
     // Lines 5-6: estimate the whole population in one parallel batch and
     // sort by the analytical model; equal estimates keep population order
     // (index tie-break), so the ranking is thread-count independent.
@@ -390,6 +438,16 @@ TunedResult Tuner::run() {
     bool improved = true;
     int refine_rounds = 0;
     while (improved && refine_rounds++ < 4) {
+      // Refinement is part of tuning: a cancel here reports Cancelled
+      // rather than returning a silently-truncated (timing-dependent)
+      // refinement as Ok.
+      if (cancelled()) {
+        result.cancelled = true;
+        result.fail_reason = "cancelled during refinement";
+        stamp_wall();
+        result.stats = stats_;
+        return result;
+      }
       improved = false;
       const CandidateConfig base = best_cand;
       const double base_est = estimate(base);  // hoisted out of the move loop
@@ -442,6 +500,12 @@ TunedResult Tuner::run() {
   if (best_t >= kFailedThreshold) {
     MCF_LOG(Warn) << "tuner: no measurable candidate for "
                   << space_.chain().name();
+    result.fail_reason = first_fail_reason_.empty()
+                             ? "no candidate measured successfully"
+                             : "no candidate measured successfully (first "
+                               "failure: " + first_fail_reason_ + ")";
+    stamp_wall();
+    result.stats = stats_;
     return result;
   }
   // Re-measure the winner to fill the full measurement record.
@@ -453,9 +517,7 @@ TunedResult Tuner::run() {
   result.best = best_cand;
   result.best_time_s = best_t;
   result.best_measurement = best_meas;
-  stats_.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-          .count();
+  stamp_wall();
   result.stats = stats_;
   result.est_vs_measured = std::move(est_meas_);
   return result;

@@ -21,11 +21,13 @@
 // all drive the identical search loop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_set>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -39,6 +41,24 @@
 namespace mcf {
 
 class MeasureBackend;
+
+/// Live view into a running tuning job, shared between the tuner and an
+/// observer (FusionTicket::progress feeds from it).  Counters mirror
+/// TuningStats but are updated as the search runs; `cancel` is checked at
+/// every generation boundary, so a cancelled run stops within one
+/// generation.  Pure observation: attaching a sink never changes the
+/// search trajectory.
+struct TuningProgress {
+  std::atomic<int> generations{0};
+  std::atomic<int> estimates{0};
+  std::atomic<int> measurements{0};
+  std::atomic<bool> cancel{false};
+
+  void request_cancel() noexcept { cancel.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel.load(std::memory_order_relaxed);
+  }
+};
 
 struct TunerOptions {
   int population = 256;          ///< N in Algorithm 1
@@ -59,6 +79,9 @@ struct TunerOptions {
   /// behaviour (pinned by tests/search/test_tuner.cpp).  The backend's
   /// measure() must be safe to call from the evaluation thread pool.
   std::shared_ptr<MeasureBackend> backend;
+  /// Optional live progress/cancellation channel (see TuningProgress).
+  /// Null = no observation.  Never affects the tuned result.
+  std::shared_ptr<TuningProgress> progress;
 };
 
 /// Counters for Table IV's tuning-time modelling.
@@ -77,6 +100,11 @@ struct TuningStats {
 
 struct TunedResult {
   bool ok = false;
+  /// True when the run stopped because TuningProgress::cancel was set.
+  bool cancelled = false;
+  /// On ok=false: why — the first measurement failure reason observed, or
+  /// a summary ("empty search space", "cancelled", ...).
+  std::string fail_reason;
   CandidateConfig best;
   double best_time_s = 0.0;
   KernelMeasurement best_measurement;
@@ -104,6 +132,7 @@ class Tuner {
     bool meas_ok = false;
     double est = 0.0;
     double meas_time = 1e9;
+    std::string fail_note;          ///< backend fail_reason when !meas_ok
     std::optional<Schedule> sched;  ///< built at most once
   };
 
@@ -135,6 +164,7 @@ class Tuner {
   std::unique_ptr<ThreadPool> own_pool_;  ///< when opt_.num_threads > 0
   std::unordered_map<std::uint64_t, EvalEntry> cache_;
   std::vector<std::pair<double, double>> est_meas_;
+  std::string first_fail_reason_;  ///< earliest measurement failure (commit order)
 };
 
 }  // namespace mcf

@@ -1,5 +1,6 @@
 #include "search/tuning_cache.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -13,8 +14,20 @@ std::string chain_cache_key(const ChainSpec& chain) {
   std::ostringstream os;
   os << "b" << chain.batch() << "m" << chain.m();
   for (const auto d : chain.inner()) os << "x" << d;
+  bool has_softmax = false;
   for (int op = 0; op < chain.num_ops(); ++op) {
     os << ":" << epilogue_name(chain.epilogue(op));
+    has_softmax |= chain.epilogue(op) == Epilogue::OnlineSoftmax;
+  }
+  // The softmax scale changes the computed kernel, so same-shape chains
+  // with different scales must not share a cache entry or dedup digest.
+  // Appended only for softmax chains, keeping every other key unchanged;
+  // %.9g round-trips floats exactly and contains no whitespace or '|'.
+  if (has_softmax) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ":s%.9g",
+                  static_cast<double>(chain.softmax_scale()));
+    os << buf;
   }
   return os.str();
 }

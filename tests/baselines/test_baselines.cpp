@@ -130,7 +130,7 @@ TEST(Flash, SlowerThanTunedMCFuser) {
   const GpuSpec gpu = a100();
   const FlashAttentionLikeBaseline flash(gpu);
   const FusionResult mcf = MCFuser(gpu).fuse(s2());
-  ASSERT_TRUE(mcf.ok);
+  ASSERT_TRUE(mcf.ok());
   EXPECT_GT(flash.run(s2()).time_s, mcf.time_s());
 }
 
@@ -207,7 +207,7 @@ TEST(CrossBaseline, FusionOrderingOnMemoryBoundShape) {
   aopts.trials = 256;
   const double ansor = AnsorLikeBaseline(gpu, aopts).run(c).time_s;
   const FusionResult mcf = MCFuser(gpu).fuse(c);
-  ASSERT_TRUE(mcf.ok);
+  ASSERT_TRUE(mcf.ok());
   EXPECT_LT(mcf.time_s(), ansor * 1.05);
   EXPECT_LT(ansor, pytorch);
   EXPECT_GT(pytorch / mcf.time_s(), 2.0);  // fusion wins clearly

@@ -1,0 +1,228 @@
+// FusionEngine unit tests: the FusionStatus taxonomy (every failure layer
+// mapped and carrying a reason), ticket lifecycle (submit / ready / wait /
+// progress / cancel), and deterministic results under concurrent
+// submission (the ASan/UBSan CI config exercises the threading).
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "measure/backend.hpp"
+
+namespace mcf {
+namespace {
+
+ChainSpec small_chain(const std::string& name = "q") {
+  return ChainSpec::gemm_chain(name, 2, 128, 96, 64, 80);
+}
+
+/// Backend whose every measurement fails — drives the MeasureFailed path.
+class FailingBackend : public MeasureBackend {
+ public:
+  explicit FailingBackend(GpuSpec spec) : sim_(std::move(spec)) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "failing"; }
+  [[nodiscard]] const GpuSpec& spec() const noexcept override { return sim_.spec(); }
+  [[nodiscard]] bool deterministic() const noexcept override { return true; }
+  [[nodiscard]] KernelMeasurement measure(
+      const Schedule&, const MeasureOptions&) const override {
+    KernelMeasurement m;
+    m.ok = false;
+    m.fail_reason = "injected backend failure";
+    return m;
+  }
+  [[nodiscard]] KernelMeasurement measure_raw(
+      double bytes, double flops, std::int64_t n_blocks,
+      std::int64_t smem_bytes, double mem_eff, double comp_eff,
+      double stmt_trips, const MeasureOptions& options) const override {
+    return sim_.measure_raw(bytes, flops, n_blocks, smem_bytes, mem_eff,
+                            comp_eff, stmt_trips, options);
+  }
+
+ private:
+  TimingSimulator sim_;
+};
+
+TEST(FusionStatusTest, NamesAreStable) {
+  EXPECT_STREQ(fusion_status_name(FusionStatus::Ok), "ok");
+  EXPECT_STREQ(fusion_status_name(FusionStatus::InvalidChain), "invalid-chain");
+  EXPECT_STREQ(fusion_status_name(FusionStatus::InfeasibleSpace),
+               "infeasible-space");
+  EXPECT_STREQ(fusion_status_name(FusionStatus::PruneEmpty), "prune-empty");
+  EXPECT_STREQ(fusion_status_name(FusionStatus::MeasureFailed),
+               "measure-failed");
+  EXPECT_STREQ(fusion_status_name(FusionStatus::Cancelled), "cancelled");
+}
+
+TEST(FusionEngineTest, FusesAndReportsOk) {
+  const FusionEngine engine(a100());
+  const FusionResult r = engine.fuse(small_chain());
+  EXPECT_EQ(r.status, FusionStatus::Ok);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.reason.empty());
+  ASSERT_TRUE(r.kernel.has_value());
+  EXPECT_GT(r.time_s(), 0.0);
+}
+
+TEST(FusionEngineTest, InvalidChainNamesOffendingField) {
+  const FusionEngine engine(a100());
+  const FusionResult r = engine.fuse(ChainSpec("bad", 0, 128, {64, 64}));
+  EXPECT_EQ(r.status, FusionStatus::InvalidChain);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.reason.find("batch"), std::string::npos) << r.reason;
+
+  const FusionResult r2 = engine.fuse(ChainSpec("bad2", 1, 128, {64, -3}));
+  EXPECT_EQ(r2.status, FusionStatus::InvalidChain);
+  EXPECT_NE(r2.reason.find("inner[1]"), std::string::npos) << r2.reason;
+}
+
+TEST(FusionEngineTest, InfeasibleSpaceWhenNoExpressions) {
+  FusionEngineOptions opts;
+  opts.space.include_flat = false;
+  opts.space.include_deep = false;  // no tiling expressions at all
+  const FusionEngine engine(a100(), opts);
+  const FusionResult r = engine.fuse(small_chain());
+  EXPECT_EQ(r.status, FusionStatus::InfeasibleSpace);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(FusionEngineTest, PruneEmptyCarriesFunnel) {
+  // A GPU with essentially no shared memory: rule 4 prunes everything.
+  GpuSpec tiny = a100();
+  tiny.name = "tiny-smem";
+  tiny.smem_per_block = 16;
+  const FusionEngine engine(tiny);
+  const FusionResult r = engine.fuse(small_chain());
+  EXPECT_EQ(r.status, FusionStatus::PruneEmpty);
+  EXPECT_GT(r.funnel.original, 0.0);
+  EXPECT_EQ(r.space_size, 0u);
+  EXPECT_NE(r.reason.find("pruning left 0"), std::string::npos) << r.reason;
+}
+
+TEST(FusionEngineTest, MeasureFailedCarriesBackendReason) {
+  FusionEngineOptions opts;
+  opts.tuner.backend = std::make_shared<FailingBackend>(a100());
+  const FusionEngine engine(a100(), opts);
+  const FusionResult r = engine.fuse(small_chain());
+  EXPECT_EQ(r.status, FusionStatus::MeasureFailed);
+  EXPECT_NE(r.reason.find("injected backend failure"), std::string::npos)
+      << r.reason;
+}
+
+TEST(FusionEngineTest, PreCancelledProgressYieldsCancelled) {
+  const FusionEngine engine(a100());
+  auto progress = std::make_shared<TuningProgress>();
+  progress->request_cancel();
+  const FusionResult r = engine.fuse(small_chain(), progress);
+  EXPECT_EQ(r.status, FusionStatus::Cancelled);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(FusionTicketTest, EmptyTicketIsInert) {
+  FusionTicket t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.ready());
+  EXPECT_FALSE(t.cancel());
+  const FusionTicket::Progress p = t.progress();
+  EXPECT_FALSE(p.started);
+  EXPECT_FALSE(p.done);
+}
+
+TEST(FusionTicketTest, SubmitWaitReadyAndProgress) {
+  FusionEngineOptions opts;
+  opts.jobs = 1;
+  FusionEngine engine(a100(), opts);
+  FusionTicket t = engine.submit(small_chain("async"));
+  ASSERT_TRUE(t.valid());
+  EXPECT_EQ(t.chain().name(), "async");
+  t.wait();
+  EXPECT_TRUE(t.ready());
+  EXPECT_TRUE(t.wait_for(0.0));
+  const FusionResult& r = t.get();
+  EXPECT_EQ(r.status, FusionStatus::Ok);
+  const FusionTicket::Progress p = t.progress();
+  EXPECT_TRUE(p.started);
+  EXPECT_TRUE(p.done);
+  // Counters mirror the tuner's stats.
+  EXPECT_EQ(p.generations, r.tuned.stats.generations);
+  EXPECT_EQ(p.measurements, r.tuned.stats.measurements);
+  EXPECT_EQ(p.estimates, r.tuned.stats.estimates);
+  EXPECT_GT(p.measurements, 0);
+}
+
+TEST(FusionTicketTest, CancelQueuedJob) {
+  FusionEngineOptions opts;
+  opts.jobs = 1;  // one worker: the second submission must queue
+  FusionEngine engine(a100(), opts);
+  // Occupy the only worker with a deliberately large chain, then cancel a
+  // queued job.  Even if the worker reaches the second job first, the
+  // cancel lands within its first tuning generation — either way the
+  // result must be Cancelled.
+  FusionTicket busy =
+      engine.submit(ChainSpec::gemm_chain("busy", 1, 1024, 1024, 512, 512));
+  FusionTicket victim =
+      engine.submit(ChainSpec::gemm_chain("victim", 1, 1024, 1024, 512, 512));
+  EXPECT_TRUE(victim.cancel());
+  const FusionResult& r = victim.get();
+  EXPECT_EQ(r.status, FusionStatus::Cancelled);
+  EXPECT_FALSE(r.reason.empty());
+  // The occupied job is unaffected.
+  EXPECT_EQ(busy.get().status, FusionStatus::Ok);
+}
+
+TEST(FusionTicketTest, CancelAfterCompletionReturnsFalse) {
+  FusionEngineOptions opts;
+  opts.jobs = 1;
+  FusionEngine engine(a100(), opts);
+  FusionTicket t = engine.submit(small_chain());
+  t.wait();
+  EXPECT_FALSE(t.cancel());
+  EXPECT_EQ(t.get().status, FusionStatus::Ok);
+}
+
+TEST(FusionEngineTest, ConcurrentSubmissionsMatchSynchronousResults) {
+  // The acceptance gate for --jobs scaling: N distinct chains submitted
+  // at once across 4 workers produce exactly the results the synchronous
+  // path produces (per-chain determinism is independent of concurrency).
+  const GpuSpec gpu = a100();
+  std::vector<ChainSpec> chains;
+  for (int i = 0; i < 6; ++i) {
+    chains.push_back(ChainSpec::gemm_chain("c" + std::to_string(i), 1,
+                                           128 + 32 * i, 96, 64, 64));
+  }
+  const FusionEngine serial(gpu);
+  std::vector<FusionResult> expected;
+  for (const ChainSpec& c : chains) expected.push_back(serial.fuse(c));
+
+  FusionEngineOptions opts;
+  opts.jobs = 4;
+  FusionEngine engine(gpu, opts);
+  std::vector<FusionTicket> tickets;
+  for (const ChainSpec& c : chains) tickets.push_back(engine.submit(c));
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const FusionResult& got = tickets[i].get();
+    ASSERT_EQ(got.status, expected[i].status) << chains[i].name();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.tuned.best.expr_id, expected[i].tuned.best.expr_id);
+    EXPECT_EQ(got.tuned.best_time_s, expected[i].tuned.best_time_s);
+    EXPECT_EQ(got.tuned.stats.measurements,
+              expected[i].tuned.stats.measurements);
+  }
+}
+
+TEST(FusionEngineTest, FuseCachedHitSkipsTuning) {
+  const FusionEngine engine(a100());
+  TuningCache cache;
+  const FusionResult first = engine.fuse_cached(small_chain(), cache);
+  ASSERT_EQ(first.status, FusionStatus::Ok);
+  EXPECT_GT(first.tuned.stats.measurements, 0);
+  const FusionResult second = engine.fuse_cached(small_chain(), cache);
+  ASSERT_EQ(second.status, FusionStatus::Ok);
+  EXPECT_EQ(second.tuned.stats.measurements, 0);  // zero tuning on a hit
+  EXPECT_EQ(second.tuned.best.tiles, first.tuned.best.tiles);
+}
+
+}  // namespace
+}  // namespace mcf

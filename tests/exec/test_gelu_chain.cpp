@@ -69,7 +69,7 @@ TEST(GeluChain, McfuserFusesTokenMlpShape) {
   const ChainSpec chain = ChainSpec("token_mlp", 1, 768, {196, 384, 196},
                                     {Epilogue::Gelu, Epilogue::None});
   const FusionResult r = MCFuser(gpu).fuse(chain);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   EXPECT_LE(r.kernel->smem().total_bytes, gpu.smem_per_block);
 }
 

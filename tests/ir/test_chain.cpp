@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "search/space.hpp"
+
 namespace mcf {
 namespace {
 
@@ -123,8 +125,54 @@ TEST(Chain, ToStringMentionsNameAndEpilogue) {
   EXPECT_NE(s.find("softmax"), std::string::npos);
 }
 
-TEST(ChainDeathTest, RejectsEmptyChain) {
-  EXPECT_DEATH(ChainSpec("bad", 1, 8, {16}), "at least one operator");
+// Validation is non-aborting: invalid chains carry the offending field in
+// validation_error() and the FusionEngine surfaces them as
+// FusionStatus::InvalidChain.
+TEST(ChainValidation, RejectsEmptyChain) {
+  const ChainSpec c("bad", 1, 8, {16});
+  EXPECT_FALSE(c.valid());
+  EXPECT_NE(c.validation_error().find("inner"), std::string::npos);
+}
+
+TEST(ChainValidation, NamesOffendingField) {
+  const ChainSpec zero_batch("b", 0, 8, {16, 16});
+  EXPECT_FALSE(zero_batch.valid());
+  EXPECT_NE(zero_batch.validation_error().find("batch"), std::string::npos);
+
+  const ChainSpec neg_m("m", 1, -4, {16, 16});
+  EXPECT_FALSE(neg_m.valid());
+  EXPECT_NE(neg_m.validation_error().find("m must be >= 1"), std::string::npos);
+
+  const ChainSpec zero_inner("i", 1, 8, {16, 0, 16});
+  EXPECT_FALSE(zero_inner.valid());
+  EXPECT_NE(zero_inner.validation_error().find("inner[1]"), std::string::npos);
+
+  const ChainSpec too_long("l", 1, 8, {8, 8, 8, 8, 8, 8, 8, 8});
+  EXPECT_FALSE(too_long.valid());
+  EXPECT_NE(too_long.validation_error().find("too many"), std::string::npos);
+}
+
+TEST(ChainValidation, ValidChainHasNoError) {
+  const ChainSpec c = ChainSpec::gemm_chain("ok", 2, 128, 96, 64, 80);
+  EXPECT_TRUE(c.valid());
+  EXPECT_TRUE(c.validation_error().empty());
+}
+
+TEST(ChainValidation, InvalidChainShapeAccessorsStaySafe) {
+  // Digest/shape accessors must not throw on invalid chains (the engine
+  // computes dedup digests before validation verdicts are consumed).
+  const ChainSpec c("bad", 1, 8, {16, 0, 16});
+  EXPECT_EQ(c.num_ops(), 2);
+  EXPECT_EQ(c.epilogue(0), Epilogue::None);
+  EXPECT_EQ(c.epilogue(1), Epilogue::None);
+  EXPECT_FALSE(c.to_string().empty());
+}
+
+TEST(ChainDeathTest, SearchSpaceOnInvalidChainDies) {
+  // Layers below the engine still fail fast on programming errors.
+  const ChainSpec c("bad", 0, 8, {16, 16});
+  EXPECT_DEATH(SearchSpace(c, SpaceOptions{}, PruneOptions{}),
+               "invalid chain");
 }
 
 }  // namespace

@@ -11,7 +11,7 @@ TEST(MCFuser, FusesGemmChainAndValidates) {
   const GpuSpec gpu = a100();
   const ChainSpec c = ChainSpec::gemm_chain("q", 2, 128, 96, 64, 80);
   const FusionResult r = MCFuser(gpu).fuse(c);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r.kernel.has_value());
   // The tuned kernel must run and match the reference numerically.
   Tensor a(Shape{2, 128, 64});
@@ -34,7 +34,7 @@ TEST(MCFuser, FusesAttentionAndValidates) {
   const GpuSpec gpu = a100();
   const ChainSpec c = ChainSpec::attention("qa", 4, 128, 128, 64, 64);
   const FusionResult r = MCFuser(gpu).fuse(c);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   Tensor q(Shape{4, 128, 64});
   Tensor kt(Shape{4, 64, 128});
   Tensor v(Shape{4, 128, 64});
@@ -57,7 +57,7 @@ TEST(MCFuser, FusedBeatsMinimalTrafficBound) {
   const GpuSpec gpu = a100();
   const ChainSpec c = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
   const FusionResult r = MCFuser(gpu).fuse(c);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   const double bound = static_cast<double>(c.min_traffic_elems()) * 2.0 /
                        gpu.mem_bandwidth;
   EXPECT_GT(r.time_s(), bound);
@@ -69,7 +69,7 @@ TEST(MCFuser, ChimeraOptionsRestrictSpace) {
   const ChainSpec c = ChainSpec::gemm_chain("g3", 1, 512, 256, 64, 256);
   const FusionResult full = MCFuser(gpu).fuse(c);
   const FusionResult chim = MCFuser(gpu, MCFuser::chimera_options()).fuse(c);
-  ASSERT_TRUE(full.ok && chim.ok);
+  ASSERT_TRUE(full.ok() && chim.ok());
   EXPECT_LE(chim.space_size, full.space_size);
   // The full space can never lose (same tuner, superset space, shared
   // refinement): allow a whisker of measurement noise.
@@ -80,7 +80,7 @@ TEST(MCFuser, FunnelReportedPerChain) {
   const GpuSpec gpu = a100();
   const ChainSpec c = ChainSpec::gemm_chain("fig7", 1, 1024, 1024, 512, 512);
   const FusionResult r = MCFuser(gpu).fuse(c);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r.funnel.original, 109051904.0);
   EXPECT_EQ(r.space_size, static_cast<std::size_t>(r.funnel.after_rule4));
 }
@@ -91,7 +91,7 @@ TEST(MCFuser, WinnerKeepsMostOfTheReductionResident) {
   const GpuSpec gpu = a100();
   const ChainSpec c = ChainSpec::attention("s4", 12, 256, 256, 64, 64);
   const FusionResult r = MCFuser(gpu).fuse(c);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   EXPECT_GE(r.tuned.best.tiles[1], 32);  // Tk >= K/2
 }
 
@@ -99,7 +99,7 @@ TEST(MCFuser, WorksOnRtx3080) {
   const GpuSpec gpu = rtx3080();
   const ChainSpec c = ChainSpec::gemm_chain("g1r", 1, 512, 256, 64, 64);
   const FusionResult r = MCFuser(gpu).fuse(c);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   EXPECT_LE(r.kernel->smem().total_bytes, gpu.smem_per_block);
 }
 

@@ -174,12 +174,12 @@ TEST(TuningCache, FuseCachedSkipsTuningOnHit) {
   const MCFuser fuser(gpu);
   TuningCache cache;
   const FusionResult first = fuser.fuse_cached(chain(), cache);
-  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(first.ok());
   EXPECT_GT(first.tuned.stats.measurements, 0);
   EXPECT_EQ(cache.size(), 1u);
 
   const FusionResult second = fuser.fuse_cached(chain(), cache);
-  ASSERT_TRUE(second.ok);
+  ASSERT_TRUE(second.ok());
   EXPECT_EQ(second.tuned.stats.measurements, 0);  // no tuning
   // The cached kernel reproduces the tuned one.
   EXPECT_EQ(second.tuned.best.tiles, first.tuned.best.tiles);
@@ -194,7 +194,7 @@ TEST(TuningCache, StaleEntryFallsBackToTuning) {
   // Poison the cache with tiles of the wrong arity.
   cache.put(chain(), gpu, CachedSchedule{"b0b3|2(1)", {64, 64}, 1e-6});
   const FusionResult r = fuser.fuse_cached(chain(), cache);
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   EXPECT_GT(r.tuned.stats.measurements, 0);  // had to tune
 }
 

@@ -38,7 +38,7 @@ TEST_P(WorkloadSweep, FusesValidlyAndProfitably) {
   const ChainSpec chain = find_chain(p.workload);
 
   const FusionResult r = MCFuser(gpu).fuse(chain);
-  ASSERT_TRUE(r.ok) << "fusion failed on " << chain.to_string();
+  ASSERT_TRUE(r.ok()) << "fusion failed on " << chain.to_string();
 
   // The winner lowers within the hardware limits.
   ASSERT_TRUE(r.kernel.has_value());

@@ -1,16 +1,26 @@
-// mcfuser — command-line driver for the fusion pass.
+// mcfuser — command-line driver for the fusion engine.
 //
 //   mcfuser fuse    --m 512 --n 256 --k 64 --h 64 [--batch N]
 //                   [--attention | --gelu | --relu] [--gpu a100|rtx3080]
 //                   [--backend=sim|interp|cached-sim]
-//                   [--cache FILE] [--emit] [--pseudo]
+//                   [--cache FILE] [--emit] [--pseudo] [--json]
+//   mcfuser fuse    --graph bert-small|bert-base|bert-large|mixer-small|
+//                           mixer-base [--seq L] [--jobs N] [--json]
+//                   whole-graph batch fusion: partition, digest-dedup,
+//                   tune distinct chains concurrently, report
 //   mcfuser compare <same shape flags>     run every baseline on the chain
 //   mcfuser suite   gemm | attention       paper Table II / III sweep
 //   mcfuser info    [--gpu NAME]           GPU model parameters
+//
+// Unknown flags are rejected with a usage synopsis and exit code 2.
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,9 +29,11 @@
 #include "baselines/chimera_like.hpp"
 #include "baselines/flash_like.hpp"
 #include "baselines/unfused.hpp"
+#include "engine/engine.hpp"
 #include "exec/codegen.hpp"
+#include "graph/bert.hpp"
+#include "graph/mixer.hpp"
 #include "measure/backend.hpp"
-#include "search/mcfuser.hpp"
 #include "support/table.hpp"
 #include "workloads/suites.hpp"
 
@@ -32,6 +44,9 @@ using namespace mcf;
 struct Args {
   std::string command;
   std::string positional;
+  /// Tokens parse() could not place: single-dash flags ("-m"), extra
+  /// positionals.  Non-empty => usage error.
+  std::vector<std::string> stray;
   std::map<std::string, std::string> flags;
 
   [[nodiscard]] std::int64_t num(const std::string& key, std::int64_t dflt) const {
@@ -53,20 +68,123 @@ Args parse(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string tok = argv[i];
     if (tok.rfind("--", 0) == 0) {
-      // Both --key value and --key=value spellings are accepted.
+      // Both --key value and --key=value spellings are accepted.  A next
+      // token that looks like a negative number ("-4") is a value, not a
+      // flag — so `--m -4` reaches ChainSpec validation instead of being
+      // silently rewritten to a boolean.
       const std::string body = tok.substr(2);
+      const auto is_value = [&](const char* s) {
+        return s[0] != '-' ||
+               (s[1] != '\0' && std::isdigit(static_cast<unsigned char>(s[1])));
+      };
       if (const auto eq = body.find('='); eq != std::string::npos) {
         args.flags[body.substr(0, eq)] = body.substr(eq + 1);
-      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      } else if (i + 1 < argc && is_value(argv[i + 1])) {
         args.flags[body] = argv[++i];
       } else {
         args.flags[body] = "1";
       }
+    } else if (tok.size() > 1 && tok[0] == '-' &&
+               !std::isdigit(static_cast<unsigned char>(tok[1]))) {
+      // Single-dash spelling of a flag ("-m"): a near-certain typo for
+      // "--m"; collected for rejection rather than silently ignored.
+      args.stray.push_back(std::move(tok));
     } else if (args.positional.empty()) {
       args.positional = tok;
+    } else {
+      args.stray.push_back(std::move(tok));
     }
   }
   return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mcfuser <fuse|compare|suite|info> [flags]\n"
+               "  fuse    --m M --n N --k K --h H [--batch B] "
+               "[--attention|--gelu|--relu] [--gpu NAME] "
+               "[--backend=sim|interp|cached-sim] [--cache FILE] [--emit] "
+               "[--pseudo] [--json]\n"
+               "  fuse    --graph bert-small|bert-base|bert-large|"
+               "mixer-small|mixer-base [--seq L] [--jobs N] [--gpu NAME] "
+               "[--backend NAME] [--json]\n"
+               "  compare <same shape flags> [--trials T]\n"
+               "  suite   gemm|attention [--gpu NAME]\n"
+               "  info    [--gpu NAME]\n");
+  return 2;
+}
+
+/// Rejects flags the command (and, for fuse, the mode) does not
+/// understand — exit 2 + synopsis instead of silently ignoring them.
+bool validate_flags(const Args& args) {
+  static const std::set<std::string> kFuseChain = {
+      "m",   "n",       "k",     "h",    "batch", "attention", "gelu",
+      "relu", "gpu",    "backend", "cache", "emit", "pseudo",   "json"};
+  static const std::set<std::string> kFuseGraph = {"graph", "seq",  "jobs",
+                                                   "gpu",   "backend", "json"};
+  static const std::map<std::string, std::set<std::string>> kKnown = {
+      {"compare",
+       {"m", "n", "k", "h", "batch", "attention", "gelu", "relu", "gpu",
+        "trials"}},
+      {"suite", {"gpu"}},
+      {"info", {"gpu"}},
+  };
+  if (!args.stray.empty()) {
+    std::fprintf(stderr,
+                 "mcfuser %s: unrecognized argument '%s' (flags are spelled "
+                 "--name)\n\n",
+                 args.command.c_str(), args.stray.front().c_str());
+    return false;
+  }
+  // Only `suite` takes a positional (gemm|attention).
+  if (!args.positional.empty()) {
+    if (args.command != "suite") {
+      std::fprintf(stderr, "mcfuser %s: unexpected argument '%s'\n\n",
+                   args.command.c_str(), args.positional.c_str());
+      return false;
+    }
+    if (args.positional != "gemm" && args.positional != "attention") {
+      std::fprintf(stderr, "mcfuser suite: unknown suite '%s'\n\n",
+                   args.positional.c_str());
+      return false;
+    }
+  }
+  const std::set<std::string>* allowed = nullptr;
+  const char* mode = "";
+  if (args.command == "fuse") {
+    // Single-chain and graph mode accept different flags; a shape flag in
+    // graph mode (or --seq/--jobs without --graph) would be dead, so it
+    // is rejected rather than ignored.
+    allowed = args.has("graph") ? &kFuseGraph : &kFuseChain;
+    mode = args.has("graph") ? " (graph mode)" : "";
+  } else if (const auto it = kKnown.find(args.command); it != kKnown.end()) {
+    allowed = &it->second;
+  } else {
+    return true;  // unknown command: usage() later
+  }
+  for (const auto& kv : args.flags) {
+    if (allowed->count(kv.first) == 0) {
+      std::fprintf(stderr, "mcfuser %s%s: unknown flag '--%s'\n\n",
+                   args.command.c_str(), mode, kv.first.c_str());
+      return false;
+    }
+  }
+  // Numeric flags must parse as (in-range) integers; a typo like
+  // `--seq abc` gets the usage path, not an uncaught std::stoll throw.
+  static const std::set<std::string> kNumeric = {
+      "m", "n", "k", "h", "batch", "seq", "jobs", "trials"};
+  for (const auto& kv : args.flags) {
+    if (kNumeric.count(kv.first) == 0) continue;
+    errno = 0;
+    char* end = nullptr;
+    (void)std::strtoll(kv.second.c_str(), &end, 10);
+    if (kv.second.empty() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "mcfuser %s: '--%s' needs an integer, got '%s'\n\n",
+                   args.command.c_str(), kv.first.c_str(), kv.second.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 ChainSpec chain_from(const Args& args) {
@@ -87,39 +205,140 @@ ChainSpec chain_from(const Args& args) {
   return ChainSpec::gemm_chain("cli", batch, m, n, k, h);
 }
 
-int cmd_fuse(const Args& args) {
-  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
-  const ChainSpec chain = chain_from(args);
-
-  MCFuserOptions opts;
-  opts.backend = args.str("backend", "sim");
-  if (BackendRegistry::instance().create(opts.backend, gpu) == nullptr) {
-    std::fprintf(stderr, "unknown --backend '%s'; registered:",
-                 opts.backend.c_str());
-    for (const auto& name : BackendRegistry::instance().names()) {
-      std::fprintf(stderr, " %s", name.c_str());
+void print_chain_json(const ChainSpec& chain, const FusionResult& r,
+                      const std::string& backend) {
+  std::printf("{\"chain\":\"%s\",\"backend\":\"%s\",\"status\":\"%s\","
+              "\"reason\":\"%s\"",
+              json_escape(chain.name()).c_str(), json_escape(backend).c_str(),
+              fusion_status_name(r.status), json_escape(r.reason).c_str());
+  if (r.ok()) {
+    std::printf(",\"time_us\":%.6g,\"space_size\":%zu,\"measurements\":%d,"
+                "\"generations\":%d,\"best_expr\":%d,\"best_tiles\":[",
+                r.time_s() * 1e6, r.space_size, r.tuned.stats.measurements,
+                r.tuned.stats.generations, r.tuned.best.expr_id);
+    for (std::size_t i = 0; i < r.tuned.best.tiles.size(); ++i) {
+      std::printf("%s%lld", i ? "," : "",
+                  static_cast<long long>(r.tuned.best.tiles[i]));
     }
-    std::fprintf(stderr, "\n");
+    std::printf("]");
+  }
+  std::printf("}\n");
+}
+
+/// False + a diagnostic listing the registered backends when `name` is
+/// not in the registry (shared by the chain and graph fuse modes).
+bool backend_known(const std::string& name) {
+  const auto names = BackendRegistry::instance().names();
+  if (std::find(names.begin(), names.end(), name) != names.end()) return true;
+  std::fprintf(stderr, "unknown --backend '%s'; registered:", name.c_str());
+  for (const auto& n : names) std::fprintf(stderr, " %s", n.c_str());
+  std::fprintf(stderr, "\n");
+  return false;
+}
+
+int cmd_fuse_graph(const Args& args, const GpuSpec& gpu) {
+  const std::string model = args.str("graph", "bert-base");
+  const std::int64_t seq = args.num("seq", 0);
+  if (args.has("seq") && seq <= 0) {
+    std::fprintf(stderr, "--seq must be a positive length, got %lld\n",
+                 static_cast<long long>(seq));
     return 2;
   }
-  std::printf("fusing %s on %s (backend: %s)\n", chain.to_string().c_str(),
-              gpu.name.c_str(), opts.backend.c_str());
+  // Range-checked on the full int64 before the int cast below, so huge
+  // values are rejected instead of silently wrapping.
+  constexpr std::int64_t kMaxJobs = 4096;
+  if (args.num("jobs", 0) < 0 || args.num("jobs", 0) > kMaxJobs) {
+    std::fprintf(stderr, "--jobs must be in [0, %lld]\n",
+                 static_cast<long long>(kMaxJobs));
+    return 2;
+  }
+  NetGraph g("empty");
+  if (model == "bert-small" || model == "bert-base" || model == "bert-large") {
+    BertConfig cfg = model == "bert-small"   ? bert_small()
+                     : model == "bert-large" ? bert_large()
+                                             : bert_base();
+    if (seq > 0) cfg.seq_len = seq;
+    g = build_bert(cfg);
+  } else if (model == "mixer-small" || model == "mixer-base") {
+    MixerConfig cfg = model == "mixer-small" ? mixer_small() : mixer_base();
+    if (seq > 0) cfg.patches = seq;  // --seq = the token/sequence dimension
+    g = build_mixer(cfg);
+  } else {
+    std::fprintf(stderr, "unknown --graph '%s'\n\n", model.c_str());
+    return usage();
+  }
 
-  const MCFuser fuser(gpu, opts);
+  FusionEngineOptions opts;
+  opts.backend = args.str("backend", "");
+  opts.jobs = static_cast<int>(args.num("jobs", 0));
+  if (!opts.backend.empty() && !backend_known(opts.backend)) return 2;
+  FusionEngine engine(gpu, opts);
+  const GraphFusionReport rep = engine.fuse_graph(g);
+
+  if (args.has("json")) {
+    std::printf("%s\n", rep.to_json().c_str());
+  } else {
+    std::printf("graph %s on %s: %d nodes, %d MBCI subgraphs, "
+                "%d distinct chain(s), %d tuned (%d measurements, %.2fs "
+                "tuning wall)\n",
+                rep.graph_name.c_str(), gpu.name.c_str(), rep.graph_nodes,
+                rep.mbci_subgraphs, rep.distinct_chains, rep.tuned_chains,
+                rep.total_measurements, rep.tuning_wall_s);
+    Table table;
+    table.set_header({"chain", "digest", "x", "status", "time (us)", "source"});
+    for (const GraphChainReport& c : rep.chains) {
+      table.add_row({c.chain_name, c.digest, std::to_string(c.occurrences),
+                     c.result ? fusion_status_name(c.result->status) : "?",
+                     c.result && c.result->ok()
+                         ? Table::num(c.result->time_s() * 1e6, 2)
+                         : "-",
+                     c.reused ? "memo" : "tuned"});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+  return rep.all_ok() ? 0 : 1;
+}
+
+int cmd_fuse(const Args& args) {
+  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
+  if (args.has("graph")) return cmd_fuse_graph(args, gpu);
+  const ChainSpec chain = chain_from(args);
+
+  FusionEngineOptions opts;
+  opts.backend = args.str("backend", "sim");
+  if (!backend_known(opts.backend)) return 2;
+  const bool json = args.has("json");
+  if (json && (args.has("emit") || args.has("pseudo"))) {
+    // --json replaces the human-readable output entirely; combining it
+    // with a kernel dump would be silently dead, so reject instead.
+    std::fprintf(stderr, "--json cannot be combined with --emit/--pseudo\n");
+    return 2;
+  }
+  if (!json) {
+    std::printf("fusing %s on %s (backend: %s)\n", chain.to_string().c_str(),
+                gpu.name.c_str(), opts.backend.c_str());
+  }
+
+  const FusionEngine engine(gpu, opts);
   FusionResult result;
   TuningCache cache;
   const std::string cache_path = args.str("cache", "");
   if (!cache_path.empty()) {
     cache.load(cache_path);
-    result = fuser.fuse_cached(chain, cache);
+    result = engine.fuse_cached(chain, cache);
     if (!cache.save(cache_path)) {
       std::fprintf(stderr, "warning: could not write %s\n", cache_path.c_str());
     }
   } else {
-    result = fuser.fuse(chain);
+    result = engine.fuse(chain);
   }
-  if (!result.ok) {
-    std::fprintf(stderr, "fusion failed\n");
+  if (json) {
+    print_chain_json(chain, result, opts.backend);
+    return result.ok() ? 0 : 1;
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "fusion failed: %s: %s\n",
+                 fusion_status_name(result.status), result.reason.c_str());
     return 1;
   }
   std::printf("space: %.3g raw -> %zu candidates; tuning: %d measurements\n",
@@ -140,6 +359,13 @@ int cmd_fuse(const Args& args) {
 int cmd_compare(const Args& args) {
   const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
   const ChainSpec chain = chain_from(args);
+  if (!chain.valid()) {
+    // The baselines consume the chain directly (no engine in front), so
+    // invalid shapes stop here instead of reaching their arithmetic.
+    std::fprintf(stderr, "invalid chain: %s\n",
+                 chain.validation_error().c_str());
+    return 1;
+  }
   std::printf("comparing frameworks on %s (%s)\n\n", chain.to_string().c_str(),
               gpu.name.c_str());
   Table table;
@@ -167,8 +393,8 @@ int cmd_compare(const Args& args) {
   }
   const SubgraphResult ch = ChimeraLikeBaseline(gpu).run(chain);
   row("MCFuser-Chimera", ch.time_s, ch.fused);
-  const FusionResult mc = MCFuser(gpu).fuse(chain);
-  if (mc.ok) row("MCFuser", mc.time_s(), true);
+  const FusionResult mc = FusionEngine(gpu).fuse(chain);
+  if (mc.ok()) row("MCFuser", mc.time_s(), true);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }
@@ -181,10 +407,15 @@ int cmd_suite(const Args& args) {
               gpu.name);
   table.set_header({"workload", "shape", "PyTorch (us)", "MCFuser (us)",
                     "speedup"});
+  const FusionEngine engine(gpu);
   for (const ChainSpec& chain : suite) {
     const double pt = UnfusedBaseline(gpu).run(chain).time_s;
-    const FusionResult mc = MCFuser(gpu).fuse(chain);
-    if (!mc.ok) return 1;
+    const FusionResult mc = engine.fuse(chain);
+    if (!mc.ok()) {
+      std::fprintf(stderr, "%s: %s: %s\n", chain.name().c_str(),
+                   fusion_status_name(mc.status), mc.reason.c_str());
+      return 1;
+    }
     table.add_row({chain.name(), chain.to_string(), Table::num(pt * 1e6, 1),
                    Table::num(mc.time_s() * 1e6, 1),
                    Table::num(pt / mc.time_s(), 2) + "x"});
@@ -206,22 +437,11 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: mcfuser <fuse|compare|suite|info> [flags]\n"
-               "  fuse    --m M --n N --k K --h H [--batch B] "
-               "[--attention|--gelu|--relu] [--gpu NAME] "
-               "[--backend=sim|interp|cached-sim] [--cache FILE] [--emit]\n"
-               "  compare <same shape flags> [--trials T]\n"
-               "  suite   gemm|attention [--gpu NAME]\n"
-               "  info    [--gpu NAME]\n");
-  return 2;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (!validate_flags(args)) return usage();
   if (args.command == "fuse") return cmd_fuse(args);
   if (args.command == "compare") return cmd_compare(args);
   if (args.command == "suite") return cmd_suite(args);
