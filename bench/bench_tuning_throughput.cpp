@@ -19,10 +19,14 @@
 //                   side on the same schedules — predicted/observed
 //                   kernel time, measure() call cost, and the rank
 //                   correlation between the two backends' times.
+//   * jit:          the native-codegen path (exec/jit): the same
+//                   schedules compiled to real machine code and timed
+//                   against the interpreter's GFLOP/s — the gate is a
+//                   >= 3x geomean advantage on the fig7-mini family.
 //
 // Emits the paper-style table + CSV (common.hpp) and writes
-// BENCH_tuning_throughput.json (stable schema, see docs/performance.md)
-// so future PRs can track the trajectory.
+// BENCH_tuning_throughput.json (stable schema v3, see
+// docs/performance.md) so future PRs can track the trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -32,6 +36,7 @@
 
 #include "common.hpp"
 #include "exec/interpreter.hpp"
+#include "exec/jit.hpp"
 #include "gpu/spec.hpp"
 #include "legacy_interpreter.hpp"
 #include "legacy_tuner.hpp"
@@ -79,6 +84,16 @@ struct InterpRow {
   double new_blocks_per_s = 0.0;
   double legacy_gflops = 0.0;
   double new_gflops = 0.0;
+  double flops = 0.0;  ///< executed FLOPs per run (jit section reuses it)
+};
+
+struct JitRow {
+  std::string name;
+  std::string tiles;
+  std::int64_t blocks = 0;
+  double interp_gflops = 0.0;
+  double jit_gflops = 0.0;
+  [[nodiscard]] double vs_interp() const { return jit_gflops / interp_gflops; }
 };
 
 struct BackendRow {
@@ -210,9 +225,48 @@ InterpRow bench_interp(const ChainSpec& chain, const SearchSpace& space,
   const double nm = best_of(new_t);
   row.legacy_blocks_per_s = static_cast<double>(row.blocks) / lm;
   row.new_blocks_per_s = static_cast<double>(row.blocks) / nm;
-  const double total_flops = counters.flops + counters.epilogue_flops;
-  row.legacy_gflops = total_flops / lm / 1e9;
-  row.new_gflops = total_flops / nm / 1e9;
+  row.flops = counters.flops + counters.epilogue_flops;
+  row.legacy_gflops = row.flops / lm / 1e9;
+  row.new_gflops = row.flops / nm / 1e9;
+  return row;
+}
+
+/// Times the natively compiled kernel on the interp row's schedule; the
+/// executed-FLOP count (and hence the GFLOP/s denominator) is identical
+/// by construction, so the ratio is a pure codegen speedup.
+JitRow bench_jit(const ChainSpec& chain, const Schedule& s,
+                 const InterpRow& interp_row) {
+  JitRow row;
+  row.name = interp_row.name;
+  row.tiles = interp_row.tiles;
+  row.blocks = interp_row.blocks;
+  row.interp_gflops = interp_row.new_gflops;
+
+  const JitKernel kernel(s, "bench");
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "jit bench: compile failed on %s: %s\n",
+                 row.name.c_str(), kernel.error().c_str());
+    std::exit(1);
+  }
+  Tensor a(Shape{chain.batch(), chain.m(), chain.inner().front()});
+  Tensor out(Shape{chain.batch(), chain.m(), chain.inner().back()});
+  a.fill_random(1);
+  std::vector<Tensor> w;
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    Tensor t(Shape{chain.batch(), chain.inner()[static_cast<std::size_t>(op)],
+                   chain.inner()[static_cast<std::size_t>(op) + 1]});
+    t.fill_random(static_cast<std::uint64_t>(op) + 2);
+    w.push_back(std::move(t));
+  }
+  constexpr int kRepeats = 7;
+  kernel.run(a, w, out);  // warm-up (scratch allocation, icache)
+  std::vector<double> wall;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = clk::now();
+    kernel.run(a, w, out);
+    wall.push_back(secs(t0, clk::now()));
+  }
+  row.jit_gflops = interp_row.flops / best_of(wall) / 1e9;
   return row;
 }
 
@@ -258,12 +312,16 @@ int run() {
       ChainSpec::attention("fig7-mini-attn", 4, 128, 128, 64, 64),
   };
   std::vector<InterpRow> interp_rows;
+  std::vector<const ChainSpec*> interp_row_chains;
+  std::vector<Schedule> interp_row_scheds;
   for (const auto& c : interp_chains) {
     const SearchSpace space(c, SpaceOptions{}, prune);
     const std::size_t n = space.candidates().size();
     // A deterministic spread: small-tile, mid and large-tile schedules.
     for (const std::size_t idx : {n / 8, n / 2, (7 * n) / 8}) {
       interp_rows.push_back(bench_interp(c, space, idx));
+      interp_row_chains.push_back(&c);
+      interp_row_scheds.push_back(space.schedule_for(space.candidates()[idx]));
     }
   }
 
@@ -331,12 +389,55 @@ int run() {
   }
   const double backend_rank_corr = spearman(sim_times, interp_times);
 
+  // ---- jit native codegen ---------------------------------------------------
+  // The same fig7-mini schedules compiled to real machine code (exec/jit,
+  // -O3 -march=native, register-blocked micro-kernel) and timed against
+  // the interpreter.  Executed FLOPs are identical by construction.
+  const jit::Toolchain toolchain = jit::detect_toolchain();
+  const jit::CompileStats jit_before = jit::stats_snapshot();
+  std::vector<JitRow> jit_rows;
+  if (toolchain.ok()) {
+    for (std::size_t i = 0; i < interp_rows.size(); ++i) {
+      jit_rows.push_back(bench_jit(*interp_row_chains[i], interp_row_scheds[i],
+                                   interp_rows[i]));
+    }
+  } else {
+    std::fprintf(stderr, "jit section skipped: %s\n", toolchain.reason.c_str());
+  }
+  const jit::CompileStats jit_delta = jit::stats_snapshot().since(jit_before);
+  Table jit_table("JIT native codegen — compiled kernels vs interpreter");
+  jit_table.set_header({"workload", "tiles", "blocks", "interp GFLOP/s",
+                        "jit GFLOP/s", "speedup"});
+  std::vector<double> jit_ratios;
+  std::vector<double> jit_gflops_list;
+  for (const auto& r : jit_rows) {
+    jit_ratios.push_back(r.vs_interp());
+    jit_gflops_list.push_back(r.jit_gflops);
+    jit_table.add_row({r.name, r.tiles, std::to_string(r.blocks),
+                       Table::num(r.interp_gflops, 1),
+                       Table::num(r.jit_gflops, 1),
+                       Table::num(r.vs_interp(), 2) + "x"});
+  }
+  const double jit_geo = jit_rows.empty() ? 0.0 : geomean(jit_ratios);
+  const double jit_geo_gflops = jit_rows.empty() ? 0.0 : geomean(jit_gflops_list);
+
   if (!mcf::bench::emit(tuner_table, "tuning_throughput_tuner")) return 1;
   if (!mcf::bench::emit(interp_table, "tuning_throughput_interp")) return 1;
   if (!mcf::bench::emit(backend_table, "tuning_throughput_backends")) return 1;
+  if (toolchain.ok() &&
+      !mcf::bench::emit(jit_table, "tuning_throughput_jit")) {
+    return 1;
+  }
   std::printf("tuner geomean speedup: %.2fx\ninterpreter geomean speedup: %.2fx\n",
               tuner_geo, interp_geo);
   std::printf("sim/interp backend rank correlation: %.3f\n", backend_rank_corr);
+  if (toolchain.ok()) {
+    std::printf("jit vs interpreter geomean: %.2fx (%.1f GFLOP/s geomean, "
+                "%lld TUs, %.2fs compile wall)\n",
+                jit_geo, jit_geo_gflops,
+                static_cast<long long>(jit_delta.tus_compiled),
+                jit_delta.compile_wall_s);
+  }
 
   // ---- JSON (stable schema, consumed by future PRs / CI) --------------------
   FILE* f = std::fopen("BENCH_tuning_throughput.json", "w");
@@ -346,7 +447,7 @@ int run() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"tuning_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"threads\": %u,\n", ThreadPool::global().size());
   std::fprintf(f, "  \"tuner\": {\n");
   std::fprintf(f, "    \"geomean_speedup\": %.4f,\n", tuner_geo);
@@ -395,6 +496,31 @@ int run() {
                  r.interp_time_s, r.sim_wall_s, r.interp_wall_s,
                  i + 1 < backend_rows.size() ? "," : "");
   }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"jit\": {\n");
+  std::fprintf(f, "    \"available\": %s,\n", toolchain.ok() ? "true" : "false");
+  std::fprintf(f, "    \"geomean_gflops\": %.4f,\n", jit_geo_gflops);
+  std::fprintf(f, "    \"geomean_vs_interp\": %.4f,\n", jit_geo);
+  std::fprintf(f,
+               "    \"compile\": {\"tus_compiled\": %lld, "
+               "\"kernels_compiled\": %lld, \"cache_hits\": %lld, "
+               "\"compile_wall_s\": %.4f},\n",
+               static_cast<long long>(jit_delta.tus_compiled),
+               static_cast<long long>(jit_delta.kernels_compiled),
+               static_cast<long long>(jit_delta.cache_hits()),
+               jit_delta.compile_wall_s);
+  std::fprintf(f, "    \"workloads\": [\n");
+  for (std::size_t i = 0; i < jit_rows.size(); ++i) {
+    const auto& r = jit_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"tiles\": \"%s\", \"blocks\": "
+                 "%lld, \"interp_gflops\": %.4f, \"jit_gflops\": %.4f, "
+                 "\"vs_interp\": %.4f}%s\n",
+                 r.name.c_str(), r.tiles.c_str(),
+                 static_cast<long long>(r.blocks), r.interp_gflops,
+                 r.jit_gflops, r.vs_interp(),
+                 i + 1 < jit_rows.size() ? "," : "");
+  }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("[json written to BENCH_tuning_throughput.json]\n");
@@ -408,7 +534,14 @@ int run() {
     std::fprintf(stderr, "FAIL: interpreter speedup %.2fx < 3x\n", interp_geo);
     return 1;
   }
-  std::printf("PASS: tuner >= 2x, interpreter >= 3x\n");
+  // The JIT acceptance gate: compiled kernels must beat the interpreter
+  // >= 3x (geomean GFLOP/s) on the fig7-mini family.
+  if (toolchain.ok() && jit_geo < 3.0) {
+    std::fprintf(stderr, "FAIL: jit vs interpreter %.2fx < 3x\n", jit_geo);
+    return 1;
+  }
+  std::printf("PASS: tuner >= 2x, interpreter >= 3x%s\n",
+              toolchain.ok() ? ", jit >= 3x interpreter" : " (jit skipped)");
   return 0;
 }
 

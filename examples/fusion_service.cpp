@@ -58,5 +58,29 @@ int main() {
               again.tuned_chains, engine.result_cache_size());
 
   std::printf("\nJSON report:\n%s\n", again.to_json().c_str());
+
+  // --- 4. Deploy-side execution: the fused kernel runs natively. -----------
+  // FusionResult::kernel executes through the jit subsystem when a host
+  // toolchain exists (machine code, digest-cached) and falls back to the
+  // functional interpreter otherwise — same numerics either way.
+  const FusionResult& deploy = tickets.front().get();
+  if (deploy.ok()) {
+    const ChainSpec& chain = tickets.front().chain();
+    Tensor a(Shape{chain.batch(), chain.m(), chain.inner().front()});
+    Tensor out(Shape{chain.batch(), chain.m(), chain.inner().back()});
+    a.fill_random(7);
+    std::vector<Tensor> w;
+    for (int op = 0; op < chain.num_ops(); ++op) {
+      Tensor t(Shape{chain.batch(), chain.inner()[static_cast<std::size_t>(op)],
+                     chain.inner()[static_cast<std::size_t>(op) + 1]});
+      t.fill_random(8 + static_cast<std::uint64_t>(op));
+      w.push_back(std::move(t));
+    }
+    const bool native = deploy.kernel->run_native(a, w, out);
+    if (!native) (void)deploy.kernel->run(a, w, out);
+    std::printf("\nexecuted %s via %s: out[0,0,0] = %.4f\n",
+                chain.name().c_str(), native ? "jit native code" : "interpreter",
+                out.at(0, 0, 0));
+  }
   return rep.all_ok() && again.tuned_chains == 0 ? 0 : 1;
 }

@@ -126,7 +126,13 @@ std::string GraphFusionReport::to_json() const {
      << ",\"distinct_chains\":" << distinct_chains
      << ",\"tuned_chains\":" << tuned_chains
      << ",\"total_measurements\":" << total_measurements
-     << ",\"tuning_wall_s\":" << tuning_wall_s << ",\"chains\":[";
+     << ",\"tuning_wall_s\":" << tuning_wall_s
+     << ",\"jit_compile\":{\"tus_compiled\":" << jit_compile.tus_compiled
+     << ",\"kernels_compiled\":" << jit_compile.kernels_compiled
+     << ",\"cache_hits\":" << jit_compile.cache_hits()
+     << ",\"failures\":" << jit_compile.failures
+     << ",\"compile_wall_s\":" << jit_compile.compile_wall_s
+     << "},\"chains\":[";
   for (std::size_t i = 0; i < chains.size(); ++i) {
     const GraphChainReport& c = chains[i];
     if (i) os << ",";
@@ -373,6 +379,11 @@ GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains
   GraphFusionReport rep;
   rep.graph_name = label;
   rep.sub_to_chain.reserve(chains.size());
+  // Jit-compilation economy: process-wide counter deltas over the call
+  // (zero when the backend never compiles; shared across engines, so
+  // concurrent fuse_graph calls each see their own compiles plus any
+  // overlap — documented in docs/measurement.md).
+  const jit::CompileStats jit_before = jit::stats_snapshot();
 
   struct Pending {
     std::size_t index;  ///< into rep.chains
@@ -443,6 +454,7 @@ GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains
     }
   }
   rep.distinct_chains = static_cast<int>(rep.chains.size());
+  rep.jit_compile = jit::stats_snapshot().since(jit_before);
   return rep;
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "engine/status.hpp"
+#include "exec/jit.hpp"
 #include "exec/program.hpp"
 #include "graph/netgraph.hpp"
 #include "search/space.hpp"
@@ -174,6 +175,12 @@ struct GraphFusionReport {
   int tuned_chains = 0;         ///< tuned fresh during this call
   int total_measurements = 0;   ///< hardware measurements spent this call
   double tuning_wall_s = 0.0;   ///< summed tuner wall-clock this call
+  /// Kernel-compilation economy of this call when the measurement backend
+  /// jit-compiles (deltas of the process-wide exec/jit counters over the
+  /// call; all-zero for non-compiling backends).  TUs measure how well
+  /// the per-wave batching amortised compiler invocations; cache hits
+  /// count kernels resolved without compiling at all.
+  jit::CompileStats jit_compile;
   std::vector<GraphChainReport> chains;
   /// For input subgraph/chain i: index into `chains`.
   std::vector<int> sub_to_chain;

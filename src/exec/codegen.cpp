@@ -1,6 +1,9 @@
 #include "exec/codegen.hpp"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
+#include <vector>
 
 #include "support/logging.hpp"
 
@@ -101,6 +104,534 @@ std::string emit_kernel_source(const Schedule& s, const GpuSpec& gpu) {
   }
   emit_node(s, s.root(), 1, os);
   return os.str();
+}
+
+// ---- C++ lowering -----------------------------------------------------------
+//
+// The emitted function mirrors exec/interpreter.cpp statement for
+// statement, with every extent, tile size and arena offset folded to a
+// literal.  Loop index variables are i<loop-id>; hoisted stores iterate
+// covered loops through shadow variables q<loop-id>.
+
+namespace {
+
+/// Epilogue constants — mirror exec/interpreter.cpp / dag/volume.cpp.
+constexpr double kSqrt2OverPi = 0.7978845608028654;
+
+class CppEmitter {
+ public:
+  CppEmitter(const Schedule& s, std::string symbol)
+      : s_(s), chain_(s.chain()), symbol_(std::move(symbol)) {
+    const int nt = chain_.num_tensors();
+    buf_offset_.resize(static_cast<std::size_t>(nt) + 1, 0);
+    for (int t = 0; t < nt; ++t) {
+      const std::int64_t elems =
+          s_.tile_elems(t) * s_.resident_tiles()[static_cast<std::size_t>(t)];
+      buf_offset_[static_cast<std::size_t>(t) + 1] =
+          buf_offset_[static_cast<std::size_t>(t)] + elems;
+    }
+    stat_offset_.resize(static_cast<std::size_t>(chain_.num_ops()), -1);
+    for (int op = 0; op < chain_.num_ops(); ++op) {
+      if (chain_.epilogue(op) == Epilogue::OnlineSoftmax) {
+        stat_offset_[static_cast<std::size_t>(op)] = stat_floats_;
+        stat_floats_ += 2 * s_.tiles()[0];
+      }
+    }
+  }
+
+  [[nodiscard]] std::string emit() {
+    os_ << "extern \"C\" void " << symbol_
+        << "(const float* __restrict ga, const float* const* __restrict gw,\n"
+        << "    float* __restrict gout, float* __restrict scratch,\n"
+        << "    i64 block_begin, i64 block_end) {\n";
+    os_ << "  float* const arena = scratch;\n";
+    if (stat_floats_ > 0) {
+      os_ << "  float* const stats = scratch + " << buf_offset_.back() << ";\n";
+    }
+    os_ << "  for (i64 blk = block_begin; blk < block_end; ++blk) {\n";
+    for (int l = 0; l < chain_.num_loops(); ++l) {
+      os_ << "    i64 i" << l << " = 0; (void)i" << l << ";\n";
+    }
+    // blockIdx decode: innermost-first mixed radix over block loops,
+    // batch outermost (exec/interpreter.cpp decode_block).
+    os_ << "    i64 rem = blk;\n";
+    const auto& bl = s_.block_loops();
+    for (auto it = bl.rbegin(); it != bl.rend(); ++it) {
+      const std::int64_t e = s_.extents()[static_cast<std::size_t>(*it)];
+      os_ << "    i" << *it << " = rem % " << e << "; rem /= " << e << ";\n";
+    }
+    os_ << "    const i64 b = rem;\n";
+    // Online-softmax running stats reset once per block.
+    const std::int64_t tm = s_.tiles()[0];
+    for (int op = 0; op < chain_.num_ops(); ++op) {
+      const std::int64_t off = stat_offset_[static_cast<std::size_t>(op)];
+      if (off < 0) continue;
+      os_ << "    for (i64 r = 0; r < " << tm << "; ++r) { stats[" << off
+          << " + r] = -INFINITY; stats[" << off + tm << " + r] = 0.0f; }\n";
+    }
+    emit_node(s_.root(), 2);
+    os_ << "  }\n";
+    os_ << "}\n";
+    return os_.str();
+  }
+
+ private:
+  [[nodiscard]] static std::string flit(float v) {
+    // Hex float literal: exact round trip of the emit-time value.
+    std::ostringstream os;
+    os << std::hexfloat << static_cast<double>(v) << "f";
+    return os.str();
+  }
+
+  [[nodiscard]] std::string ind(int depth) const {
+    return std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+
+  /// Index variable of loop `l`: the covered-loop shadow inside a hoisted
+  /// store, the block/tree variable otherwise.
+  [[nodiscard]] std::string idx_var(int l,
+                                    const std::vector<int>& covered) const {
+    const bool is_covered =
+        std::find(covered.begin(), covered.end(), l) != covered.end();
+    return (is_covered ? "q" : "i") + std::to_string(l);
+  }
+
+  /// Arena offset of tensor `t`'s current tile: static base + the
+  /// resident-loop mixed radix (exec/interpreter.cpp slot_offset).
+  [[nodiscard]] std::string buf_expr(int t,
+                                     const std::vector<int>& covered) const {
+    std::string slot;
+    for (const int l : s_.resident_loops(t)) {
+      const std::int64_t e = s_.extents()[static_cast<std::size_t>(l)];
+      slot = slot.empty() ? idx_var(l, covered)
+                          : "(" + slot + ")*" + std::to_string(e) + " + " +
+                                idx_var(l, covered);
+    }
+    std::string out = std::to_string(buf_offset_[static_cast<std::size_t>(t)]);
+    if (!slot.empty()) {
+      out += " + (" + slot + ")*" + std::to_string(s_.tile_elems(t));
+    }
+    return out;
+  }
+
+  void emit_node(int node, int depth) {
+    const auto& n = s_.node(node);
+    if (n.is_stmt) {
+      emit_stmt(n.stmt, depth);
+      return;
+    }
+    int next = depth;
+    if (n.loop >= 0) {
+      const std::int64_t e = s_.extents()[static_cast<std::size_t>(n.loop)];
+      os_ << ind(depth) << "for (i" << n.loop << " = 0; i" << n.loop << " < "
+          << e << "; ++i" << n.loop << ") {\n";
+      next = depth + 1;
+    }
+    for (const int c : n.children) emit_node(c, next);
+    if (n.loop >= 0) {
+      os_ << ind(depth) << "}\n";
+      os_ << ind(depth) << "i" << n.loop << " = 0;\n";
+    }
+  }
+
+  void emit_stmt(const Statement& stmt, int depth) {
+    switch (stmt.kind) {
+      case StmtKind::Load:
+        emit_load(stmt, depth);
+        break;
+      case StmtKind::Compute:
+        emit_compute(stmt, depth);
+        break;
+      case StmtKind::Store:
+        emit_store(stmt, depth);
+        break;
+    }
+  }
+
+  /// Tile copy between global memory and the arena, fringe handling
+  /// included.  When the tile divides the dimension exactly the fringe
+  /// vanishes at emit time and the copy is a straight full-tile loop.
+  void emit_load(const Statement& stmt, int depth) {
+    const int t = stmt.tensor;
+    const auto& info = chain_.tensor(t);
+    const int lr = info.loops[0];
+    const int lc = info.loops[1];
+    const std::int64_t tr = s_.tiles()[static_cast<std::size_t>(lr)];
+    const std::int64_t tc = s_.tiles()[static_cast<std::size_t>(lc)];
+    const std::int64_t rows = chain_.loop_dim(lr);
+    const std::int64_t cols = chain_.loop_dim(lc);
+    const std::string in = ind(depth);
+    const std::vector<int> none;
+
+    os_ << in << "{ // load " << info.name << "\n";
+    os_ << in << "  float* __restrict dst = arena + " << buf_expr(t, none)
+        << ";\n";
+    if (t == 0) {
+      os_ << in << "  const float* __restrict src = ga + b*"
+          << rows * cols << ";\n";
+    } else {
+      MCF_CHECK(info.kind == TensorKind::Weight) << "load of non-input tensor";
+      os_ << in << "  const float* __restrict src = gw[" << info.consumer_op
+          << "] + b*" << rows * cols << ";\n";
+    }
+    os_ << in << "  const i64 r0 = i" << lr << "*" << tr << ", c0 = i" << lc
+        << "*" << tc << ";\n";
+    const bool exact = rows % tr == 0 && cols % tc == 0;
+    if (exact) {
+      os_ << in << "  for (i64 r = 0; r < " << tr << "; ++r) {\n";
+      os_ << in << "    memcpy(dst + r*" << tc << ", src + (r0 + r)*" << cols
+          << " + c0, " << tc << "*sizeof(float));\n";
+      os_ << in << "  }\n";
+    } else {
+      os_ << in << "  const i64 fr = " << rows << " - r0 < " << tr << " ? "
+          << rows << " - r0 : " << tr << ";\n";
+      os_ << in << "  const i64 fc = " << cols << " - c0 < " << tc << " ? "
+          << cols << " - c0 : " << tc << ";\n";
+      os_ << in << "  for (i64 r = 0; r < fr; ++r) {\n";
+      os_ << in << "    const float* __restrict sp = src + (r0 + r)*" << cols
+          << " + c0;\n";
+      os_ << in << "    float* __restrict dp = dst + r*" << tc << ";\n";
+      os_ << in << "    for (i64 c = 0; c < fc; ++c) dp[c] = sp[c];\n";
+      os_ << in << "    for (i64 c = fc; c < " << tc << "; ++c) dp[c] = 0.0f;\n";
+      os_ << in << "  }\n";
+      os_ << in << "  for (i64 r = fr; r < " << tr << "; ++r) {\n";
+      os_ << in << "    float* __restrict dp = dst + r*" << tc << ";\n";
+      os_ << in << "    for (i64 c = 0; c < " << tc << "; ++c) dp[c] = 0.0f;\n";
+      os_ << in << "  }\n";
+    }
+    os_ << in << "}\n";
+  }
+
+  void emit_compute(const Statement& stmt, int depth) {
+    const int op = stmt.op;
+    const int t_in = chain_.op_input_tensor(op);
+    const int t_w = chain_.op_weight_tensor(op);
+    const int t_out = chain_.op_output_tensor(op);
+    const int red = chain_.reduction_loop(op);
+    const int col = chain_.out_col_loop(op);
+    const std::int64_t tm = s_.tiles()[0];
+    const std::int64_t trd = s_.tiles()[static_cast<std::size_t>(red)];
+    const std::int64_t tcl = s_.tiles()[static_cast<std::size_t>(col)];
+    const std::int64_t red_ext = s_.extents()[static_cast<std::size_t>(red)];
+    const std::string in = ind(depth);
+    const std::vector<int> none;
+
+    os_ << in << "{ // compute op " << op << "\n";
+    os_ << in << "  float* __restrict o = arena + " << buf_expr(t_out, none)
+        << ";\n";
+    os_ << in << "  const float* __restrict x = arena + " << buf_expr(t_in, none)
+        << ";\n";
+    os_ << in << "  const float* __restrict w = arena + " << buf_expr(t_w, none)
+        << ";\n";
+    // Fresh accumulation tile: zero when the reduction restarts.
+    os_ << in << "  if (i" << red << " == 0) { for (i64 z = 0; z < "
+        << tm * tcl << "; ++z) o[z] = 0.0f; }\n";
+    // Register-blocked micro-kernel: 4x64 accumulator blocks live in
+    // vector registers across the whole reduction, so each output element
+    // is loaded/stored once per tile instead of once per reduction step,
+    // and each weight-row load feeds four FMAs.  Every bound is a
+    // literal, so the compiler fully unrolls the blocks — this plus
+    // `-march=native` is where the JIT buys its edge over the
+    // generically-built interpreter.
+    emit_compute_chunks(tm, tcl, trd, depth + 1);
+    // Producer-completion hook: epilogue when the reduction finishes.
+    if (chain_.epilogue(op) != Epilogue::None) {
+      os_ << in << "  if (i" << red << " == " << red_ext - 1 << ") {\n";
+      emit_epilogue(op, tm, tcl, col, depth + 2);
+      os_ << in << "  }\n";
+    }
+    os_ << in << "}\n";
+  }
+
+  /// One RBxCB register block: RB accumulator rows of CB columns live in
+  /// vector registers across the whole reduction (every bound is a
+  /// literal, so the compiler fully unrolls the column loops and promotes
+  /// acc<j> out of memory).  `row` / `col` are the emitted base-index
+  /// expressions (loop variables or literals).
+  void emit_compute_block(const std::string& row, std::int64_t rb,
+                          const std::string& col, std::int64_t cb,
+                          std::int64_t trd, int depth) {
+    const std::string in = ind(depth);
+    os_ << in << "{\n";
+    for (std::int64_t j = 0; j < rb; ++j) {
+      os_ << in << "  float acc" << j << "[" << cb << "];\n";
+      os_ << in << "  for (i64 c = 0; c < " << cb << "; ++c) acc" << j
+          << "[c] = o[(" << row << " + " << j << ")*" << tcl_ << " + " << col
+          << " + c];\n";
+    }
+    os_ << in << "  for (i64 r = 0; r < " << trd << "; ++r) {\n";
+    os_ << in << "    const float* __restrict wr = w + r*" << tcl_ << " + "
+        << col << ";\n";
+    for (std::int64_t j = 0; j < rb; ++j) {
+      os_ << in << "    const float xv" << j << " = x[(" << row << " + " << j
+          << ")*" << trd_ << " + r];\n";
+      os_ << in << "    #pragma omp simd\n";
+      os_ << in << "    for (i64 c = 0; c < " << cb << "; ++c) acc" << j
+          << "[c] += xv" << j << " * wr[c];\n";
+    }
+    os_ << in << "  }\n";
+    for (std::int64_t j = 0; j < rb; ++j) {
+      os_ << in << "  for (i64 c = 0; c < " << cb << "; ++c) o[(" << row
+          << " + " << j << ")*" << tcl_ << " + " << col << " + c] = acc" << j
+          << "[c];\n";
+    }
+    os_ << in << "}\n";
+  }
+
+  /// Column sweep for a fixed row block: 64-wide main chunks plus one
+  /// literal-width remainder.
+  void emit_compute_cols(const std::string& row, std::int64_t rb,
+                         std::int64_t tcl, std::int64_t trd, int depth) {
+    constexpr std::int64_t kCB = 64;
+    const std::string in = ind(depth);
+    const std::int64_t main_end = tcl - tcl % kCB;
+    if (main_end == kCB) {
+      emit_compute_block(row, rb, "0", kCB, trd, depth);
+    } else if (main_end > 0) {
+      os_ << in << "for (i64 cc = 0; cc < " << main_end << "; cc += " << kCB
+          << ") {\n";
+      emit_compute_block(row, rb, "cc", kCB, trd, depth + 1);
+      os_ << in << "}\n";
+    }
+    if (tcl % kCB != 0) {
+      emit_compute_block(row, rb, std::to_string(main_end), tcl % kCB, trd,
+                         depth);
+    }
+  }
+
+  /// The register-blocked GEMM-accumulate: 4-row main blocks, then a
+  /// literal remainder block.  Each output element still accumulates its
+  /// reduction terms in ascending r order, so the arithmetic matches the
+  /// interpreter to float round-off (FMA contraction aside).
+  void emit_compute_chunks(std::int64_t tm, std::int64_t tcl, std::int64_t trd,
+                           int depth) {
+    tcl_ = tcl;
+    trd_ = trd;
+    constexpr std::int64_t kRB = 4;
+    const std::string in = ind(depth);
+    const std::int64_t main_rows = tm - tm % kRB;
+    if (main_rows == kRB) {
+      emit_compute_cols("0", kRB, tcl, trd, depth);
+    } else if (main_rows > 0) {
+      os_ << in << "for (i64 i = 0; i < " << main_rows << "; i += " << kRB
+          << ") {\n";
+      emit_compute_cols("i", kRB, tcl, trd, depth + 1);
+      os_ << in << "}\n";
+    }
+    if (tm % kRB != 0) {
+      emit_compute_cols(std::to_string(main_rows), tm % kRB, tcl, trd, depth);
+    }
+  }
+
+  /// Emitted inside the compute scope: `o` is the op's accumulator tile.
+  void emit_epilogue(int op, std::int64_t tm, std::int64_t tcl, int col,
+                     int depth) {
+    const std::string in = ind(depth);
+    const Epilogue epi = chain_.epilogue(op);
+    if (epi == Epilogue::Relu) {
+      os_ << in << "for (i64 z = 0; z < " << tm * tcl
+          << "; ++z) o[z] = o[z] > 0.0f ? o[z] : 0.0f;\n";
+      return;
+    }
+    if (epi == Epilogue::Gelu) {
+      // tanh(t) = 1 - 2/(e^(2t) + 1): inlines through mcf_expf so the
+      // loop vectorises (a libm tanhf call would block it).
+      os_ << in << "#pragma omp simd\n";
+      os_ << in << "for (i64 z = 0; z < " << tm * tcl << "; ++z) {\n";
+      os_ << in << "  const float v = o[z];\n";
+      os_ << in << "  const float t = " << flit(static_cast<float>(kSqrt2OverPi))
+          << " * (v + " << flit(0.044715f) << " * v * v * v);\n";
+      os_ << in << "  const float th = 1.0f - 2.0f / (mcf_expf(2.0f*t) + 1.0f);\n";
+      os_ << in << "  o[z] = 0.5f * v * (1.0f + th);\n";
+      os_ << in << "}\n";
+      return;
+    }
+    // Online softmax over the streamed `col` dimension, with the
+    // consumer-accumulator rescale (exec/interpreter.cpp apply_epilogue).
+    MCF_CHECK(epi == Epilogue::OnlineSoftmax) << "unknown epilogue";
+    MCF_CHECK(op + 1 < chain_.num_ops())
+        << "online softmax requires a consumer operator";
+    const std::int64_t soff = stat_offset_[static_cast<std::size_t>(op)];
+    const std::int64_t valid_cols = chain_.loop_dim(col);
+    const int t_cons = chain_.op_output_tensor(op + 1);
+    const std::int64_t cons_floats =
+        buf_offset_[static_cast<std::size_t>(t_cons) + 1] -
+        buf_offset_[static_cast<std::size_t>(t_cons)];
+    const std::int64_t cons_cols =
+        s_.tiles()[static_cast<std::size_t>(chain_.out_col_loop(op + 1))];
+    const std::int64_t cons_rows_total = cons_floats / cons_cols;
+
+    os_ << in << "const i64 c0 = i" << col << "*" << tcl << ";\n";
+    os_ << in << "float* __restrict rmax = stats + " << soff << ";\n";
+    os_ << in << "float* __restrict rsum = stats + " << soff + tm << ";\n";
+    os_ << in << "float* __restrict cons = arena + "
+        << buf_offset_[static_cast<std::size_t>(t_cons)] << ";\n";
+    os_ << in << "for (i64 i = 0; i < " << tm << "; ++i) {\n";
+    os_ << in << "  float* __restrict row = o + i*" << tcl << ";\n";
+    os_ << in << "  #pragma omp simd\n";
+    os_ << in << "  for (i64 c = 0; c < " << tcl << "; ++c) {\n";
+    os_ << in << "    if (c0 + c >= " << valid_cols
+        << ") row[c] = -INFINITY; else row[c] *= "
+        << flit(chain_.softmax_scale()) << ";\n";
+    os_ << in << "  }\n";
+    os_ << in << "  float tmax = -INFINITY;\n";
+    os_ << in << "  #pragma omp simd reduction(max:tmax)\n";
+    os_ << in << "  for (i64 c = 0; c < " << tcl
+        << "; ++c) tmax = row[c] > tmax ? row[c] : tmax;\n";
+    os_ << in << "  const float nmax = rmax[i] > tmax ? rmax[i] : tmax;\n";
+    os_ << in << "  float sum = 0.0f;\n";
+    os_ << in << "  #pragma omp simd reduction(+:sum)\n";
+    os_ << in << "  for (i64 c = 0; c < " << tcl << "; ++c) {\n";
+    os_ << in << "    const float e = row[c] == -INFINITY ? 0.0f : "
+        << "mcf_expf(row[c] - nmax);\n";
+    os_ << in << "    row[c] = e; sum += e;\n";
+    os_ << in << "  }\n";
+    os_ << in << "  const float corr = rmax[i] == -INFINITY ? 0.0f : "
+        << "mcf_expf(rmax[i] - nmax);\n";
+    os_ << in << "  rsum[i] = rsum[i]*corr + sum;\n";
+    os_ << in << "  rmax[i] = nmax;\n";
+    os_ << in << "  for (i64 tr = i; tr < " << cons_rows_total << "; tr += "
+        << tm << ") {\n";
+    os_ << in << "    float* __restrict cr = cons + tr*" << cons_cols << ";\n";
+    os_ << in << "    #pragma omp simd\n";
+    os_ << in << "    for (i64 c = 0; c < " << cons_cols
+        << "; ++c) cr[c] *= corr;\n";
+    os_ << in << "  }\n";
+    os_ << in << "}\n";
+  }
+
+  void emit_store(const Statement& stmt, int depth) {
+    const int t = stmt.tensor;
+    const auto& info = chain_.tensor(t);
+    MCF_CHECK(info.kind == TensorKind::Output) << "store of non-output tensor";
+    const int lr = info.loops[0];
+    const int lc = info.loops[1];
+    const std::int64_t tr = s_.tiles()[static_cast<std::size_t>(lr)];
+    const std::int64_t tc = s_.tiles()[static_cast<std::size_t>(lc)];
+    const std::int64_t rows = chain_.loop_dim(lr);
+    const std::int64_t cols = chain_.loop_dim(lc);
+    // Deferred softmax normalisation (the FlashAttention final divide).
+    const int producer = info.producer_op;
+    const bool normalize =
+        producer > 0 && chain_.epilogue(producer - 1) == Epilogue::OnlineSoftmax;
+    const std::string in = ind(depth);
+    const std::vector<int> covered(stmt.covered_loops.begin(),
+                                   stmt.covered_loops.end());
+
+    os_ << in << "{ // store " << info.name << "\n";
+    if (normalize) {
+      const std::int64_t soff =
+          stat_offset_[static_cast<std::size_t>(producer - 1)] + s_.tiles()[0];
+      os_ << in << "  const float* __restrict rsum = stats + " << soff << ";\n";
+    }
+    // Hoisted stores write every resident tile: one emitted loop per
+    // covered loop, shadow indices q<l>.
+    int extra = 0;
+    for (const int l : covered) {
+      const std::int64_t e = s_.extents()[static_cast<std::size_t>(l)];
+      os_ << ind(depth + 1 + extra) << "for (i64 q" << l << " = 0; q" << l
+          << " < " << e << "; ++q" << l << ") {\n";
+      ++extra;
+    }
+    const std::string bn = ind(depth + 1 + extra);
+    os_ << bn << "const float* __restrict src = arena + "
+        << buf_expr(t, covered) << ";\n";
+    os_ << bn << "const i64 r0 = " << idx_var(lr, covered) << "*" << tr
+        << ", c0 = " << idx_var(lc, covered) << "*" << tc << ";\n";
+    const bool exact = rows % tr == 0 && cols % tc == 0;
+    if (!exact) {
+      os_ << bn << "const i64 fr = " << rows << " - r0 < " << tr << " ? "
+          << rows << " - r0 : " << tr << ";\n";
+      os_ << bn << "const i64 fc = " << cols << " - c0 < " << tc << " ? "
+          << cols << " - c0 : " << tc << ";\n";
+    }
+    const std::string fr = exact ? std::to_string(tr) : "fr";
+    const std::string fc = exact ? std::to_string(tc) : "fc";
+    os_ << bn << "for (i64 r = 0; r < " << fr << "; ++r) {\n";
+    os_ << bn << "  const float* __restrict sp = src + r*" << tc << ";\n";
+    os_ << bn << "  float* __restrict dp = gout + b*" << rows * cols
+        << " + (r0 + r)*" << cols << " + c0;\n";
+    if (normalize) {
+      os_ << bn << "  const float inv = 1.0f / (rsum[r] < 1e-30f ? 1e-30f : "
+          << "rsum[r]);\n";
+      os_ << bn << "  for (i64 c = 0; c < " << fc
+          << "; ++c) dp[c] = sp[c] * inv;\n";
+    } else if (exact) {
+      os_ << bn << "  memcpy(dp, sp, " << tc << "*sizeof(float));\n";
+    } else {
+      os_ << bn << "  for (i64 c = 0; c < " << fc << "; ++c) dp[c] = sp[c];\n";
+    }
+    os_ << bn << "}\n";
+    for (int j = extra - 1; j >= 0; --j) os_ << ind(depth + 1 + j) << "}\n";
+    os_ << in << "}\n";
+  }
+
+  const Schedule& s_;
+  const ChainSpec& chain_;
+  std::string symbol_;
+  std::vector<std::int64_t> buf_offset_;
+  std::vector<std::int64_t> stat_offset_;
+  std::int64_t stat_floats_ = 0;
+  std::int64_t tcl_ = 0;  ///< current compute's out-col tile (block emitter)
+  std::int64_t trd_ = 0;  ///< current compute's reduction tile (block emitter)
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string cpp_kernel_prelude() {
+  return
+      "// generated by mcfuser exec/codegen (C++ lowering)\n"
+      "#include <math.h>\n"
+      "#include <string.h>\n"
+      "typedef long long i64;\n"
+      "\n"
+      "// Inline polynomial expf (Cephes-style: 2^n * p(r) on a reduced\n"
+      "// argument), accurate to ~1e-7 relative — far inside the jit-vs-\n"
+      "// interpreter tolerance.  Unlike a libm call it inlines into the\n"
+      "// online-softmax loops, so they vectorise like the rest of the\n"
+      "// kernel (the hardware analogue is the GPU's __expf SFU path).\n"
+      "static inline float mcf_expf(float x) {\n"
+      "  x = x < -87.0f ? -87.0f : (x > 88.0f ? 88.0f : x);\n"
+      "  const float z = x * 1.442695040888963407f;  // x / ln 2\n"
+      "  const float n = floorf(z + 0.5f);\n"
+      "  float r = x - n * 0.693359375f;             // ln2 hi\n"
+      "  r -= n * -2.12194440e-4f;                   // ln2 lo\n"
+      "  float p = 1.9875691500e-4f;\n"
+      "  p = p * r + 1.3981999507e-3f;\n"
+      "  p = p * r + 8.3334519073e-3f;\n"
+      "  p = p * r + 4.1665795894e-2f;\n"
+      "  p = p * r + 1.6666665459e-1f;\n"
+      "  p = p * r + 5.0000001201e-1f;\n"
+      "  p = p * r * r + r + 1.0f;\n"
+      "  const int bits = ((int)n + 127) << 23;      // 2^n\n"
+      "  float sf;\n"
+      "  memcpy(&sf, &bits, sizeof(sf));\n"
+      "  return p * sf;\n"
+      "}\n\n";
+}
+
+std::int64_t cpp_kernel_scratch_floats(const Schedule& s) {
+  const ChainSpec& chain = s.chain();
+  std::int64_t arena = 0;
+  for (int t = 0; t < chain.num_tensors(); ++t) {
+    arena += s.tile_elems(t) * s.resident_tiles()[static_cast<std::size_t>(t)];
+  }
+  std::int64_t stats = 0;
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    if (chain.epilogue(op) == Epilogue::OnlineSoftmax) stats += 2 * s.tiles()[0];
+  }
+  return arena + stats;
+}
+
+CppKernelSource emit_cpp_kernel(const Schedule& s, const std::string& symbol) {
+  MCF_CHECK(s.valid()) << "cannot lower an invalid schedule";
+  MCF_CHECK(s.consume_complete())
+      << "schedule reads partial tiles (Rule-2 violation); refusing to lower";
+  CppKernelSource out;
+  out.symbol = symbol;
+  out.code = CppEmitter(s, symbol).emit();
+  return out;
 }
 
 }  // namespace mcf

@@ -1,12 +1,27 @@
-// Pseudo-kernel source emitter.
+// Kernel source emitters.
 //
-// MCFuser emits Triton IR and PTX; this repo emits a readable Triton-like
-// rendering of the scheduled kernel for documentation, examples and
-// debugging.  The text is deterministic, so tests can assert structural
-// properties of the generated code (hoisted loads, store positions,
-// double-buffered tiles).
+// MCFuser lowers schedules to Triton IR and PTX (§V); this repo provides
+// two renderings of a scheduled kernel:
+//
+//   * emit_kernel_source  — a readable Triton-like pretty-print for
+//     documentation, examples and debugging.  Deterministic, so tests can
+//     assert structural properties (hoisted loads, store positions).
+//   * emit_cpp_kernel     — a REAL C++ lowering: a tile-size-specialized,
+//     `__restrict`/SIMD-annotated kernel function with every tile extent,
+//     buffer offset and loop bound baked in as a compile-time constant, so
+//     the host compiler fully unrolls and vectorises the micro-kernel.
+//     exec/jit compiles these into shared objects and runs them — the
+//     CPU-host analogue of the paper's Triton -> PTX path.
+//
+// The C++ lowering mirrors exec/interpreter statement for statement
+// (loads stage tiles through a scratch arena with zero-filled fringes,
+// computes are tile GEMM-accumulates, online-softmax epilogues keep
+// running row stats and rescale the consumer accumulator, stores defer
+// the softmax normalisation), so jit and interp results agree to float
+// round-off — tests/exec/test_jit.cpp pins the tolerance.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "dag/schedule.hpp"
@@ -18,5 +33,35 @@ namespace mcf {
 /// Renders the schedule as a Triton-style kernel function.
 [[nodiscard]] std::string emit_kernel_source(const Schedule& s,
                                              const GpuSpec& gpu);
+
+/// One lowered C++ kernel: the `extern "C"` function definition plus the
+/// symbol it exports.  The function signature is fixed:
+///
+///   void <symbol>(const float* a, const float* const* weights,
+///                 float* out, float* scratch,
+///                 long long block_begin, long long block_end);
+///
+/// It executes thread blocks [block_begin, block_end) of the fused kernel
+/// using `scratch` (>= cpp_kernel_scratch_floats(s) floats, per-thread)
+/// as the shared-memory arena + softmax-stats area.  Blocks write
+/// disjoint output tiles, so disjoint block ranges may run concurrently
+/// over distinct scratch buffers.
+struct CppKernelSource {
+  std::string symbol;
+  std::string code;
+};
+
+/// Lowers a valid, consume-complete schedule into specialized C++.
+[[nodiscard]] CppKernelSource emit_cpp_kernel(const Schedule& s,
+                                              const std::string& symbol);
+
+/// Translation-unit header shared by every emitted kernel (includes and
+/// typedefs); a TU is prelude + N emit_cpp_kernel bodies.
+[[nodiscard]] std::string cpp_kernel_prelude();
+
+/// Scratch floats one kernel invocation needs: the tile arena (all
+/// tensors at schedule-fixed offsets) plus the online-softmax row stats.
+/// Matches the arena layout the emitted code indexes into.
+[[nodiscard]] std::int64_t cpp_kernel_scratch_floats(const Schedule& s);
 
 }  // namespace mcf

@@ -1,0 +1,506 @@
+#include "exec/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/codegen.hpp"
+#include "measure/backend.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mcf {
+namespace jit {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Bump when the emitted code or ABI changes: stale on-disk kernels from
+/// an older emitter must miss, not resolve.
+constexpr std::uint64_t kEmitterVersion = 4;
+
+/// Kernels are always compiled at full optimisation for the build
+/// machine's vector ISA — the point of the JIT is that the micro-kernel
+/// runs -O3 -march=native even when the library itself is built generic.
+/// -fno-math-errno / -fno-trapping-math drop the libm side-effect
+/// assumptions that block vectorisation of floorf in the softmax exp
+/// (results are unchanged: the kernels never read errno or FP traps);
+/// full -ffast-math stays OFF — the online softmax relies on -inf
+/// sentinel semantics.
+constexpr const char* kCompileFlags =
+    "-std=c++17 -O3 -march=native -fopenmp-simd -fno-math-errno "
+    "-fno-trapping-math -fPIC -shared";
+
+[[nodiscard]] std::string find_on_path(const std::string& name) {
+  if (name.find('/') != std::string::npos) {
+    return ::access(name.c_str(), X_OK) == 0 ? name : std::string();
+  }
+  const char* path = std::getenv("PATH");
+  if (path == nullptr) return {};
+  std::istringstream is(path);
+  std::string dir;
+  while (std::getline(is, dir, ':')) {
+    if (dir.empty()) continue;
+    const std::string full = dir + "/" + name;
+    if (::access(full.c_str(), X_OK) == 0) return full;
+  }
+  return {};
+}
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+/// Process-wide kernel registry: resolved entry points, dlopen handles
+/// (never closed — function pointers must outlive everything), negative
+/// results, and the compile counters.
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, KernelFn> fns;
+  std::unordered_map<std::uint64_t, std::string> failed;  ///< key -> reason
+  std::unordered_map<std::string, void*> handles;         ///< so path -> handle
+  CompileStats stats;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+/// One emitted kernel plus its cache identity.  The key folds the
+/// structure digest (chain shape key, statement tree, tiles), the gpu
+/// key, the compile flags, the emitter version AND a hash of the full
+/// emitted source (prelude included) — so an emitter change can never
+/// serve stale native code from the persistent cache, version bump or
+/// not.  Emission costs microseconds; resolving is dominated by either
+/// the compile (cold) or the kernel run (warm), so hashing the source
+/// on every key derivation is free in context.
+struct EmittedKernel {
+  std::uint64_t key = 0;
+  std::string symbol;
+  std::string code;
+};
+
+/// Identity of the machine the kernels are compiled FOR: -march=native
+/// objects are only valid on a CPU with the same ISA extensions, and the
+/// cache directory can be shared across machines (network homes, CI
+/// cache restores onto heterogeneous runners).  Model name + feature
+/// flags is a conservative over-approximation of the ISA; non-Linux
+/// hosts fall back to an empty fingerprint (same-machine caching only).
+[[nodiscard]] const std::string& host_cpu_fingerprint() {
+  static const std::string fp = [] {
+    std::string model;
+    std::string flags;
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (model.empty() && line.rfind("model name", 0) == 0) model = line;
+      if (flags.empty() && line.rfind("flags", 0) == 0) flags = line;
+      if (!model.empty() && !flags.empty()) break;
+    }
+    return model + "|" + flags;
+  }();
+  return fp;
+}
+
+[[nodiscard]] EmittedKernel emit_keyed(const Schedule& s,
+                                       const std::string& gpu_key) {
+  std::uint64_t h = schedule_structure_digest(s);
+  h = hash_combine(h, hash_string(gpu_key));
+  h = hash_combine(h, hash_string(kCompileFlags));
+  h = hash_combine(h, hash_string(host_cpu_fingerprint()));
+  h = hash_combine(h, kEmitterVersion);
+  // The symbol must not depend on the source (the source contains it);
+  // derive it from the pre-source key, then finish the key.
+  EmittedKernel out;
+  out.symbol = "mcf_k" + hex64(h);
+  out.code = emit_cpp_kernel(s, out.symbol).code;
+  h = hash_combine(h, hash_string(cpp_kernel_prelude()));
+  out.key = hash_combine(h, hash_string(out.code));
+  return out;
+}
+
+/// POSIX-shell single quoting for paths embedded in the popen command
+/// (an apostrophe in $HOME or MCFUSER_JIT_CXX must stay data).
+[[nodiscard]] std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') out += "'\\''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+/// dlopen (memoized per path, caller holds the registry lock) + dlsym.
+[[nodiscard]] KernelFn load_symbol_locked(Registry& reg,
+                                          const std::string& so_path,
+                                          const std::string& symbol,
+                                          std::string* error) {
+  void*& handle = reg.handles[so_path];
+  if (handle == nullptr) {
+    handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+      if (error != nullptr) {
+        const char* why = ::dlerror();
+        *error = "dlopen failed: " + std::string(why != nullptr ? why : "?");
+      }
+      reg.handles.erase(so_path);
+      return nullptr;
+    }
+  }
+  void* sym = ::dlsym(handle, symbol.c_str());
+  if (sym == nullptr && error != nullptr) {
+    *error = "symbol " + symbol + " missing from " + so_path;
+  }
+  return reinterpret_cast<KernelFn>(sym);
+}
+
+/// One compiler invocation over `pending` (caller holds the compile
+/// mutex).  On success publishes entry points + per-kernel idx files
+/// and returns empty; on failure returns the diagnostic WITHOUT
+/// touching the negative cache — the caller decides (a multi-kernel
+/// batch retries kernels individually first, so one broken kernel
+/// cannot poison its wave-mates).  All intermediate files carry a
+/// per-invocation unique suffix and are renamed into place, so
+/// concurrent PROCESSES sharing the cache directory never observe each
+/// other's partial writes.
+[[nodiscard]] std::string compile_tu_locked(
+    const std::vector<EmittedKernel>& pending, const Toolchain& tc) {
+  Registry& reg = Registry::instance();
+  std::string source = cpp_kernel_prelude();
+  std::uint64_t tu_hash = kEmitterVersion;
+  for (const EmittedKernel& p : pending) {
+    source += p.code;
+    source += "\n";
+    tu_hash = hash_combine(tu_hash, p.key);
+  }
+
+  std::error_code ec;
+  const fs::path dir = cache_dir();
+  fs::create_directories(dir, ec);
+  static std::atomic<std::uint64_t> invocation{0};
+  const std::string unique = std::to_string(::getpid()) + "." +
+                             std::to_string(invocation.fetch_add(1));
+  const std::string tu_name = "tu_" + hex64(tu_hash);
+  const fs::path cpp_path = dir / (tu_name + ".cpp");
+  // The temporary source must keep the .cpp extension — the compiler
+  // picks the input language from it.
+  const fs::path cpp_tmp = dir / (tu_name + ".tmp." + unique + ".cpp");
+  const fs::path so_path = dir / (tu_name + ".so");
+  const fs::path so_tmp = dir / (tu_name + ".so.tmp." + unique);
+
+  std::string fail;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::ofstream out(cpp_tmp);
+    out << source;
+    if (!out) fail = "cannot write " + cpp_tmp.string();
+  }
+  if (fail.empty()) {
+    const std::string cmd = shell_quote(tc.cxx) + " " + kCompileFlags +
+                            " -o " + shell_quote(so_tmp.string()) + " " +
+                            shell_quote(cpp_tmp.string()) + " 2>&1";
+    std::string output;
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+      fail = "cannot invoke compiler: " + tc.cxx;
+    } else {
+      char buf[512];
+      while (std::fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
+      const int rc = ::pclose(pipe);
+      if (rc != 0) {
+        fail = "compile failed (" + tc.cxx + "): " +
+               output.substr(0, std::min<std::size_t>(output.size(), 2000));
+      }
+    }
+  }
+  if (fail.empty()) {
+    fs::rename(so_tmp, so_path, ec);
+    if (ec) fail = "cannot publish " + so_path.string() + ": " + ec.message();
+  }
+  // The source is kept (renamed into place) for debuggability; losing a
+  // rename race to a concurrent process is harmless — contents match.
+  fs::rename(cpp_tmp, cpp_path, ec);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.stats.compile_wall_s += wall;
+  if (!fail.empty()) {
+    fs::remove(so_tmp, ec);
+    return fail;
+  }
+  reg.stats.tus_compiled += 1;
+  for (const EmittedKernel& p : pending) {
+    std::string err;
+    KernelFn fn = load_symbol_locked(reg, so_path.string(), p.symbol, &err);
+    if (fn == nullptr) {
+      reg.stats.failures += 1;
+      reg.failed.emplace(p.key, err);
+      continue;
+    }
+    reg.stats.kernels_compiled += 1;
+    reg.fns.emplace(p.key, fn);
+    // Per-kernel index entry: key -> (shared object, symbol), so any
+    // later process resolves this kernel without recompiling.  Written
+    // via tmp+rename for the same cross-process atomicity.
+    const fs::path idx_path = dir / (hex64(p.key) + ".idx");
+    const fs::path idx_tmp = dir / (hex64(p.key) + ".idx.tmp." + unique);
+    {
+      std::ofstream idx(idx_tmp);
+      idx << tu_name << ".so " << p.symbol << "\n";
+    }
+    fs::rename(idx_tmp, idx_path, ec);
+  }
+  return {};
+}
+
+/// Compiles all pending kernels in ONE translation unit / compiler
+/// invocation.  When a multi-kernel TU fails, its members recompile
+/// individually so only genuinely broken kernels get negative-cached —
+/// valid wave-mates must not silently degrade to the interpreter.
+///
+/// Concurrency: a process-wide mutex serializes compilation (two
+/// threads racing to compile the same key would otherwise clobber the
+/// shared TU paths and negative-cache a corrupted compile), and after
+/// taking it every already-resolved kernel is dropped from the batch.
+void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
+  static std::mutex compile_mu;
+  const std::lock_guard<std::mutex> compile_lock(compile_mu);
+  Registry& reg = Registry::instance();
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    std::erase_if(pending, [&](const EmittedKernel& p) {
+      return reg.fns.count(p.key) != 0 || reg.failed.count(p.key) != 0;
+    });
+  }
+  if (pending.empty()) return;
+
+  std::string fail = compile_tu_locked(pending, tc);
+  if (fail.empty()) return;
+  if (pending.size() > 1) {
+    // Isolate the offender: one TU per kernel.
+    for (const EmittedKernel& p : pending) {
+      fail = compile_tu_locked({p}, tc);
+      if (!fail.empty()) {
+        const std::lock_guard<std::mutex> lock(reg.mu);
+        reg.stats.failures += 1;
+        reg.failed.emplace(p.key, fail);
+      }
+    }
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.stats.failures += 1;
+  reg.failed.emplace(pending.front().key, std::move(fail));
+}
+
+/// In-memory or on-disk hit; nullptr on miss.  `miss_reason` (nullable)
+/// receives a previously recorded compile failure.  `count_hits` is
+/// false on the lookup right after a fresh compile — resolving the
+/// kernel one just built is not a cache hit.
+[[nodiscard]] KernelFn try_cached(std::uint64_t key, std::string* miss_reason,
+                                  bool count_hits = true) {
+  Registry& reg = Registry::instance();
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    if (const auto it = reg.fns.find(key); it != reg.fns.end()) {
+      if (count_hits) ++reg.stats.mem_hits;
+      return it->second;
+    }
+    if (const auto it = reg.failed.find(key); it != reg.failed.end()) {
+      if (miss_reason != nullptr) *miss_reason = it->second;
+      return nullptr;
+    }
+  }
+  // Disk probe outside the lock (filesystem I/O).
+  const fs::path dir = cache_dir();
+  std::ifstream idx(dir / (hex64(key) + ".idx"));
+  std::string so_name;
+  std::string symbol;
+  if (!(idx >> so_name >> symbol)) return nullptr;
+  const fs::path so_path = dir / so_name;
+  std::error_code ec;
+  if (!fs::exists(so_path, ec)) return nullptr;
+
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  if (const auto it = reg.fns.find(key); it != reg.fns.end()) {
+    ++reg.stats.mem_hits;
+    return it->second;
+  }
+  std::string err;
+  KernelFn fn = load_symbol_locked(reg, so_path.string(), symbol, &err);
+  if (fn == nullptr) return nullptr;  // stale entry: fall through to compile
+  ++reg.stats.disk_hits;
+  reg.fns.emplace(key, fn);
+  return fn;
+}
+
+}  // namespace
+
+Toolchain detect_toolchain() {
+#ifdef MCF_SANITIZE_BUILD
+  return Toolchain{
+      "", "sanitizer build: uninstrumented jit objects would evade the "
+          "ASan/UBSan gate"};
+#else
+  if (const char* env = std::getenv("MCFUSER_JIT_CXX")) {
+    const std::string resolved = find_on_path(env);
+    if (!resolved.empty()) return Toolchain{resolved, ""};
+    return Toolchain{"", "MCFUSER_JIT_CXX ('" + std::string(env) +
+                             "') is not an executable compiler"};
+  }
+#ifdef MCF_JIT_CXX
+  if (::access(MCF_JIT_CXX, X_OK) == 0) return Toolchain{MCF_JIT_CXX, ""};
+#endif
+  const std::string fallback = find_on_path("c++");
+  if (!fallback.empty()) return Toolchain{fallback, ""};
+  return Toolchain{"",
+                   "no host C++ compiler found (set MCFUSER_JIT_CXX or "
+                   "install one on PATH)"};
+#endif
+}
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("MCFUSER_JIT_CACHE_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && *xdg != '\0') {
+    return std::string(xdg) + "/mcfuser/jit";
+  }
+  if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0') {
+    return std::string(home) + "/.cache/mcfuser/jit";
+  }
+  return "/tmp/mcfuser-jit-" + std::to_string(::getuid());
+}
+
+CompileStats stats_snapshot() {
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.stats;
+}
+
+KernelFn resolve_kernel(const Schedule& s, const std::string& gpu_key,
+                        const Toolchain& tc, std::string* error) {
+  if (!tc.ok()) {
+    if (error != nullptr) *error = tc.reason;
+    return nullptr;
+  }
+  EmittedKernel ek = emit_keyed(s, gpu_key);
+  std::string fail;
+  if (KernelFn fn = try_cached(ek.key, &fail)) return fn;
+  if (!fail.empty()) {
+    if (error != nullptr) *error = fail;
+    return nullptr;
+  }
+  const std::uint64_t key = ek.key;
+  compile_batch_tu({std::move(ek)}, tc);
+  if (KernelFn fn = try_cached(key, &fail, /*count_hits=*/false)) return fn;
+  if (error != nullptr) {
+    *error = fail.empty() ? "kernel did not resolve after compilation" : fail;
+  }
+  return nullptr;
+}
+
+void prepare_kernels(std::span<const Schedule* const> batch,
+                     const std::string& gpu_key, const Toolchain& tc) {
+  if (!tc.ok()) return;
+  std::vector<EmittedKernel> pending;
+  std::vector<std::uint64_t> seen;
+  for (const Schedule* s : batch) {
+    if (s == nullptr || !s->valid() || !s->consume_complete()) continue;
+    EmittedKernel ek = emit_keyed(*s, gpu_key);
+    if (std::find(seen.begin(), seen.end(), ek.key) != seen.end()) continue;
+    seen.push_back(ek.key);
+    if (try_cached(ek.key, nullptr) != nullptr) continue;
+    {
+      Registry& reg = Registry::instance();
+      const std::lock_guard<std::mutex> lock(reg.mu);
+      if (reg.failed.count(ek.key) != 0) continue;
+    }
+    pending.push_back(std::move(ek));
+  }
+  compile_batch_tu(std::move(pending), tc);
+}
+
+void run_compiled(KernelFn fn, const Schedule& s, const Tensor& a,
+                  std::span<const Tensor> weights, Tensor& out,
+                  std::vector<std::vector<float>>& scratch) {
+  MCF_CHECK(fn != nullptr) << "run_compiled needs a resolved kernel";
+  const ChainSpec& chain = s.chain();
+  MCF_CHECK(static_cast<int>(weights.size()) == chain.num_ops())
+      << "need one weight tensor per op";
+  MCF_CHECK(a.shape().rank() == 3 && out.shape().rank() == 3)
+      << "jit tensors are rank-3 (batch, rows, cols)";
+  MCF_CHECK(a.shape()[0] == chain.batch() && out.shape()[0] == chain.batch())
+      << "batch mismatch";
+  MCF_CHECK(a.shape()[1] == chain.m() && a.shape()[2] == chain.inner().front())
+      << "input shape mismatch";
+  MCF_CHECK(out.shape()[1] == chain.m() &&
+            out.shape()[2] == chain.inner().back())
+      << "output shape mismatch";
+
+  std::vector<const float*> wptrs;
+  wptrs.reserve(weights.size());
+  for (const Tensor& w : weights) wptrs.push_back(w.data().data());
+  const float* ap = a.data().data();
+  float* op = out.data().data();
+  const std::int64_t n_blocks = s.num_blocks();
+
+  // Blocks write disjoint output tiles, so they fan out across the pool;
+  // one lazily-allocated, caller-owned scratch arena per worker slot —
+  // exactly the interpreter's execution geometry, minus per-call
+  // allocation (the arenas persist across sampling repeats).
+  ThreadPool& pool = ThreadPool::global();
+  if (scratch.size() < pool.concurrency()) scratch.resize(pool.concurrency());
+  const auto need = static_cast<std::size_t>(cpp_kernel_scratch_floats(s));
+  pool.parallel_for_slots(n_blocks, [&](unsigned slot, std::int64_t blk) {
+    std::vector<float>& sc = scratch[slot];
+    if (sc.size() != need) sc.assign(need, 0.0f);
+    fn(ap, wptrs.data(), op, sc.data(), blk, blk + 1);
+  });
+}
+
+}  // namespace jit
+
+// ---- JitKernel --------------------------------------------------------------
+
+JitKernel::JitKernel(Schedule schedule, const std::string& gpu_key)
+    : s_(std::move(schedule)) {
+  if (!s_.valid()) {
+    error_ = "schedule has no legal statement placement";
+    return;
+  }
+  if (!s_.consume_complete()) {
+    error_ = "schedule consumes partial tiles (Rule-2 structure)";
+    return;
+  }
+  fn_ = jit::resolve_kernel(s_, gpu_key, jit::detect_toolchain(), &error_);
+}
+
+void JitKernel::run(const Tensor& a, std::span<const Tensor> weights,
+                    Tensor& out) const {
+  MCF_CHECK(fn_ != nullptr) << "JitKernel::run on a failed kernel: " << error_;
+  jit::run_compiled(fn_, s_, a, weights, out, scratch_);
+}
+
+}  // namespace mcf

@@ -1,0 +1,151 @@
+// JIT native-codegen execution subsystem — the repo's analogue of the
+// paper's Triton -> PTX -> runtime-module path (§V), targeting the host
+// CPU through the host C++ toolchain.
+//
+// exec/codegen lowers a Schedule into a tile-size-specialized C++ kernel
+// (constant extents, `__restrict`, SIMD pragmas); this file turns those
+// sources into runnable machine code:
+//
+//   * JitEngine (process-wide)  — batches many candidate kernels into ONE
+//     translation unit, shells out to the host compiler once per batch
+//     (`-O3 -march=native`, so the JIT'd code uses the full vector ISA
+//     even when the library itself is built generic), dlopen()s the
+//     resulting shared object and resolves per-candidate entry points.
+//   * digest-keyed on-disk cache — kernels are keyed by
+//     schedule_structure_digest (which already folds the tiles) + the gpu
+//     key + the emitted source + compile flags; a `<key>.idx` file maps
+//     the key to its shared object and symbol, so recompiles are free
+//     across tuner generations, engine calls and processes.  There is no
+//     automatic eviction: the cache is bounded by the distinct schedules
+//     a deployment tunes, and `rm -rf` of the directory is always safe.
+//   * JitKernel — per-schedule handle: compile (or cache-hit) at
+//     construction, then run() executes the fused chain natively with
+//     thread-pool block parallelism and per-slot scratch arenas,
+//     mirroring exec/interpreter's execution geometry.
+//
+// Toolchain detection: `MCFUSER_JIT_CXX` env var, else the compiler CMake
+// configured the library with (MCF_JIT_CXX), else `c++` on PATH.  When no
+// working compiler exists (or under sanitizer builds, where uninstrumented
+// JIT objects would poison the ASan/UBSan gate) everything degrades
+// gracefully: JitKernel construction fails with a reason and the "jit"
+// MeasureBackend falls back to the interpreter (measure/backend.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dag/schedule.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mcf {
+namespace jit {
+
+/// Resolved host toolchain.  ok() == false carries the reason (no
+/// compiler found, sanitizer build, ...).
+struct Toolchain {
+  std::string cxx;     ///< compiler executable; empty when unavailable
+  std::string reason;  ///< why unavailable; empty when ok
+  [[nodiscard]] bool ok() const noexcept { return !cxx.empty(); }
+};
+
+/// Re-reads the environment on every call (tests override
+/// MCFUSER_JIT_CXX / MCFUSER_JIT_CACHE_DIR per backend instance).
+[[nodiscard]] Toolchain detect_toolchain();
+
+/// Kernel-cache directory: $MCFUSER_JIT_CACHE_DIR, else
+/// $XDG_CACHE_HOME/mcfuser/jit, else $HOME/.cache/mcfuser/jit, else
+/// /tmp/mcfuser-jit-<uid>.
+[[nodiscard]] std::string cache_dir();
+
+/// Process-wide compilation counters (monotonic; report deltas).
+/// Surfaced in GraphFusionReport::to_json and the CLI --json output.
+struct CompileStats {
+  std::int64_t tus_compiled = 0;      ///< compiler invocations
+  std::int64_t kernels_compiled = 0;  ///< kernels lowered+compiled fresh
+  std::int64_t mem_hits = 0;          ///< resolved from the in-process map
+  std::int64_t disk_hits = 0;         ///< resolved from the on-disk cache
+  std::int64_t failures = 0;          ///< compile/dlopen/dlsym failures
+  double compile_wall_s = 0.0;        ///< wall time inside the compiler
+  [[nodiscard]] std::int64_t cache_hits() const noexcept {
+    return mem_hits + disk_hits;
+  }
+  /// Counter deltas over an interval: snapshot().since(earlier_snapshot).
+  [[nodiscard]] CompileStats since(const CompileStats& before) const noexcept {
+    CompileStats d;
+    d.tus_compiled = tus_compiled - before.tus_compiled;
+    d.kernels_compiled = kernels_compiled - before.kernels_compiled;
+    d.mem_hits = mem_hits - before.mem_hits;
+    d.disk_hits = disk_hits - before.disk_hits;
+    d.failures = failures - before.failures;
+    d.compile_wall_s = compile_wall_s - before.compile_wall_s;
+    return d;
+  }
+};
+
+[[nodiscard]] CompileStats stats_snapshot();
+
+/// Entry point of a compiled kernel (see CppKernelSource in codegen.hpp):
+/// executes thread blocks [block_begin, block_end) into `out` using
+/// `scratch` (cpp_kernel_scratch_floats(s) floats) as the tile arena.
+using KernelFn = void (*)(const float* a, const float* const* weights,
+                          float* out, float* scratch, long long block_begin,
+                          long long block_end);
+
+/// Resolves (compiling at most once) the native kernel for one schedule.
+/// Thread-safe; returns nullptr and fills `error` when the toolchain is
+/// unavailable or compilation fails.
+[[nodiscard]] KernelFn resolve_kernel(const Schedule& s,
+                                      const std::string& gpu_key,
+                                      const Toolchain& tc, std::string* error);
+
+/// Batched form: compiles every not-yet-cached kernel of `batch` in ONE
+/// translation unit / compiler invocation (the tuner calls this once per
+/// measurement wave).  Individual failures are recorded in the stats and
+/// surface later through resolve_kernel.
+void prepare_kernels(std::span<const Schedule* const> batch,
+                     const std::string& gpu_key, const Toolchain& tc);
+
+/// Executes a resolved kernel over all blocks of `s` (Interpreter::run's
+/// tensor contract), fanning blocks out across the global thread pool.
+/// `scratch` is the caller-owned per-slot workspace: arenas allocate
+/// lazily on first use and are REUSED across calls, so repeat
+/// invocations (sampling loops) pay no allocation.  Concurrent callers
+/// must pass distinct scratch vectors.
+void run_compiled(KernelFn fn, const Schedule& s, const Tensor& a,
+                  std::span<const Tensor> weights, Tensor& out,
+                  std::vector<std::vector<float>>& scratch);
+
+}  // namespace jit
+
+/// One schedule, compiled to native code and runnable.  Construction
+/// resolves the kernel through the digest-keyed cache; ok() == false
+/// carries the reason (no toolchain / compile failure) and run() must not
+/// be called.  run() matches Interpreter::run's tensor contract
+/// (rank-3 batch-major input/weights/output) and executes blocks across
+/// the global thread pool; the per-slot scratch arenas live in the
+/// kernel and are reused across run() calls, so concurrent run() on ONE
+/// instance is not supported (use one JitKernel per thread — the
+/// compiled code itself is shared through the cache either way).
+class JitKernel {
+ public:
+  /// The schedule is stored by value (it is a small value type), so a
+  /// temporary is safe to pass.
+  explicit JitKernel(Schedule schedule, const std::string& gpu_key = "");
+
+  [[nodiscard]] bool ok() const noexcept { return fn_ != nullptr; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const Schedule& schedule() const noexcept { return s_; }
+
+  void run(const Tensor& a, std::span<const Tensor> weights,
+           Tensor& out) const;
+
+ private:
+  Schedule s_;
+  jit::KernelFn fn_ = nullptr;
+  std::string error_;
+  mutable std::vector<std::vector<float>> scratch_;  ///< per-slot arenas
+};
+
+}  // namespace mcf

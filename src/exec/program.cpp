@@ -1,5 +1,8 @@
 #include "exec/program.hpp"
 
+#include <vector>
+
+#include "exec/jit.hpp"
 #include "support/logging.hpp"
 
 namespace mcf {
@@ -30,6 +33,20 @@ ExecutionCounters CompiledKernel::run(const Tensor& a,
                                       Tensor& out) const {
   MCF_CHECK(ok_) << "cannot run a failed compilation: " << error_;
   return Interpreter(schedule_).run(a, weights, out);
+}
+
+bool CompiledKernel::run_native(const Tensor& a,
+                                std::span<const Tensor> weights,
+                                Tensor& out) const {
+  MCF_CHECK(ok_) << "cannot run a failed compilation: " << error_;
+  const jit::Toolchain tc = jit::detect_toolchain();
+  if (!tc.ok()) return false;
+  std::string err;
+  jit::KernelFn fn = jit::resolve_kernel(schedule_, gpu_.name, tc, &err);
+  if (fn == nullptr) return false;
+  std::vector<std::vector<float>> scratch;
+  jit::run_compiled(fn, schedule_, a, weights, out, scratch);
+  return true;
 }
 
 KernelMeasurement CompiledKernel::measure(const MeasureOptions& options) const {

@@ -38,6 +38,15 @@ class CompiledKernel {
   ExecutionCounters run(const Tensor& a, std::span<const Tensor> weights,
                         Tensor& out) const;
 
+  /// Native execution: compiles the schedule to machine code through the
+  /// exec/jit subsystem (digest-keyed cache — repeat calls resolve
+  /// without recompiling) and runs it.  Returns false without touching
+  /// `out` when no host toolchain is available (or compilation failed);
+  /// fall back to run().  Same tensor contract as run(); results agree
+  /// with the interpreter to float round-off (tests/exec/test_jit.cpp).
+  bool run_native(const Tensor& a, std::span<const Tensor> weights,
+                  Tensor& out) const;
+
   /// Simulated hardware measurement.
   [[nodiscard]] KernelMeasurement measure(const MeasureOptions& options = {}) const;
 

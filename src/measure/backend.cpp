@@ -41,6 +41,106 @@ std::uint64_t schedule_structure_digest(const Schedule& s) {
   return h;
 }
 
+// ---- shared state of the execution-based backends ---------------------------
+
+namespace detail {
+
+ExecMeasureState::Gate ExecMeasureState::gate(const Schedule& s,
+                                              const GpuSpec& gpu) const {
+  const std::uint64_t key = schedule_structure_digest(s);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = gates_.find(key); it != gates_.end()) return it->second;
+  }
+  // The same lowering gate as CompiledKernel: infeasible schedules fail
+  // with a reason instead of executing (conformance contract).
+  Gate g;
+  if (!s.valid()) {
+    g.fail_reason = "schedule has no legal statement placement";
+  } else if (!s.consume_complete()) {
+    g.fail_reason = "schedule consumes partial tiles (Rule-2 structure)";
+  } else {
+    const SmemPlan plan = plan_smem(s);
+    g.n_blocks = s.num_blocks();
+    g.smem_bytes = plan.total_bytes;
+    if (plan.total_bytes > gpu.smem_per_block) {
+      g.fail_reason = "shared memory exceeds per-block limit (" +
+                      std::to_string(plan.total_bytes) + " > " +
+                      std::to_string(gpu.smem_per_block) + " bytes)";
+    } else {
+      g.ok = true;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gates_.emplace(key, std::move(g)).first->second;
+}
+
+std::shared_ptr<const ExecMeasureState::ChainData> ExecMeasureState::data(
+    const ChainSpec& chain, std::uint64_t data_seed) const {
+  const std::string key =
+      chain_cache_key(chain) + "#" + std::to_string(data_seed);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = data_.find(key); it != data_.end()) return it->second;
+  }
+  // Build outside the lock: the allocation + fill_random cost must not
+  // stall concurrent measure() calls (gates share the same mutex).  A
+  // racing builder produces an identical (deterministic) tensor set;
+  // the first insert wins.
+  auto fresh = std::make_shared<ChainData>();
+  fresh->a = Tensor(Shape{chain.batch(), chain.m(), chain.inner().front()});
+  fresh->a.fill_random(data_seed);
+  fresh->weights.reserve(static_cast<std::size_t>(chain.num_ops()));
+  for (int op = 0; op < chain.num_ops(); ++op) {
+    Tensor w(Shape{chain.batch(), chain.inner()[static_cast<std::size_t>(op)],
+                   chain.inner()[static_cast<std::size_t>(op) + 1]});
+    w.fill_random(data_seed + static_cast<std::uint64_t>(op) + 1);
+    fresh->weights.push_back(std::move(w));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  return data_.emplace(key, std::move(fresh)).first->second;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Warm-up / repeat / trimmed-mean wall-clock sampling shared by the
+/// execution-based backends.  `run` executes the kernel once.
+double sample_trimmed_wall(const std::function<void()>& run, int warmup,
+                           int repeats, double trim_fraction,
+                           const std::function<double()>& clock) {
+  for (int i = 0; i < warmup; ++i) run();
+  std::vector<double> samples(static_cast<std::size_t>(repeats));
+  for (double& sample : samples) {
+    const double t0 = clock();
+    run();
+    // Clamp at a nanosecond: a sample below clock resolution must not
+    // produce time_s == 0 (the contract promises time_s > 0 on ok).
+    sample = std::max(clock() - t0, 1e-9);
+  }
+  // Trimmed mean: drop trim_fraction of the samples from each end.
+  std::sort(samples.begin(), samples.end());
+  const auto trim = static_cast<std::size_t>(
+      static_cast<double>(samples.size()) * trim_fraction);
+  const std::size_t lo = trim;
+  const std::size_t hi = samples.size() - trim;
+  return std::accumulate(samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                         samples.begin() + static_cast<std::ptrdiff_t>(hi),
+                         0.0) /
+         static_cast<double>(hi - lo);
+}
+
+std::function<double()> steady_clock_seconds() {
+  return [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+}
+
+}  // namespace
+
 // ---- InterpreterBackend -----------------------------------------------------
 
 InterpreterBackend::InterpreterBackend(GpuSpec spec,
@@ -49,73 +149,93 @@ InterpreterBackend::InterpreterBackend(GpuSpec spec,
   opt_.warmup = std::max(opt_.warmup, 0);
   opt_.repeats = std::max(opt_.repeats, 1);
   opt_.trim_fraction = std::clamp(opt_.trim_fraction, 0.0, 0.49);
-  if (!opt_.clock) {
-    opt_.clock = [] {
-      return std::chrono::duration<double>(
-                 std::chrono::steady_clock::now().time_since_epoch())
-          .count();
-    };
-  }
+  if (!opt_.clock) opt_.clock = steady_clock_seconds();
 }
 
 KernelMeasurement InterpreterBackend::measure(
     const Schedule& s, const MeasureOptions& /*options*/) const {
   KernelMeasurement m;
-  // The same lowering gate as CompiledKernel: infeasible schedules fail
-  // with a reason instead of executing (conformance contract).
-  if (!s.valid()) {
-    m.fail_reason = "schedule has no legal statement placement";
-    return m;
-  }
-  if (!s.consume_complete()) {
-    m.fail_reason = "schedule consumes partial tiles (Rule-2 structure)";
-    return m;
-  }
-  const SmemPlan plan = plan_smem(s);
-  m.n_blocks = s.num_blocks();
-  m.smem_bytes = plan.total_bytes;
-  if (plan.total_bytes > spec().smem_per_block) {
-    m.fail_reason = "shared memory exceeds per-block limit (" +
-                    std::to_string(plan.total_bytes) + " > " +
-                    std::to_string(spec().smem_per_block) + " bytes)";
+  const detail::ExecMeasureState::Gate gate = state_.gate(s, spec());
+  m.n_blocks = gate.n_blocks;
+  m.smem_bytes = gate.smem_bytes;
+  if (!gate.ok) {
+    m.fail_reason = gate.fail_reason;
     return m;
   }
 
+  const auto data = state_.data(s.chain(), opt_.data_seed);
   const ChainSpec& chain = s.chain();
-  Tensor a(Shape{chain.batch(), chain.m(), chain.inner().front()});
   Tensor out(Shape{chain.batch(), chain.m(), chain.inner().back()});
-  a.fill_random(opt_.data_seed);
-  std::vector<Tensor> weights;
-  weights.reserve(static_cast<std::size_t>(chain.num_ops()));
-  for (int op = 0; op < chain.num_ops(); ++op) {
-    Tensor w(Shape{chain.batch(), chain.inner()[static_cast<std::size_t>(op)],
-                   chain.inner()[static_cast<std::size_t>(op) + 1]});
-    w.fill_random(opt_.data_seed + static_cast<std::uint64_t>(op) + 1);
-    weights.push_back(std::move(w));
+  const Interpreter interp(s);
+  m.time_s = sample_trimmed_wall(
+      [&] { (void)interp.run(data->a, data->weights, out); }, opt_.warmup,
+      opt_.repeats, opt_.trim_fraction, opt_.clock);
+  m.ok = true;
+  return m;
+}
+
+// ---- JitBackend -------------------------------------------------------------
+
+JitBackend::JitBackend(GpuSpec spec, JitBackendOptions options)
+    : sim_(std::move(spec)), opt_(std::move(options)),
+      toolchain_(jit::detect_toolchain()) {
+  opt_.warmup = std::max(opt_.warmup, 0);
+  opt_.repeats = std::max(opt_.repeats, 1);
+  opt_.trim_fraction = std::clamp(opt_.trim_fraction, 0.0, 0.49);
+  if (!opt_.clock) opt_.clock = steady_clock_seconds();
+}
+
+KernelMeasurement JitBackend::measure(const Schedule& s,
+                                      const MeasureOptions& /*options*/) const {
+  KernelMeasurement m;
+  const detail::ExecMeasureState::Gate gate = state_.gate(s, spec());
+  m.n_blocks = gate.n_blocks;
+  m.smem_bytes = gate.smem_bytes;
+  if (!gate.ok) {
+    m.fail_reason = gate.fail_reason;
+    return m;
+  }
+
+  const auto data = state_.data(s.chain(), opt_.data_seed);
+  const ChainSpec& chain = s.chain();
+  Tensor out(Shape{chain.batch(), chain.m(), chain.inner().back()});
+
+  // Native path; a missing toolchain or a (negative-cached) compile
+  // failure degrades to the interpreter so measure() always answers.
+  if (toolchain_.ok()) {
+    std::string err;
+    if (jit::KernelFn fn =
+            jit::resolve_kernel(s, spec().name, toolchain_, &err)) {
+      // Per-call scratch (concurrent measure() calls stay independent),
+      // reused across the warmup/repeat samples inside.
+      std::vector<std::vector<float>> scratch;
+      m.time_s = sample_trimmed_wall(
+          [&] { jit::run_compiled(fn, s, data->a, data->weights, out, scratch); },
+          opt_.warmup, opt_.repeats, opt_.trim_fraction, opt_.clock);
+      m.ok = true;
+      return m;
+    }
   }
 
   const Interpreter interp(s);
-  for (int i = 0; i < opt_.warmup; ++i) (void)interp.run(a, weights, out);
-  std::vector<double> samples(static_cast<std::size_t>(opt_.repeats));
-  for (double& sample : samples) {
-    const double t0 = opt_.clock();
-    (void)interp.run(a, weights, out);
-    // Clamp at a nanosecond: a sample below clock resolution must not
-    // produce time_s == 0 (the contract promises time_s > 0 on ok).
-    sample = std::max(opt_.clock() - t0, 1e-9);
-  }
-  // Trimmed mean: drop trim_fraction of the samples from each end.
-  std::sort(samples.begin(), samples.end());
-  const auto trim = static_cast<std::size_t>(
-      static_cast<double>(samples.size()) * opt_.trim_fraction);
-  const std::size_t lo = trim;
-  const std::size_t hi = samples.size() - trim;
-  m.time_s = std::accumulate(samples.begin() + static_cast<std::ptrdiff_t>(lo),
-                             samples.begin() + static_cast<std::ptrdiff_t>(hi),
-                             0.0) /
-             static_cast<double>(hi - lo);
+  m.time_s = sample_trimmed_wall(
+      [&] { (void)interp.run(data->a, data->weights, out); }, opt_.warmup,
+      opt_.repeats, opt_.trim_fraction, opt_.clock);
   m.ok = true;
   return m;
+}
+
+void JitBackend::prepare_batch(std::span<const Schedule* const> schedules,
+                               const MeasureOptions& /*options*/) const {
+  if (!toolchain_.ok()) return;
+  // Only schedules that pass the lowering gate are worth compiling (the
+  // paper's quadrant-II candidates never reach execution).
+  std::vector<const Schedule*> feasible;
+  feasible.reserve(schedules.size());
+  for (const Schedule* s : schedules) {
+    if (s != nullptr && state_.gate(*s, spec()).ok) feasible.push_back(s);
+  }
+  jit::prepare_kernels(feasible, spec().name, toolchain_);
 }
 
 // ---- CachingBackend ---------------------------------------------------------
@@ -200,6 +320,24 @@ KernelMeasurement CachingBackend::measure(const Schedule& s,
   return it->second;
 }
 
+void CachingBackend::prepare_batch(std::span<const Schedule* const> schedules,
+                                   const MeasureOptions& options) const {
+  std::vector<const Schedule*> missing;
+  missing.reserve(schedules.size());
+  {
+    const std::string& gpu_name = inner_->spec().name;
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const Schedule* s : schedules) {
+      if (s == nullptr) continue;
+      const std::string key = measure_key(*s, inner_->options_digest(options));
+      if (mem_.count(key) != 0) continue;
+      if (disk_.get_raw(key, gpu_name)) continue;
+      missing.push_back(s);
+    }
+  }
+  inner_->prepare_batch(missing, options);
+}
+
 bool CachingBackend::save(const std::string& path) const {
   const std::lock_guard<std::mutex> lock(mu_);
   return disk_.save(path);
@@ -237,6 +375,9 @@ BackendRegistry::BackendRegistry() {
   factories_["cached-sim"] = [](const GpuSpec& gpu) {
     return std::make_shared<CachingBackend>(
         std::make_shared<SimulatorBackend>(gpu));
+  };
+  factories_["jit"] = [](const GpuSpec& gpu) {
+    return std::make_shared<JitBackend>(gpu);
   };
 }
 

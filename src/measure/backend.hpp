@@ -17,6 +17,12 @@
 //   * CachingBackend      decorator over any backend; memoizes by
 //                         (chain key, gpu, schedule structure, tiles) and
 //                         persists through the TuningCache serialization.
+//   * JitBackend          compiles each candidate to real machine code
+//                         through exec/jit (host-toolchain JIT, digest-
+//                         keyed kernel cache, batched per-wave TUs) and
+//                         wall-clock-samples the native kernel; falls
+//                         back to interpreter execution when no host
+//                         compiler is available.
 //
 // Every backend must honour the contract pinned by the conformance suite
 // (tests/measure/test_conformance.cpp, documented in docs/measurement.md):
@@ -30,17 +36,20 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "dag/schedule.hpp"
+#include "exec/jit.hpp"
 #include "gpu/spec.hpp"
 #include "gpu/timing.hpp"
 #include "measure/measurement.hpp"
 #include "search/tuning_cache.hpp"
 #include "support/rng.hpp"
+#include "tensor/tensor.hpp"
 
 namespace mcf {
 
@@ -60,6 +69,15 @@ class MeasureBackend {
   /// concurrently from multiple threads on the same backend instance.
   [[nodiscard]] virtual KernelMeasurement measure(
       const Schedule& s, const MeasureOptions& options = {}) const = 0;
+
+  /// Batch preparation hook: the tuner calls this once per measurement
+  /// wave, before the concurrent measure() calls, with every schedule the
+  /// wave will measure.  Backends with per-schedule compilation amortise
+  /// it here (the jit backend compiles all missing kernels in ONE
+  /// translation unit / compiler invocation); the default is a no-op.
+  /// Must never change any measure() result — only its cost.
+  virtual void prepare_batch(std::span<const Schedule* const> /*schedules*/,
+                             const MeasureOptions& /*options*/ = {}) const {}
 
   /// Aggregate roofline path used by the library-kernel baselines: there
   /// is no schedule to execute, so every backend shares the simulator's
@@ -111,6 +129,52 @@ class SimulatorBackend : public MeasureBackend {
  private:
   TimingSimulator sim_;
 };
+
+// ---- shared state of the execution-based backends ---------------------------
+
+namespace detail {
+
+/// What the execution-based backends (interp, jit) memoize per backend
+/// instance so repeated measure() calls of the same candidate skip the
+/// lowering work:
+///
+///   * the lowering gate (validity, consume-completeness, smem plan) —
+///     keyed by schedule_structure_digest, which already folds the chain
+///     key and the tiles.  Before this memo the interpreter backend
+///     re-lowered the schedule on EVERY measure() call, repeat tiles
+///     included;
+///   * the deterministic random input tensors — keyed by chain shape,
+///     shared by every candidate of the same chain (building and filling
+///     them dominated the per-measure setup cost).
+///
+/// All methods are thread-safe; data() returns immutable shared state.
+class ExecMeasureState {
+ public:
+  struct Gate {
+    bool ok = false;
+    std::string fail_reason;
+    std::int64_t n_blocks = 0;
+    std::int64_t smem_bytes = 0;
+  };
+  struct ChainData {
+    Tensor a;
+    std::vector<Tensor> weights;
+  };
+
+  /// The CompiledKernel-equivalent lowering gate, memoized by digest.
+  [[nodiscard]] Gate gate(const Schedule& s, const GpuSpec& gpu) const;
+  /// Deterministic inputs for `chain`, built once per chain shape.
+  [[nodiscard]] std::shared_ptr<const ChainData> data(
+      const ChainSpec& chain, std::uint64_t data_seed) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::uint64_t, Gate> gates_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const ChainData>>
+      data_;
+};
+
+}  // namespace detail
 
 // ---- InterpreterBackend -----------------------------------------------------
 
@@ -171,6 +235,80 @@ class InterpreterBackend : public MeasureBackend {
  private:
   TimingSimulator sim_;  ///< spec holder + measure_raw fallback
   InterpreterBackendOptions opt_;
+  /// Digest-keyed lowering memo + shared input tensors: repeat-tile
+  /// measure() calls skip straight to execution.
+  detail::ExecMeasureState state_;
+};
+
+// ---- JitBackend -------------------------------------------------------------
+
+/// Sampling knobs mirror InterpreterBackendOptions; the jit backend times
+/// the natively compiled kernel instead of the interpreter.
+struct JitBackendOptions {
+  int warmup = 1;
+  int repeats = 3;
+  double trim_fraction = 0.25;
+  std::uint64_t data_seed = 1;
+  /// Monotonic time source in seconds (tests inject a scripted clock).
+  std::function<double()> clock;
+};
+
+/// Compiles every candidate schedule to real machine code through the
+/// exec/jit subsystem (host toolchain, -O3 -march=native, digest-keyed
+/// on-disk kernel cache) and wall-clock-samples the native kernel — the
+/// CPU-host realisation of the paper's "lower to Triton/PTX, then
+/// measure" path.  prepare_batch() compiles a whole tuner wave in one
+/// compiler invocation.  When no host compiler is available (or under
+/// sanitizer builds) every measure() transparently falls back to
+/// interpreter execution, so the backend always satisfies the
+/// conformance contract; jit_active() tells which path is live.
+class JitBackend : public MeasureBackend {
+ public:
+  explicit JitBackend(GpuSpec spec, JitBackendOptions options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "jit"; }
+  [[nodiscard]] const GpuSpec& spec() const noexcept override { return sim_.spec(); }
+  /// Wall-clock sampling: repeats jitter run-to-run.
+  [[nodiscard]] bool deterministic() const noexcept override { return false; }
+
+  [[nodiscard]] KernelMeasurement measure(
+      const Schedule& s, const MeasureOptions& options = {}) const override;
+  /// One TU / compiler invocation for all missing kernels of the wave.
+  void prepare_batch(std::span<const Schedule* const> schedules,
+                     const MeasureOptions& options = {}) const override;
+  [[nodiscard]] KernelMeasurement measure_raw(
+      double bytes, double flops, std::int64_t n_blocks,
+      std::int64_t smem_bytes, double mem_eff, double comp_eff,
+      double stmt_trips, const MeasureOptions& options) const override {
+    // No schedule to execute: raw aggregates fall back to the roofline.
+    return sim_.measure_raw(bytes, flops, n_blocks, smem_bytes, mem_eff,
+                            comp_eff, stmt_trips, options);
+  }
+  /// measure() executes the schedule as-is; simulator-noise options do
+  /// not reach it.
+  [[nodiscard]] std::uint64_t options_digest(
+      const MeasureOptions&) const noexcept override {
+    return 0;
+  }
+
+  /// True when a host toolchain was detected at construction and
+  /// measure() runs native code; false = interpreter fallback.
+  [[nodiscard]] bool jit_active() const noexcept { return toolchain_.ok(); }
+  /// Why the jit is inactive (empty when jit_active()).
+  [[nodiscard]] const std::string& fallback_reason() const noexcept {
+    return toolchain_.reason;
+  }
+  [[nodiscard]] const JitBackendOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  TimingSimulator sim_;  ///< spec holder + measure_raw fallback
+  JitBackendOptions opt_;
+  /// Resolved once at construction (tests override MCFUSER_JIT_CXX per
+  /// instance); !ok() => permanent interpreter fallback.
+  jit::Toolchain toolchain_;
+  detail::ExecMeasureState state_;
 };
 
 // ---- CachingBackend ---------------------------------------------------------
@@ -193,6 +331,11 @@ class CachingBackend : public MeasureBackend {
 
   [[nodiscard]] KernelMeasurement measure(
       const Schedule& s, const MeasureOptions& options = {}) const override;
+  /// Forwards only the schedules this cache has NOT memoized: a
+  /// memoized measurement never reaches the inner backend, so preparing
+  /// (jit-compiling) its kernel would be pure waste.
+  void prepare_batch(std::span<const Schedule* const> schedules,
+                     const MeasureOptions& options = {}) const override;
   [[nodiscard]] KernelMeasurement measure_raw(
       double bytes, double flops, std::int64_t n_blocks,
       std::int64_t smem_bytes, double mem_eff, double comp_eff,

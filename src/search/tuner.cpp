@@ -111,13 +111,27 @@ void Tuner::measure_batch(std::span<const CandidateConfig> cs,
     fresh.push_back(i);
     fresh_entries.push_back(&e);
   }
-  // Parallel phase: backends promise concurrency-safe measure(); each
-  // wave member writes only its own cache entry.
+  // Parallel phase 1: make sure every wave member has its schedule built
+  // (most were stashed by the estimate pass already).
   pool().parallel_for(static_cast<std::int64_t>(fresh.size()), [&](std::int64_t j) {
     EvalEntry* e = fresh_entries[static_cast<std::size_t>(j)];
     if (!e->sched) {
       e->sched.emplace(space_.schedule_for(cs[fresh[static_cast<std::size_t>(j)]]));
     }
+  });
+  // Batched backend preparation: one call per measurement wave, so a
+  // compiling backend (jit) amortises the whole wave into a single
+  // translation unit / compiler invocation.
+  if (!fresh_entries.empty()) {
+    std::vector<const Schedule*> wave_scheds;
+    wave_scheds.reserve(fresh_entries.size());
+    for (EvalEntry* e : fresh_entries) wave_scheds.push_back(&*e->sched);
+    backend_->prepare_batch(wave_scheds, opt_.measure);
+  }
+  // Parallel phase 2: backends promise concurrency-safe measure(); each
+  // wave member writes only its own cache entry.
+  pool().parallel_for(static_cast<std::int64_t>(fresh.size()), [&](std::int64_t j) {
+    EvalEntry* e = fresh_entries[static_cast<std::size_t>(j)];
     const KernelMeasurement m = backend_->measure(*e->sched, opt_.measure);
     e->meas_ok = m.ok;
     e->meas_time = m.ok ? m.time_s : kFailedTime;

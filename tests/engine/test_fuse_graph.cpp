@@ -181,9 +181,13 @@ TEST(FuseGraph, ReportJsonHasExpectedFields) {
   for (const char* key :
        {"\"graph\":\"jsontest\"", "\"distinct_chains\":1", "\"tuned_chains\":1",
         "\"occurrences\":2", "\"status\":\"ok\"", "\"best_tiles\":[",
-        "\"sub_to_chain\":[0,0]"}) {
+        "\"sub_to_chain\":[0,0]", "\"jit_compile\":{\"tus_compiled\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+  // The simulator backend never jit-compiles: the economy counters are
+  // present but all-zero on this engine.
+  EXPECT_EQ(rep.jit_compile.tus_compiled, 0);
+  EXPECT_EQ(rep.jit_compile.kernels_compiled, 0);
 }
 
 TEST(FuseGraph, DifferentSoftmaxScalesGetDistinctDigests) {

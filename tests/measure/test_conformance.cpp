@@ -147,6 +147,18 @@ const BackendCase kCases[] = {
     {"cached-sim",
      [](const GpuSpec& g) { return registry_make("cached-sim", g); },
      [](const GpuSpec& g, int) { return registry_make("cached-sim", g); }},
+    // Real native-code measurement; where no host toolchain exists (or
+    // under sanitizer builds) it transparently falls back to interpreter
+    // execution, so the contract holds in every environment.
+    {"jit", [](const GpuSpec& g) { return registry_make("jit", g); },
+     [](const GpuSpec& g, int repeats) -> std::shared_ptr<MeasureBackend> {
+       JitBackendOptions opt;
+       opt.repeats = repeats;
+       opt.trim_fraction = 0.25;
+       opt.warmup = 0;
+       opt.clock = ScriptedClock{}.fn();
+       return std::make_shared<JitBackend>(g, opt);
+     }},
 };
 
 class ConformanceTest : public ::testing::TestWithParam<BackendCase> {};

@@ -31,6 +31,7 @@
 #include "baselines/unfused.hpp"
 #include "engine/engine.hpp"
 #include "exec/codegen.hpp"
+#include "exec/jit.hpp"
 #include "graph/bert.hpp"
 #include "graph/mixer.hpp"
 #include "measure/backend.hpp"
@@ -98,19 +99,33 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
+/// Registered measurement backends, "|"-joined — the usage synopsis and
+/// the --backend diagnostics enumerate the registry instead of a
+/// hard-coded list, so a newly registered backend (e.g. a CUDA one) is
+/// reachable and documented with zero CLI changes.
+std::string backend_names_joined() {
+  std::string out;
+  for (const auto& n : BackendRegistry::instance().names()) {
+    out += (out.empty() ? "" : "|") + n;
+  }
+  return out;
+}
+
 int usage() {
+  const std::string backends = backend_names_joined();
   std::fprintf(stderr,
                "usage: mcfuser <fuse|compare|suite|info> [flags]\n"
                "  fuse    --m M --n N --k K --h H [--batch B] "
                "[--attention|--gelu|--relu] [--gpu NAME] "
-               "[--backend=sim|interp|cached-sim] [--cache FILE] [--emit] "
+               "[--backend=%s] [--cache FILE] [--emit] "
                "[--pseudo] [--json]\n"
                "  fuse    --graph bert-small|bert-base|bert-large|"
                "mixer-small|mixer-base [--seq L] [--jobs N] [--gpu NAME] "
                "[--backend NAME] [--json]\n"
                "  compare <same shape flags> [--trials T]\n"
                "  suite   gemm|attention [--gpu NAME]\n"
-               "  info    [--gpu NAME]\n");
+               "  info    [--gpu NAME]\n",
+               backends.c_str());
   return 2;
 }
 
@@ -206,11 +221,20 @@ ChainSpec chain_from(const Args& args) {
 }
 
 void print_chain_json(const ChainSpec& chain, const FusionResult& r,
-                      const std::string& backend) {
+                      const std::string& backend,
+                      const jit::CompileStats& jit_delta) {
   std::printf("{\"chain\":\"%s\",\"backend\":\"%s\",\"status\":\"%s\","
               "\"reason\":\"%s\"",
               json_escape(chain.name()).c_str(), json_escape(backend).c_str(),
               fusion_status_name(r.status), json_escape(r.reason).c_str());
+  std::printf(",\"jit_compile\":{\"tus_compiled\":%lld,"
+              "\"kernels_compiled\":%lld,\"cache_hits\":%lld,"
+              "\"failures\":%lld,\"compile_wall_s\":%.6g}",
+              static_cast<long long>(jit_delta.tus_compiled),
+              static_cast<long long>(jit_delta.kernels_compiled),
+              static_cast<long long>(jit_delta.cache_hits()),
+              static_cast<long long>(jit_delta.failures),
+              jit_delta.compile_wall_s);
   if (r.ok()) {
     std::printf(",\"time_us\":%.6g,\"space_size\":%zu,\"measurements\":%d,"
                 "\"generations\":%d,\"best_expr\":%d,\"best_tiles\":[",
@@ -322,6 +346,7 @@ int cmd_fuse(const Args& args) {
   const FusionEngine engine(gpu, opts);
   FusionResult result;
   TuningCache cache;
+  const jit::CompileStats jit_before = jit::stats_snapshot();
   const std::string cache_path = args.str("cache", "");
   if (!cache_path.empty()) {
     cache.load(cache_path);
@@ -333,7 +358,8 @@ int cmd_fuse(const Args& args) {
     result = engine.fuse(chain);
   }
   if (json) {
-    print_chain_json(chain, result, opts.backend);
+    print_chain_json(chain, result, opts.backend,
+                     jit::stats_snapshot().since(jit_before));
     return result.ok() ? 0 : 1;
   }
   if (!result.ok()) {
