@@ -23,18 +23,29 @@
 //                   schedules compiled to real machine code and timed
 //                   against the interpreter's GFLOP/s — the gate is a
 //                   >= 3x geomean advantage on the fig7-mini family.
+//   * admission:    the FusionEngine under a synthetic flood of 10k
+//                   DISTINCT chains against a tiny bounded queue + LRU
+//                   result memo — gates that the queue depth and memo
+//                   entry count never exceed their caps, that every
+//                   ticket lands in exactly one terminal bucket
+//                   (rejected + completed + cancelled == submitted), and
+//                   reports the RSS growth over the flood.
 //
 // Emits the paper-style table + CSV (common.hpp) and writes
-// BENCH_tuning_throughput.json (stable schema v3, see
+// BENCH_tuning_throughput.json (stable schema v4, see
 // docs/performance.md) so future PRs can track the trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "engine/engine.hpp"
 #include "exec/interpreter.hpp"
 #include "exec/jit.hpp"
 #include "gpu/spec.hpp"
@@ -270,6 +281,128 @@ JitRow bench_jit(const ChainSpec& chain, const Schedule& s,
   return row;
 }
 
+/// VmRSS of this process in KiB (0 when /proc is unavailable).
+long vm_rss_kib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kib = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+struct AdmissionResult {
+  int flood_total = 0;
+  int completed = 0;
+  int rejected = 0;
+  int other = 0;  ///< must stay 0 (no cancel/deadline configured)
+  std::size_t queue_cap = 0;
+  std::size_t memo_cap = 0;
+  std::size_t max_queued_seen = 0;
+  std::size_t max_memo_seen = 0;
+  std::uint64_t memo_evictions = 0;
+  long rss_before_kib = 0;
+  long rss_after_kib = 0;
+  double flood_wall_s = 0.0;
+  // Deterministic memo-churn phase: 256 distinct chains through the
+  // 32-entry memo via the batch path (every one tunes, cap must hold).
+  int churn_chains = 0;
+  std::size_t churn_max_memo_seen = 0;
+  std::uint64_t churn_evictions = 0;
+};
+
+AdmissionResult bench_admission(const GpuSpec& gpu) {
+  AdmissionResult res;
+  res.queue_cap = 16;
+  res.memo_cap = 32;
+
+  FusionEngineOptions opts;
+  opts.jobs = 2;
+  opts.queue.max_queued = res.queue_cap;
+  opts.queue.overflow = OverflowPolicy::Reject;
+  opts.memo.max_entries = res.memo_cap;
+  // Tiny search budget: this section measures queue/memo mechanics, not
+  // search quality.
+  opts.tuner.population = 16;
+  opts.tuner.topk = 2;
+  opts.tuner.min_generations = 1;
+  opts.tuner.max_generations = 2;
+  FusionEngine engine(gpu, opts);
+
+  res.rss_before_kib = vm_rss_kib();
+  const auto t0 = clk::now();
+
+  // ---- flood: 10k distinct chains, non-blocking submission ---------------
+  constexpr int kFlood = 10000;
+  res.flood_total = kFlood;
+  std::deque<FusionTicket> outstanding;
+  const auto harvest_ready = [&](bool drain) {
+    while (!outstanding.empty() && (drain || outstanding.front().ready())) {
+      const FusionResult& r = outstanding.front().get();
+      if (r.status == FusionStatus::Rejected) {
+        ++res.rejected;
+      } else if (r.status == FusionStatus::Ok ||
+                 r.status == FusionStatus::MeasureFailed) {
+        ++res.completed;
+      } else {
+        ++res.other;
+      }
+      outstanding.pop_front();  // ticket (and its state) released: RSS
+                                // stays bounded by the rolling window
+    }
+  };
+  for (int i = 0; i < kFlood; ++i) {
+    // 10k structurally distinct digests from a 100x100 (m, n) grid.
+    outstanding.push_back(engine.try_submit(ChainSpec::gemm_chain(
+        "f" + std::to_string(i), 1, 64 + (i % 100), 64 + (i / 100), 32, 32)));
+    harvest_ready(/*drain=*/false);
+    if (outstanding.size() > 1024) {
+      // Bound the caller-side ticket window too: block on the oldest
+      // (an admitted job mid-tune), then sweep everything behind it.
+      (void)outstanding.front().get();
+      harvest_ready(/*drain=*/false);
+    }
+    if (i % 64 == 0) {
+      const EngineStats s = engine.stats();
+      res.max_queued_seen = std::max(res.max_queued_seen, s.queued);
+      res.max_memo_seen = std::max(res.max_memo_seen, s.memo_entries);
+    }
+  }
+  harvest_ready(/*drain=*/true);
+  res.flood_wall_s = secs(t0, clk::now());
+  res.rss_after_kib = vm_rss_kib();
+  {
+    const EngineStats s = engine.stats();
+    res.max_queued_seen = std::max(res.max_queued_seen, s.queued);
+    res.max_memo_seen = std::max(res.max_memo_seen, s.memo_entries);
+    res.memo_evictions = s.memo_evictions;
+  }
+
+  // ---- deterministic memo churn through the batch path -------------------
+  constexpr int kChurn = 256;
+  constexpr int kBatch = 32;
+  res.churn_chains = kChurn;
+  for (int base = 0; base < kChurn; base += kBatch) {
+    std::vector<ChainSpec> batch;
+    batch.reserve(kBatch);
+    for (int i = base; i < base + kBatch; ++i) {
+      batch.push_back(ChainSpec::gemm_chain("churn" + std::to_string(i), 2,
+                                            64 + i, 64, 32, 32));
+    }
+    (void)engine.fuse_chains(batch, "churn");
+    res.churn_max_memo_seen =
+        std::max(res.churn_max_memo_seen, engine.result_cache_size());
+  }
+  res.churn_evictions = engine.stats().memo_evictions - res.memo_evictions;
+  return res;
+}
+
 int run() {
   const GpuSpec gpu = a100();
 
@@ -421,6 +554,28 @@ int run() {
   const double jit_geo = jit_rows.empty() ? 0.0 : geomean(jit_ratios);
   const double jit_geo_gflops = jit_rows.empty() ? 0.0 : geomean(jit_gflops_list);
 
+  // ---- admission control under flood ----------------------------------------
+  const AdmissionResult adm = bench_admission(gpu);
+  Table adm_table("Admission control — 10k-distinct-chain flood vs bounded "
+                  "queue + LRU memo");
+  adm_table.set_header({"metric", "value"});
+  adm_table.add_row({"chains flooded", std::to_string(adm.flood_total)});
+  adm_table.add_row({"completed", std::to_string(adm.completed)});
+  adm_table.add_row({"rejected (shed)", std::to_string(adm.rejected)});
+  adm_table.add_row({"flood wall (s)", Table::num(adm.flood_wall_s, 2)});
+  adm_table.add_row({"queue cap / max seen",
+                     std::to_string(adm.queue_cap) + " / " +
+                         std::to_string(adm.max_queued_seen)});
+  adm_table.add_row({"memo cap / max seen",
+                     std::to_string(adm.memo_cap) + " / " +
+                         std::to_string(std::max(adm.max_memo_seen,
+                                                 adm.churn_max_memo_seen))});
+  adm_table.add_row({"memo evictions (flood+churn)",
+                     std::to_string(adm.memo_evictions + adm.churn_evictions)});
+  adm_table.add_row({"RSS before/after flood (MiB)",
+                     Table::num(adm.rss_before_kib / 1024.0, 1) + " / " +
+                         Table::num(adm.rss_after_kib / 1024.0, 1)});
+
   if (!mcf::bench::emit(tuner_table, "tuning_throughput_tuner")) return 1;
   if (!mcf::bench::emit(interp_table, "tuning_throughput_interp")) return 1;
   if (!mcf::bench::emit(backend_table, "tuning_throughput_backends")) return 1;
@@ -428,6 +583,7 @@ int run() {
       !mcf::bench::emit(jit_table, "tuning_throughput_jit")) {
     return 1;
   }
+  if (!mcf::bench::emit(adm_table, "tuning_throughput_admission")) return 1;
   std::printf("tuner geomean speedup: %.2fx\ninterpreter geomean speedup: %.2fx\n",
               tuner_geo, interp_geo);
   std::printf("sim/interp backend rank correlation: %.3f\n", backend_rank_corr);
@@ -447,7 +603,7 @@ int run() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"tuning_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 3,\n");
+  std::fprintf(f, "  \"schema_version\": 4,\n");
   std::fprintf(f, "  \"threads\": %u,\n", ThreadPool::global().size());
   std::fprintf(f, "  \"tuner\": {\n");
   std::fprintf(f, "    \"geomean_speedup\": %.4f,\n", tuner_geo);
@@ -521,7 +677,29 @@ int run() {
                  r.jit_gflops, r.vs_interp(),
                  i + 1 < jit_rows.size() ? "," : "");
   }
-  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"admission\": {\n");
+  std::fprintf(f,
+               "    \"flood_chains\": %d,\n    \"completed\": %d,\n"
+               "    \"rejected\": %d,\n    \"flood_wall_s\": %.4f,\n",
+               adm.flood_total, adm.completed, adm.rejected, adm.flood_wall_s);
+  std::fprintf(f,
+               "    \"queue_cap\": %zu,\n    \"max_queued_seen\": %zu,\n"
+               "    \"memo_cap\": %zu,\n    \"max_memo_entries_seen\": %zu,\n",
+               adm.queue_cap, adm.max_queued_seen, adm.memo_cap,
+               std::max(adm.max_memo_seen, adm.churn_max_memo_seen));
+  std::fprintf(f,
+               "    \"memo_evictions\": %llu,\n"
+               "    \"rss_before_kib\": %ld,\n    \"rss_after_kib\": %ld,\n",
+               static_cast<unsigned long long>(adm.memo_evictions +
+                                               adm.churn_evictions),
+               adm.rss_before_kib, adm.rss_after_kib);
+  std::fprintf(f,
+               "    \"churn\": {\"chains\": %d, \"max_memo_entries_seen\": "
+               "%zu, \"evictions\": %llu}\n",
+               adm.churn_chains, adm.churn_max_memo_seen,
+               static_cast<unsigned long long>(adm.churn_evictions));
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("[json written to BENCH_tuning_throughput.json]\n");
 
@@ -540,8 +718,45 @@ int run() {
     std::fprintf(stderr, "FAIL: jit vs interpreter %.2fx < 3x\n", jit_geo);
     return 1;
   }
-  std::printf("PASS: tuner >= 2x, interpreter >= 3x%s\n",
-              toolchain.ok() ? ", jit >= 3x interpreter" : " (jit skipped)");
+  // Admission gates: every flooded ticket landed in exactly one terminal
+  // bucket, and the bounded structures never exceeded their caps.
+  if (adm.completed + adm.rejected != adm.flood_total || adm.other != 0) {
+    std::fprintf(stderr,
+                 "FAIL: admission accounting %d completed + %d rejected + %d "
+                 "other != %d submitted\n",
+                 adm.completed, adm.rejected, adm.other, adm.flood_total);
+    return 1;
+  }
+  if (adm.rejected == 0 || adm.completed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the flood must both shed (%d rejected) and make "
+                 "progress (%d completed)\n",
+                 adm.rejected, adm.completed);
+    return 1;
+  }
+  if (adm.max_queued_seen > adm.queue_cap) {
+    std::fprintf(stderr, "FAIL: queue depth %zu exceeded the %zu cap\n",
+                 adm.max_queued_seen, adm.queue_cap);
+    return 1;
+  }
+  if (std::max(adm.max_memo_seen, adm.churn_max_memo_seen) > adm.memo_cap) {
+    std::fprintf(stderr, "FAIL: memo entries %zu exceeded the %zu cap\n",
+                 std::max(adm.max_memo_seen, adm.churn_max_memo_seen),
+                 adm.memo_cap);
+    return 1;
+  }
+  if (adm.churn_evictions == 0) {
+    std::fprintf(stderr,
+                 "FAIL: 256 distinct chains through a 32-entry memo must "
+                 "evict\n");
+    return 1;
+  }
+  std::printf("PASS: tuner >= 2x, interpreter >= 3x%s, admission bounded "
+              "(queue %zu<=%zu, memo %zu<=%zu, %d shed)\n",
+              toolchain.ok() ? ", jit >= 3x interpreter" : " (jit skipped)",
+              adm.max_queued_seen, adm.queue_cap,
+              std::max(adm.max_memo_seen, adm.churn_max_memo_seen),
+              adm.memo_cap, adm.rejected);
   return 0;
 }
 

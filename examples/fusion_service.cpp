@@ -1,6 +1,7 @@
 // FusionEngine as a service: asynchronous submission with FusionTicket
 // (wait / ready / progress / cancellation), graph-level batch fusion with
-// digest dedup, and the structured FusionStatus taxonomy.
+// digest dedup, the structured FusionStatus taxonomy, and admission
+// control (bounded queue + load shedding + EngineStats).
 //
 //   build/examples/fusion_service
 #include <cstdio>
@@ -14,8 +15,14 @@ int main() {
 
   // One long-lived engine per deployment: it owns the GPU spec, the
   // resolved measurement backend, the worker pool, and the result memo.
+  // Production engines bound their queue and memo so a traffic burst
+  // sheds load (FusionStatus::Rejected) instead of growing without
+  // bound — see docs/api.md "Admission control".
   FusionEngineOptions opts;
   opts.jobs = 4;
+  opts.queue.max_queued = 64;
+  opts.queue.overflow = OverflowPolicy::Reject;
+  opts.memo.max_entries = 1024;
   FusionEngine engine(gpu, opts);
 
   // --- 1. Async submission: tickets are future-like handles. ---------------
@@ -58,6 +65,17 @@ int main() {
               again.tuned_chains, engine.result_cache_size());
 
   std::printf("\nJSON report:\n%s\n", again.to_json().c_str());
+
+  // --- 3b. Observability: the engine health snapshot. ----------------------
+  const EngineStats stats = engine.stats();
+  std::printf("\nengine stats: submitted=%llu completed=%llu rejected=%llu "
+              "cancelled=%llu memo=%zu entries / %zu bytes (%llu evicted)\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.cancelled),
+              stats.memo_entries, stats.memo_bytes,
+              static_cast<unsigned long long>(stats.memo_evictions));
 
   // --- 4. Deploy-side execution: the fused kernel runs natively. -----------
   // FusionResult::kernel executes through the jit subsystem when a host

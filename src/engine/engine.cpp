@@ -1,6 +1,8 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "graph/partitioner.hpp"
@@ -24,9 +26,50 @@ const char* fusion_status_name(FusionStatus s) noexcept {
       return "measure-failed";
     case FusionStatus::Cancelled:
       return "cancelled";
+    case FusionStatus::Rejected:
+      return "rejected";
+    case FusionStatus::DeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }
+
+const char* overflow_policy_name(OverflowPolicy p) noexcept {
+  switch (p) {
+    case OverflowPolicy::Reject:
+      return "reject";
+    case OverflowPolicy::Block:
+      return "block";
+    case OverflowPolicy::ReplaceOldest:
+      return "replace-oldest";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Approximate heap payload of a memoized result — what the MemoLimits
+/// byte cap counts.  Exactness is not the point (the kernel/schedule
+/// payload is estimated flat); monotone growth with result size is.
+std::size_t approx_result_bytes(const FusionResult& r) {
+  std::size_t bytes = sizeof(FusionResult);
+  bytes += r.reason.capacity();
+  bytes += r.tuned.fail_reason.capacity();
+  bytes += r.tuned.est_vs_measured.capacity() * sizeof(std::pair<double, double>);
+  bytes += static_cast<std::size_t>(r.tuned.best.tiles.size()) *
+           sizeof(std::int64_t);
+  if (r.kernel.has_value()) bytes += 1024;  // schedule tree + lowering state
+  return bytes;
+}
+
+FusionResult make_shed_result(FusionStatus status, std::string reason) {
+  FusionResult r;
+  r.status = status;
+  r.reason = std::move(reason);
+  return r;
+}
+
+}  // namespace
 
 // ---- FusionTicket -----------------------------------------------------------
 
@@ -50,9 +93,18 @@ void FusionTicket::wait() const {
 bool FusionTicket::wait_for(double seconds) const {
   MCF_CHECK(state_ != nullptr) << "wait_for() on an empty FusionTicket";
   std::unique_lock<std::mutex> lk(state_->mu);
-  return state_->cv.wait_for(
-      lk, std::chrono::duration<double>(std::max(0.0, seconds)),
-      [&] { return state_->done; });
+  // Contract: <= 0 (and NaN, which fails every comparison) polls once.
+  if (!(seconds > 0.0)) return state_->done;
+  // +inf and absurdly large finite waits become wait(): feeding them to
+  // cv.wait_for would overflow the steady_clock arithmetic.  1e9 s (~31
+  // years) still fits an int64 nanosecond deadline with headroom.
+  constexpr double kMaxWaitSeconds = 1e9;
+  if (!std::isfinite(seconds) || seconds >= kMaxWaitSeconds) {
+    state_->cv.wait(lk, [&] { return state_->done; });
+    return true;
+  }
+  return state_->cv.wait_for(lk, std::chrono::duration<double>(seconds),
+                             [&] { return state_->done; });
 }
 
 const FusionResult& FusionTicket::get() const {
@@ -62,6 +114,14 @@ const FusionResult& FusionTicket::get() const {
 
 bool FusionTicket::cancel() {
   if (!state_) return false;
+  {
+    // A finished job is untouchable: no cancel flag is raised (the shared
+    // TicketState may be aliased by a fuse_chains memo entry), the stored
+    // result stays as-is, and the call reports false.
+    std::lock_guard<std::mutex> lk(state_->mu);
+    if (state_->done) return false;
+  }
+  // Idempotent: re-raising an already-raised flag is a no-op.
   state_->progress->request_cancel();
   std::lock_guard<std::mutex> lk(state_->mu);
   return !state_->done;
@@ -132,6 +192,17 @@ std::string GraphFusionReport::to_json() const {
      << ",\"cache_hits\":" << jit_compile.cache_hits()
      << ",\"failures\":" << jit_compile.failures
      << ",\"compile_wall_s\":" << jit_compile.compile_wall_s
+     << "},\"engine\":{\"queued\":" << engine_stats.queued
+     << ",\"busy\":" << engine_stats.busy
+     << ",\"workers\":" << engine_stats.workers
+     << ",\"submitted\":" << engine_stats.submitted
+     << ",\"completed\":" << engine_stats.completed
+     << ",\"rejected\":" << engine_stats.rejected
+     << ",\"cancelled\":" << engine_stats.cancelled
+     << ",\"deadline_exceeded\":" << engine_stats.deadline_exceeded
+     << ",\"memo_entries\":" << engine_stats.memo_entries
+     << ",\"memo_bytes\":" << engine_stats.memo_bytes
+     << ",\"memo_evictions\":" << engine_stats.memo_evictions
      << "},\"chains\":[";
   for (std::size_t i = 0; i < chains.size(); ++i) {
     const GraphChainReport& c = chains[i];
@@ -173,7 +244,9 @@ std::string GraphFusionReport::to_json() const {
 // ---- FusionEngine -----------------------------------------------------------
 
 FusionEngine::FusionEngine(GpuSpec gpu, FusionEngineOptions options)
-    : gpu_(std::move(gpu)), opt_(std::move(options)) {
+    : gpu_(std::move(gpu)), opt_(std::move(options)),
+      results_(decltype(results_)::Limits{opt_.memo.max_entries,
+                                          opt_.memo.max_bytes}) {
   opt_.prune.smem_limit_bytes = gpu_.smem_per_block;
   if (!opt_.backend.empty()) {
     opt_.tuner.backend = BackendRegistry::instance().create(opt_.backend, gpu_);
@@ -198,7 +271,27 @@ FusionEngine::~FusionEngine() {
     stop_ = true;
   }
   queue_cv_.notify_all();
+  room_cv_.notify_all();  // blocked submitters resolve their tickets Cancelled
+  {
+    // A submitter woken above still runs the tail of admit() (resolving
+    // its ticket, touching the admission counters and the memo).  Wait
+    // for every in-progress admit() to leave before tearing the engine
+    // down — otherwise a Block-policy submitter races destruction.
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    drained_cv_.wait(lk, [&] { return admitting_ == 0; });
+  }
   for (std::thread& w : workers_) w.join();
+  // With workers, the loop above drained the backlog as Cancelled.  The
+  // defensive sweep covers an engine that never spawned one: every
+  // outstanding ticket must still resolve so no waiter hangs.
+  std::deque<std::shared_ptr<detail::TicketState>> leftover;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    leftover.swap(queue_);
+  }
+  for (const auto& s : leftover) {
+    finish(s, make_shed_result(FusionStatus::Cancelled, "engine shutting down"));
+  }
 }
 
 FusionEngineOptions FusionEngine::chimera_options() {
@@ -308,6 +401,7 @@ void FusionEngine::worker_loop() {
       queue_.pop_front();
       ++busy_;
     }
+    room_cv_.notify_one();  // a queue slot freed up
     FusionResult r;
     if (stopping) {
       // Shutdown never tunes the backlog: running jobs complete, queued
@@ -319,6 +413,14 @@ void FusionEngine::worker_loop() {
       // distinguish a queued-cancel from a mid-run cancel.
       r.status = FusionStatus::Cancelled;
       r.reason = "cancelled before the job started";
+    } else if (job->has_deadline &&
+               std::chrono::steady_clock::now() > job->deadline) {
+      // Load shedding: a job that waited past its deadline is dropped at
+      // pick-up without tuning — nobody is waiting for a stale answer.
+      std::ostringstream os;
+      os << "queue wait exceeded the " << opt_.queue.deadline_s
+         << "s admission deadline";
+      r = make_shed_result(FusionStatus::DeadlineExceeded, os.str());
     } else {
       {
         std::lock_guard<std::mutex> lk(job->mu);
@@ -326,16 +428,36 @@ void FusionEngine::worker_loop() {
       }
       r = run_one(job->chain, job->progress);
     }
-    finish(job, std::move(r));
+    // Release the in-flight slot BEFORE publishing the result: once the
+    // last ticket of a burst resolves, stats() must already show
+    // busy == 0 (the stress suite pins this ordering).
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
       --busy_;
     }
+    room_cv_.notify_one();  // an in-flight slot freed up
+    finish(job, std::move(r));
   }
 }
 
 void FusionEngine::finish(const std::shared_ptr<detail::TicketState>& state,
                           FusionResult result) {
+  // Outcome accounting: every admitted-or-shed job lands in exactly one
+  // terminal bucket (the stress suite pins the sum against submitted).
+  switch (result.status) {
+    case FusionStatus::Rejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FusionStatus::Cancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FusionStatus::DeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
   {
     std::lock_guard<std::mutex> lk(state->mu);
     state->result = std::move(result);
@@ -350,10 +472,22 @@ void FusionEngine::finish(const std::shared_ptr<detail::TicketState>& state,
     // see the failure through their tickets, and the next call re-tunes.
     std::lock_guard<std::mutex> lk(memo_mu_);
     if (state->result.ok()) {
-      results_.emplace(state->memo_digest, std::shared_ptr<const FusionResult>(
-                                               state, &state->result));
+      // The aliasing shared_ptr keeps the ticket state (and thus the
+      // result) alive as long as the memo entry does; a racing tuner of
+      // the same digest keeps the incumbent (results are deterministic
+      // per chain, so the payloads match).
+      auto aliased =
+          std::shared_ptr<const FusionResult>(state, &state->result);
+      const std::size_t bytes = approx_result_bytes(*aliased);
+      (void)results_.insert(state->memo_digest, std::move(aliased), bytes);
     }
-    inflight_.erase(state->memo_digest);
+    // Only this job's own dedup registration is retired: a submit() job
+    // sharing a digest with a concurrent fuse_chains job must not erase
+    // the batch job's in-flight entry.
+    if (const auto it = inflight_.find(state->memo_digest);
+        it != inflight_.end() && it->second == state) {
+      inflight_.erase(it);
+    }
   }
   {
     std::lock_guard<std::mutex> lk(state->mu);
@@ -362,16 +496,116 @@ void FusionEngine::finish(const std::shared_ptr<detail::TicketState>& state,
   state->cv.notify_all();
 }
 
-FusionTicket FusionEngine::submit(ChainSpec chain) {
-  auto state = std::make_shared<detail::TicketState>(std::move(chain));
+bool FusionEngine::queue_full_locked() const {
+  const QueuePolicy& q = opt_.queue;
+  if (q.max_queued != 0 && queue_.size() >= q.max_queued) return true;
+  if (q.max_in_flight != 0 && queue_.size() + busy_ >= q.max_in_flight) {
+    return true;
+  }
+  return false;
+}
+
+FusionTicket FusionEngine::admit(std::shared_ptr<detail::TicketState> state,
+                                 bool may_block, bool batch) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const QueuePolicy& qp = opt_.queue;
+  // Same overflow guard as FusionTicket::wait_for: a deadline past ~31
+  // years would overflow the int64 nanosecond cast (UB), and means "no
+  // deadline" anyway.  NaN/inf/non-positive also mean no deadline.
+  constexpr double kMaxDeadlineSeconds = 1e9;
+  if (std::isfinite(qp.deadline_s) && qp.deadline_s > 0.0 &&
+      qp.deadline_s < kMaxDeadlineSeconds) {
+    state->has_deadline = true;
+    state->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(qp.deadline_s));
+  }
+  state->sheddable = !batch;
+
+  std::shared_ptr<detail::TicketState> evicted;
+  bool admitted = false;
+  bool shutdown = false;
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    MCF_CHECK(!stop_) << "submit() on a shut-down FusionEngine";
+    // Registered until the tail of this function completes: the
+    // destructor waits on admitting_ so a submitter woken from the
+    // Block wait below never touches a dead engine.
+    ++admitting_;
+    if (!queue_full_locked()) {
+      admitted = true;
+    } else if (batch || (may_block && qp.overflow == OverflowPolicy::Block)) {
+      // Batch (fuse_chains) jobs always wait for a slot: a batch call
+      // owns its backlog, and shedding its chains would fail the report.
+      room_cv_.wait(lk, [&] { return stop_ || !queue_full_locked(); });
+      if (stop_) {
+        shutdown = true;
+      } else {
+        admitted = true;
+      }
+    } else if (qp.overflow == OverflowPolicy::ReplaceOldest) {
+      // Shed the oldest sheddable queued job to make room; batch jobs
+      // are pinned, and a queue full of pinned jobs rejects the newcomer
+      // instead (the bound always holds).
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if ((*it)->sheddable) {
+          evicted = std::move(*it);
+          queue_.erase(it);
+          break;
+        }
+      }
+      admitted = evicted != nullptr;
+    }
+    if (admitted) {
+      queue_.push_back(state);
+      spawn_worker_locked();
+    }
+  }
+  if (evicted != nullptr) {
+    finish(evicted,
+           make_shed_result(FusionStatus::Rejected,
+                            "replaced by a newer submission (replace-oldest "
+                            "overflow policy)"));
+  }
+  if (admitted) {
+    queue_cv_.notify_one();
+  } else if (shutdown) {
+    finish(state,
+           make_shed_result(FusionStatus::Cancelled, "engine shutting down"));
+  } else {
+    std::ostringstream os;
+    os << "admission queue full (max_queued=" << qp.max_queued
+       << ", max_in_flight=" << qp.max_in_flight
+       << ", policy=" << overflow_policy_name(qp.overflow) << ")";
+    finish(state, make_shed_result(FusionStatus::Rejected, os.str()));
+  }
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
-    MCF_CHECK(!stop_) << "submit() on a shut-down FusionEngine";
-    queue_.push_back(state);
-    spawn_worker_locked();
+    --admitting_;
+    // Notify UNDER the lock: the waiting destructor cannot wake until we
+    // release queue_mu_, by which point this thread never touches the
+    // engine again — releasing first would let it free drained_cv_ while
+    // we still hold a reference.
+    drained_cv_.notify_all();
   }
-  queue_cv_.notify_one();
   return FusionTicket(std::move(state));
+}
+
+FusionTicket FusionEngine::submit(ChainSpec chain) {
+  auto state = std::make_shared<detail::TicketState>(std::move(chain));
+  // Ok results publish into the digest memo so later fuse_graph /
+  // fuse_chains calls reuse them.  submit() itself never READS the memo:
+  // an explicit submission always tunes (ticket progress counters stay
+  // meaningful), and shed/failed tickets publish nothing.
+  state->memo_digest = chain_cache_key(state->chain);
+  return admit(std::move(state), /*may_block=*/true, /*batch=*/false);
+}
+
+FusionTicket FusionEngine::try_submit(ChainSpec chain) {
+  auto state = std::make_shared<detail::TicketState>(std::move(chain));
+  state->memo_digest = chain_cache_key(state->chain);
+  return admit(std::move(state), /*may_block=*/false, /*batch=*/false);
 }
 
 GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains,
@@ -411,8 +645,8 @@ GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains
     bool fresh = false;
     {
       std::lock_guard<std::mutex> lk(memo_mu_);
-      if (const auto hit = results_.find(digest); hit != results_.end()) {
-        cr.result = hit->second;
+      if (auto* hit = results_.find(digest)) {  // refreshes LRU recency
+        cr.result = *hit;
         cr.reused = true;
       } else if (const auto inf = inflight_.find(digest);
                  inf != inflight_.end()) {
@@ -428,13 +662,9 @@ GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains
       }
     }
     if (fresh) {
-      {
-        std::lock_guard<std::mutex> lk(queue_mu_);
-        MCF_CHECK(!stop_) << "fuse_chains() on a shut-down FusionEngine";
-        queue_.push_back(ticket.state_);
-        spawn_worker_locked();
-      }
-      queue_cv_.notify_one();
+      // Batch admission: respects the queue bounds (waits for a slot
+      // instead of shedding) and the queue-wait deadline.
+      (void)admit(ticket.state_, /*may_block=*/true, /*batch=*/true);
     }
     const std::size_t idx = rep.chains.size();
     rep.chains.push_back(std::move(cr));
@@ -455,6 +685,7 @@ GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains
   }
   rep.distinct_chains = static_cast<int>(rep.chains.size());
   rep.jit_compile = jit::stats_snapshot().since(jit_before);
+  rep.engine_stats = stats();
   return rep;
 }
 
@@ -545,6 +776,29 @@ bool FusionEngine::save_tuning_cache(const std::string& path) const {
 std::size_t FusionEngine::result_cache_size() const {
   std::lock_guard<std::mutex> lk(memo_mu_);
   return results_.size();
+}
+
+EngineStats FusionEngine::stats() const {
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    s.queued = queue_.size();
+    s.busy = busy_;
+    s.workers = workers_.size();
+    s.admitting = admitting_;
+  }
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    s.memo_entries = results_.size();
+    s.memo_bytes = results_.bytes();
+    s.memo_evictions = results_.evictions();
+  }
+  return s;
 }
 
 }  // namespace mcf

@@ -20,12 +20,21 @@
 // Every result carries a FusionStatus (engine/status.hpp) plus a
 // human-readable reason from the layer that failed — no more bool ok.
 //
+// Load hardening: the async queue is bounded (FusionEngineOptions::queue —
+// max queued, max in-flight, queue-wait deadline, overflow = Reject |
+// Block | ReplaceOldest), the result memo is LRU-bounded
+// (FusionEngineOptions::memo), and stats() snapshots queue depth,
+// admission counters and memo occupancy — a traffic burst sheds load as
+// Rejected/DeadlineExceeded tickets instead of growing without bound.
+//
 // Thread-safety: all public methods are safe to call concurrently from
 // multiple threads.  Results are deterministic per chain regardless of
 // jobs/threads (the tuner is seed-deterministic; concurrency only changes
 // wall-clock).  See docs/api.md for the full contract.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +48,7 @@
 #include <vector>
 
 #include "engine/status.hpp"
+#include "support/lru_map.hpp"
 #include "exec/jit.hpp"
 #include "exec/program.hpp"
 #include "graph/netgraph.hpp"
@@ -49,6 +59,48 @@
 namespace mcf {
 
 class MeasureBackend;
+
+/// What submit() does when the bounded admission queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  Reject,         ///< resolve the new ticket as Rejected immediately (429)
+  Block,          ///< block the submitting thread until a slot frees up
+  ReplaceOldest,  ///< shed the oldest queued job (it resolves as Rejected)
+};
+
+/// Stable display name ("reject", "block", "replace-oldest").
+[[nodiscard]] const char* overflow_policy_name(OverflowPolicy p) noexcept;
+
+/// Admission control for the asynchronous queue.  All limits default to
+/// 0 = unbounded (the pre-admission-control behaviour).  The policy
+/// governs submit()/try_submit(); the graph batch path (fuse_chains /
+/// fuse_graph) respects the queue *bounds* but always waits for a slot
+/// instead of shedding — a batch call owns its backlog — while the
+/// per-ticket deadline applies to both paths.
+struct QueuePolicy {
+  /// Max jobs waiting in the queue (not yet picked up by a worker).
+  std::size_t max_queued = 0;
+  /// Max outstanding jobs (queued + running).  Tighter of the two caps
+  /// wins when both are set.
+  std::size_t max_in_flight = 0;
+  /// Per-ticket queue-wait deadline in seconds (measured from admission):
+  /// a job still waiting when a worker finally picks it up resolves as
+  /// DeadlineExceeded without tuning.  A job that *starts* in time runs
+  /// to completion.  0 (or negative/non-finite/>= 1e9 — ~31 years, the
+  /// clock-arithmetic overflow guard) = no deadline.
+  double deadline_s = 0.0;
+  OverflowPolicy overflow = OverflowPolicy::Reject;
+};
+
+/// Byte/entry caps for the engine's digest-keyed result memo.  0 =
+/// unbounded.  Eviction is LRU; an evicted digest simply re-tunes on the
+/// next request (deterministically identical result — pinned by
+/// tests/engine/test_fuse_graph.cpp).  The newest entry is never evicted,
+/// so a single result larger than max_bytes still memoizes (the memo
+/// holds at most that one entry).
+struct MemoLimits {
+  std::size_t max_entries = 0;
+  std::size_t max_bytes = 0;  ///< approximate payload bytes (see stats())
+};
 
 struct FusionEngineOptions {
   SpaceOptions space;
@@ -65,6 +117,35 @@ struct FusionEngineOptions {
   /// concurrency.  Workers start lazily on the first submit()/fuse_graph();
   /// the synchronous fuse() never spawns threads.
   int jobs = 0;
+  /// Bounded admission queue (load shedding); defaults to unbounded.
+  QueuePolicy queue;
+  /// Caps on the digest-keyed result memo; defaults to unbounded.
+  MemoLimits memo;
+};
+
+/// Point-in-time engine observability snapshot (stats()); the counter
+/// fields are monotonic over the engine's lifetime.  Every job that
+/// enters the admission path (submit, try_submit, fresh fuse_chains
+/// work) counts in `submitted` and lands in exactly one of
+/// completed/rejected/cancelled/deadline_exceeded — the stress suite pins
+/// the identity submitted == completed + rejected + cancelled +
+/// deadline_exceeded once all tickets resolved.  The synchronous fuse()
+/// path never touches the queue and is not counted.
+struct EngineStats {
+  std::size_t queued = 0;   ///< jobs waiting for a worker (instantaneous)
+  std::size_t busy = 0;     ///< workers currently running a job
+  std::size_t workers = 0;  ///< worker threads spawned so far
+  /// Admission calls in progress — in particular, submitters blocked
+  /// waiting for a queue slot under the Block overflow policy.
+  std::size_t admitting = 0;
+  std::uint64_t submitted = 0;  ///< admission attempts (terminal-or-queued)
+  std::uint64_t completed = 0;  ///< ran the pipeline (Ok or a tuning failure)
+  std::uint64_t rejected = 0;   ///< shed at admission (queue full)
+  std::uint64_t cancelled = 0;  ///< resolved Cancelled (ticket or shutdown)
+  std::uint64_t deadline_exceeded = 0;  ///< shed after queue-wait deadline
+  std::size_t memo_entries = 0;  ///< digests currently memoized
+  std::size_t memo_bytes = 0;    ///< approximate memoized payload bytes
+  std::uint64_t memo_evictions = 0;  ///< results LRU-evicted so far
 };
 
 /// Everything the fusion pipeline produces for one chain.
@@ -97,6 +178,14 @@ struct TicketState {
   /// Set when the result must also be published to the engine's
   /// digest-keyed memo (fuse_graph path).
   std::string memo_digest;
+  /// Queue-wait deadline (QueuePolicy::deadline_s); checked by the worker
+  /// at pick-up time.  Batch (fuse_chains) jobs are exempt from
+  /// ReplaceOldest shedding but not from the deadline.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Batch jobs must not be shed by ReplaceOldest: the batch call owns
+  /// its backlog and waits for it.
+  bool sheddable = true;
 
   mutable std::mutex mu;
   mutable std::condition_variable cv;
@@ -131,6 +220,10 @@ class FusionTicket {
   /// Blocks until the job completes.
   void wait() const;
   /// Blocks up to `seconds`; true when the job completed in time.
+  /// Contract for degenerate inputs: seconds <= 0 or NaN polls once
+  /// (equivalent to ready()); +infinity (or any wait beyond ~31 years)
+  /// waits indefinitely like wait().  Raw doubles never reach the
+  /// condition variable unclamped.
   bool wait_for(double seconds) const;
   /// Waits, then returns the result (owned by the shared state — valid as
   /// long as any ticket copy is alive).
@@ -140,7 +233,10 @@ class FusionTicket {
   /// running; a running job stops (as Cancelled) at its next generation
   /// or refinement-round boundary.  A job past tuning (or already done)
   /// completes normally — never a silently truncated search.  Returns
-  /// true when the request was registered before the job finished.
+  /// true when the request was registered before the job finished; once
+  /// the job is done, cancel() returns false and is a guaranteed no-op
+  /// (the finished result is never touched).  Cancelling twice is
+  /// idempotent.  Both properties are pinned by tests/engine.
   bool cancel();
 
   [[nodiscard]] Progress progress() const;
@@ -181,6 +277,9 @@ struct GraphFusionReport {
   /// the per-wave batching amortised compiler invocations; cache hits
   /// count kernels resolved without compiling at all.
   jit::CompileStats jit_compile;
+  /// Engine snapshot taken as the call returns (queue depth, admission
+  /// counters, memo occupancy) — the service-health section of to_json.
+  EngineStats engine_stats;
   std::vector<GraphChainReport> chains;
   /// For input subgraph/chain i: index into `chains`.
   std::vector<int> sub_to_chain;
@@ -215,8 +314,19 @@ class FusionEngine {
       const ChainSpec& chain,
       std::shared_ptr<TuningProgress> progress = nullptr) const;
 
-  /// Asynchronous submission onto the engine's worker pool.
+  /// Asynchronous submission onto the engine's worker pool, subject to
+  /// the configured QueuePolicy.  With a full bounded queue the call
+  /// sheds or blocks per QueuePolicy::overflow; a shed submission still
+  /// returns a valid ticket, already resolved as Rejected (callers
+  /// branch on get().status, never on ticket validity).  An Ok result is
+  /// published to the digest memo (so fuse_graph reuses it), but submit
+  /// never reads the memo — an explicit submission always tunes.
   [[nodiscard]] FusionTicket submit(ChainSpec chain);
+
+  /// Non-blocking submission: like submit(), but when the queue is full
+  /// under the Block policy it returns a Rejected ticket immediately
+  /// instead of waiting (Reject and ReplaceOldest behave as in submit()).
+  [[nodiscard]] FusionTicket try_submit(ChainSpec chain);
 
   /// Whole-graph batch fusion: partition -> digest-dedup -> concurrent
   /// tuning of distinct chains -> report.  Results are memoized in the
@@ -242,6 +352,10 @@ class FusionEngine {
   /// Distinct chain digests with a memoized successful result (failures
   /// are reported but never memoized — the next request re-tunes).
   [[nodiscard]] std::size_t result_cache_size() const;
+
+  /// Point-in-time observability snapshot (queue depth, admission
+  /// counters, memo occupancy/evictions).  Safe to call concurrently.
+  [[nodiscard]] EngineStats stats() const;
 
   /// Preset reproducing the paper's MCFuser-Chimera baseline: deep
   /// tilings only, no extent-1 hoisting (§VI-A "Comparisons").
@@ -270,20 +384,44 @@ class FusionEngine {
   void finish(const std::shared_ptr<detail::TicketState>& state,
               FusionResult result);
 
+  /// True when the bounded queue has no room (caller holds queue_mu_).
+  [[nodiscard]] bool queue_full_locked() const;
+  /// Shared admission path behind submit()/try_submit()/fuse_chains.
+  /// `may_block` enables the Block overflow behaviour; `batch` marks a
+  /// fuse_chains job (never shed at admission, waits for a slot, exempt
+  /// from ReplaceOldest eviction).
+  [[nodiscard]] FusionTicket admit(std::shared_ptr<detail::TicketState> state,
+                                   bool may_block, bool batch);
+
   GpuSpec gpu_;
   FusionEngineOptions opt_;
 
-  // Async workers (lazy).
+  // Async workers (lazy) + bounded admission queue.
   mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
+  std::condition_variable queue_cv_;  ///< wakes workers (new job / stop)
+  std::condition_variable room_cv_;   ///< wakes blocked submitters (slot free)
+  std::condition_variable drained_cv_;  ///< wakes the destructor (admits done)
   std::deque<std::shared_ptr<detail::TicketState>> queue_;
   std::vector<std::thread> workers_;
   std::size_t busy_ = 0;  ///< workers currently running a job (queue_mu_)
+  /// admit() calls past the shutdown check but not yet finished — the
+  /// destructor waits for this to hit 0 so a submitter blocked under the
+  /// Block policy never touches a dead engine (queue_mu_).
+  std::size_t admitting_ = 0;
   bool stop_ = false;
 
-  // Digest-keyed memo of finished results + in-flight dedup.
+  // Admission/outcome counters (EngineStats); relaxed atomics — they are
+  // observability, never control flow.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+
+  // Digest-keyed LRU memo of finished results (bounded by opt_.memo;
+  // support/lru_map.hpp) + in-flight dedup.
   mutable std::mutex memo_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const FusionResult>> results_;
+  LruMap<std::string, std::shared_ptr<const FusionResult>> results_;
   std::unordered_map<std::string, std::shared_ptr<detail::TicketState>> inflight_;
 
   // Engine-owned persistent tuning cache.

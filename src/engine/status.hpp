@@ -1,8 +1,14 @@
 // Structured fusion outcomes (the service-grade replacement for the old
 // `FusionResult::ok` bool): every failure mode of the pipeline — space
-// generation, pruning, tuning/measurement, lowering, cancellation — maps
+// generation, pruning, tuning/measurement, lowering, cancellation, and
+// admission control (bounded-queue shedding, queue-wait deadlines) — maps
 // to one FusionStatus value, and FusionResult::reason carries the
 // human-readable detail from the layer that failed.
+//
+// Migration note: code that `switch`es exhaustively on FusionStatus must
+// add the load-shedding values Rejected and DeadlineExceeded (both are
+// terminal, non-retryable-as-is outcomes of submit()/try_submit() under a
+// QueuePolicy; see docs/api.md "Admission control").
 #pragma once
 
 #include <cstdint>
@@ -10,12 +16,14 @@
 namespace mcf {
 
 enum class FusionStatus : std::uint8_t {
-  Ok,               ///< tuned, compiled, ready to run
-  InvalidChain,     ///< ChainSpec failed construction-time validation
-  InfeasibleSpace,  ///< space generation produced no tiling expressions
-  PruneEmpty,       ///< raw space non-empty, but pruning left 0 candidates
-  MeasureFailed,    ///< no candidate measured/lowered successfully
-  Cancelled,        ///< cancelled via FusionTicket before completion
+  Ok,                ///< tuned, compiled, ready to run
+  InvalidChain,      ///< ChainSpec failed construction-time validation
+  InfeasibleSpace,   ///< space generation produced no tiling expressions
+  PruneEmpty,        ///< raw space non-empty, but pruning left 0 candidates
+  MeasureFailed,     ///< no candidate measured/lowered successfully
+  Cancelled,         ///< cancelled via FusionTicket before completion
+  Rejected,          ///< shed at admission: bounded queue full (QueuePolicy)
+  DeadlineExceeded,  ///< queue wait exceeded QueuePolicy::deadline_s
 };
 
 /// Stable display name ("ok", "invalid-chain", ...).

@@ -18,6 +18,7 @@
 #include "exec/codegen.hpp"
 #include "measure/backend.hpp"
 #include "support/logging.hpp"
+#include "support/lru_map.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -66,19 +67,55 @@ constexpr const char* kCompileFlags =
   return os.str();
 }
 
-/// Process-wide kernel registry: resolved entry points, dlopen handles
-/// (never closed — function pointers must outlive everything), negative
-/// results, and the compile counters.
+/// In-memory entry cap of the resolved-kernel map and the negative cache
+/// (each).  The maps hold only pointers/strings, but under a flood of
+/// millions of distinct schedules an unbounded registry is still an OOM
+/// vector — evicted entries re-resolve from the on-disk cache (a dlsym,
+/// counted as a disk hit), so the cap trades a cheap lookup for bounded
+/// memory.  MCFUSER_JIT_KERNEL_CAP overrides; 0 = unbounded.
+[[nodiscard]] std::size_t kernel_map_cap() {
+  static const std::size_t cap = [] {
+    if (const char* env = std::getenv("MCFUSER_JIT_KERNEL_CAP")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0) {
+        return static_cast<std::size_t>(v);
+      }
+      MCF_LOG(Warn) << "ignoring invalid MCFUSER_JIT_KERNEL_CAP '" << env
+                    << "' (want a non-negative integer)";
+    }
+    return std::size_t{4096};
+  }();
+  return cap;
+}
+
+/// Process-wide kernel registry: resolved entry points and negative
+/// results (both LRU-bounded by kernel_map_cap(); support/lru_map.hpp),
+/// dlopen handles (never closed — resolved function pointers must
+/// outlive everything, eviction included), and the compile counters.
+/// All members require holding `mu`.
 struct Registry {
   std::mutex mu;
-  std::unordered_map<std::uint64_t, KernelFn> fns;
-  std::unordered_map<std::uint64_t, std::string> failed;  ///< key -> reason
-  std::unordered_map<std::string, void*> handles;         ///< so path -> handle
+  LruMap<std::uint64_t, KernelFn> fns;
+  LruMap<std::uint64_t, std::string> failed;  ///< key -> reason
+  std::unordered_map<std::string, void*> handles;  ///< so path -> handle
   CompileStats stats;
+
+  Registry()
+      : fns(LruMap<std::uint64_t, KernelFn>::Limits{kernel_map_cap(), 0}),
+        failed(
+            LruMap<std::uint64_t, std::string>::Limits{kernel_map_cap(), 0}) {}
 
   static Registry& instance() {
     static Registry r;
     return r;
+  }
+
+  /// Mirror the LRU eviction counters into the public stats snapshot
+  /// (call after any insert; caller holds `mu`).
+  void sync_evictions_locked() {
+    stats.evictions =
+        static_cast<std::int64_t>(fns.evictions() + failed.evictions());
   }
 };
 
@@ -253,11 +290,13 @@ struct EmittedKernel {
     KernelFn fn = load_symbol_locked(reg, so_path.string(), p.symbol, &err);
     if (fn == nullptr) {
       reg.stats.failures += 1;
-      reg.failed.emplace(p.key, err);
+      (void)reg.failed.insert(p.key, std::move(err));
+      reg.sync_evictions_locked();
       continue;
     }
     reg.stats.kernels_compiled += 1;
-    reg.fns.emplace(p.key, fn);
+    (void)reg.fns.insert(p.key, fn);
+    reg.sync_evictions_locked();
     // Per-kernel index entry: key -> (shared object, symbol), so any
     // later process resolves this kernel without recompiling.  Written
     // via tmp+rename for the same cross-process atomicity.
@@ -288,7 +327,7 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
   {
     const std::lock_guard<std::mutex> lock(reg.mu);
     std::erase_if(pending, [&](const EmittedKernel& p) {
-      return reg.fns.count(p.key) != 0 || reg.failed.count(p.key) != 0;
+      return reg.fns.contains(p.key) || reg.failed.contains(p.key);
     });
   }
   if (pending.empty()) return;
@@ -302,14 +341,16 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
       if (!fail.empty()) {
         const std::lock_guard<std::mutex> lock(reg.mu);
         reg.stats.failures += 1;
-        reg.failed.emplace(p.key, fail);
+        (void)reg.failed.insert(p.key, fail);
+        reg.sync_evictions_locked();
       }
     }
     return;
   }
   const std::lock_guard<std::mutex> lock(reg.mu);
   reg.stats.failures += 1;
-  reg.failed.emplace(pending.front().key, std::move(fail));
+  (void)reg.failed.insert(pending.front().key, std::move(fail));
+  reg.sync_evictions_locked();
 }
 
 /// In-memory or on-disk hit; nullptr on miss.  `miss_reason` (nullable)
@@ -321,12 +362,12 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
   Registry& reg = Registry::instance();
   {
     const std::lock_guard<std::mutex> lock(reg.mu);
-    if (const auto it = reg.fns.find(key); it != reg.fns.end()) {
+    if (const KernelFn* fn = reg.fns.find(key)) {
       if (count_hits) ++reg.stats.mem_hits;
-      return it->second;
+      return *fn;
     }
-    if (const auto it = reg.failed.find(key); it != reg.failed.end()) {
-      if (miss_reason != nullptr) *miss_reason = it->second;
+    if (const std::string* why = reg.failed.find(key)) {
+      if (miss_reason != nullptr) *miss_reason = *why;
       return nullptr;
     }
   }
@@ -341,15 +382,16 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
   if (!fs::exists(so_path, ec)) return nullptr;
 
   const std::lock_guard<std::mutex> lock(reg.mu);
-  if (const auto it = reg.fns.find(key); it != reg.fns.end()) {
+  if (const KernelFn* racing = reg.fns.find(key)) {
     ++reg.stats.mem_hits;
-    return it->second;
+    return *racing;
   }
   std::string err;
   KernelFn fn = load_symbol_locked(reg, so_path.string(), symbol, &err);
   if (fn == nullptr) return nullptr;  // stale entry: fall through to compile
   ++reg.stats.disk_hits;
-  reg.fns.emplace(key, fn);
+  (void)reg.fns.insert(key, fn);
+  reg.sync_evictions_locked();
   return fn;
 }
 
@@ -435,7 +477,7 @@ void prepare_kernels(std::span<const Schedule* const> batch,
     {
       Registry& reg = Registry::instance();
       const std::lock_guard<std::mutex> lock(reg.mu);
-      if (reg.failed.count(ek.key) != 0) continue;
+      if (reg.failed.contains(ek.key)) continue;
     }
     pending.push_back(std::move(ek));
   }

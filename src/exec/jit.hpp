@@ -15,9 +15,21 @@
 //     schedule_structure_digest (which already folds the tiles) + the gpu
 //     key + the emitted source + compile flags; a `<key>.idx` file maps
 //     the key to its shared object and symbol, so recompiles are free
-//     across tuner generations, engine calls and processes.  There is no
-//     automatic eviction: the cache is bounded by the distinct schedules
-//     a deployment tunes, and `rm -rf` of the directory is always safe.
+//     across tuner generations, engine calls and processes.  The on-disk
+//     directory has no automatic eviction (it is bounded by the distinct
+//     schedules a deployment tunes, and `rm -rf` is always safe); the
+//     IN-MEMORY resolved-kernel map and negative cache are LRU-bounded
+//     (MCFUSER_JIT_KERNEL_CAP, default 4096 entries each); an evicted
+//     key re-resolves from disk with one dlsym.  Scope of that bound:
+//     it caps the registry MAPS only — dlopen handles (and the resident
+//     .so mappings behind them) are deliberately never closed, because
+//     resolved function pointers must stay valid forever, so process
+//     memory still grows with the number of distinct TUs *compiled or
+//     loaded in this process*.  Deployments that tune truly unbounded
+//     distinct-schedule traffic should front the jit with admission
+//     control / a measurement cache (see docs/measurement.md) or
+//     recycle the process; closing idle handles safely is an open
+//     ROADMAP item.
 //   * JitKernel — per-schedule handle: compile (or cache-hit) at
 //     construction, then run() executes the fused chain natively with
 //     thread-pool block parallelism and per-slot scratch arenas,
@@ -67,6 +79,7 @@ struct CompileStats {
   std::int64_t mem_hits = 0;          ///< resolved from the in-process map
   std::int64_t disk_hits = 0;         ///< resolved from the on-disk cache
   std::int64_t failures = 0;          ///< compile/dlopen/dlsym failures
+  std::int64_t evictions = 0;         ///< in-memory LRU entries dropped
   double compile_wall_s = 0.0;        ///< wall time inside the compiler
   [[nodiscard]] std::int64_t cache_hits() const noexcept {
     return mem_hits + disk_hits;
@@ -79,6 +92,7 @@ struct CompileStats {
     d.mem_hits = mem_hits - before.mem_hits;
     d.disk_hits = disk_hits - before.disk_hits;
     d.failures = failures - before.failures;
+    d.evictions = evictions - before.evictions;
     d.compile_wall_s = compile_wall_s - before.compile_wall_s;
     return d;
   }

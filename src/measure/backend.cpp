@@ -45,12 +45,27 @@ std::uint64_t schedule_structure_digest(const Schedule& s) {
 
 namespace detail {
 
+ExecMeasureState::ExecMeasureState() : ExecMeasureState(Limits()) {}
+
+ExecMeasureState::ExecMeasureState(Limits limits)
+    : gates_(LruMap<std::uint64_t, Gate>::Limits{limits.max_gates, 0}),
+      data_(LruMap<std::string, std::shared_ptr<const ChainData>>::Limits{
+          limits.max_data_entries, limits.max_data_bytes}) {}
+
+std::size_t ExecMeasureState::ChainData::bytes() const noexcept {
+  std::size_t total = static_cast<std::size_t>(a.numel()) * sizeof(float);
+  for (const Tensor& w : weights) {
+    total += static_cast<std::size_t>(w.numel()) * sizeof(float);
+  }
+  return total;
+}
+
 ExecMeasureState::Gate ExecMeasureState::gate(const Schedule& s,
                                               const GpuSpec& gpu) const {
   const std::uint64_t key = schedule_structure_digest(s);
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = gates_.find(key); it != gates_.end()) return it->second;
+    if (const Gate* hit = gates_.find(key)) return *hit;
   }
   // The same lowering gate as CompiledKernel: infeasible schedules fail
   // with a reason instead of executing (conformance contract).
@@ -72,7 +87,7 @@ ExecMeasureState::Gate ExecMeasureState::gate(const Schedule& s,
     }
   }
   const std::lock_guard<std::mutex> lock(mu_);
-  return gates_.emplace(key, std::move(g)).first->second;
+  return gates_.insert(key, std::move(g));
 }
 
 std::shared_ptr<const ExecMeasureState::ChainData> ExecMeasureState::data(
@@ -81,7 +96,7 @@ std::shared_ptr<const ExecMeasureState::ChainData> ExecMeasureState::data(
       chain_cache_key(chain) + "#" + std::to_string(data_seed);
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = data_.find(key); it != data_.end()) return it->second;
+    if (const auto* hit = data_.find(key)) return *hit;
   }
   // Build outside the lock: the allocation + fill_random cost must not
   // stall concurrent measure() calls (gates share the same mutex).  A
@@ -97,8 +112,31 @@ std::shared_ptr<const ExecMeasureState::ChainData> ExecMeasureState::data(
     w.fill_random(data_seed + static_cast<std::uint64_t>(op) + 1);
     fresh->weights.push_back(std::move(w));
   }
+  const std::size_t fresh_bytes = fresh->bytes();
   const std::lock_guard<std::mutex> lock(mu_);
-  return data_.emplace(key, std::move(fresh)).first->second;
+  // Eviction only forgets, never frees in-use tensors: callers (and a
+  // racing builder that lost the insert) hold shared_ptrs either way.
+  return data_.insert(key, std::move(fresh), fresh_bytes);
+}
+
+std::size_t ExecMeasureState::gate_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gates_.size();
+}
+
+std::size_t ExecMeasureState::data_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+std::size_t ExecMeasureState::data_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return data_.bytes();
+}
+
+std::uint64_t ExecMeasureState::evictions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gates_.evictions() + data_.evictions();
 }
 
 }  // namespace detail
@@ -145,7 +183,8 @@ std::function<double()> steady_clock_seconds() {
 
 InterpreterBackend::InterpreterBackend(GpuSpec spec,
                                        InterpreterBackendOptions options)
-    : sim_(std::move(spec)), opt_(std::move(options)) {
+    : sim_(std::move(spec)), opt_(std::move(options)),
+      state_(opt_.memo_limits) {
   opt_.warmup = std::max(opt_.warmup, 0);
   opt_.repeats = std::max(opt_.repeats, 1);
   opt_.trim_fraction = std::clamp(opt_.trim_fraction, 0.0, 0.49);
@@ -178,7 +217,7 @@ KernelMeasurement InterpreterBackend::measure(
 
 JitBackend::JitBackend(GpuSpec spec, JitBackendOptions options)
     : sim_(std::move(spec)), opt_(std::move(options)),
-      toolchain_(jit::detect_toolchain()) {
+      toolchain_(jit::detect_toolchain()), state_(opt_.memo_limits) {
   opt_.warmup = std::max(opt_.warmup, 0);
   opt_.repeats = std::max(opt_.repeats, 1);
   opt_.trim_fraction = std::clamp(opt_.trim_fraction, 0.0, 0.49);

@@ -48,6 +48,7 @@
 #include "gpu/timing.hpp"
 #include "measure/measurement.hpp"
 #include "search/tuning_cache.hpp"
+#include "support/lru_map.hpp"
 #include "support/rng.hpp"
 #include "tensor/tensor.hpp"
 
@@ -147,7 +148,14 @@ namespace detail {
 ///     shared by every candidate of the same chain (building and filling
 ///     them dominated the per-measure setup cost).
 ///
-/// All methods are thread-safe; data() returns immutable shared state.
+/// Both memos are LRU-bounded (Limits) so a long-lived service that
+/// measures millions of distinct schedules/chains stays at bounded RSS:
+/// an evicted gate is recomputed, an evicted tensor set is rebuilt
+/// bit-identically (deterministic seeded fill) — eviction is a pure
+/// cost/memory trade, never a behaviour change.
+///
+/// All methods are thread-safe; data() returns immutable shared state
+/// that outlives eviction for as long as a caller holds it.
 class ExecMeasureState {
  public:
   struct Gate {
@@ -159,7 +167,21 @@ class ExecMeasureState {
   struct ChainData {
     Tensor a;
     std::vector<Tensor> weights;
+    [[nodiscard]] std::size_t bytes() const noexcept;
   };
+  /// Entry/byte caps; 0 = unbounded.  The defaults bound a backend
+  /// instance to roughly the working set of one large tuning campaign
+  /// (64Ki lowering gates, 512 MiB of cached input tensors).
+  struct Limits {
+    std::size_t max_gates = 64 * 1024;
+    std::size_t max_data_entries = 256;
+    std::size_t max_data_bytes = 512u * 1024 * 1024;
+  };
+
+  // Out of line: Limits' member defaults are not parseable until the end
+  // of the enclosing class, so no inline default argument.
+  ExecMeasureState();
+  explicit ExecMeasureState(Limits limits);
 
   /// The CompiledKernel-equivalent lowering gate, memoized by digest.
   [[nodiscard]] Gate gate(const Schedule& s, const GpuSpec& gpu) const;
@@ -167,11 +189,16 @@ class ExecMeasureState {
   [[nodiscard]] std::shared_ptr<const ChainData> data(
       const ChainSpec& chain, std::uint64_t data_seed) const;
 
+  // Occupancy/eviction observability (the admission bench samples these).
+  [[nodiscard]] std::size_t gate_entries() const;
+  [[nodiscard]] std::size_t data_entries() const;
+  [[nodiscard]] std::size_t data_bytes() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
  private:
   mutable std::mutex mu_;
-  mutable std::unordered_map<std::uint64_t, Gate> gates_;
-  mutable std::unordered_map<std::string, std::shared_ptr<const ChainData>>
-      data_;
+  mutable LruMap<std::uint64_t, Gate> gates_;
+  mutable LruMap<std::string, std::shared_ptr<const ChainData>> data_;
 };
 
 }  // namespace detail
@@ -193,6 +220,9 @@ struct InterpreterBackendOptions {
   /// Monotonic time source in seconds.  Null = std::chrono::steady_clock.
   /// Tests inject a scripted clock to pin the sampling arithmetic.
   std::function<double()> clock;
+  /// LRU caps on the lowering-gate / input-tensor memos (bounded RSS
+  /// under unbounded distinct-chain traffic); see ExecMeasureState.
+  detail::ExecMeasureState::Limits memo_limits;
 };
 
 /// Executes the candidate on the CPU through exec/interpreter and times it.
@@ -236,7 +266,8 @@ class InterpreterBackend : public MeasureBackend {
   TimingSimulator sim_;  ///< spec holder + measure_raw fallback
   InterpreterBackendOptions opt_;
   /// Digest-keyed lowering memo + shared input tensors: repeat-tile
-  /// measure() calls skip straight to execution.
+  /// measure() calls skip straight to execution.  LRU-bounded by
+  /// opt_.memo_limits.
   detail::ExecMeasureState state_;
 };
 
@@ -251,6 +282,9 @@ struct JitBackendOptions {
   std::uint64_t data_seed = 1;
   /// Monotonic time source in seconds (tests inject a scripted clock).
   std::function<double()> clock;
+  /// LRU caps on the lowering-gate / input-tensor memos (bounded RSS
+  /// under unbounded distinct-chain traffic); see ExecMeasureState.
+  detail::ExecMeasureState::Limits memo_limits;
 };
 
 /// Compiles every candidate schedule to real machine code through the

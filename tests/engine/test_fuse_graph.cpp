@@ -172,6 +172,86 @@ TEST(FuseGraph, BertGraphDedupsToOneAttentionChain) {
   EXPECT_EQ(rep.chains[0].occurrences, 12);
 }
 
+TEST(FuseGraph, MemoEvictionRetunesBitIdenticallyAndReportsFresh) {
+  const GpuSpec gpu = a100();
+  FusionEngineOptions opts;
+  opts.memo.max_entries = 2;
+  FusionEngine engine(gpu, opts);
+
+  const ChainSpec chain_a = ChainSpec::gemm_chain("a", 1, 128, 96, 64, 64);
+  const GraphFusionReport first = engine.fuse_chains({chain_a}, "first");
+  ASSERT_TRUE(first.all_ok());
+  ASSERT_EQ(first.tuned_chains, 1);
+  const FusionResult result_a = *first.chains[0].result;
+
+  // Three more distinct digests through a 2-entry memo: A (the least
+  // recently used) must fall out.
+  const GraphFusionReport flood = engine.fuse_chains(
+      {ChainSpec::gemm_chain("b", 1, 160, 96, 64, 64),
+       ChainSpec::gemm_chain("c", 1, 192, 96, 64, 64),
+       ChainSpec::gemm_chain("d", 1, 224, 96, 64, 64)},
+      "flood");
+  ASSERT_TRUE(flood.all_ok());
+  EXPECT_LE(engine.result_cache_size(), 2u);
+  EXPECT_GT(engine.stats().memo_evictions, 0u);
+
+  // The evicted digest re-tunes (fresh, not memo) and the re-tuned
+  // result is bit-identical — eviction is a cost, never a behaviour
+  // change — and from_cache/reused reporting stays accurate.
+  const GraphFusionReport second = engine.fuse_chains({chain_a}, "second");
+  ASSERT_TRUE(second.all_ok());
+  EXPECT_EQ(second.tuned_chains, 1);
+  EXPECT_FALSE(second.chains[0].reused);
+  EXPECT_GT(second.total_measurements, 0);
+  const FusionResult& retuned = *second.chains[0].result;
+  EXPECT_EQ(retuned.tuned.best.expr_id, result_a.tuned.best.expr_id);
+  EXPECT_EQ(retuned.tuned.best.tiles, result_a.tuned.best.tiles);
+  EXPECT_EQ(retuned.tuned.best_time_s, result_a.tuned.best_time_s);
+  EXPECT_EQ(retuned.tuned.stats.measurements, result_a.tuned.stats.measurements);
+
+  // ... and a third call is a memo hit again (A is now the hottest).
+  const GraphFusionReport third = engine.fuse_chains({chain_a}, "third");
+  EXPECT_EQ(third.tuned_chains, 0);
+  EXPECT_TRUE(third.chains[0].reused);
+}
+
+TEST(FuseGraph, LruRecencyProtectsRecentlyReusedDigests) {
+  const GpuSpec gpu = a100();
+  FusionEngineOptions opts;
+  opts.memo.max_entries = 2;
+  FusionEngine engine(gpu, opts);
+  const ChainSpec chain_a = ChainSpec::gemm_chain("a", 1, 128, 96, 64, 64);
+  const ChainSpec chain_b = ChainSpec::gemm_chain("b", 1, 160, 96, 64, 64);
+  ASSERT_TRUE(engine.fuse_chains({chain_a, chain_b}, "seed").all_ok());
+  // Touch A (memo hit refreshes recency), then add a third digest: B —
+  // not A — must be the eviction victim.
+  EXPECT_EQ(engine.fuse_chains({chain_a}, "touch").tuned_chains, 0);
+  ASSERT_TRUE(
+      engine
+          .fuse_chains({ChainSpec::gemm_chain("c", 1, 192, 96, 64, 64)}, "new")
+          .all_ok());
+  EXPECT_EQ(engine.fuse_chains({chain_a}, "probe-a").tuned_chains, 0);
+  EXPECT_EQ(engine.fuse_chains({chain_b}, "probe-b").tuned_chains, 1);
+}
+
+TEST(FuseGraph, MemoByteCapBoundsMemoizedBytes) {
+  const GpuSpec gpu = a100();
+  FusionEngineOptions opts;
+  opts.memo.max_bytes = 1;  // degenerate: at most the newest entry stays
+  FusionEngine engine(gpu, opts);
+  ASSERT_TRUE(engine
+                  .fuse_chains({ChainSpec::gemm_chain("a", 1, 128, 96, 64, 64),
+                                ChainSpec::gemm_chain("b", 1, 160, 96, 64, 64)},
+                               "bytes")
+                  .all_ok());
+  // The newest entry is never evicted, so exactly one survives.
+  EXPECT_EQ(engine.result_cache_size(), 1u);
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.memo_entries, 1u);
+  EXPECT_GT(s.memo_bytes, 0u);
+  EXPECT_GE(s.memo_evictions, 1u);
+}
+
 TEST(FuseGraph, ReportJsonHasExpectedFields) {
   const GpuSpec gpu = a100();
   FusionEngine engine(gpu);
@@ -181,7 +261,9 @@ TEST(FuseGraph, ReportJsonHasExpectedFields) {
   for (const char* key :
        {"\"graph\":\"jsontest\"", "\"distinct_chains\":1", "\"tuned_chains\":1",
         "\"occurrences\":2", "\"status\":\"ok\"", "\"best_tiles\":[",
-        "\"sub_to_chain\":[0,0]", "\"jit_compile\":{\"tus_compiled\":"}) {
+        "\"sub_to_chain\":[0,0]", "\"jit_compile\":{\"tus_compiled\":",
+        "\"engine\":{\"queued\":", "\"submitted\":", "\"rejected\":",
+        "\"memo_entries\":1", "\"memo_evictions\":0"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   // The simulator backend never jit-compiles: the economy counters are

@@ -229,6 +229,91 @@ TEST(ScheduleDigest, SeparatesTilesAndStructure) {
   EXPECT_NE(schedule_structure_digest(a), schedule_structure_digest(b));
 }
 
+TEST(ExecMeasureState, GateLruEvictsPastCapAndRecomputesIdentically) {
+  const GpuSpec gpu = a100();
+  const ChainSpec c = ChainSpec::gemm_chain("gates", 1, 128, 128, 64, 64);
+  const SearchSpace space = make_space(c, gpu);
+  ASSERT_GE(space.candidates().size(), 4u);
+
+  detail::ExecMeasureState::Limits limits;
+  limits.max_gates = 2;
+  detail::ExecMeasureState state(limits);
+  std::vector<detail::ExecMeasureState::Gate> first;
+  for (std::size_t i = 0; i < 4; ++i) {
+    first.push_back(
+        state.gate(space.schedule_for(space.candidates()[i]), gpu));
+  }
+  EXPECT_LE(state.gate_entries(), 2u);
+  EXPECT_GE(state.evictions(), 2u);
+  // An evicted gate recomputes to the same answer: eviction is a pure
+  // memory/cost trade, never a behaviour change.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto again = state.gate(space.schedule_for(space.candidates()[i]), gpu);
+    EXPECT_EQ(again.ok, first[i].ok) << i;
+    EXPECT_EQ(again.fail_reason, first[i].fail_reason) << i;
+    EXPECT_EQ(again.n_blocks, first[i].n_blocks) << i;
+    EXPECT_EQ(again.smem_bytes, first[i].smem_bytes) << i;
+  }
+}
+
+TEST(ExecMeasureState, DataLruEvictsByEntriesAndRebuildsIdentically) {
+  const GpuSpec gpu = a100();
+  (void)gpu;
+  detail::ExecMeasureState::Limits limits;
+  limits.max_data_entries = 1;
+  detail::ExecMeasureState state(limits);
+  const ChainSpec a = ChainSpec::gemm_chain("a", 1, 64, 64, 32, 32);
+  const ChainSpec b = ChainSpec::gemm_chain("b", 1, 96, 64, 32, 32);
+  const auto data_a = state.data(a, 1);
+  const float probe = data_a->a.data()[0];
+  const std::size_t bytes_a = data_a->bytes();
+  EXPECT_GT(bytes_a, 0u);
+  (void)state.data(b, 1);  // evicts a's entry (cap 1)
+  EXPECT_EQ(state.data_entries(), 1u);
+  EXPECT_GE(state.evictions(), 1u);
+  // The held shared_ptr stays valid past eviction; a rebuilt tensor set
+  // is bit-identical (deterministic seeded fill).
+  const auto rebuilt = state.data(a, 1);
+  EXPECT_NE(rebuilt.get(), data_a.get());
+  EXPECT_EQ(rebuilt->a.data()[0], probe);
+  EXPECT_EQ(rebuilt->bytes(), bytes_a);
+  EXPECT_EQ(data_a->a.data()[0], probe);
+}
+
+TEST(ExecMeasureState, DataByteCapKeepsNewestEntry) {
+  detail::ExecMeasureState::Limits limits;
+  limits.max_data_bytes = 1;  // everything oversized: only the newest stays
+  detail::ExecMeasureState state(limits);
+  const ChainSpec a = ChainSpec::gemm_chain("a", 1, 64, 64, 32, 32);
+  const ChainSpec b = ChainSpec::gemm_chain("b", 1, 96, 64, 32, 32);
+  (void)state.data(a, 1);
+  EXPECT_EQ(state.data_entries(), 1u);  // never evict the newest
+  (void)state.data(b, 1);
+  EXPECT_EQ(state.data_entries(), 1u);
+  EXPECT_GE(state.evictions(), 1u);
+  EXPECT_GT(state.data_bytes(), 0u);
+}
+
+TEST(InterpreterBackend, HonoursMemoLimitsFromOptions) {
+  const GpuSpec gpu = a100();
+  InterpreterBackendOptions opts;
+  opts.warmup = 0;
+  opts.repeats = 1;
+  opts.memo_limits.max_data_entries = 1;
+  const InterpreterBackend backend(gpu, opts);
+  // Two distinct chains through a 1-entry input-tensor memo: both still
+  // measure correctly (the memo is an optimisation, not a correctness
+  // dependency).
+  for (const auto& c : {ChainSpec::gemm_chain("m1", 1, 64, 64, 32, 32),
+                        ChainSpec::gemm_chain("m2", 1, 96, 64, 32, 32)}) {
+    const SearchSpace space = make_space(c, gpu);
+    const KernelMeasurement m =
+        backend.measure(space.schedule_for(space.candidates().front()));
+    EXPECT_TRUE(m.ok) << m.fail_reason;
+    EXPECT_GT(m.time_s, 0.0);
+  }
+}
+
 TEST(BackendRegistry, CreatesBuiltinsAndRejectsUnknown) {
   const GpuSpec gpu = a100();
   auto& registry = BackendRegistry::instance();

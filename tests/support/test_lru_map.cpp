@@ -1,0 +1,79 @@
+// LruMap: the shared mechanics behind every bounded memo (engine result
+// memo, measurement-layer gate/tensor memos, jit kernel registry).
+#include "support/lru_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcf {
+namespace {
+
+TEST(LruMap, UnboundedByDefault) {
+  LruMap<int, int> m;
+  for (int i = 0; i < 100; ++i) (void)m.insert(i, i * 10);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.evictions(), 0u);
+  ASSERT_NE(m.find(0), nullptr);
+  EXPECT_EQ(*m.find(0), 0);
+}
+
+TEST(LruMap, EntryCapEvictsLeastRecentlyUsed) {
+  LruMap<int, int> m(LruMap<int, int>::Limits{2, 0});
+  (void)m.insert(1, 1);
+  (void)m.insert(2, 2);
+  ASSERT_NE(m.find(1), nullptr);  // touch 1: 2 becomes the LRU
+  (void)m.insert(3, 3);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.evictions(), 1u);
+  EXPECT_NE(m.find(1), nullptr);
+  EXPECT_EQ(m.find(2), nullptr);  // the victim
+  EXPECT_NE(m.find(3), nullptr);
+}
+
+TEST(LruMap, ContainsDoesNotRefreshRecency) {
+  LruMap<int, int> m(LruMap<int, int>::Limits{2, 0});
+  (void)m.insert(1, 1);
+  (void)m.insert(2, 2);
+  EXPECT_TRUE(m.contains(1));  // no touch: 1 stays the LRU
+  (void)m.insert(3, 3);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_TRUE(m.contains(2));
+}
+
+TEST(LruMap, InsertOfExistingKeyKeepsIncumbentAndRefreshes) {
+  LruMap<int, int> m(LruMap<int, int>::Limits{2, 0});
+  (void)m.insert(1, 100);
+  (void)m.insert(2, 200);
+  EXPECT_EQ(m.insert(1, 999), 100);  // incumbent kept, recency refreshed
+  (void)m.insert(3, 300);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_FALSE(m.contains(2));
+}
+
+TEST(LruMap, ByteCapNeverEvictsTheLastEntry) {
+  LruMap<std::string, int> m(LruMap<std::string, int>::Limits{0, 10});
+  (void)m.insert("big", 1, 100);  // alone over the cap: stays
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.bytes(), 100u);
+  (void)m.insert("big2", 2, 100);  // evicts "big", then stops at one
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.bytes(), 100u);
+  EXPECT_EQ(m.evictions(), 1u);
+  EXPECT_TRUE(m.contains("big2"));
+}
+
+TEST(LruMap, ByteAccountingTracksEvictions) {
+  LruMap<int, int> m(LruMap<int, int>::Limits{0, 64});
+  (void)m.insert(1, 1, 32);
+  (void)m.insert(2, 2, 32);
+  EXPECT_EQ(m.bytes(), 64u);
+  (void)m.insert(3, 3, 16);  // 80 > 64: evict 1 (oldest) -> 48
+  EXPECT_EQ(m.bytes(), 48u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_TRUE(m.contains(3));
+}
+
+}  // namespace
+}  // namespace mcf

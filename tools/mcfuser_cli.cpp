@@ -5,9 +5,11 @@
 //                   [--backend=sim|interp|cached-sim]
 //                   [--cache FILE] [--emit] [--pseudo] [--json]
 //   mcfuser fuse    --graph bert-small|bert-base|bert-large|mixer-small|
-//                           mixer-base [--seq L] [--jobs N] [--json]
+//                           mixer-base [--seq L] [--jobs N] [--max-queue N]
+//                           [--deadline S] [--json]
 //                   whole-graph batch fusion: partition, digest-dedup,
-//                   tune distinct chains concurrently, report
+//                   tune distinct chains concurrently (bounded admission
+//                   queue, queue-wait deadline), report
 //   mcfuser compare <same shape flags>     run every baseline on the chain
 //   mcfuser suite   gemm | attention       paper Table II / III sweep
 //   mcfuser info    [--gpu NAME]           GPU model parameters
@@ -16,6 +18,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +56,10 @@ struct Args {
   [[nodiscard]] std::int64_t num(const std::string& key, std::int64_t dflt) const {
     const auto it = flags.find(key);
     return it == flags.end() ? dflt : std::stoll(it->second);
+  }
+  [[nodiscard]] double dbl(const std::string& key, double dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
   }
   [[nodiscard]] std::string str(const std::string& key, std::string dflt) const {
     const auto it = flags.find(key);
@@ -121,7 +128,7 @@ int usage() {
                "[--pseudo] [--json]\n"
                "  fuse    --graph bert-small|bert-base|bert-large|"
                "mixer-small|mixer-base [--seq L] [--jobs N] [--gpu NAME] "
-               "[--backend NAME] [--json]\n"
+               "[--backend NAME] [--max-queue N] [--deadline S] [--json]\n"
                "  compare <same shape flags> [--trials T]\n"
                "  suite   gemm|attention [--gpu NAME]\n"
                "  info    [--gpu NAME]\n",
@@ -135,8 +142,9 @@ bool validate_flags(const Args& args) {
   static const std::set<std::string> kFuseChain = {
       "m",   "n",       "k",     "h",    "batch", "attention", "gelu",
       "relu", "gpu",    "backend", "cache", "emit", "pseudo",   "json"};
-  static const std::set<std::string> kFuseGraph = {"graph", "seq",  "jobs",
-                                                   "gpu",   "backend", "json"};
+  static const std::set<std::string> kFuseGraph = {
+      "graph", "seq",       "jobs",     "gpu",
+      "backend", "json",    "max-queue", "deadline"};
   static const std::map<std::string, std::set<std::string>> kKnown = {
       {"compare",
        {"m", "n", "k", "h", "batch", "attention", "gelu", "relu", "gpu",
@@ -187,7 +195,7 @@ bool validate_flags(const Args& args) {
   // Numeric flags must parse as (in-range) integers; a typo like
   // `--seq abc` gets the usage path, not an uncaught std::stoll throw.
   static const std::set<std::string> kNumeric = {
-      "m", "n", "k", "h", "batch", "seq", "jobs", "trials"};
+      "m", "n", "k", "h", "batch", "seq", "jobs", "trials", "max-queue"};
   for (const auto& kv : args.flags) {
     if (kNumeric.count(kv.first) == 0) continue;
     errno = 0;
@@ -195,6 +203,20 @@ bool validate_flags(const Args& args) {
     (void)std::strtoll(kv.second.c_str(), &end, 10);
     if (kv.second.empty() || *end != '\0' || errno == ERANGE) {
       std::fprintf(stderr, "mcfuser %s: '--%s' needs an integer, got '%s'\n\n",
+                   args.command.c_str(), kv.first.c_str(), kv.second.c_str());
+      return false;
+    }
+  }
+  // ... and decimal flags as finite doubles.
+  static const std::set<std::string> kDecimal = {"deadline"};
+  for (const auto& kv : args.flags) {
+    if (kDecimal.count(kv.first) == 0) continue;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(kv.second.c_str(), &end);
+    if (kv.second.empty() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v)) {
+      std::fprintf(stderr, "mcfuser %s: '--%s' needs a number, got '%s'\n\n",
                    args.command.c_str(), kv.first.c_str(), kv.second.c_str());
       return false;
     }
@@ -292,9 +314,26 @@ int cmd_fuse_graph(const Args& args, const GpuSpec& gpu) {
     return usage();
   }
 
+  // Admission control: --max-queue bounds the engine queue (the batch
+  // path waits for slots, so memory is bounded without shedding chains);
+  // --deadline sheds chains whose queue wait exceeds S seconds
+  // (reported as deadline-exceeded, exit 1).
+  constexpr std::int64_t kMaxQueueCap = 1 << 20;
+  if (args.num("max-queue", 0) < 0 || args.num("max-queue", 0) > kMaxQueueCap) {
+    std::fprintf(stderr, "--max-queue must be in [0, %lld]\n",
+                 static_cast<long long>(kMaxQueueCap));
+    return 2;
+  }
+  if (args.dbl("deadline", 0.0) < 0.0) {
+    std::fprintf(stderr, "--deadline must be a non-negative number of seconds\n");
+    return 2;
+  }
+
   FusionEngineOptions opts;
   opts.backend = args.str("backend", "");
   opts.jobs = static_cast<int>(args.num("jobs", 0));
+  opts.queue.max_queued = static_cast<std::size_t>(args.num("max-queue", 0));
+  opts.queue.deadline_s = args.dbl("deadline", 0.0);
   if (!opts.backend.empty() && !backend_known(opts.backend)) return 2;
   FusionEngine engine(gpu, opts);
   const GraphFusionReport rep = engine.fuse_graph(g);
