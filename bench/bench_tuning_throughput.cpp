@@ -23,6 +23,11 @@
 //                   schedules compiled to real machine code and timed
 //                   against the interpreter's GFLOP/s — the gate is a
 //                   >= 3x geomean advantage on the fig7-mini family.
+//   * isolation:    the crash-isolated "jit-isolated" backend
+//                   (exec/sandbox) next to the in-process jit backend on
+//                   the same schedules — per-measure() wall cost of the
+//                   worker-pool pipe roundtrip, gated at <= 25% geomean
+//                   overhead.
 //   * admission:    the FusionEngine under a synthetic flood of 10k
 //                   DISTINCT chains against a tiny bounded queue + LRU
 //                   result memo — gates that the queue depth and memo
@@ -32,7 +37,7 @@
 //                   reports the RSS growth over the flood.
 //
 // Emits the paper-style table + CSV (common.hpp) and writes
-// BENCH_tuning_throughput.json (stable schema v4, see
+// BENCH_tuning_throughput.json (stable schema v5, see
 // docs/performance.md) so future PRs can track the trajectory.
 #include <algorithm>
 #include <chrono>
@@ -278,6 +283,58 @@ JitRow bench_jit(const ChainSpec& chain, const Schedule& s,
     wall.push_back(secs(t0, clk::now()));
   }
   row.jit_gflops = interp_row.flops / best_of(wall) / 1e9;
+  return row;
+}
+
+struct IsolationRow {
+  std::string name;
+  std::string tiles;
+  double inproc_wall_s = 0.0;    ///< one in-process jit measure() call
+  double isolated_wall_s = 0.0;  ///< one sandboxed measure() call
+  [[nodiscard]] double overhead() const {
+    return isolated_wall_s / inproc_wall_s;
+  }
+};
+
+/// One schedule through both jit measurement paths: the in-process
+/// backend and the crash-isolated worker pool.  Both are warmed first
+/// (compile, worker spawn, input build) so the ratio prices the steady
+/// state — the per-measure pipe roundtrip — not one-time setup.
+IsolationRow bench_isolation(const ChainSpec& chain, const Schedule& s,
+                             const std::string& tiles,
+                             const MeasureBackend& inproc,
+                             const MeasureBackend& isolated) {
+  IsolationRow row;
+  row.name = chain.name();
+  row.tiles = tiles;
+  const KernelMeasurement warm_in = inproc.measure(s);
+  const KernelMeasurement warm_iso = isolated.measure(s);
+  if (!warm_in.ok || !warm_iso.ok) {
+    std::fprintf(stderr, "isolation bench: warm-up failed on %s: %s\n",
+                 row.name.c_str(),
+                 (!warm_in.ok ? warm_in : warm_iso).fail_reason.c_str());
+    std::exit(1);
+  }
+  constexpr int kRepeats = 5;
+  std::vector<double> inproc_wall;
+  std::vector<double> iso_wall;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = clk::now();
+    const KernelMeasurement mi = inproc.measure(s);
+    const auto t1 = clk::now();
+    const KernelMeasurement ms = isolated.measure(s);
+    const auto t2 = clk::now();
+    if (!mi.ok || !ms.ok) {
+      std::fprintf(stderr, "isolation bench: measurement failed on %s: %s\n",
+                   row.name.c_str(),
+                   (!mi.ok ? mi : ms).fail_reason.c_str());
+      std::exit(1);
+    }
+    inproc_wall.push_back(secs(t0, t1));
+    iso_wall.push_back(secs(t1, t2));
+  }
+  row.inproc_wall_s = best_of(inproc_wall);
+  row.isolated_wall_s = best_of(iso_wall);
   return row;
 }
 
@@ -554,6 +611,52 @@ int run() {
   const double jit_geo = jit_rows.empty() ? 0.0 : geomean(jit_ratios);
   const double jit_geo_gflops = jit_rows.empty() ? 0.0 : geomean(jit_gflops_list);
 
+  // ---- crash-isolated measurement overhead ----------------------------------
+  // The same fig7-mini schedules measured through the sandboxed worker
+  // pool ("jit-isolated", exec/sandbox.hpp) next to the in-process jit
+  // backend.  The gate: isolation may cost at most 25% wall-clock per
+  // measure() geomean — the price of surviving SIGSEGV is a pipe
+  // roundtrip, not a fork+compile per request.
+  const sandbox::Availability sandbox_avail = sandbox::availability();
+  const bool isolation_available = toolchain.ok() && sandbox_avail.ok;
+  std::vector<IsolationRow> isolation_rows;
+  if (isolation_available) {
+    const JitBackend inproc_backend(gpu);
+    IsolatedJitBackendOptions iso_opts;
+    iso_opts.pool.workers = 1;  // mirror the in-process execution geometry
+    const IsolatedJitBackend isolated_backend(gpu, iso_opts);
+    if (isolated_backend.sandbox_active()) {
+      for (std::size_t i = 0; i < interp_rows.size(); ++i) {
+        // The interp rows were never screened through the lowering gate
+        // (the functional interpreter happily runs quadrant-II
+        // candidates); only gate-passing schedules reach real execution.
+        if (!inproc_backend.measure(interp_row_scheds[i]).ok) continue;
+        isolation_rows.push_back(
+            bench_isolation(*interp_row_chains[i], interp_row_scheds[i],
+                            interp_rows[i].tiles, inproc_backend,
+                            isolated_backend));
+      }
+    }
+  } else {
+    std::fprintf(stderr, "isolation section skipped: %s\n",
+                 (toolchain.ok() ? sandbox_avail.reason : toolchain.reason)
+                     .c_str());
+  }
+  Table isolation_table(
+      "Crash isolation — sandboxed worker measure() vs in-process jit");
+  isolation_table.set_header({"workload", "tiles", "in-proc call (ms)",
+                              "isolated call (ms)", "overhead"});
+  std::vector<double> isolation_overheads;
+  for (const auto& r : isolation_rows) {
+    isolation_overheads.push_back(r.overhead());
+    isolation_table.add_row({r.name, r.tiles,
+                             Table::num(r.inproc_wall_s * 1e3, 2),
+                             Table::num(r.isolated_wall_s * 1e3, 2),
+                             Table::num(r.overhead(), 2) + "x"});
+  }
+  const double isolation_geo =
+      isolation_rows.empty() ? 0.0 : geomean(isolation_overheads);
+
   // ---- admission control under flood ----------------------------------------
   const AdmissionResult adm = bench_admission(gpu);
   Table adm_table("Admission control — 10k-distinct-chain flood vs bounded "
@@ -583,6 +686,10 @@ int run() {
       !mcf::bench::emit(jit_table, "tuning_throughput_jit")) {
     return 1;
   }
+  if (!isolation_rows.empty() &&
+      !mcf::bench::emit(isolation_table, "tuning_throughput_isolation")) {
+    return 1;
+  }
   if (!mcf::bench::emit(adm_table, "tuning_throughput_admission")) return 1;
   std::printf("tuner geomean speedup: %.2fx\ninterpreter geomean speedup: %.2fx\n",
               tuner_geo, interp_geo);
@@ -594,6 +701,9 @@ int run() {
                 static_cast<long long>(jit_delta.tus_compiled),
                 jit_delta.compile_wall_s);
   }
+  if (!isolation_rows.empty()) {
+    std::printf("isolated measure() geomean overhead: %.2fx\n", isolation_geo);
+  }
 
   // ---- JSON (stable schema, consumed by future PRs / CI) --------------------
   FILE* f = std::fopen("BENCH_tuning_throughput.json", "w");
@@ -603,7 +713,7 @@ int run() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"tuning_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 4,\n");
+  std::fprintf(f, "  \"schema_version\": 5,\n");
   std::fprintf(f, "  \"threads\": %u,\n", ThreadPool::global().size());
   std::fprintf(f, "  \"tuner\": {\n");
   std::fprintf(f, "    \"geomean_speedup\": %.4f,\n", tuner_geo);
@@ -678,6 +788,22 @@ int run() {
                  i + 1 < jit_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"isolation\": {\n");
+  std::fprintf(f, "    \"available\": %s,\n",
+               isolation_rows.empty() ? "false" : "true");
+  std::fprintf(f, "    \"geomean_overhead\": %.4f,\n", isolation_geo);
+  std::fprintf(f, "    \"workloads\": [\n");
+  for (std::size_t i = 0; i < isolation_rows.size(); ++i) {
+    const auto& r = isolation_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"tiles\": \"%s\", "
+                 "\"inproc_measure_wall_s\": %.6g, "
+                 "\"isolated_measure_wall_s\": %.6g, \"overhead\": %.4f}%s\n",
+                 r.name.c_str(), r.tiles.c_str(), r.inproc_wall_s,
+                 r.isolated_wall_s, r.overhead(),
+                 i + 1 < isolation_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f, "  \"admission\": {\n");
   std::fprintf(f,
                "    \"flood_chains\": %d,\n    \"completed\": %d,\n"
@@ -716,6 +842,13 @@ int run() {
   // >= 3x (geomean GFLOP/s) on the fig7-mini family.
   if (toolchain.ok() && jit_geo < 3.0) {
     std::fprintf(stderr, "FAIL: jit vs interpreter %.2fx < 3x\n", jit_geo);
+    return 1;
+  }
+  // Isolation gate: sandboxed measurement may cost at most 25% geomean
+  // wall-clock over the in-process jit path on the fig7-mini family.
+  if (!isolation_rows.empty() && isolation_geo > 1.25) {
+    std::fprintf(stderr, "FAIL: isolation overhead %.2fx > 1.25x\n",
+                 isolation_geo);
     return 1;
   }
   // Admission gates: every flooded ticket landed in exactly one terminal

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "exec/sandbox.hpp"
 #include "graph/partitioner.hpp"
 #include "measure/backend.hpp"
 #include "support/logging.hpp"
@@ -30,6 +31,10 @@ const char* fusion_status_name(FusionStatus s) noexcept {
       return "rejected";
     case FusionStatus::DeadlineExceeded:
       return "deadline-exceeded";
+    case FusionStatus::WorkerCrashed:
+      return "worker-crashed";
+    case FusionStatus::WorkerTimeout:
+      return "worker-timeout";
   }
   return "?";
 }
@@ -203,6 +208,12 @@ std::string GraphFusionReport::to_json() const {
      << ",\"memo_entries\":" << engine_stats.memo_entries
      << ",\"memo_bytes\":" << engine_stats.memo_bytes
      << ",\"memo_evictions\":" << engine_stats.memo_evictions
+     << ",\"worker_spawns\":" << engine_stats.worker_spawns
+     << ",\"worker_respawns\":" << engine_stats.worker_respawns
+     << ",\"worker_crashes\":" << engine_stats.worker_crashes
+     << ",\"worker_timeouts\":" << engine_stats.worker_timeouts
+     << ",\"crash_cache_hits\":" << engine_stats.crash_cache_hits
+     << ",\"workers_active\":" << engine_stats.workers_active
      << "},\"chains\":[";
   for (std::size_t i = 0; i < chains.size(); ++i) {
     const GraphChainReport& c = chains[i];
@@ -351,7 +362,21 @@ FusionResult FusionEngine::run_one(const ChainSpec& chain,
     return result;
   }
   if (!result.tuned.ok) {
-    result.status = FusionStatus::MeasureFailed;
+    // Isolation-aware failure taxonomy: a run whose candidates died in
+    // sandbox workers (or hit the worker deadline) is operationally
+    // different from "every candidate was infeasible" — surface it as
+    // its own status, with the signal / deadline detail in the reason.
+    switch (result.tuned.fail_kind) {
+      case MeasureFailKind::WorkerCrashed:
+        result.status = FusionStatus::WorkerCrashed;
+        break;
+      case MeasureFailKind::WorkerTimeout:
+        result.status = FusionStatus::WorkerTimeout;
+        break;
+      default:
+        result.status = FusionStatus::MeasureFailed;
+        break;
+    }
     result.reason = result.tuned.fail_reason.empty()
                         ? "no candidate measured successfully"
                         : result.tuned.fail_reason;
@@ -798,6 +823,16 @@ EngineStats FusionEngine::stats() const {
     s.memo_bytes = results_.bytes();
     s.memo_evictions = results_.evictions();
   }
+  // Worker-pool health is process-wide (the pools live in the measure
+  // backends, which engines may share), mirrored here like jit compile
+  // stats are mirrored into the graph report.
+  const sandbox::WorkerStats w = sandbox::stats_snapshot();
+  s.worker_spawns = static_cast<std::uint64_t>(w.spawned);
+  s.worker_respawns = static_cast<std::uint64_t>(w.respawned);
+  s.worker_crashes = static_cast<std::uint64_t>(w.crashes);
+  s.worker_timeouts = static_cast<std::uint64_t>(w.timeouts);
+  s.crash_cache_hits = static_cast<std::uint64_t>(w.negative_hits);
+  s.workers_active = static_cast<std::size_t>(std::max<std::int64_t>(w.active, 0));
   return s;
 }
 

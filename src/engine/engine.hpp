@@ -146,6 +146,15 @@ struct EngineStats {
   std::size_t memo_entries = 0;  ///< digests currently memoized
   std::size_t memo_bytes = 0;    ///< approximate memoized payload bytes
   std::uint64_t memo_evictions = 0;  ///< results LRU-evicted so far
+  // Sandbox worker-pool health (process-wide, like the jit compile
+  // stats — every engine in the process shares the pools' counters; see
+  // exec/sandbox.hpp).  All zero when isolation is never used.
+  std::uint64_t worker_spawns = 0;      ///< worker processes exec'd
+  std::uint64_t worker_respawns = 0;    ///< spawns replacing a dead worker
+  std::uint64_t worker_crashes = 0;     ///< measurements ending in a crash
+  std::uint64_t worker_timeouts = 0;    ///< measurements killed at deadline
+  std::uint64_t crash_cache_hits = 0;   ///< served by the crash negative-cache
+  std::size_t workers_active = 0;       ///< live worker processes (gauge)
 };
 
 /// Everything the fusion pipeline produces for one chain.

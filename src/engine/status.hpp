@@ -8,7 +8,10 @@
 // Migration note: code that `switch`es exhaustively on FusionStatus must
 // add the load-shedding values Rejected and DeadlineExceeded (both are
 // terminal, non-retryable-as-is outcomes of submit()/try_submit() under a
-// QueuePolicy; see docs/api.md "Admission control").
+// QueuePolicy; see docs/api.md "Admission control"), and the isolation
+// values WorkerCrashed and WorkerTimeout (terminal measurement outcomes of
+// the "jit-isolated" backend: every candidate of the chain died in a
+// sandbox worker; see docs/measurement.md "Crash-isolated measurement").
 #pragma once
 
 #include <cstdint>
@@ -24,6 +27,8 @@ enum class FusionStatus : std::uint8_t {
   Cancelled,         ///< cancelled via FusionTicket before completion
   Rejected,          ///< shed at admission: bounded queue full (QueuePolicy)
   DeadlineExceeded,  ///< queue wait exceeded QueuePolicy::deadline_s
+  WorkerCrashed,     ///< every measured candidate died in a sandbox worker
+  WorkerTimeout,     ///< every measured candidate hit the worker deadline
 };
 
 /// Stable display name ("ok", "invalid-chain", ...).

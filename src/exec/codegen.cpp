@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "search/tuning_cache.hpp"
 #include "support/logging.hpp"
 
 namespace mcf {
@@ -144,6 +145,13 @@ class CppEmitter {
         << "(const float* __restrict ga, const float* const* __restrict gw,\n"
         << "    float* __restrict gout, float* __restrict scratch,\n"
         << "    i64 block_begin, i64 block_end) {\n";
+    // Deterministic fault-injection seam (chaos tests, exec/sandbox.cpp):
+    // a no-op unless the process is a sandbox worker AND MCFUSER_JIT_FAULT
+    // names this chain.  Keyed by the structural chain key — shared by
+    // every candidate schedule of the chain — so directives survive the
+    // kernel cache's per-schedule digests.
+    os_ << "  mcf_maybe_fault(\"" << chain_cache_key(chain_) << "\", gout, "
+        << chain_.batch() * chain_.m() * chain_.inner().back() << ", 0);\n";
     os_ << "  float* const arena = scratch;\n";
     if (stat_floats_ > 0) {
       os_ << "  float* const stats = scratch + " << buf_offset_.back() << ";\n";
@@ -171,6 +179,10 @@ class CppEmitter {
     }
     emit_node(s_.root(), 2);
     os_ << "  }\n";
+    // Exit-phase seam: output corruption (garbage mode) must land AFTER
+    // the kernel body so no block's stores can paper over it.
+    os_ << "  mcf_maybe_fault(\"" << chain_cache_key(chain_) << "\", gout, "
+        << chain_.batch() * chain_.m() * chain_.inner().back() << ", 1);\n";
     os_ << "}\n";
     return os_.str();
   }
@@ -608,6 +620,69 @@ std::string cpp_kernel_prelude() {
       "  float sf;\n"
       "  memcpy(&sf, &bits, sizeof(sf));\n"
       "  return p * sf;\n"
+      "}\n"
+      "\n"
+      "// Fault-injection seam for the crash-isolation chaos tests\n"
+      "// (exec/sandbox.cpp).  Fires ONLY inside sandbox worker processes\n"
+      "// (MCFUSER_SANDBOX_WORKER set by the spawner): an injected fault\n"
+      "// must never take down an in-process caller.  Directive grammar in\n"
+      "// MCFUSER_JIT_FAULT: comma-separated `mode@substr` entries, mode in\n"
+      "// {segv, kill, hang, garbage}; an entry without `@` matches every\n"
+      "// kernel, otherwise substr is matched against the chain tag.\n"
+      "#include <signal.h>\n"
+      "#include <stdlib.h>\n"
+      "#include <time.h>\n"
+      "static int mcf_fault_in_worker(void) {\n"
+      "  static int flag = -1;\n"
+      "  if (flag < 0) {\n"
+      "    const char* w = getenv(\"MCFUSER_SANDBOX_WORKER\");\n"
+      "    flag = (w && *w) ? 1 : 0;\n"
+      "  }\n"
+      "  return flag;\n"
+      "}\n"
+      "static int mcf_fault_mode_for(const char* tag) {\n"
+      "  const char* d = getenv(\"MCFUSER_JIT_FAULT\");\n"
+      "  if (!d || !*d) return 0;\n"
+      "  while (*d) {\n"
+      "    const char* end = d;\n"
+      "    while (*end && *end != ',') ++end;\n"
+      "    const char* at = d;\n"
+      "    while (at < end && *at != '@') ++at;\n"
+      "    int mode = 0;\n"
+      "    if (!strncmp(d, \"segv\", 4)) mode = 1;\n"
+      "    else if (!strncmp(d, \"kill\", 4)) mode = 2;\n"
+      "    else if (!strncmp(d, \"hang\", 4)) mode = 3;\n"
+      "    else if (!strncmp(d, \"garbage\", 7)) mode = 4;\n"
+      "    int match = (at == end);  /* no @: match-all */\n"
+      "    if (!match) {\n"
+      "      char sub[128];\n"
+      "      size_t n = (size_t)(end - at - 1);\n"
+      "      if (n >= sizeof(sub)) n = sizeof(sub) - 1;\n"
+      "      memcpy(sub, at + 1, n);\n"
+      "      sub[n] = 0;\n"
+      "      match = (n == 0) || (strstr(tag, sub) != 0);\n"
+      "    }\n"
+      "    if (mode && match) return mode;\n"
+      "    d = (*end == ',') ? end + 1 : end;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n"
+      "// phase 0 = kernel entry (process-level faults), phase 1 = kernel\n"
+      "// exit (output corruption — poisoning at entry would be overwritten\n"
+      "// by the kernel body whenever one block covers the whole output).\n"
+      "static void mcf_maybe_fault(const char* tag, float* out, i64 n,\n"
+      "                            int phase) {\n"
+      "  if (!mcf_fault_in_worker()) return;\n"
+      "  switch (mcf_fault_mode_for(tag)) {\n"
+      "    case 1: if (phase == 0) { volatile int* p = (volatile int*)0; "
+      "*p = 1; } break;\n"
+      "    case 2: if (phase == 0) raise(SIGKILL); break;\n"
+      "    case 3: if (phase == 0) for (;;) { struct timespec ts = "
+      "{0, 100000000}; nanosleep(&ts, 0); } break;\n"
+      "    case 4: if (phase == 1) { for (i64 i = 0; i < n; ++i) out[i] = "
+      "nanf(\"\"); } break;\n"
+      "    default: break;\n"
+      "  }\n"
       "}\n\n";
 }
 

@@ -1,10 +1,14 @@
 #include "exec/jit.hpp"
 
 #include <dlfcn.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,8 +34,10 @@ namespace {
 namespace fs = std::filesystem;
 
 /// Bump when the emitted code or ABI changes: stale on-disk kernels from
-/// an older emitter must miss, not resolve.
-constexpr std::uint64_t kEmitterVersion = 4;
+/// an older emitter must miss, not resolve.  v5: fault-injection seam in
+/// the prelude + per-kernel mcf_maybe_fault call (exec/sandbox chaos
+/// tests).
+constexpr std::uint64_t kEmitterVersion = 6;
 
 /// Kernels are always compiled at full optimisation for the build
 /// machine's vector ISA — the point of the JIT is that the micro-kernel
@@ -184,6 +190,104 @@ struct EmittedKernel {
   return out;
 }
 
+/// Hard wall-clock deadline for one compiler invocation, in seconds.
+/// Re-read per invocation (tests vary it); 0 disables the deadline.
+/// A hung $CXX (broken wrapper script, NFS stall, runaway template
+/// instantiation) must fail the measurement wave, not stall it forever.
+[[nodiscard]] double compile_timeout_s() {
+  if (const char* env = std::getenv("MCFUSER_JIT_COMPILE_TIMEOUT_S")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v >= 0) return v;
+    MCF_LOG(Warn) << "ignoring invalid MCFUSER_JIT_COMPILE_TIMEOUT_S '" << env
+                  << "' (want a non-negative number of seconds)";
+  }
+  return 120.0;
+}
+
+struct CommandResult {
+  bool spawned = false;    ///< fork/exec machinery itself worked
+  bool timed_out = false;  ///< killed at the deadline
+  int exit_code = 0;
+  int term_signal = 0;
+  std::string output;  ///< merged stdout+stderr
+};
+
+/// Runs `cmd` through /bin/sh with stdout+stderr captured and a hard
+/// wall-clock deadline: on expiry the whole process group is SIGKILLed
+/// and reaped (the child setpgid()s itself; both sides race-proof it).
+/// The popen() this replaces blocked in fgets with no way out.
+[[nodiscard]] CommandResult run_command_deadline(const std::string& cmd,
+                                                 double deadline_s) {
+  CommandResult r;
+  int fds[2];
+  if (::pipe(fds) != 0) return r;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return r;
+  }
+  if (pid == 0) {
+    ::setpgid(0, 0);
+    ::dup2(fds[1], 1);
+    ::dup2(fds[1], 2);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::execl("/bin/sh", "sh", "-c", cmd.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::setpgid(pid, pid);  // mirror the child's call: whoever runs first wins
+  ::close(fds[1]);
+  r.spawned = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  char buf[512];
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline_s > 0) {
+      const double left =
+          deadline_s - std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (left <= 0) {
+        r.timed_out = true;
+        break;
+      }
+      timeout_ms = static_cast<int>(left * 1000.0) + 1;
+    }
+    struct pollfd pfd {
+      fds[0], POLLIN, 0
+    };
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) {
+      r.timed_out = true;
+      break;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n > 0) {
+      r.output.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF (compiler exited) or unrecoverable read error
+  }
+  ::close(fds[0]);
+  if (r.timed_out) ::kill(-pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.term_signal = WTERMSIG(status);
+  }
+  return r;
+}
+
 /// dlopen (memoized per path, caller holds the registry lock) + dlsym.
 [[nodiscard]] KernelFn load_symbol_locked(Registry& reg,
                                           const std::string& so_path,
@@ -252,19 +356,21 @@ struct EmittedKernel {
   if (fail.empty()) {
     const std::string cmd = shell_quote(tc.cxx) + " " + kCompileFlags +
                             " -o " + shell_quote(so_tmp.string()) + " " +
-                            shell_quote(cpp_tmp.string()) + " 2>&1";
-    std::string output;
-    FILE* pipe = ::popen(cmd.c_str(), "r");
-    if (pipe == nullptr) {
+                            shell_quote(cpp_tmp.string());
+    const double deadline = compile_timeout_s();
+    const CommandResult res = run_command_deadline(cmd, deadline);
+    if (!res.spawned) {
       fail = "cannot invoke compiler: " + tc.cxx;
-    } else {
-      char buf[512];
-      while (std::fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
-      const int rc = ::pclose(pipe);
-      if (rc != 0) {
-        fail = "compile failed (" + tc.cxx + "): " +
-               output.substr(0, std::min<std::size_t>(output.size(), 2000));
-      }
+    } else if (res.timed_out) {
+      std::ostringstream os;
+      os << "compile timed out after " << deadline << "s (" << tc.cxx
+         << " killed; raise MCFUSER_JIT_COMPILE_TIMEOUT_S if the machine is "
+            "just slow)";
+      fail = os.str();
+    } else if (res.exit_code != 0 || res.term_signal != 0) {
+      fail = "compile failed (" + tc.cxx + "): " +
+             res.output.substr(0,
+                               std::min<std::size_t>(res.output.size(), 2000));
     }
   }
   if (fail.empty()) {
@@ -461,6 +567,79 @@ KernelFn resolve_kernel(const Schedule& s, const std::string& gpu_key,
     *error = fail.empty() ? "kernel did not resolve after compilation" : fail;
   }
   return nullptr;
+}
+
+KernelArtifact resolve_artifact(const Schedule& s, const std::string& gpu_key,
+                                const Toolchain& tc) {
+  KernelArtifact a;
+  if (!tc.ok()) {
+    a.error = tc.reason;
+    return a;
+  }
+  if (!s.valid() || !s.consume_complete()) {
+    a.error = "schedule is not lowerable (invalid or Rule-2 incomplete)";
+    return a;
+  }
+  EmittedKernel ek = emit_keyed(s, gpu_key);
+  a.key = ek.key;
+  a.symbol = ek.symbol;
+  Registry& reg = Registry::instance();
+  const fs::path dir = cache_dir();
+  const auto read_idx = [&]() -> bool {
+    std::ifstream idx(dir / (hex64(a.key) + ".idx"));
+    std::string so_name;
+    std::string symbol;
+    if (!(idx >> so_name >> symbol)) return false;
+    const fs::path so = dir / so_name;
+    std::error_code ec;
+    if (!fs::exists(so, ec)) return false;
+    a.so_path = so.string();
+    a.symbol = symbol;
+    return true;
+  };
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    if (const std::string* why = reg.failed.find(a.key)) {
+      a.error = *why;
+      return a;
+    }
+  }
+  if (read_idx()) {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    ++reg.stats.disk_hits;
+    return a;
+  }
+  {
+    // The artifact resolves through the idx file, never the in-memory fn
+    // map — a stale fn entry (its idx removed by invalidate_kernel) would
+    // make compile_batch_tu skip the recompile that recreates the idx.
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    (void)reg.fns.erase(a.key);
+  }
+  compile_batch_tu({std::move(ek)}, tc);
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    if (const std::string* why = reg.failed.find(a.key)) {
+      a.error = *why;
+      return a;
+    }
+  }
+  if (!read_idx()) a.error = "kernel artifact did not resolve after compilation";
+  return a;
+}
+
+bool invalidate_kernel(std::uint64_t key) {
+  Registry& reg = Registry::instance();
+  bool removed = false;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    removed = reg.fns.erase(key);
+    removed = reg.failed.erase(key) || removed;
+  }
+  std::error_code ec;
+  removed =
+      fs::remove(fs::path(cache_dir()) / (hex64(key) + ".idx"), ec) || removed;
+  return removed;
 }
 
 void prepare_kernels(std::span<const Schedule* const> batch,

@@ -114,6 +114,34 @@ using KernelFn = void (*)(const float* a, const float* const* weights,
                                       const std::string& gpu_key,
                                       const Toolchain& tc, std::string* error);
 
+/// A compiled kernel located on disk WITHOUT loading it into this
+/// process: the cache key, the shared-object path and the entry symbol.
+/// This is what crosses the sandbox process boundary (exec/sandbox.hpp)
+/// — the isolated worker dlopen()s the path itself, so a kernel that
+/// crashes on load or on first run never touches the host address space.
+struct KernelArtifact {
+  std::uint64_t key = 0;  ///< digest-keyed cache identity (crash cache key)
+  std::string so_path;    ///< empty when resolution failed
+  std::string symbol;
+  std::string error;  ///< why resolution failed; empty when ok
+  [[nodiscard]] bool ok() const noexcept { return !so_path.empty(); }
+};
+
+/// Resolves (compiling at most once) the on-disk artifact for one
+/// schedule.  Thread-safe.  Unlike resolve_kernel this never dlopen()s.
+[[nodiscard]] KernelArtifact resolve_artifact(const Schedule& s,
+                                              const std::string& gpu_key,
+                                              const Toolchain& tc);
+
+/// Drops every cached trace of `key` — the in-memory entry-point and
+/// negative-cache entries AND the on-disk `<key>.idx` file — so the next
+/// resolve recompiles.  Used when a worker finds the cached .so poisoned
+/// (truncated write, foreign-ISA restore): evict + recompile once instead
+/// of failing the measurement.  The .so itself stays (other kernels may
+/// share the TU); the recompile republishes it via tmp+rename.  Returns
+/// whether anything was removed.
+bool invalidate_kernel(std::uint64_t key);
+
 /// Batched form: compiles every not-yet-cached kernel of `batch` in ONE
 /// translation unit / compiler invocation (the tuner calls this once per
 /// measurement wave).  Individual failures are recorded in the stats and

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "exec/codegen.hpp"
 #include "exec/interpreter.hpp"
 #include "gpu/smem.hpp"
 #include "support/logging.hpp"
@@ -143,6 +144,26 @@ std::uint64_t ExecMeasureState::evictions() const {
 
 namespace {
 
+/// The outlier-robust estimator every wall-clock path shares: clamp each
+/// sample at a nanosecond (a sample below clock resolution must not
+/// produce time_s == 0 — the contract promises time_s > 0 on ok), sort,
+/// drop trim_fraction of the samples from each end, average the rest.
+/// The sandboxed backend feeds worker-returned samples through the SAME
+/// arithmetic, which is what keeps isolated and in-process timings
+/// directly comparable.
+double trimmed_mean(std::vector<double> samples, double trim_fraction) {
+  for (double& sample : samples) sample = std::max(sample, 1e-9);
+  std::sort(samples.begin(), samples.end());
+  const auto trim = static_cast<std::size_t>(
+      static_cast<double>(samples.size()) * trim_fraction);
+  const std::size_t lo = trim;
+  const std::size_t hi = samples.size() - trim;
+  return std::accumulate(samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                         samples.begin() + static_cast<std::ptrdiff_t>(hi),
+                         0.0) /
+         static_cast<double>(hi - lo);
+}
+
 /// Warm-up / repeat / trimmed-mean wall-clock sampling shared by the
 /// execution-based backends.  `run` executes the kernel once.
 double sample_trimmed_wall(const std::function<void()>& run, int warmup,
@@ -153,20 +174,9 @@ double sample_trimmed_wall(const std::function<void()>& run, int warmup,
   for (double& sample : samples) {
     const double t0 = clock();
     run();
-    // Clamp at a nanosecond: a sample below clock resolution must not
-    // produce time_s == 0 (the contract promises time_s > 0 on ok).
-    sample = std::max(clock() - t0, 1e-9);
+    sample = clock() - t0;
   }
-  // Trimmed mean: drop trim_fraction of the samples from each end.
-  std::sort(samples.begin(), samples.end());
-  const auto trim = static_cast<std::size_t>(
-      static_cast<double>(samples.size()) * trim_fraction);
-  const std::size_t lo = trim;
-  const std::size_t hi = samples.size() - trim;
-  return std::accumulate(samples.begin() + static_cast<std::ptrdiff_t>(lo),
-                         samples.begin() + static_cast<std::ptrdiff_t>(hi),
-                         0.0) /
-         static_cast<double>(hi - lo);
+  return trimmed_mean(std::move(samples), trim_fraction);
 }
 
 std::function<double()> steady_clock_seconds() {
@@ -269,6 +279,136 @@ void JitBackend::prepare_batch(std::span<const Schedule* const> schedules,
   if (!toolchain_.ok()) return;
   // Only schedules that pass the lowering gate are worth compiling (the
   // paper's quadrant-II candidates never reach execution).
+  std::vector<const Schedule*> feasible;
+  feasible.reserve(schedules.size());
+  for (const Schedule* s : schedules) {
+    if (s != nullptr && state_.gate(*s, spec()).ok) feasible.push_back(s);
+  }
+  jit::prepare_kernels(feasible, spec().name, toolchain_);
+}
+
+// ---- IsolatedJitBackend -----------------------------------------------------
+
+IsolatedJitBackend::IsolatedJitBackend(GpuSpec spec,
+                                       IsolatedJitBackendOptions options)
+    : opt_(std::move(options)),
+      fallback_(std::move(spec),
+                JitBackendOptions{opt_.warmup, opt_.repeats, opt_.trim_fraction,
+                                  opt_.data_seed, opt_.clock,
+                                  opt_.memo_limits}),
+      toolchain_(jit::detect_toolchain()), state_(opt_.memo_limits) {
+  opt_.warmup = std::max(opt_.warmup, 0);
+  opt_.repeats = std::max(opt_.repeats, 1);
+  opt_.trim_fraction = std::clamp(opt_.trim_fraction, 0.0, 0.49);
+  const sandbox::Availability avail = sandbox::availability();
+  if (opt_.disable_sandbox) {
+    inactive_reason_ = "sandbox disabled by backend options";
+  } else if (!avail.ok) {
+    inactive_reason_ = avail.reason;
+  } else if (!toolchain_.ok()) {
+    // No toolchain means no artifact to hand a worker; the fallback
+    // degrades further to the interpreter on its own.
+    inactive_reason_ = toolchain_.reason;
+  } else {
+    pool_ = std::make_unique<sandbox::WorkerPool>(opt_.pool);
+  }
+}
+
+KernelMeasurement IsolatedJitBackend::measure(
+    const Schedule& s, const MeasureOptions& options) const {
+  if (pool_ == nullptr) return fallback_.measure(s, options);
+
+  KernelMeasurement m;
+  const detail::ExecMeasureState::Gate gate = state_.gate(s, spec());
+  m.n_blocks = gate.n_blocks;
+  m.smem_bytes = gate.smem_bytes;
+  if (!gate.ok) {
+    m.fail_reason = gate.fail_reason;
+    m.fail_kind = MeasureFailKind::Generic;
+    return m;
+  }
+
+  // Resolve the on-disk artifact (compiling at most once) WITHOUT
+  // loading it into this process; a compile failure degrades to the
+  // in-process path, which reports it the way the jit backend always has.
+  jit::KernelArtifact art = jit::resolve_artifact(s, spec().name, toolchain_);
+  if (!art.ok()) return fallback_.measure(s, options);
+
+  // Crash negative-cache: a kernel that already killed (or hung) a
+  // worker is answered from the cache — no process is spawned for it
+  // ever again.
+  if (const auto hit = sandbox::crash_cache_lookup(art.key)) {
+    m.fail_reason = hit->reason + " (crash-cache)";
+    m.fail_kind = hit->kind;
+    return m;
+  }
+
+  const ChainSpec& chain = s.chain();
+  sandbox::RunRequest req;
+  req.key = art.key;
+  req.so_path = art.so_path;
+  req.symbol = art.symbol;
+  req.batch = chain.batch();
+  req.m = chain.m();
+  req.inner = chain.inner();
+  req.n_blocks = gate.n_blocks;
+  req.scratch_floats = cpp_kernel_scratch_floats(s);
+  req.warmup = opt_.warmup;
+  req.repeats = opt_.repeats;
+  req.data_seed = opt_.data_seed;
+
+  sandbox::RunResult r = pool_->run(req);
+  if (r.retryable_load_failure) {
+    // The cached .so is poisoned (truncated write, foreign-ISA restore):
+    // evict every trace, recompile once, retry once.
+    (void)jit::invalidate_kernel(art.key);
+    const jit::KernelArtifact fresh =
+        jit::resolve_artifact(s, spec().name, toolchain_);
+    if (fresh.ok()) {
+      req.key = fresh.key;
+      req.so_path = fresh.so_path;
+      req.symbol = fresh.symbol;
+      r = pool_->run(req);
+    }
+  }
+
+  switch (r.outcome) {
+    case sandbox::RunOutcome::Ok:
+      m.time_s = trimmed_mean(std::move(r.samples), opt_.trim_fraction);
+      m.ok = true;
+      return m;
+    case sandbox::RunOutcome::Failed:
+      // Structured worker-side failure (garbage output, unhealable load
+      // failure): negative-cache it — re-running cannot help.
+      sandbox::crash_cache_insert(req.key, MeasureFailKind::Generic, r.reason);
+      m.fail_reason = r.reason;
+      m.fail_kind = MeasureFailKind::Generic;
+      return m;
+    case sandbox::RunOutcome::TimedOut:
+      sandbox::crash_cache_insert(req.key, MeasureFailKind::WorkerTimeout,
+                                  r.reason);
+      m.fail_reason = r.reason;
+      m.fail_kind = MeasureFailKind::WorkerTimeout;
+      return m;
+    case sandbox::RunOutcome::Crashed:
+    default:
+      sandbox::crash_cache_insert(req.key, MeasureFailKind::WorkerCrashed,
+                                  r.reason);
+      m.fail_reason = r.reason;
+      m.fail_kind = MeasureFailKind::WorkerCrashed;
+      return m;
+  }
+}
+
+void IsolatedJitBackend::prepare_batch(
+    std::span<const Schedule* const> schedules,
+    const MeasureOptions& options) const {
+  if (pool_ == nullptr) {
+    fallback_.prepare_batch(schedules, options);
+    return;
+  }
+  // Same wave-batched compilation as the jit backend; the workers then
+  // dlopen the cached artifacts (one mmap per TU per worker).
   std::vector<const Schedule*> feasible;
   feasible.reserve(schedules.size());
   for (const Schedule* s : schedules) {
@@ -417,6 +557,9 @@ BackendRegistry::BackendRegistry() {
   };
   factories_["jit"] = [](const GpuSpec& gpu) {
     return std::make_shared<JitBackend>(gpu);
+  };
+  factories_["jit-isolated"] = [](const GpuSpec& gpu) {
+    return std::make_shared<IsolatedJitBackend>(gpu);
   };
 }
 

@@ -44,6 +44,7 @@
 
 #include "dag/schedule.hpp"
 #include "exec/jit.hpp"
+#include "exec/sandbox.hpp"
 #include "gpu/spec.hpp"
 #include "gpu/timing.hpp"
 #include "measure/measurement.hpp"
@@ -342,6 +343,107 @@ class JitBackend : public MeasureBackend {
   /// Resolved once at construction (tests override MCFUSER_JIT_CXX per
   /// instance); !ok() => permanent interpreter fallback.
   jit::Toolchain toolchain_;
+  detail::ExecMeasureState state_;
+};
+
+// ---- IsolatedJitBackend -----------------------------------------------------
+
+/// Sampling knobs mirror JitBackendOptions, plus the worker-pool policy.
+struct IsolatedJitBackendOptions {
+  int warmup = 1;
+  int repeats = 3;
+  double trim_fraction = 0.25;
+  std::uint64_t data_seed = 1;
+  /// Monotonic time source in seconds — reaches only the in-process
+  /// fallback path (worker timings use the worker's own steady clock).
+  std::function<double()> clock;
+  /// LRU caps on the lowering-gate memo; see ExecMeasureState.
+  detail::ExecMeasureState::Limits memo_limits;
+  /// Worker-pool sizing/deadline/retry policy; defaults read the
+  /// MCFUSER_SANDBOX_* environment.
+  sandbox::PoolOptions pool = sandbox::default_pool_options();
+  /// Forces the in-process fallback even when sandboxing is available
+  /// (conformance tests pin the sampling arithmetic this way).
+  bool disable_sandbox = false;
+};
+
+/// Crash-isolated variant of the jit backend: kernels are compiled
+/// through the same digest-keyed cache, but EXECUTED inside sandbox
+/// worker processes (exec/sandbox.hpp), so a kernel that segfaults,
+/// loops forever or emits garbage fails its own measurement instead of
+/// taking down the engine.  Policy layered on the pool transport:
+///
+///   * crash negative-cache check before every run — a known-bad kernel
+///     is answered from the cache without spawning anything;
+///   * crashes retry on a fresh worker (pool.max_retries), then the
+///     failure is negative-cached as WorkerCrashed; timeouts are
+///     negative-cached immediately as WorkerTimeout (a hung kernel
+///     would burn another full deadline);
+///   * a worker-side dlopen/dlsym failure means the cached .so is
+///     poisoned: jit::invalidate_kernel + recompile + ONE retry before
+///     giving up (satellite of the disk cache's crash-consistency).
+///
+/// When sandboxing is unavailable (sanitizer build, MCFUSER_SANDBOX=0,
+/// no toolchain) every call degrades to an inner JitBackend — same
+/// gate, same interpreter fallback, so measure() always answers.
+class IsolatedJitBackend : public MeasureBackend {
+ public:
+  explicit IsolatedJitBackend(GpuSpec spec,
+                              IsolatedJitBackendOptions options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "jit-isolated";
+  }
+  [[nodiscard]] const GpuSpec& spec() const noexcept override {
+    return fallback_.spec();
+  }
+  /// Wall-clock sampling: repeats jitter run-to-run.
+  [[nodiscard]] bool deterministic() const noexcept override { return false; }
+
+  [[nodiscard]] KernelMeasurement measure(
+      const Schedule& s, const MeasureOptions& options = {}) const override;
+  /// One TU / compiler invocation for all missing kernels of the wave
+  /// (the workers then dlopen the cached artifacts).
+  void prepare_batch(std::span<const Schedule* const> schedules,
+                     const MeasureOptions& options = {}) const override;
+  [[nodiscard]] KernelMeasurement measure_raw(
+      double bytes, double flops, std::int64_t n_blocks,
+      std::int64_t smem_bytes, double mem_eff, double comp_eff,
+      double stmt_trips, const MeasureOptions& options) const override {
+    return fallback_.measure_raw(bytes, flops, n_blocks, smem_bytes, mem_eff,
+                                 comp_eff, stmt_trips, options);
+  }
+  /// measure() executes the schedule as-is; simulator-noise options do
+  /// not reach it.
+  [[nodiscard]] std::uint64_t options_digest(
+      const MeasureOptions&) const noexcept override {
+    return 0;
+  }
+
+  /// True when measurements run in sandbox workers; false = in-process
+  /// jit/interp fallback.
+  [[nodiscard]] bool sandbox_active() const noexcept {
+    return pool_ != nullptr;
+  }
+  /// Why the sandbox is inactive (empty when sandbox_active()).
+  [[nodiscard]] const std::string& fallback_reason() const noexcept {
+    return inactive_reason_;
+  }
+  [[nodiscard]] const IsolatedJitBackendOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  IsolatedJitBackendOptions opt_;
+  /// Degraded path AND the measure_raw/spec holder; owns its own memos.
+  JitBackend fallback_;
+  /// Resolved once at construction, like JitBackend.
+  jit::Toolchain toolchain_;
+  std::string inactive_reason_;  ///< why pool_ is null (empty when active)
+  /// The worker pool; null when degraded to the in-process path.
+  std::unique_ptr<sandbox::WorkerPool> pool_;
+  /// Lowering-gate memo for the sandboxed path (the fallback's memos are
+  /// private to it).
   detail::ExecMeasureState state_;
 };
 

@@ -22,10 +22,24 @@ struct MeasureOptions {
   bool include_launch = true;
 };
 
+/// Machine-readable classification of a failed measurement, refining the
+/// free-form fail_reason.  Generic covers everything that is a property of
+/// the schedule itself (infeasible lowering, compile failure, bad output);
+/// the Worker* kinds are properties of out-of-process execution
+/// (measure/backend.hpp "jit-isolated") and map 1:1 onto
+/// FusionStatus::WorkerCrashed / WorkerTimeout at the engine layer.
+enum class MeasureFailKind : std::uint8_t {
+  None,           ///< measurement succeeded (ok == true)
+  Generic,        ///< infeasible / compile / numeric failure
+  WorkerCrashed,  ///< sandbox worker died (signal or nonzero exit)
+  WorkerTimeout,  ///< sandbox worker exceeded the per-request deadline
+};
+
 /// Result of one kernel "measurement", whatever the backend.
 struct KernelMeasurement {
   bool ok = false;
   std::string fail_reason;
+  MeasureFailKind fail_kind = MeasureFailKind::None;
   double time_s = 0.0;
   // Decomposition (pre-noise); zero when the backend cannot attribute
   // time to phases (wall-clock backends report only time_s).

@@ -136,6 +136,7 @@ void Tuner::measure_batch(std::span<const CandidateConfig> cs,
     e->meas_ok = m.ok;
     e->meas_time = m.ok ? m.time_s : kFailedTime;
     e->fail_note = m.ok ? std::string() : m.fail_reason;
+    e->fail_kind = m.ok ? MeasureFailKind::None : m.fail_kind;
   });
   // Serial phase: commit in wave (= rank) order so stats and the Fig. 11
   // scatter data are identical for any thread count.
@@ -144,9 +145,22 @@ void Tuner::measure_batch(std::span<const CandidateConfig> cs,
     ++stats_.measurements;
     if (!e->meas_ok) {
       ++stats_.compile_failures;
-      if (first_fail_reason_.empty()) {
+      const MeasureFailKind kind = e->fail_kind == MeasureFailKind::None
+                                       ? MeasureFailKind::Generic
+                                       : e->fail_kind;
+      // Rank-upgrade: a worker crash/timeout anywhere in the run outranks
+      // an (earlier-committed) generic failure — a gate-infeasible
+      // candidate must not mask that the rest crashed sandbox workers.
+      const auto rank = [](MeasureFailKind k) {
+        return k == MeasureFailKind::WorkerCrashed ||
+                       k == MeasureFailKind::WorkerTimeout
+                   ? 1
+                   : 0;
+      };
+      if (first_fail_reason_.empty() || rank(kind) > rank(first_fail_kind_)) {
         first_fail_reason_ =
             e->fail_note.empty() ? "measurement failed" : e->fail_note;
+        first_fail_kind_ = kind;
       }
     } else {
       est_meas_.emplace_back(e->est, e->meas_time);
@@ -518,6 +532,7 @@ TunedResult Tuner::run() {
                              ? "no candidate measured successfully"
                              : "no candidate measured successfully (first "
                                "failure: " + first_fail_reason_ + ")";
+    result.fail_kind = first_fail_kind_;
     stamp_wall();
     result.stats = stats_;
     return result;

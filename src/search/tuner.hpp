@@ -100,6 +100,11 @@ struct TuningStats {
 
 struct TunedResult {
   bool ok = false;
+  /// On ok=false: the kind of the dominant measurement failure.  Worker
+  /// crash/timeout kinds outrank Generic — a wave where one candidate
+  /// failed the lowering gate and the rest crashed sandbox workers must
+  /// surface as a crash, not as the (earlier-committed) gate failure.
+  MeasureFailKind fail_kind = MeasureFailKind::None;
   /// True when the run stopped because TuningProgress::cancel was set.
   bool cancelled = false;
   /// On ok=false: why — the first measurement failure reason observed, or
@@ -133,6 +138,7 @@ class Tuner {
     double est = 0.0;
     double meas_time = 1e9;
     std::string fail_note;          ///< backend fail_reason when !meas_ok
+    MeasureFailKind fail_kind = MeasureFailKind::None;  ///< when !meas_ok
     std::optional<Schedule> sched;  ///< built at most once
   };
 
@@ -165,6 +171,9 @@ class Tuner {
   std::unordered_map<std::uint64_t, EvalEntry> cache_;
   std::vector<std::pair<double, double>> est_meas_;
   std::string first_fail_reason_;  ///< earliest measurement failure (commit order)
+  /// Kind paired with first_fail_reason_, except that worker crash /
+  /// timeout kinds upgrade over an earlier Generic (see TunedResult).
+  MeasureFailKind first_fail_kind_ = MeasureFailKind::None;
 };
 
 }  // namespace mcf

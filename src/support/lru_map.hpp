@@ -78,6 +78,19 @@ class LruMap {
     return it->second.value;
   }
 
+  /// Removes `key` if present (no recency side effects on other entries).
+  /// Returns whether an entry was removed.  Needed by consumers that must
+  /// drop a poisoned entry (jit kernel invalidation, crash-cache eviction)
+  /// rather than wait for LRU pressure.
+  bool erase(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    return true;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }

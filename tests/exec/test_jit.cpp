@@ -6,7 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <random>
 
 #include "exec/interpreter.hpp"
@@ -221,6 +226,44 @@ TEST(JitBackend, InfeasibleScheduleFailsBeforeCompilation) {
   const jit::CompileStats delta = jit::stats_snapshot().since(s0);
   EXPECT_EQ(delta.tus_compiled, 0);
   EXPECT_EQ(delta.kernels_compiled, 0);
+}
+
+TEST(JitCompile, TimeoutKillsHungCompiler) {
+  // A wedged compiler process (distcc stall, NFS hang, miscompiled
+  // plugin) must not hang the tuner forever: the invocation is killed at
+  // MCFUSER_JIT_COMPILE_TIMEOUT_S and surfaced as a compile failure.
+  if (!jit::detect_toolchain().ok()) {
+    GTEST_SKIP() << "jit unavailable: " << jit::detect_toolchain().reason;
+  }
+  const std::string script =
+      "/tmp/mcfuser-hung-cxx-" + std::to_string(::getpid()) + ".sh";
+  {
+    std::ofstream os(script);
+    os << "#!/bin/sh\nsleep 600\n";
+  }
+  ::chmod(script.c_str(), 0755);
+  ::setenv("MCFUSER_JIT_CXX", script.c_str(), 1);
+  ::setenv("MCFUSER_JIT_COMPILE_TIMEOUT_S", "1", 1);
+
+  const ChainSpec& c = gelu_chain();
+  const Schedule s = build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                                    std::vector<std::int64_t>{32, 16, 32, 16});
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string error;
+  const jit::KernelFn fn =
+      jit::resolve_kernel(s, unique_key("hung-cxx"), jit::detect_toolchain(),
+                          &error);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ::unsetenv("MCFUSER_JIT_CXX");
+  ::unsetenv("MCFUSER_JIT_COMPILE_TIMEOUT_S");
+  ::unlink(script.c_str());
+
+  EXPECT_EQ(fn, nullptr);
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  EXPECT_LT(wall, 60.0);  // killed at ~1s, nowhere near the 600s sleep
 }
 
 }  // namespace

@@ -159,6 +159,22 @@ const BackendCase kCases[] = {
        opt.clock = ScriptedClock{}.fn();
        return std::make_shared<JitBackend>(g, opt);
      }},
+    // Crash-isolated measurement in sandbox worker processes; degrades
+    // to the in-process jit/interp path where sandboxing is unavailable.
+    // The sampling instance forces that fallback (disable_sandbox) so
+    // the scripted clock drives the arithmetic — worker-side timings use
+    // the worker's own steady clock, which a test cannot script.
+    {"jit-isolated",
+     [](const GpuSpec& g) { return registry_make("jit-isolated", g); },
+     [](const GpuSpec& g, int repeats) -> std::shared_ptr<MeasureBackend> {
+       IsolatedJitBackendOptions opt;
+       opt.repeats = repeats;
+       opt.trim_fraction = 0.25;
+       opt.warmup = 0;
+       opt.clock = ScriptedClock{}.fn();
+       opt.disable_sandbox = true;
+       return std::make_shared<IsolatedJitBackend>(g, opt);
+     }},
 };
 
 class ConformanceTest : public ::testing::TestWithParam<BackendCase> {};

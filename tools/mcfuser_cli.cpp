@@ -3,6 +3,7 @@
 //   mcfuser fuse    --m 512 --n 256 --k 64 --h 64 [--batch N]
 //                   [--attention | --gelu | --relu] [--gpu a100|rtx3080]
 //                   [--backend=sim|interp|cached-sim]
+//                   [--isolation worker|none]
 //                   [--cache FILE] [--emit] [--pseudo] [--json]
 //   mcfuser fuse    --graph bert-small|bert-base|bert-large|mixer-small|
 //                           mixer-base [--seq L] [--jobs N] [--max-queue N]
@@ -124,11 +125,13 @@ int usage() {
                "usage: mcfuser <fuse|compare|suite|info> [flags]\n"
                "  fuse    --m M --n N --k K --h H [--batch B] "
                "[--attention|--gelu|--relu] [--gpu NAME] "
-               "[--backend=%s] [--cache FILE] [--emit] "
+               "[--backend=%s] [--isolation worker|none] "
+               "[--cache FILE] [--emit] "
                "[--pseudo] [--json]\n"
                "  fuse    --graph bert-small|bert-base|bert-large|"
                "mixer-small|mixer-base [--seq L] [--jobs N] [--gpu NAME] "
-               "[--backend NAME] [--max-queue N] [--deadline S] [--json]\n"
+               "[--backend NAME] [--isolation worker|none] "
+               "[--max-queue N] [--deadline S] [--json]\n"
                "  compare <same shape flags> [--trials T]\n"
                "  suite   gemm|attention [--gpu NAME]\n"
                "  info    [--gpu NAME]\n",
@@ -141,10 +144,11 @@ int usage() {
 bool validate_flags(const Args& args) {
   static const std::set<std::string> kFuseChain = {
       "m",   "n",       "k",     "h",    "batch", "attention", "gelu",
-      "relu", "gpu",    "backend", "cache", "emit", "pseudo",   "json"};
+      "relu", "gpu",    "backend", "cache", "emit", "pseudo",   "json",
+      "isolation"};
   static const std::set<std::string> kFuseGraph = {
       "graph", "seq",       "jobs",     "gpu",
-      "backend", "json",    "max-queue", "deadline"};
+      "backend", "json",    "max-queue", "deadline", "isolation"};
   static const std::map<std::string, std::set<std::string>> kKnown = {
       {"compare",
        {"m", "n", "k", "h", "batch", "attention", "gelu", "relu", "gpu",
@@ -271,6 +275,22 @@ void print_chain_json(const ChainSpec& chain, const FusionResult& r,
   std::printf("}\n");
 }
 
+/// --isolation worker|none: "worker" routes every measurement through
+/// the crash-isolated sandbox backend ("jit-isolated", overriding
+/// --backend); "none" keeps whatever --backend selected.  False + a
+/// diagnostic on any other value.
+bool apply_isolation(const Args& args, FusionEngineOptions* opts) {
+  const std::string iso = args.str("isolation", "none");
+  if (iso == "none") return true;
+  if (iso == "worker") {
+    opts->backend = "jit-isolated";
+    return true;
+  }
+  std::fprintf(stderr, "unknown --isolation '%s' (expected worker|none)\n",
+               iso.c_str());
+  return false;
+}
+
 /// False + a diagnostic listing the registered backends when `name` is
 /// not in the registry (shared by the chain and graph fuse modes).
 bool backend_known(const std::string& name) {
@@ -334,6 +354,7 @@ int cmd_fuse_graph(const Args& args, const GpuSpec& gpu) {
   opts.jobs = static_cast<int>(args.num("jobs", 0));
   opts.queue.max_queued = static_cast<std::size_t>(args.num("max-queue", 0));
   opts.queue.deadline_s = args.dbl("deadline", 0.0);
+  if (!apply_isolation(args, &opts)) return 2;
   if (!opts.backend.empty() && !backend_known(opts.backend)) return 2;
   FusionEngine engine(gpu, opts);
   const GraphFusionReport rep = engine.fuse_graph(g);
@@ -369,6 +390,7 @@ int cmd_fuse(const Args& args) {
 
   FusionEngineOptions opts;
   opts.backend = args.str("backend", "sim");
+  if (!apply_isolation(args, &opts)) return 2;
   if (!backend_known(opts.backend)) return 2;
   const bool json = args.has("json");
   if (json && (args.has("emit") || args.has("pseudo"))) {
