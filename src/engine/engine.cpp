@@ -196,6 +196,9 @@ std::string GraphFusionReport::to_json() const {
      << ",\"kernels_compiled\":" << jit_compile.kernels_compiled
      << ",\"cache_hits\":" << jit_compile.cache_hits()
      << ",\"failures\":" << jit_compile.failures
+     << ",\"modules_opened\":" << jit_compile.modules_opened
+     << ",\"modules_open\":" << jit_compile.modules_open
+     << ",\"modules_closed\":" << jit_compile.modules_closed
      << ",\"compile_wall_s\":" << jit_compile.compile_wall_s
      << "},\"engine\":{\"queued\":" << engine_stats.queued
      << ",\"busy\":" << engine_stats.busy
@@ -833,6 +836,14 @@ EngineStats FusionEngine::stats() const {
   s.worker_timeouts = static_cast<std::uint64_t>(w.timeouts);
   s.crash_cache_hits = static_cast<std::uint64_t>(w.negative_hits);
   s.workers_active = static_cast<std::size_t>(std::max<std::int64_t>(w.active, 0));
+  // JIT module lifecycle is process-wide too (the registry is shared by
+  // every engine); the snapshot carries the accounting identity
+  // opened == open + closed.
+  const jit::CompileStats j = jit::stats_snapshot();
+  s.jit_modules_opened = static_cast<std::uint64_t>(j.modules_opened);
+  s.jit_modules_closed = static_cast<std::uint64_t>(j.modules_closed);
+  s.jit_modules_open =
+      static_cast<std::size_t>(std::max<std::int64_t>(j.modules_open, 0));
   return s;
 }
 

@@ -155,6 +155,13 @@ struct EngineStats {
   std::uint64_t worker_timeouts = 0;    ///< measurements killed at deadline
   std::uint64_t crash_cache_hits = 0;   ///< served by the crash negative-cache
   std::size_t workers_active = 0;       ///< live worker processes (gauge)
+  // JIT module lifecycle (process-wide, like the worker-pool health):
+  // dlopen'd kernel TUs are refcounted and dlclose'd on last release, so
+  // `jit_modules_open` is bounded by the kernel cap plus live kernel
+  // handles.  Accounting identity: opened == open + closed.
+  std::uint64_t jit_modules_opened = 0;  ///< dlopen()s performed
+  std::uint64_t jit_modules_closed = 0;  ///< dlclose()s on last release
+  std::size_t jit_modules_open = 0;      ///< resident modules (gauge)
 };
 
 /// Everything the fusion pipeline produces for one chain.

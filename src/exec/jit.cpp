@@ -95,20 +95,35 @@ constexpr const char* kCompileFlags =
   return cap;
 }
 
+/// Process-wide module counters.  They live OUTSIDE the registry lock on
+/// purpose: LruMap eviction runs inside insert() while the caller holds
+/// `Registry::mu`, and dropping an evicted entry may run ~JitModule —
+/// which must therefore never re-enter the registry.  Atomics make the
+/// destructor lock-free; stats_snapshot() folds them into CompileStats.
+std::atomic<std::int64_t> g_modules_opened{0};
+std::atomic<std::int64_t> g_modules_closed{0};
+
 /// Process-wide kernel registry: resolved entry points and negative
 /// results (both LRU-bounded by kernel_map_cap(); support/lru_map.hpp),
-/// dlopen handles (never closed — resolved function pointers must
-/// outlive everything, eviction included), and the compile counters.
-/// All members require holding `mu`.
+/// weak per-path module handles (a path's module is shared while ANY
+/// strong reference exists — registry entry, JitKernel, in-flight run —
+/// and dlclose()d by ~JitModule on last release), and the compile
+/// counters.  All members require holding `mu`.
 struct Registry {
   std::mutex mu;
-  LruMap<std::uint64_t, KernelFn> fns;
+  LruMap<std::uint64_t, ResolvedKernel> fns;
   LruMap<std::uint64_t, std::string> failed;  ///< key -> reason
-  std::unordered_map<std::string, void*> handles;  ///< so path -> handle
+  /// so path -> module (weak: the map itself must not pin mappings open,
+  /// or eviction could never return memory).  Expired entries are pruned
+  /// lazily on the next dlopen.
+  std::unordered_map<std::string, std::weak_ptr<const JitModule>> handles;
   CompileStats stats;
+  /// Evictions accumulated in maps replaced by set_kernel_cap_for_testing
+  /// (LruMap counters reset when the maps are swapped).
+  std::int64_t evictions_base = 0;
 
   Registry()
-      : fns(LruMap<std::uint64_t, KernelFn>::Limits{kernel_map_cap(), 0}),
+      : fns(LruMap<std::uint64_t, ResolvedKernel>::Limits{kernel_map_cap(), 0}),
         failed(
             LruMap<std::uint64_t, std::string>::Limits{kernel_map_cap(), 0}) {}
 
@@ -121,6 +136,7 @@ struct Registry {
   /// (call after any insert; caller holds `mu`).
   void sync_evictions_locked() {
     stats.evictions =
+        evictions_base +
         static_cast<std::int64_t>(fns.evictions() + failed.evictions());
   }
 };
@@ -288,28 +304,42 @@ struct CommandResult {
   return r;
 }
 
-/// dlopen (memoized per path, caller holds the registry lock) + dlsym.
-[[nodiscard]] KernelFn load_symbol_locked(Registry& reg,
-                                          const std::string& so_path,
-                                          const std::string& symbol,
-                                          std::string* error) {
-  void*& handle = reg.handles[so_path];
-  if (handle == nullptr) {
-    handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+/// dlopen (module memoized per path while alive, caller holds the
+/// registry lock) + dlsym.  Returns the entry point together with the
+/// ModuleRef that keeps it executable; !ok() on failure.
+[[nodiscard]] ResolvedKernel load_symbol_locked(Registry& reg,
+                                                const std::string& so_path,
+                                                const std::string& symbol,
+                                                std::string* error) {
+  ModuleRef module;
+  if (const auto it = reg.handles.find(so_path); it != reg.handles.end()) {
+    module = it->second.lock();
+  }
+  if (module == nullptr) {
+    // Lazy prune: dlopen is the slow path anyway, so sweep out weak
+    // entries whose modules have since closed (keeps the map bounded by
+    // the RESIDENT module count, not by every path ever loaded).
+    std::erase_if(reg.handles,
+                  [](const auto& kv) { return kv.second.expired(); });
+    void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (handle == nullptr) {
       if (error != nullptr) {
         const char* why = ::dlerror();
         *error = "dlopen failed: " + std::string(why != nullptr ? why : "?");
       }
-      reg.handles.erase(so_path);
-      return nullptr;
+      return {};
     }
+    module = std::make_shared<const JitModule>(handle);
+    reg.handles[so_path] = module;
   }
-  void* sym = ::dlsym(handle, symbol.c_str());
-  if (sym == nullptr && error != nullptr) {
-    *error = "symbol " + symbol + " missing from " + so_path;
+  void* sym = ::dlsym(module->handle(), symbol.c_str());
+  if (sym == nullptr) {
+    if (error != nullptr) {
+      *error = "symbol " + symbol + " missing from " + so_path;
+    }
+    return {};
   }
-  return reinterpret_cast<KernelFn>(sym);
+  return ResolvedKernel{reinterpret_cast<KernelFn>(sym), std::move(module)};
 }
 
 /// One compiler invocation over `pending` (caller holds the compile
@@ -391,17 +421,23 @@ struct CommandResult {
     return fail;
   }
   reg.stats.tus_compiled += 1;
+  // The rename above replaced the file at so_path with a NEW inode: a
+  // memoized module for that path (from a previous publish of the same
+  // TU name) still maps the old object.  Drop the weak entry so this
+  // batch dlopen()s the fresh object — existing strong references keep
+  // the stale module alive and executable until they release.
+  reg.handles.erase(so_path.string());
   for (const EmittedKernel& p : pending) {
     std::string err;
-    KernelFn fn = load_symbol_locked(reg, so_path.string(), p.symbol, &err);
-    if (fn == nullptr) {
+    ResolvedKernel rk = load_symbol_locked(reg, so_path.string(), p.symbol, &err);
+    if (!rk.ok()) {
       reg.stats.failures += 1;
       (void)reg.failed.insert(p.key, std::move(err));
       reg.sync_evictions_locked();
       continue;
     }
     reg.stats.kernels_compiled += 1;
-    (void)reg.fns.insert(p.key, fn);
+    (void)reg.fns.insert(p.key, std::move(rk));
     reg.sync_evictions_locked();
     // Per-kernel index entry: key -> (shared object, symbol), so any
     // later process resolves this kernel without recompiling.  Written
@@ -459,22 +495,36 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
   reg.sync_evictions_locked();
 }
 
-/// In-memory or on-disk hit; nullptr on miss.  `miss_reason` (nullable)
+/// Host-side stale-artifact healing (the in-process mirror of the
+/// sandbox worker's poisoned-artifact path): a `<key>.idx` pointing at a
+/// deleted, truncated or otherwise unloadable `tu_*.so` must cost ONE
+/// recompile, not surface a hard dlopen failure or poison the negative
+/// cache.  Removes the idx so no process keeps probing the corpse; the
+/// recompile republishes both files via tmp+rename.
+void heal_stale_artifact(std::uint64_t key, const std::string& why) {
+  std::error_code ec;
+  fs::remove(fs::path(cache_dir()) / (hex64(key) + ".idx"), ec);
+  MCF_LOG(Warn) << "jit: cached artifact for key " << hex64(key)
+                << " is stale (" << why << "); evicted, recompiling";
+}
+
+/// In-memory or on-disk hit; !ok() on miss.  `miss_reason` (nullable)
 /// receives a previously recorded compile failure.  `count_hits` is
 /// false on the lookup right after a fresh compile — resolving the
 /// kernel one just built is not a cache hit.
-[[nodiscard]] KernelFn try_cached(std::uint64_t key, std::string* miss_reason,
-                                  bool count_hits = true) {
+[[nodiscard]] ResolvedKernel try_cached(std::uint64_t key,
+                                        std::string* miss_reason,
+                                        bool count_hits = true) {
   Registry& reg = Registry::instance();
   {
     const std::lock_guard<std::mutex> lock(reg.mu);
-    if (const KernelFn* fn = reg.fns.find(key)) {
+    if (const ResolvedKernel* rk = reg.fns.find(key)) {
       if (count_hits) ++reg.stats.mem_hits;
-      return *fn;
+      return *rk;
     }
     if (const std::string* why = reg.failed.find(key)) {
       if (miss_reason != nullptr) *miss_reason = *why;
-      return nullptr;
+      return {};
     }
   }
   // Disk probe outside the lock (filesystem I/O).
@@ -482,23 +532,39 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
   std::ifstream idx(dir / (hex64(key) + ".idx"));
   std::string so_name;
   std::string symbol;
-  if (!(idx >> so_name >> symbol)) return nullptr;
+  if (!(idx >> so_name >> symbol)) return {};
   const fs::path so_path = dir / so_name;
   std::error_code ec;
-  if (!fs::exists(so_path, ec)) return nullptr;
-
-  const std::lock_guard<std::mutex> lock(reg.mu);
-  if (const KernelFn* racing = reg.fns.find(key)) {
-    ++reg.stats.mem_hits;
-    return *racing;
+  if (!fs::exists(so_path, ec)) {
+    // idx survived but its shared object did not (partial cache wipe,
+    // foreign cleanup): heal instead of probing the dangling entry on
+    // every future resolve.
+    heal_stale_artifact(key, "shared object " + so_name + " missing");
+    return {};
   }
+
   std::string err;
-  KernelFn fn = load_symbol_locked(reg, so_path.string(), symbol, &err);
-  if (fn == nullptr) return nullptr;  // stale entry: fall through to compile
-  ++reg.stats.disk_hits;
-  (void)reg.fns.insert(key, fn);
-  reg.sync_evictions_locked();
-  return fn;
+  ResolvedKernel rk;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    if (const ResolvedKernel* racing = reg.fns.find(key)) {
+      ++reg.stats.mem_hits;
+      return *racing;
+    }
+    rk = load_symbol_locked(reg, so_path.string(), symbol, &err);
+    if (rk.ok()) {
+      ++reg.stats.disk_hits;
+      (void)reg.fns.insert(key, rk);
+      reg.sync_evictions_locked();
+      return rk;
+    }
+    // Unloadable object (truncated write, foreign-ISA restore) or a TU
+    // that no longer exports this symbol: make sure the next dlopen sees
+    // the republished file, not a memoized stale module.
+    reg.handles.erase(so_path.string());
+  }
+  heal_stale_artifact(key, err.empty() ? "unloadable shared object" : err);
+  return {};
 }
 
 }  // namespace
@@ -543,30 +609,65 @@ std::string cache_dir() {
 
 CompileStats stats_snapshot() {
   Registry& reg = Registry::instance();
-  const std::lock_guard<std::mutex> lock(reg.mu);
-  return reg.stats;
+  CompileStats s;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    s = reg.stats;
+  }
+  // Module counters are process-global atomics (~JitModule may run while
+  // reg.mu is held, so they live outside the lock); fold them here.
+  // Load `closed` first: racing closes between the two loads can only
+  // make the derived gauge err HIGH, never negative.
+  s.modules_closed = g_modules_closed.load(std::memory_order_acquire);
+  s.modules_opened = g_modules_opened.load(std::memory_order_acquire);
+  s.modules_open = s.modules_opened - s.modules_closed;
+  return s;
 }
 
-KernelFn resolve_kernel(const Schedule& s, const std::string& gpu_key,
-                        const Toolchain& tc, std::string* error) {
+JitModule::JitModule(void* handle) noexcept : handle_(handle) {
+  g_modules_opened.fetch_add(1, std::memory_order_acq_rel);
+}
+
+JitModule::~JitModule() {
+  // May run under Registry::mu (LRU eviction inside insert) — must not
+  // touch the registry, only the lock-free counters.
+  ::dlclose(handle_);
+  g_modules_closed.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void set_kernel_cap_for_testing(std::size_t cap) {
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.evictions_base +=
+      static_cast<std::int64_t>(reg.fns.evictions() + reg.failed.evictions());
+  reg.fns = LruMap<std::uint64_t, ResolvedKernel>(
+      LruMap<std::uint64_t, ResolvedKernel>::Limits{cap, 0});
+  reg.failed = LruMap<std::uint64_t, std::string>(
+      LruMap<std::uint64_t, std::string>::Limits{cap, 0});
+}
+
+ResolvedKernel resolve_kernel(const Schedule& s, const std::string& gpu_key,
+                              const Toolchain& tc, std::string* error) {
   if (!tc.ok()) {
     if (error != nullptr) *error = tc.reason;
-    return nullptr;
+    return {};
   }
   EmittedKernel ek = emit_keyed(s, gpu_key);
   std::string fail;
-  if (KernelFn fn = try_cached(ek.key, &fail)) return fn;
+  if (ResolvedKernel rk = try_cached(ek.key, &fail); rk.ok()) return rk;
   if (!fail.empty()) {
     if (error != nullptr) *error = fail;
-    return nullptr;
+    return {};
   }
   const std::uint64_t key = ek.key;
   compile_batch_tu({std::move(ek)}, tc);
-  if (KernelFn fn = try_cached(key, &fail, /*count_hits=*/false)) return fn;
+  if (ResolvedKernel rk = try_cached(key, &fail, /*count_hits=*/false); rk.ok()) {
+    return rk;
+  }
   if (error != nullptr) {
     *error = fail.empty() ? "kernel did not resolve after compilation" : fail;
   }
-  return nullptr;
+  return {};
 }
 
 KernelArtifact resolve_artifact(const Schedule& s, const std::string& gpu_key,
@@ -652,7 +753,7 @@ void prepare_kernels(std::span<const Schedule* const> batch,
     EmittedKernel ek = emit_keyed(*s, gpu_key);
     if (std::find(seen.begin(), seen.end(), ek.key) != seen.end()) continue;
     seen.push_back(ek.key);
-    if (try_cached(ek.key, nullptr) != nullptr) continue;
+    if (try_cached(ek.key, nullptr).ok()) continue;
     {
       Registry& reg = Registry::instance();
       const std::lock_guard<std::mutex> lock(reg.mu);
@@ -665,7 +766,7 @@ void prepare_kernels(std::span<const Schedule* const> batch,
 
 void run_compiled(KernelFn fn, const Schedule& s, const Tensor& a,
                   std::span<const Tensor> weights, Tensor& out,
-                  std::vector<std::vector<float>>& scratch) {
+                  std::vector<std::vector<float>>& scratch, int threads) {
   MCF_CHECK(fn != nullptr) << "run_compiled needs a resolved kernel";
   const ChainSpec& chain = s.chain();
   MCF_CHECK(static_cast<int>(weights.size()) == chain.num_ops())
@@ -687,17 +788,27 @@ void run_compiled(KernelFn fn, const Schedule& s, const Tensor& a,
   float* op = out.data().data();
   const std::int64_t n_blocks = s.num_blocks();
 
-  // Blocks write disjoint output tiles, so they fan out across the pool;
-  // one lazily-allocated, caller-owned scratch arena per worker slot —
-  // exactly the interpreter's execution geometry, minus per-call
-  // allocation (the arenas persist across sampling repeats).
+  // Blocks write disjoint output tiles, so contiguous block ranges fan
+  // out across the pool; one lazily-allocated, caller-owned scratch
+  // arena per worker slot — exactly the interpreter's execution
+  // geometry, minus per-call allocation (the arenas persist across
+  // sampling repeats).  The chunking is deterministic in the block
+  // order and, because per-block work is independent, the OUTPUT is
+  // bit-identical for every thread count — the sandbox workers replay
+  // the same geometry from RunRequest::threads.
   ThreadPool& pool = ThreadPool::global();
   if (scratch.size() < pool.concurrency()) scratch.resize(pool.concurrency());
   const auto need = static_cast<std::size_t>(cpp_kernel_scratch_floats(s));
-  pool.parallel_for_slots(n_blocks, [&](unsigned slot, std::int64_t blk) {
+  const std::int64_t want =
+      threads > 0 ? threads : static_cast<std::int64_t>(pool.concurrency());
+  const std::int64_t n_chunks =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(want, n_blocks));
+  pool.parallel_for_slots(n_chunks, [&](unsigned slot, std::int64_t c) {
     std::vector<float>& sc = scratch[slot];
     if (sc.size() != need) sc.assign(need, 0.0f);
-    fn(ap, wptrs.data(), op, sc.data(), blk, blk + 1);
+    const std::int64_t begin = c * n_blocks / n_chunks;
+    const std::int64_t end = (c + 1) * n_blocks / n_chunks;
+    if (begin < end) fn(ap, wptrs.data(), op, sc.data(), begin, end);
   });
 }
 
@@ -715,13 +826,18 @@ JitKernel::JitKernel(Schedule schedule, const std::string& gpu_key)
     error_ = "schedule consumes partial tiles (Rule-2 structure)";
     return;
   }
-  fn_ = jit::resolve_kernel(s_, gpu_key, jit::detect_toolchain(), &error_);
+  jit::ResolvedKernel rk =
+      jit::resolve_kernel(s_, gpu_key, jit::detect_toolchain(), &error_);
+  fn_ = rk.fn;
+  // The kernel pins its module: registry eviction (or a cap change) can
+  // never unmap code a live JitKernel may still run.
+  module_ = std::move(rk.module);
 }
 
 void JitKernel::run(const Tensor& a, std::span<const Tensor> weights,
-                    Tensor& out) const {
+                    Tensor& out, int threads) const {
   MCF_CHECK(fn_ != nullptr) << "JitKernel::run on a failed kernel: " << error_;
-  jit::run_compiled(fn_, s_, a, weights, out, scratch_);
+  jit::run_compiled(fn_, s_, a, weights, out, scratch_, threads);
 }
 
 }  // namespace mcf

@@ -20,20 +20,22 @@
 //     schedules a deployment tunes, and `rm -rf` is always safe); the
 //     IN-MEMORY resolved-kernel map and negative cache are LRU-bounded
 //     (MCFUSER_JIT_KERNEL_CAP, default 4096 entries each); an evicted
-//     key re-resolves from disk with one dlsym.  Scope of that bound:
-//     it caps the registry MAPS only — dlopen handles (and the resident
-//     .so mappings behind them) are deliberately never closed, because
-//     resolved function pointers must stay valid forever, so process
-//     memory still grows with the number of distinct TUs *compiled or
-//     loaded in this process*.  Deployments that tune truly unbounded
-//     distinct-schedule traffic should front the jit with admission
-//     control / a measurement cache (see docs/measurement.md) or
-//     recycle the process; closing idle handles safely is an open
-//     ROADMAP item.
+//     key re-resolves from disk with one dlsym.
+//   * refcounted module lifecycle — every dlopen'd TU is owned by a
+//     shared JitModule handle; registry entries, JitKernel instances
+//     and in-flight run_native calls hold references, and the LAST
+//     release dlclose()s the object.  LRU eviction under churn
+//     therefore actually returns the resident .so mappings: the number
+//     of open modules is bounded by the kernel cap plus live kernel
+//     handles (modules_opened / modules_open / modules_closed in
+//     CompileStats).  Evicting a kernel while another thread executes
+//     it is safe — the executor's reference keeps the module mapped
+//     until its call returns; only then does the mapping go away.
 //   * JitKernel — per-schedule handle: compile (or cache-hit) at
 //     construction, then run() executes the fused chain natively with
 //     thread-pool block parallelism and per-slot scratch arenas,
-//     mirroring exec/interpreter's execution geometry.
+//     mirroring exec/interpreter's execution geometry.  The instance
+//     pins its module, so a kernel outlives any registry eviction.
 //
 // Toolchain detection: `MCFUSER_JIT_CXX` env var, else the compiler CMake
 // configured the library with (MCF_JIT_CXX), else `c++` on PATH.  When no
@@ -44,6 +46,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -80,11 +83,18 @@ struct CompileStats {
   std::int64_t disk_hits = 0;         ///< resolved from the on-disk cache
   std::int64_t failures = 0;          ///< compile/dlopen/dlsym failures
   std::int64_t evictions = 0;         ///< in-memory LRU entries dropped
+  std::int64_t modules_opened = 0;    ///< dlopen()s performed (counter)
+  std::int64_t modules_closed = 0;    ///< dlclose()s on last release (counter)
+  std::int64_t modules_open = 0;      ///< currently resident modules (gauge)
   double compile_wall_s = 0.0;        ///< wall time inside the compiler
   [[nodiscard]] std::int64_t cache_hits() const noexcept {
     return mem_hits + disk_hits;
   }
   /// Counter deltas over an interval: snapshot().since(earlier_snapshot).
+  /// `modules_open` is a gauge, not a counter: the delta keeps the
+  /// CURRENT open count (matching how worker-pool `active` is reported),
+  /// so the accounting identity `opened == open + closed` only holds on
+  /// absolute snapshots, not on deltas.
   [[nodiscard]] CompileStats since(const CompileStats& before) const noexcept {
     CompileStats d;
     d.tus_compiled = tus_compiled - before.tus_compiled;
@@ -93,6 +103,9 @@ struct CompileStats {
     d.disk_hits = disk_hits - before.disk_hits;
     d.failures = failures - before.failures;
     d.evictions = evictions - before.evictions;
+    d.modules_opened = modules_opened - before.modules_opened;
+    d.modules_closed = modules_closed - before.modules_closed;
+    d.modules_open = modules_open;
     d.compile_wall_s = compile_wall_s - before.compile_wall_s;
     return d;
   }
@@ -107,12 +120,48 @@ using KernelFn = void (*)(const float* a, const float* const* weights,
                           float* out, float* scratch, long long block_begin,
                           long long block_end);
 
+/// A dlopen'd kernel translation unit with refcounted lifetime: the last
+/// ModuleRef release dlclose()s the shared object, so function pointers
+/// resolved from a module are valid ONLY while a reference is held.
+/// Construction/destruction maintain the process-wide module counters
+/// (CompileStats::modules_opened / modules_open / modules_closed).
+class JitModule {
+ public:
+  explicit JitModule(void* handle) noexcept;
+  ~JitModule();
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+  [[nodiscard]] void* handle() const noexcept { return handle_; }
+
+ private:
+  void* handle_;
+};
+
+using ModuleRef = std::shared_ptr<const JitModule>;
+
+/// A resolved entry point plus the module reference that keeps it
+/// executable.  Keep `module` alive for as long as `fn` may run —
+/// dropping the last reference unmaps the code out from under it.
+struct ResolvedKernel {
+  KernelFn fn = nullptr;
+  ModuleRef module;
+  [[nodiscard]] bool ok() const noexcept { return fn != nullptr; }
+};
+
 /// Resolves (compiling at most once) the native kernel for one schedule.
-/// Thread-safe; returns nullptr and fills `error` when the toolchain is
+/// Thread-safe; !ok() with `error` filled when the toolchain is
 /// unavailable or compilation fails.
-[[nodiscard]] KernelFn resolve_kernel(const Schedule& s,
-                                      const std::string& gpu_key,
-                                      const Toolchain& tc, std::string* error);
+[[nodiscard]] ResolvedKernel resolve_kernel(const Schedule& s,
+                                            const std::string& gpu_key,
+                                            const Toolchain& tc,
+                                            std::string* error);
+
+/// Test hook: swaps the in-memory kernel map and negative cache for
+/// fresh ones bounded at `cap` entries each (0 = unbounded), dropping
+/// every cached entry point — modules close as their last references
+/// go.  The environment-latched default (MCFUSER_JIT_KERNEL_CAP) is
+/// untouched; pass it back via a fresh call to restore.
+void set_kernel_cap_for_testing(std::size_t cap);
 
 /// A compiled kernel located on disk WITHOUT loading it into this
 /// process: the cache key, the shared-object path and the entry symbol.
@@ -150,14 +199,19 @@ void prepare_kernels(std::span<const Schedule* const> batch,
                      const std::string& gpu_key, const Toolchain& tc);
 
 /// Executes a resolved kernel over all blocks of `s` (Interpreter::run's
-/// tensor contract), fanning blocks out across the global thread pool.
-/// `scratch` is the caller-owned per-slot workspace: arenas allocate
-/// lazily on first use and are REUSED across calls, so repeat
-/// invocations (sampling loops) pay no allocation.  Concurrent callers
-/// must pass distinct scratch vectors.
+/// tensor contract), fanning contiguous block ranges out across the
+/// global thread pool.  `threads` caps the fan-out: <= 0 uses the full
+/// pool concurrency, 1 runs single-threaded on the calling thread, T > 1
+/// splits the blocks into min(T, n_blocks) deterministic contiguous
+/// chunks (per-block work is independent, so results are bit-identical
+/// for every T).  `scratch` is the caller-owned per-slot workspace:
+/// arenas allocate lazily on first use and are REUSED across calls, so
+/// repeat invocations (sampling loops) pay no allocation.  Concurrent
+/// callers must pass distinct scratch vectors.  The caller must hold a
+/// ModuleRef for `fn`'s module for the duration of the call.
 void run_compiled(KernelFn fn, const Schedule& s, const Tensor& a,
                   std::span<const Tensor> weights, Tensor& out,
-                  std::vector<std::vector<float>>& scratch);
+                  std::vector<std::vector<float>>& scratch, int threads = 0);
 
 }  // namespace jit
 
@@ -180,12 +234,15 @@ class JitKernel {
   [[nodiscard]] const std::string& error() const noexcept { return error_; }
   [[nodiscard]] const Schedule& schedule() const noexcept { return s_; }
 
-  void run(const Tensor& a, std::span<const Tensor> weights,
-           Tensor& out) const;
+  /// `threads` caps the block fan-out (see jit::run_compiled); 0 = full
+  /// pool concurrency.
+  void run(const Tensor& a, std::span<const Tensor> weights, Tensor& out,
+           int threads = 0) const;
 
  private:
   Schedule s_;
   jit::KernelFn fn_ = nullptr;
+  jit::ModuleRef module_;  ///< pins the .so mapping across evictions
   std::string error_;
   mutable std::vector<std::vector<float>> scratch_;  ///< per-slot arenas
 };

@@ -37,15 +37,19 @@ ExecutionCounters CompiledKernel::run(const Tensor& a,
 
 bool CompiledKernel::run_native(const Tensor& a,
                                 std::span<const Tensor> weights,
-                                Tensor& out) const {
+                                Tensor& out, int threads) const {
   MCF_CHECK(ok_) << "cannot run a failed compilation: " << error_;
   const jit::Toolchain tc = jit::detect_toolchain();
   if (!tc.ok()) return false;
   std::string err;
-  jit::KernelFn fn = jit::resolve_kernel(schedule_, gpu_.name, tc, &err);
-  if (fn == nullptr) return false;
+  // `rk.module` stays on this frame for the whole call: an LRU eviction
+  // on another thread drops the registry's reference, not ours, so the
+  // mapping survives until we return.
+  const jit::ResolvedKernel rk =
+      jit::resolve_kernel(schedule_, gpu_.name, tc, &err);
+  if (!rk.ok()) return false;
   std::vector<std::vector<float>> scratch;
-  jit::run_compiled(fn, schedule_, a, weights, out, scratch);
+  jit::run_compiled(rk.fn, schedule_, a, weights, out, scratch, threads);
   return true;
 }
 

@@ -40,12 +40,17 @@ class CompiledKernel {
 
   /// Native execution: compiles the schedule to machine code through the
   /// exec/jit subsystem (digest-keyed cache — repeat calls resolve
-  /// without recompiling) and runs it.  Returns false without touching
-  /// `out` when no host toolchain is available (or compilation failed);
-  /// fall back to run().  Same tensor contract as run(); results agree
-  /// with the interpreter to float round-off (tests/exec/test_jit.cpp).
+  /// without recompiling) and runs it, holding a module reference for
+  /// the duration so a concurrent registry eviction can never unmap the
+  /// executing code.  `threads` caps the block fan-out across the
+  /// worker-slot pool (<= 0 = full pool concurrency, 1 = single-
+  /// threaded); the output is bit-identical for every thread count.
+  /// Returns false without touching `out` when no host toolchain is
+  /// available (or compilation failed); fall back to run().  Same tensor
+  /// contract as run(); results agree with the interpreter to float
+  /// round-off (tests/exec/test_jit.cpp).
   bool run_native(const Tensor& a, std::span<const Tensor> weights,
-                  Tensor& out) const;
+                  Tensor& out, int threads = 0) const;
 
   /// Simulated hardware measurement.
   [[nodiscard]] KernelMeasurement measure(const MeasureOptions& options = {}) const;

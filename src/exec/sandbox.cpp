@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -30,7 +31,11 @@ namespace sandbox {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4D434657;  // "MCFW"
-constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: RunRequest carries `threads` (the host's block fan-out cap, so
+/// workers replay the multicore run_native geometry).  Host and workers
+/// re-exec the same binary, so a version mismatch only means a corrupted
+/// stream — rejected, never skewed.
+constexpr std::uint32_t kProtocolVersion = 2;
 /// Frames are small (a request is a path + a dozen integers; a response
 /// is a handful of doubles) — anything larger is a corrupted stream.
 constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
@@ -260,6 +265,7 @@ using Deadline = std::chrono::steady_clock::time_point;
   w.u32(static_cast<std::uint32_t>(req.warmup < 0 ? 0 : req.warmup));
   w.u32(static_cast<std::uint32_t>(req.repeats < 1 ? 1 : req.repeats));
   w.u64(req.data_seed);
+  w.i64(req.threads < 0 ? 0 : req.threads);
   return w.framed();
 }
 
@@ -286,14 +292,18 @@ using Deadline = std::chrono::steady_clock::time_point;
     req->inner.resize(n_inner);
     for (std::int64_t& d : req->inner) ok = ok && r.i64(&d);
   }
+  std::int64_t threads = 0;
   ok = ok && r.i64(&req->n_blocks) && r.i64(&req->scratch_floats) &&
-       r.u32(&warmup) && r.u32(&repeats) && r.u64(&req->data_seed);
+       r.u32(&warmup) && r.u32(&repeats) && r.u64(&req->data_seed) &&
+       r.i64(&threads);
   if (!ok) {
     *why = "truncated request";
     return false;
   }
   req->warmup = static_cast<int>(warmup);
   req->repeats = static_cast<int>(repeats);
+  req->threads = static_cast<int>(
+      std::clamp<std::int64_t>(threads, 0, 1 << 16));
   if (req->batch < 1 || req->m < 1 || req->inner.size() < 2 ||
       req->n_blocks < 1 || req->scratch_floats < 0) {
     *why = "invalid geometry";
@@ -795,22 +805,29 @@ int worker_main(int request_fd, int response_fd) {
         float* op = in.out.data().data();
         const auto need = static_cast<std::size_t>(req.scratch_floats);
 
-        // Same execution geometry as jit::run_compiled: blocks fan out
-        // across the pool, one reusable scratch arena per worker slot.
+        // Same execution geometry as jit::run_compiled: contiguous block
+        // chunks fan out across the pool (req.threads caps the fan-out,
+        // mirroring the host's MeasureOptions::exec_threads), one
+        // reusable scratch arena per worker slot.
         ThreadPool& pool = ThreadPool::global();
         if (scratch.size() < pool.concurrency()) {
           scratch.resize(pool.concurrency());
         }
+        const std::int64_t want =
+            req.threads > 0 ? req.threads
+                            : static_cast<std::int64_t>(pool.concurrency());
+        const std::int64_t n_chunks = std::max<std::int64_t>(
+            1, std::min<std::int64_t>(want, req.n_blocks));
+        const std::int64_t n_blocks = req.n_blocks;
         const auto run_once = [&] {
-          pool.parallel_for_slots(req.n_blocks,
-                                  [&](unsigned slot_idx, std::int64_t blk) {
-                                    std::vector<float>& sc = scratch[slot_idx];
-                                    if (sc.size() != need) {
-                                      sc.assign(need, 0.0f);
-                                    }
-                                    fn(ap, wptrs.data(), op, sc.data(), blk,
-                                       blk + 1);
-                                  });
+          pool.parallel_for_slots(
+              n_chunks, [&](unsigned slot_idx, std::int64_t c) {
+                std::vector<float>& sc = scratch[slot_idx];
+                if (sc.size() != need) sc.assign(need, 0.0f);
+                const std::int64_t begin = c * n_blocks / n_chunks;
+                const std::int64_t end = (c + 1) * n_blocks / n_chunks;
+                if (begin < end) fn(ap, wptrs.data(), op, sc.data(), begin, end);
+              });
         };
         for (int i = 0; i < req.warmup; ++i) run_once();
         resp.samples.reserve(static_cast<std::size_t>(req.repeats));

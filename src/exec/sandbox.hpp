@@ -121,6 +121,10 @@ struct RunRequest {
   int warmup = 1;
   int repeats = 3;
   std::uint64_t data_seed = 1;  ///< same seeding as ExecMeasureState::data
+  /// Block fan-out cap (MeasureOptions::exec_threads): the worker replays
+  /// the host's jit::run_compiled chunking geometry.  <= 0 = the worker's
+  /// full pool concurrency.
+  int threads = 0;
 };
 
 enum class RunOutcome : std::uint8_t {

@@ -235,7 +235,7 @@ JitBackend::JitBackend(GpuSpec spec, JitBackendOptions options)
 }
 
 KernelMeasurement JitBackend::measure(const Schedule& s,
-                                      const MeasureOptions& /*options*/) const {
+                                      const MeasureOptions& options) const {
   KernelMeasurement m;
   const detail::ExecMeasureState::Gate gate = state_.gate(s, spec());
   m.n_blocks = gate.n_blocks;
@@ -253,13 +253,19 @@ KernelMeasurement JitBackend::measure(const Schedule& s,
   // failure degrades to the interpreter so measure() always answers.
   if (toolchain_.ok()) {
     std::string err;
-    if (jit::KernelFn fn =
-            jit::resolve_kernel(s, spec().name, toolchain_, &err)) {
+    // `rk.module` lives on this frame across all samples: a concurrent
+    // registry eviction cannot unmap the code mid-measurement.
+    const jit::ResolvedKernel rk =
+        jit::resolve_kernel(s, spec().name, toolchain_, &err);
+    if (rk.ok()) {
       // Per-call scratch (concurrent measure() calls stay independent),
       // reused across the warmup/repeat samples inside.
       std::vector<std::vector<float>> scratch;
       m.time_s = sample_trimmed_wall(
-          [&] { jit::run_compiled(fn, s, data->a, data->weights, out, scratch); },
+          [&] {
+            jit::run_compiled(rk.fn, s, data->a, data->weights, out, scratch,
+                              options.exec_threads);
+          },
           opt_.warmup, opt_.repeats, opt_.trim_fraction, opt_.clock);
       m.ok = true;
       return m;
@@ -356,6 +362,7 @@ KernelMeasurement IsolatedJitBackend::measure(
   req.warmup = opt_.warmup;
   req.repeats = opt_.repeats;
   req.data_seed = opt_.data_seed;
+  req.threads = options.exec_threads;
 
   sandbox::RunResult r = pool_->run(req);
   if (r.retryable_load_failure) {

@@ -320,10 +320,15 @@ class JitBackend : public MeasureBackend {
                             comp_eff, stmt_trips, options);
   }
   /// measure() executes the schedule as-is; simulator-noise options do
-  /// not reach it.
+  /// not reach it.  exec_threads DOES change the measured wall time, so
+  /// it folds into the digest — a cache layered over this backend must
+  /// never serve a 1-thread time for an 8-thread request.
   [[nodiscard]] std::uint64_t options_digest(
-      const MeasureOptions&) const noexcept override {
-    return 0;
+      const MeasureOptions& options) const noexcept override {
+    return options.exec_threads > 0
+               ? hash_combine(0x6d63662d6a69746dull,
+                              static_cast<std::uint64_t>(options.exec_threads))
+               : 0;
   }
 
   /// True when a host toolchain was detected at construction and
@@ -414,10 +419,15 @@ class IsolatedJitBackend : public MeasureBackend {
                                  comp_eff, stmt_trips, options);
   }
   /// measure() executes the schedule as-is; simulator-noise options do
-  /// not reach it.
+  /// not reach it.  exec_threads DOES change the measured wall time
+  /// (the workers replay the host's fan-out geometry), so it folds into
+  /// the digest like JitBackend's.
   [[nodiscard]] std::uint64_t options_digest(
-      const MeasureOptions&) const noexcept override {
-    return 0;
+      const MeasureOptions& options) const noexcept override {
+    return options.exec_threads > 0
+               ? hash_combine(0x6d63662d6a69746dull,
+                              static_cast<std::uint64_t>(options.exec_threads))
+               : 0;
   }
 
   /// True when measurements run in sandbox workers; false = in-process

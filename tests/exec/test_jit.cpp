@@ -250,7 +250,7 @@ TEST(JitCompile, TimeoutKillsHungCompiler) {
                                     std::vector<std::int64_t>{32, 16, 32, 16});
   const auto t0 = std::chrono::steady_clock::now();
   std::string error;
-  const jit::KernelFn fn =
+  const jit::ResolvedKernel rk =
       jit::resolve_kernel(s, unique_key("hung-cxx"), jit::detect_toolchain(),
                           &error);
   const double wall =
@@ -261,7 +261,7 @@ TEST(JitCompile, TimeoutKillsHungCompiler) {
   ::unsetenv("MCFUSER_JIT_COMPILE_TIMEOUT_S");
   ::unlink(script.c_str());
 
-  EXPECT_EQ(fn, nullptr);
+  EXPECT_FALSE(rk.ok());
   EXPECT_NE(error.find("timed out"), std::string::npos) << error;
   EXPECT_LT(wall, 60.0);  // killed at ~1s, nowhere near the 600s sleep
 }
