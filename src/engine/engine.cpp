@@ -85,19 +85,22 @@ const ChainSpec& FusionTicket::chain() const {
 
 bool FusionTicket::ready() const {
   if (!state_) return false;
-  std::lock_guard<std::mutex> lk(state_->mu);
+  const LockGuard lk(state_->mu);
   return state_->done;
 }
 
 void FusionTicket::wait() const {
   MCF_CHECK(state_ != nullptr) << "wait() on an empty FusionTicket";
-  std::unique_lock<std::mutex> lk(state_->mu);
-  state_->cv.wait(lk, [&] { return state_->done; });
+  UniqueLock lk(state_->mu);
+  state_->cv.wait(lk, [&] {
+    state_->mu.assert_held();
+    return state_->done;
+  });
 }
 
 bool FusionTicket::wait_for(double seconds) const {
   MCF_CHECK(state_ != nullptr) << "wait_for() on an empty FusionTicket";
-  std::unique_lock<std::mutex> lk(state_->mu);
+  UniqueLock lk(state_->mu);
   // Contract: <= 0 (and NaN, which fails every comparison) polls once.
   if (!(seconds > 0.0)) return state_->done;
   // +inf and absurdly large finite waits become wait(): feeding them to
@@ -105,15 +108,23 @@ bool FusionTicket::wait_for(double seconds) const {
   // years) still fits an int64 nanosecond deadline with headroom.
   constexpr double kMaxWaitSeconds = 1e9;
   if (!std::isfinite(seconds) || seconds >= kMaxWaitSeconds) {
-    state_->cv.wait(lk, [&] { return state_->done; });
+    state_->cv.wait(lk, [&] {
+      state_->mu.assert_held();
+      return state_->done;
+    });
     return true;
   }
-  return state_->cv.wait_for(lk, std::chrono::duration<double>(seconds),
-                             [&] { return state_->done; });
+  return state_->cv.wait_for(lk, std::chrono::duration<double>(seconds), [&] {
+    state_->mu.assert_held();
+    return state_->done;
+  });
 }
 
 const FusionResult& FusionTicket::get() const {
   wait();
+  // done is set: the result is frozen, but the reference still binds to
+  // a guarded field — take the (uncontended) lock for the access.
+  const LockGuard lk(state_->mu);
   return state_->result;
 }
 
@@ -123,12 +134,12 @@ bool FusionTicket::cancel() {
     // A finished job is untouchable: no cancel flag is raised (the shared
     // TicketState may be aliased by a fuse_chains memo entry), the stored
     // result stays as-is, and the call reports false.
-    std::lock_guard<std::mutex> lk(state_->mu);
+    const LockGuard lk(state_->mu);
     if (state_->done) return false;
   }
   // Idempotent: re-raising an already-raised flag is a no-op.
   state_->progress->request_cancel();
-  std::lock_guard<std::mutex> lk(state_->mu);
+  const LockGuard lk(state_->mu);
   return !state_->done;
 }
 
@@ -139,7 +150,7 @@ FusionTicket::Progress FusionTicket::progress() const {
   p.estimates = state_->progress->estimates.load(std::memory_order_relaxed);
   p.measurements =
       state_->progress->measurements.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(state_->mu);
+  const LockGuard lk(state_->mu);
   p.started = state_->started;
   p.done = state_->done;
   return p;
@@ -281,7 +292,7 @@ FusionEngine::FusionEngine(GpuSpec gpu, FusionEngineOptions options)
 
 FusionEngine::~FusionEngine() {
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    const LockGuard lk(queue_mu_);
     stop_ = true;
   }
   queue_cv_.notify_all();
@@ -291,16 +302,26 @@ FusionEngine::~FusionEngine() {
     // its ticket, touching the admission counters and the memo).  Wait
     // for every in-progress admit() to leave before tearing the engine
     // down — otherwise a Block-policy submitter races destruction.
-    std::unique_lock<std::mutex> lk(queue_mu_);
-    drained_cv_.wait(lk, [&] { return admitting_ == 0; });
+    UniqueLock lk(queue_mu_);
+    drained_cv_.wait(lk, [&] {
+      queue_mu_.assert_held();
+      return admitting_ == 0;
+    });
   }
-  for (std::thread& w : workers_) w.join();
+  // Swap the worker handles out under the lock (spawn_worker_locked may
+  // have appended concurrently with the drain above), join unlocked.
+  std::vector<std::thread> workers;
+  {
+    const LockGuard lk(queue_mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) w.join();
   // With workers, the loop above drained the backlog as Cancelled.  The
   // defensive sweep covers an engine that never spawned one: every
   // outstanding ticket must still resolve so no waiter hangs.
   std::deque<std::shared_ptr<detail::TicketState>> leftover;
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    const LockGuard lk(queue_mu_);
     leftover.swap(queue_);
   }
   for (const auto& s : leftover) {
@@ -421,8 +442,11 @@ void FusionEngine::worker_loop() {
     std::shared_ptr<detail::TicketState> job;
     bool stopping = false;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      UniqueLock lk(queue_mu_);
+      queue_cv_.wait(lk, [&] {
+        queue_mu_.assert_held();
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ set and drained
       stopping = stop_;
       job = std::move(queue_.front());
@@ -451,7 +475,7 @@ void FusionEngine::worker_loop() {
       r = make_shed_result(FusionStatus::DeadlineExceeded, os.str());
     } else {
       {
-        std::lock_guard<std::mutex> lk(job->mu);
+        const LockGuard lk(job->mu);
         job->started = true;
       }
       r = run_one(job->chain, job->progress);
@@ -460,7 +484,7 @@ void FusionEngine::worker_loop() {
     // last ticket of a burst resolves, stats() must already show
     // busy == 0 (the stress suite pins this ordering).
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      const LockGuard lk(queue_mu_);
       --busy_;
     }
     room_cv_.notify_one();  // an in-flight slot freed up
@@ -486,27 +510,35 @@ void FusionEngine::finish(const std::shared_ptr<detail::TicketState>& state,
       completed_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+  // Store the result and extract everything the memo publication needs
+  // in ONE state->mu critical section: the old shape re-read
+  // state->result under memo_mu_, which is the wrong lock for that
+  // field (benign only because the same thread had just written it).
+  std::shared_ptr<const FusionResult> aliased;
+  std::size_t bytes = 0;
   {
-    std::lock_guard<std::mutex> lk(state->mu);
+    const LockGuard lk(state->mu);
     state->result = std::move(result);
+    if (!state->memo_digest.empty() && state->result.ok()) {
+      // The aliasing shared_ptr keeps the ticket state (and thus the
+      // result) alive as long as the memo entry does; readers deref it
+      // lock-free, which is sound because the value is frozen once done
+      // flips below.
+      aliased = std::shared_ptr<const FusionResult>(state, &state->result);
+      bytes = approx_result_bytes(state->result);
+    }
   }
   if (!state->memo_digest.empty()) {
     // Publish before signalling done: a fuse_chains waiter that wakes on
-    // done must find the memo entry.  The aliasing shared_ptr keeps the
-    // ticket state (and thus the result) alive as long as the memo does.
-    // Only Ok results are memoized — a failed tuning (which may be
-    // transient on nondeterministic hardware backends) must not poison
-    // its digest for the engine's lifetime; waiters of THIS call still
-    // see the failure through their tickets, and the next call re-tunes.
-    std::lock_guard<std::mutex> lk(memo_mu_);
-    if (state->result.ok()) {
-      // The aliasing shared_ptr keeps the ticket state (and thus the
-      // result) alive as long as the memo entry does; a racing tuner of
-      // the same digest keeps the incumbent (results are deterministic
-      // per chain, so the payloads match).
-      auto aliased =
-          std::shared_ptr<const FusionResult>(state, &state->result);
-      const std::size_t bytes = approx_result_bytes(*aliased);
+    // done must find the memo entry.  Only Ok results are memoized — a
+    // failed tuning (which may be transient on nondeterministic hardware
+    // backends) must not poison its digest for the engine's lifetime;
+    // waiters of THIS call still see the failure through their tickets,
+    // and the next call re-tunes.  A racing tuner of the same digest
+    // keeps the incumbent (results are deterministic per chain, so the
+    // payloads match).
+    const LockGuard lk(memo_mu_);
+    if (aliased != nullptr) {
       (void)results_.insert(state->memo_digest, std::move(aliased), bytes);
     }
     // Only this job's own dedup registration is retired: a submit() job
@@ -518,7 +550,7 @@ void FusionEngine::finish(const std::shared_ptr<detail::TicketState>& state,
     }
   }
   {
-    std::lock_guard<std::mutex> lk(state->mu);
+    const LockGuard lk(state->mu);
     state->done = true;
   }
   state->cv.notify_all();
@@ -555,7 +587,7 @@ FusionTicket FusionEngine::admit(std::shared_ptr<detail::TicketState> state,
   bool admitted = false;
   bool shutdown = false;
   {
-    std::unique_lock<std::mutex> lk(queue_mu_);
+    UniqueLock lk(queue_mu_);
     MCF_CHECK(!stop_) << "submit() on a shut-down FusionEngine";
     // Registered until the tail of this function completes: the
     // destructor waits on admitting_ so a submitter woken from the
@@ -566,7 +598,10 @@ FusionTicket FusionEngine::admit(std::shared_ptr<detail::TicketState> state,
     } else if (batch || (may_block && qp.overflow == OverflowPolicy::Block)) {
       // Batch (fuse_chains) jobs always wait for a slot: a batch call
       // owns its backlog, and shedding its chains would fail the report.
-      room_cv_.wait(lk, [&] { return stop_ || !queue_full_locked(); });
+      room_cv_.wait(lk, [&] {
+        queue_mu_.assert_held();
+        return stop_ || !queue_full_locked();
+      });
       if (stop_) {
         shutdown = true;
       } else {
@@ -609,7 +644,7 @@ FusionTicket FusionEngine::admit(std::shared_ptr<detail::TicketState> state,
     finish(state, make_shed_result(FusionStatus::Rejected, os.str()));
   }
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    const LockGuard lk(queue_mu_);
     --admitting_;
     // Notify UNDER the lock: the waiting destructor cannot wake until we
     // release queue_mu_, by which point this thread never touches the
@@ -672,7 +707,7 @@ GraphFusionReport FusionEngine::fuse_chains(const std::vector<ChainSpec>& chains
     FusionTicket ticket;
     bool fresh = false;
     {
-      std::lock_guard<std::mutex> lk(memo_mu_);
+      const LockGuard lk(memo_mu_);
       if (auto* hit = results_.find(digest)) {  // refreshes LRU recency
         cr.result = *hit;
         cr.reused = true;
@@ -730,12 +765,12 @@ GraphFusionReport FusionEngine::fuse_graph(const NetGraph& g) {
 
 FusionResult FusionEngine::fuse_cached_impl(const ChainSpec& chain,
                                             TuningCache& cache,
-                                            std::mutex* cache_mu) const {
+                                            Mutex* cache_mu) const {
   // `cache_mu` (when set) guards only the cache accesses — never the
   // tuning run itself, so engine-owned-cache fusions still overlap.
   const auto locked_resolve = [&](const SearchSpace& space) {
     if (cache_mu == nullptr) return cache.resolve(chain, gpu_, space);
-    std::lock_guard<std::mutex> lk(*cache_mu);
+    const LockGuard lk(*cache_mu);
     return cache.resolve(chain, gpu_, space);
   };
   if (!chain.valid()) {
@@ -775,7 +810,7 @@ FusionResult FusionEngine::fuse_cached_impl(const ChainSpec& chain,
     if (cache_mu == nullptr) {
       cache.put(chain, gpu_, std::move(entry));
     } else {
-      std::lock_guard<std::mutex> lk(*cache_mu);
+      const LockGuard lk(*cache_mu);
       cache.put(chain, gpu_, std::move(entry));
     }
   }
@@ -792,24 +827,24 @@ FusionResult FusionEngine::fuse_cached(const ChainSpec& chain) {
 }
 
 bool FusionEngine::load_tuning_cache(const std::string& path) {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  const LockGuard lk(cache_mu_);
   return tuning_cache_.load(path);
 }
 
 bool FusionEngine::save_tuning_cache(const std::string& path) const {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  const LockGuard lk(cache_mu_);
   return tuning_cache_.save(path);
 }
 
 std::size_t FusionEngine::result_cache_size() const {
-  std::lock_guard<std::mutex> lk(memo_mu_);
+  const LockGuard lk(memo_mu_);
   return results_.size();
 }
 
 EngineStats FusionEngine::stats() const {
   EngineStats s;
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    const LockGuard lk(queue_mu_);
     s.queued = queue_.size();
     s.busy = busy_;
     s.workers = workers_.size();
@@ -821,7 +856,7 @@ EngineStats FusionEngine::stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(memo_mu_);
+    const LockGuard lk(memo_mu_);
     s.memo_entries = results_.size();
     s.memo_bytes = results_.bytes();
     s.memo_evictions = results_.evictions();

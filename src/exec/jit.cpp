@@ -14,7 +14,6 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "measure/backend.hpp"
 #include "support/logging.hpp"
 #include "support/lru_map.hpp"
+#include "support/mutex.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -110,17 +110,18 @@ std::atomic<std::int64_t> g_modules_closed{0};
 /// and dlclose()d by ~JitModule on last release), and the compile
 /// counters.  All members require holding `mu`.
 struct Registry {
-  std::mutex mu;
-  LruMap<std::uint64_t, ResolvedKernel> fns;
-  LruMap<std::uint64_t, std::string> failed;  ///< key -> reason
+  Mutex mu{"jit.registry"};
+  LruMap<std::uint64_t, ResolvedKernel> fns MCF_GUARDED_BY(mu);
+  LruMap<std::uint64_t, std::string> failed MCF_GUARDED_BY(mu);  ///< key -> reason
   /// so path -> module (weak: the map itself must not pin mappings open,
   /// or eviction could never return memory).  Expired entries are pruned
   /// lazily on the next dlopen.
-  std::unordered_map<std::string, std::weak_ptr<const JitModule>> handles;
-  CompileStats stats;
+  std::unordered_map<std::string, std::weak_ptr<const JitModule>> handles
+      MCF_GUARDED_BY(mu);
+  CompileStats stats MCF_GUARDED_BY(mu);
   /// Evictions accumulated in maps replaced by set_kernel_cap_for_testing
   /// (LruMap counters reset when the maps are swapped).
-  std::int64_t evictions_base = 0;
+  std::int64_t evictions_base MCF_GUARDED_BY(mu) = 0;
 
   Registry()
       : fns(LruMap<std::uint64_t, ResolvedKernel>::Limits{kernel_map_cap(), 0}),
@@ -133,8 +134,8 @@ struct Registry {
   }
 
   /// Mirror the LRU eviction counters into the public stats snapshot
-  /// (call after any insert; caller holds `mu`).
-  void sync_evictions_locked() {
+  /// (call after any insert).
+  void sync_evictions_locked() MCF_REQUIRES(mu) {
     stats.evictions =
         evictions_base +
         static_cast<std::int64_t>(fns.evictions() + failed.evictions());
@@ -414,7 +415,7 @@ struct CommandResult {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const LockGuard lock(reg.mu);
   reg.stats.compile_wall_s += wall;
   if (!fail.empty()) {
     fs::remove(so_tmp, ec);
@@ -463,11 +464,11 @@ struct CommandResult {
 /// shared TU paths and negative-cache a corrupted compile), and after
 /// taking it every already-resolved kernel is dropped from the batch.
 void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
-  static std::mutex compile_mu;
-  const std::lock_guard<std::mutex> compile_lock(compile_mu);
+  static Mutex compile_mu{"jit.compile"};
+  const LockGuard compile_lock(compile_mu);
   Registry& reg = Registry::instance();
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     std::erase_if(pending, [&](const EmittedKernel& p) {
       return reg.fns.contains(p.key) || reg.failed.contains(p.key);
     });
@@ -481,7 +482,7 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
     for (const EmittedKernel& p : pending) {
       fail = compile_tu_locked({p}, tc);
       if (!fail.empty()) {
-        const std::lock_guard<std::mutex> lock(reg.mu);
+        const LockGuard lock(reg.mu);
         reg.stats.failures += 1;
         (void)reg.failed.insert(p.key, fail);
         reg.sync_evictions_locked();
@@ -489,7 +490,7 @@ void compile_batch_tu(std::vector<EmittedKernel> pending, const Toolchain& tc) {
     }
     return;
   }
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const LockGuard lock(reg.mu);
   reg.stats.failures += 1;
   (void)reg.failed.insert(pending.front().key, std::move(fail));
   reg.sync_evictions_locked();
@@ -517,7 +518,7 @@ void heal_stale_artifact(std::uint64_t key, const std::string& why) {
                                         bool count_hits = true) {
   Registry& reg = Registry::instance();
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     if (const ResolvedKernel* rk = reg.fns.find(key)) {
       if (count_hits) ++reg.stats.mem_hits;
       return *rk;
@@ -546,7 +547,7 @@ void heal_stale_artifact(std::uint64_t key, const std::string& why) {
   std::string err;
   ResolvedKernel rk;
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     if (const ResolvedKernel* racing = reg.fns.find(key)) {
       ++reg.stats.mem_hits;
       return *racing;
@@ -611,7 +612,7 @@ CompileStats stats_snapshot() {
   Registry& reg = Registry::instance();
   CompileStats s;
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     s = reg.stats;
   }
   // Module counters are process-global atomics (~JitModule may run while
@@ -637,7 +638,7 @@ JitModule::~JitModule() {
 
 void set_kernel_cap_for_testing(std::size_t cap) {
   Registry& reg = Registry::instance();
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const LockGuard lock(reg.mu);
   reg.evictions_base +=
       static_cast<std::int64_t>(reg.fns.evictions() + reg.failed.evictions());
   reg.fns = LruMap<std::uint64_t, ResolvedKernel>(
@@ -699,14 +700,14 @@ KernelArtifact resolve_artifact(const Schedule& s, const std::string& gpu_key,
     return true;
   };
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     if (const std::string* why = reg.failed.find(a.key)) {
       a.error = *why;
       return a;
     }
   }
   if (read_idx()) {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     ++reg.stats.disk_hits;
     return a;
   }
@@ -714,12 +715,12 @@ KernelArtifact resolve_artifact(const Schedule& s, const std::string& gpu_key,
     // The artifact resolves through the idx file, never the in-memory fn
     // map — a stale fn entry (its idx removed by invalidate_kernel) would
     // make compile_batch_tu skip the recompile that recreates the idx.
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     (void)reg.fns.erase(a.key);
   }
   compile_batch_tu({std::move(ek)}, tc);
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     if (const std::string* why = reg.failed.find(a.key)) {
       a.error = *why;
       return a;
@@ -733,7 +734,7 @@ bool invalidate_kernel(std::uint64_t key) {
   Registry& reg = Registry::instance();
   bool removed = false;
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const LockGuard lock(reg.mu);
     removed = reg.fns.erase(key);
     removed = reg.failed.erase(key) || removed;
   }
@@ -756,7 +757,7 @@ void prepare_kernels(std::span<const Schedule* const> batch,
     if (try_cached(ek.key, nullptr).ok()) continue;
     {
       Registry& reg = Registry::instance();
-      const std::lock_guard<std::mutex> lock(reg.mu);
+      const LockGuard lock(reg.mu);
       if (reg.failed.contains(ek.key)) continue;
     }
     pending.push_back(std::move(ek));

@@ -12,14 +12,13 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "support/lru_map.hpp"
+#include "support/mutex.hpp"
 #include "support/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
@@ -65,9 +64,11 @@ enum WireStatus : std::uint8_t {
 }
 
 struct GlobalState {
-  std::mutex mu;
-  WorkerStats stats;
-  LruMap<std::uint64_t, CrashEntry> crash;
+  /// Innermost of the sandbox pair: WorkerPool code takes State::mu
+  /// first, GlobalState::mu second, never the reverse.
+  Mutex mu{"sandbox.global"};
+  WorkerStats stats MCF_GUARDED_BY(mu);
+  LruMap<std::uint64_t, CrashEntry> crash MCF_GUARDED_BY(mu);
 
   GlobalState()
       : crash(LruMap<std::uint64_t, CrashEntry>::Limits{crash_cache_cap(), 0}) {
@@ -477,13 +478,13 @@ PoolOptions default_pool_options() {
 
 WorkerStats stats_snapshot() {
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(g.mu);
+  const LockGuard lock(g.mu);
   return g.stats;
 }
 
 std::optional<CrashEntry> crash_cache_lookup(std::uint64_t key) {
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(g.mu);
+  const LockGuard lock(g.mu);
   if (const CrashEntry* hit = g.crash.find(key)) {
     ++g.stats.negative_hits;
     return *hit;
@@ -494,26 +495,26 @@ std::optional<CrashEntry> crash_cache_lookup(std::uint64_t key) {
 void crash_cache_insert(std::uint64_t key, MeasureFailKind kind,
                         std::string reason) {
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(g.mu);
+  const LockGuard lock(g.mu);
   (void)g.crash.insert(key, CrashEntry{kind, std::move(reason)});
 }
 
 bool crash_cache_evict(std::uint64_t key) {
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(g.mu);
+  const LockGuard lock(g.mu);
   return g.crash.erase(key);
 }
 
 void crash_cache_clear() {
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(g.mu);
+  const LockGuard lock(g.mu);
   g.crash = LruMap<std::uint64_t, CrashEntry>(
       LruMap<std::uint64_t, CrashEntry>::Limits{crash_cache_cap(), 0});
 }
 
 std::size_t crash_cache_size() {
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(g.mu);
+  const LockGuard lock(g.mu);
   return g.crash.size();
 }
 
@@ -527,11 +528,14 @@ struct WorkerPool::Worker {
 };
 
 struct WorkerPool::State {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<std::unique_ptr<Worker>> workers;
+  Mutex mu{"sandbox.pool"};
+  CondVar cv;
+  /// The Worker objects themselves (busy flag included) are also guarded
+  /// by mu — Worker is declared before State, so the annotation can only
+  /// live here.
+  std::vector<std::unique_ptr<Worker>> workers MCF_GUARDED_BY(mu);
   /// Deaths not yet replaced: the next spawn counts as a respawn.
-  int deaths_pending = 0;
+  int deaths_pending MCF_GUARDED_BY(mu) = 0;
 };
 
 WorkerPool::WorkerPool(PoolOptions opt)
@@ -543,7 +547,7 @@ WorkerPool::WorkerPool(PoolOptions opt)
 
 WorkerPool::~WorkerPool() {
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(state_->mu);
+  const LockGuard lock(state_->mu);
   for (auto& w : state_->workers) {
     if (w->pid <= 0) continue;
     ::close(w->req_fd);  // EOF: a healthy worker exits its loop cleanly
@@ -552,7 +556,7 @@ WorkerPool::~WorkerPool() {
     int status = 0;
     while (::waitpid(w->pid, &status, 0) < 0 && errno == EINTR) {
     }
-    const std::lock_guard<std::mutex> glock(g.mu);
+    const LockGuard glock(g.mu);
     --g.stats.active;
   }
   state_->workers.clear();
@@ -570,7 +574,7 @@ std::string reap_process(pid_t pid, int req_fd, int resp_fd, bool force_kill) {
   ::close(req_fd);
   ::close(resp_fd);
   GlobalState& g = GlobalState::instance();
-  const std::lock_guard<std::mutex> lock(g.mu);
+  const LockGuard lock(g.mu);
   --g.stats.active;
   return describe_exit(status);
 }
@@ -585,7 +589,7 @@ RunResult WorkerPool::run(const RunRequest& req) {
     // Checkout: an idle live worker, else spawn below the cap, else wait.
     Worker* w = nullptr;
     {
-      std::unique_lock<std::mutex> lock(state_->mu);
+      UniqueLock lock(state_->mu);
       for (;;) {
         for (auto& cand : state_->workers) {
           if (!cand->busy && cand->pid > 0) {
@@ -605,7 +609,7 @@ RunResult WorkerPool::run(const RunRequest& req) {
             return fail;
           }
           {
-            const std::lock_guard<std::mutex> glock(g.mu);
+            const LockGuard glock(g.mu);
             ++g.stats.spawned;
             ++g.stats.active;
             if (state_->deaths_pending > 0) {
@@ -621,7 +625,7 @@ RunResult WorkerPool::run(const RunRequest& req) {
       w->busy = true;
     }
     {
-      const std::lock_guard<std::mutex> glock(g.mu);
+      const LockGuard glock(g.mu);
       ++g.stats.requests;
     }
 
@@ -686,7 +690,7 @@ RunResult WorkerPool::run(const RunRequest& req) {
     }
 
     {
-      const std::lock_guard<std::mutex> lock(state_->mu);
+      const LockGuard lock(state_->mu);
       if (worker_dead) {
         std::erase_if(state_->workers,
                       [&](const std::unique_ptr<Worker>& c) {
@@ -700,10 +704,10 @@ RunResult WorkerPool::run(const RunRequest& req) {
     }
 
     if (out.outcome == RunOutcome::Crashed) {
-      const std::lock_guard<std::mutex> glock(g.mu);
+      const LockGuard glock(g.mu);
       ++g.stats.crashes;
     } else if (out.outcome == RunOutcome::TimedOut) {
-      const std::lock_guard<std::mutex> glock(g.mu);
+      const LockGuard glock(g.mu);
       ++g.stats.timeouts;
     }
     // Bounded retry-with-respawn on crash only: a kernel that hung once

@@ -65,7 +65,7 @@ ExecMeasureState::Gate ExecMeasureState::gate(const Schedule& s,
                                               const GpuSpec& gpu) const {
   const std::uint64_t key = schedule_structure_digest(s);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (const Gate* hit = gates_.find(key)) return *hit;
   }
   // The same lowering gate as CompiledKernel: infeasible schedules fail
@@ -87,7 +87,7 @@ ExecMeasureState::Gate ExecMeasureState::gate(const Schedule& s,
       g.ok = true;
     }
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return gates_.insert(key, std::move(g));
 }
 
@@ -96,7 +96,7 @@ std::shared_ptr<const ExecMeasureState::ChainData> ExecMeasureState::data(
   const std::string key =
       chain_cache_key(chain) + "#" + std::to_string(data_seed);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (const auto* hit = data_.find(key)) return *hit;
   }
   // Build outside the lock: the allocation + fill_random cost must not
@@ -114,29 +114,29 @@ std::shared_ptr<const ExecMeasureState::ChainData> ExecMeasureState::data(
     fresh->weights.push_back(std::move(w));
   }
   const std::size_t fresh_bytes = fresh->bytes();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   // Eviction only forgets, never frees in-use tensors: callers (and a
   // racing builder that lost the insert) hold shared_ptrs either way.
   return data_.insert(key, std::move(fresh), fresh_bytes);
 }
 
 std::size_t ExecMeasureState::gate_entries() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return gates_.size();
 }
 
 std::size_t ExecMeasureState::data_entries() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return data_.size();
 }
 
 std::size_t ExecMeasureState::data_bytes() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return data_.bytes();
 }
 
 std::uint64_t ExecMeasureState::evictions() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return gates_.evictions() + data_.evictions();
 }
 
@@ -467,7 +467,7 @@ KernelMeasurement CachingBackend::measure(const Schedule& s,
   const std::string key = measure_key(s, inner_->options_digest(options));
   const std::string& gpu_name = inner_->spec().name;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (const auto it = mem_.find(key); it != mem_.end()) {
       ++hits_;
       return it->second;
@@ -490,7 +490,7 @@ KernelMeasurement CachingBackend::measure(const Schedule& s,
   // must stay concurrent.  Two threads racing on the same fresh key both
   // measure; the first insert wins so every caller observes one value.
   const KernelMeasurement measured = inner_->measure(s, options);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   const auto [it, inserted] = mem_.emplace(key, measured);
   if (inserted) {
     ++misses_;
@@ -512,7 +512,7 @@ void CachingBackend::prepare_batch(std::span<const Schedule* const> schedules,
   missing.reserve(schedules.size());
   {
     const std::string& gpu_name = inner_->spec().name;
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     for (const Schedule* s : schedules) {
       if (s == nullptr) continue;
       const std::string key = measure_key(*s, inner_->options_digest(options));
@@ -525,27 +525,27 @@ void CachingBackend::prepare_batch(std::span<const Schedule* const> schedules,
 }
 
 bool CachingBackend::save(const std::string& path) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return disk_.save(path);
 }
 
 bool CachingBackend::load(const std::string& path) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return disk_.load(path);
 }
 
 std::size_t CachingBackend::hits() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return hits_;
 }
 
 std::size_t CachingBackend::misses() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return misses_;
 }
 
 std::size_t CachingBackend::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return mem_.size();
 }
 
@@ -576,7 +576,7 @@ BackendRegistry& BackendRegistry::instance() {
 }
 
 bool BackendRegistry::add(const std::string& name, Factory factory) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return factories_.emplace(name, std::move(factory)).second;
 }
 
@@ -584,7 +584,7 @@ std::shared_ptr<MeasureBackend> BackendRegistry::create(
     const std::string& name, const GpuSpec& gpu) const {
   Factory factory;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     const auto it = factories_.find(name);
     if (it == factories_.end()) return nullptr;
     factory = it->second;
@@ -593,7 +593,7 @@ std::shared_ptr<MeasureBackend> BackendRegistry::create(
 }
 
 std::vector<std::string> BackendRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);

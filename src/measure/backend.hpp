@@ -35,7 +35,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -50,6 +49,7 @@
 #include "measure/measurement.hpp"
 #include "search/tuning_cache.hpp"
 #include "support/lru_map.hpp"
+#include "support/mutex.hpp"
 #include "support/rng.hpp"
 #include "tensor/tensor.hpp"
 
@@ -197,9 +197,10 @@ class ExecMeasureState {
   [[nodiscard]] std::uint64_t evictions() const;
 
  private:
-  mutable std::mutex mu_;
-  mutable LruMap<std::uint64_t, Gate> gates_;
-  mutable LruMap<std::string, std::shared_ptr<const ChainData>> data_;
+  mutable Mutex mu_{"measure.exec-state"};
+  mutable LruMap<std::uint64_t, Gate> gates_ MCF_GUARDED_BY(mu_);
+  mutable LruMap<std::string, std::shared_ptr<const ChainData>> data_
+      MCF_GUARDED_BY(mu_);
 };
 
 }  // namespace detail
@@ -507,13 +508,14 @@ class CachingBackend : public MeasureBackend {
  private:
   std::shared_ptr<const MeasureBackend> inner_;
   std::string name_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"measure.caching"};
   /// Full-fidelity in-memory store (diagnostics included).
-  mutable std::unordered_map<std::string, KernelMeasurement> mem_;
+  mutable std::unordered_map<std::string, KernelMeasurement> mem_
+      MCF_GUARDED_BY(mu_);
   /// Serializable mirror of the ok entries (time_s only).
-  mutable TuningCache disk_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable TuningCache disk_ MCF_GUARDED_BY(mu_);
+  mutable std::size_t hits_ MCF_GUARDED_BY(mu_) = 0;
+  mutable std::size_t misses_ MCF_GUARDED_BY(mu_) = 0;
 };
 
 /// Structural digest of a schedule: block loops, the scope/statement tree
@@ -546,8 +548,8 @@ class BackendRegistry {
  private:
   BackendRegistry();
 
-  mutable std::mutex mu_;
-  std::map<std::string, Factory> factories_;
+  mutable Mutex mu_{"measure.registry"};
+  std::map<std::string, Factory> factories_ MCF_GUARDED_BY(mu_);
 };
 
 }  // namespace mcf

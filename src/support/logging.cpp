@@ -3,13 +3,18 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "support/mutex.hpp"
 
 namespace mcf {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_io_mutex;
+// Leaf of the lock hierarchy: any thread may MCF_LOG while holding any
+// other lock, but no code path locks anything while holding it.  The
+// lock-order validator itself reports via fprintf, never MCF_LOG, so it
+// cannot recurse through here.
+Mutex g_io_mutex{"log.io"};
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
@@ -45,7 +50,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  const LockGuard lock(g_io_mutex);
   std::cerr << stream_.str() << "\n";
 }
 
@@ -56,7 +61,7 @@ CheckFailure::CheckFailure(const char* cond, const char* file, int line) {
 
 CheckFailure::~CheckFailure() noexcept(false) {
   {
-    const std::lock_guard<std::mutex> lock(g_io_mutex);
+    const LockGuard lock(g_io_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   std::abort();

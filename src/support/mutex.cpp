@@ -1,0 +1,297 @@
+// Runtime lock-order validator behind mcf::Mutex (support/mutex.hpp).
+//
+// Every enabled thread keeps a stack of currently held mcf::Mutex
+// pointers.  Acquiring mutex B while holding A records a directed edge
+// A -> B in a process-global acquisition-order graph (with the holder's
+// full lock stack captured on the edge's first recording).  Before
+// blocking on the real std::mutex, the acquisition checks whether the
+// new edges would close a cycle; if so the process aborts immediately,
+// printing BOTH acquisition stacks — the current thread's, and the
+// recorded stack of every edge on the conflicting path.  A deadlock
+// that would need two threads to interleave just so is therefore caught
+// by any single run that merely exercises both orders.
+//
+// The validator's own mutex is a plain std::mutex (a leaf: nothing is
+// acquired while it is held), so the validator can never deadlock or
+// recurse into itself.  Reports go through fprintf(stderr), never
+// MCF_LOG — the logging sink serializes on an mcf::Mutex of its own.
+
+#include "support/mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#if defined(__SANITIZE_THREAD__)
+#define MCF_RUNNING_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MCF_RUNNING_UNDER_TSAN 1
+#endif
+#endif
+#if defined(MCF_RUNNING_UNDER_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace mcf {
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_order_id{1};
+
+[[nodiscard]] int compute_default_enabled() noexcept {
+  if (const char* env = std::getenv("MCFUSER_LOCK_CHECKS")) {
+    if (*env != '\0') return (std::strcmp(env, "0") != 0) ? 1 : 0;
+  }
+#if !defined(NDEBUG) || defined(MCF_LOCK_ORDER_FORCE)
+  return 1;
+#else
+  return 0;
+#endif
+}
+
+struct EdgeInfo {
+  std::string from_name;
+  std::string to_name;
+  /// Names of every lock the recording thread held at the time (the
+  /// "other" acquisition stack a violation report prints).
+  std::vector<std::string> holder_stack;
+};
+
+struct Graph {
+  std::mutex mu;
+  /// (from_id << 32 | to_id) -> first recording of that edge.
+  std::unordered_map<std::uint64_t, EdgeInfo> edges;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> adj;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // never destroyed: threads may outlive exit
+  return *g;
+}
+
+struct HeldStack {
+  std::vector<const Mutex*> locks;
+};
+
+HeldStack& held() {
+  // Leaked, like the graph: a plain `thread_local HeldStack` registers
+  // a TLS destructor, and on the main thread those run BEFORE late
+  // static destructors (glibc interleaves them on one __cxa_atexit
+  // list) — so e.g. the global ThreadPool's destructor would lock its
+  // mutex and push onto an already-destroyed vector, corrupting the
+  // heap at exit.  The leak is one small vector per validator-enabled
+  // thread; release builds never call this at all.
+  thread_local HeldStack* t_held = new HeldStack();
+  return *t_held;
+}
+
+[[nodiscard]] constexpr std::uint64_t edge_key(std::uint32_t from,
+                                               std::uint32_t to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+/// DFS from `start` over the recorded order graph; fills `parent` so a
+/// found target's path can be reconstructed.  Returns the first member
+/// of `targets` reached, or 0.  Caller holds graph().mu.
+std::uint32_t reach_any(const Graph& g, std::uint32_t start,
+                        const std::unordered_set<std::uint32_t>& targets,
+                        std::unordered_map<std::uint32_t, std::uint32_t>* parent) {
+  std::vector<std::uint32_t> stack{start};
+  std::unordered_set<std::uint32_t> visited{start};
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back();
+    stack.pop_back();
+    const auto it = g.adj.find(node);
+    if (it == g.adj.end()) continue;
+    for (const std::uint32_t next : it->second) {
+      if (!visited.insert(next).second) continue;
+      (*parent)[next] = node;
+      if (targets.count(next) != 0) return next;
+      stack.push_back(next);
+    }
+  }
+  return 0;
+}
+
+[[noreturn]] void report_cycle(const Graph& g, const Mutex& acquiring,
+                               std::uint32_t acquiring_id,
+                               const std::vector<const Mutex*>& held_now,
+                               std::uint32_t cycle_back_to,
+                               const std::unordered_map<std::uint32_t, std::uint32_t>&
+                                   parent) {
+  std::fprintf(stderr,
+               "\n[mcf::Mutex] lock-order violation (potential deadlock)\n");
+  std::fprintf(stderr, "  this thread is acquiring \"%s\" while holding:\n",
+               acquiring.name());
+  for (auto it = held_now.rbegin(); it != held_now.rend(); ++it) {
+    std::fprintf(stderr, "    \"%s\"\n", (*it)->name());
+  }
+  // Reconstruct the recorded path acquiring -> ... -> cycle_back_to and
+  // print each edge with the acquisition stack captured when it was
+  // first recorded — the "other side" of the inversion.
+  std::vector<std::uint32_t> path{cycle_back_to};
+  std::uint32_t cur = cycle_back_to;
+  while (cur != acquiring_id) {
+    const auto it = parent.find(cur);
+    if (it == parent.end()) break;  // defensive: truncated path
+    cur = it->second;
+    path.push_back(cur);
+  }
+  std::fprintf(stderr,
+               "  conflicting acquisition order recorded earlier:\n");
+  for (std::size_t i = path.size(); i-- > 1;) {
+    const auto it = g.edges.find(edge_key(path[i], path[i - 1]));
+    if (it == g.edges.end()) continue;
+    const EdgeInfo& e = it->second;
+    std::fprintf(stderr,
+                 "    \"%s\" acquired while holding \"%s\" (full stack:",
+                 e.to_name.c_str(), e.from_name.c_str());
+    for (const std::string& n : e.holder_stack) {
+      std::fprintf(stderr, " \"%s\"", n.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+  }
+  std::fprintf(stderr,
+               "  a thread taking the recorded order while this thread takes "
+               "the new one deadlocks.  Aborting.\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void report_recursive(const Mutex& m) {
+  std::fprintf(stderr,
+               "\n[mcf::Mutex] recursive acquisition of \"%s\" — "
+               "std::mutex would deadlock here.  Aborting.\n",
+               m.name());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+namespace lock_order {
+
+namespace detail {
+
+std::atomic<int> g_checks_enabled{-1};
+
+bool enabled_slow() noexcept {
+  int v = compute_default_enabled();
+  int expected = -1;
+  if (!g_checks_enabled.compare_exchange_strong(expected, v,
+                                                std::memory_order_relaxed)) {
+    v = expected;
+  }
+  return v != 0;
+}
+
+}  // namespace detail
+
+void set_enabled_for_testing(bool on) noexcept {
+  detail::g_checks_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::size_t edge_count() noexcept {
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lk(g.mu);
+  return g.edges.size();
+}
+
+}  // namespace lock_order
+
+Mutex::Mutex(const char* name) noexcept
+    : name_(name != nullptr ? name : "mcf::Mutex"),
+      order_id_(g_next_order_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Mutex::~Mutex() {
+#if defined(MCF_RUNNING_UNDER_TSAN)
+  // libstdc++'s std::mutex destructor is trivial — it never calls
+  // pthread_mutex_destroy — so TSan would keep the dead mutex's
+  // acquisition history and alias it onto whatever mutex next reuses
+  // this address (stack churn), reporting phantom cross-object
+  // inversions.  Tell TSan explicitly that the mutex dies here.
+  __tsan_mutex_destroy(mu_.native_handle(), 0);
+#endif
+  // Purge this node from the order graph so a recycled allocation can
+  // never inherit stale edges.  Only pay the sweep when edges exist at
+  // all (the common release-mode case is an always-empty graph).
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lk(g.mu);
+  if (g.edges.empty()) return;
+  g.adj.erase(order_id_);
+  for (auto& [node, next] : g.adj) {
+    std::erase(next, order_id_);
+  }
+  for (auto it = g.edges.begin(); it != g.edges.end();) {
+    const std::uint32_t from = static_cast<std::uint32_t>(it->first >> 32);
+    const std::uint32_t to = static_cast<std::uint32_t>(it->first);
+    if (from == order_id_ || to == order_id_) {
+      it = g.edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Mutex::pre_lock() {
+  const std::vector<const Mutex*>& stack = held().locks;
+  for (const Mutex* h : stack) {
+    if (h == this) report_recursive(*this);
+  }
+  if (stack.empty()) return;
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lk(g.mu);
+  // Record held -> this edges (first recording captures the stack).
+  for (const Mutex* h : stack) {
+    const std::uint64_t key = edge_key(h->order_id_, order_id_);
+    if (g.edges.count(key) != 0) continue;
+    EdgeInfo info;
+    info.from_name = h->name_;
+    info.to_name = name_;
+    info.holder_stack.reserve(stack.size());
+    for (const Mutex* s : stack) info.holder_stack.emplace_back(s->name_);
+    g.edges.emplace(key, std::move(info));
+    g.adj[h->order_id_].push_back(order_id_);
+  }
+  // A path this -> ... -> (anything currently held) closes a cycle.
+  std::unordered_set<std::uint32_t> targets;
+  for (const Mutex* h : stack) targets.insert(h->order_id_);
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;
+  if (const std::uint32_t hit = reach_any(g, order_id_, targets, &parent)) {
+    report_cycle(g, *this, order_id_, stack, hit, parent);
+  }
+}
+
+void Mutex::note_acquired() { held().locks.push_back(this); }
+
+void Mutex::note_released() {
+  std::vector<const Mutex*>& stack = held().locks;
+  // Almost always the top; out-of-order unlock (UniqueLock juggling) is
+  // legal, so search from the back.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == this) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void Mutex::assert_held_slow() const {
+  for (const Mutex* h : held().locks) {
+    if (h == this) return;
+  }
+  std::fprintf(stderr,
+               "\n[mcf::Mutex] assert_held(\"%s\") failed: the mutex is not "
+               "held by this thread.  Aborting.\n",
+               name_);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mcf

@@ -1,0 +1,213 @@
+// Annotated mutex wrappers — the capability types behind the clang
+// thread-safety analysis (support/thread_annotations.hpp) and the home
+// of the runtime lock-order validator.
+//
+//   * mcf::Mutex      — std::mutex with a capability annotation, a
+//                       display name, and (in debug builds, or whenever
+//                       MCFUSER_LOCK_CHECKS=1) lock-order validation.
+//   * mcf::LockGuard  — std::lock_guard-shaped scoped capability.
+//   * mcf::UniqueLock — std::unique_lock-shaped scoped capability with
+//                       lock()/unlock(); the lock type CondVar waits on.
+//   * mcf::CondVar    — std::condition_variable over UniqueLock.
+//
+// In release builds with checks disabled the wrappers cost one relaxed
+// atomic load + predictable branch per lock/unlock on top of the std
+// types — the bench admission/jit sections stay within noise (see
+// docs/concurrency.md for the measured numbers).
+//
+// Lock-order validator: every enabled thread keeps a stack of held
+// locks; each acquisition records "held -> acquiring" edges into a
+// process-global acquisition-order graph.  An acquisition that would
+// close a cycle (the classic A->B / B->A inversion across two threads)
+// aborts IMMEDIATELY, printing both acquisition stacks — so deadlock
+// POTENTIAL is caught by any single test run that merely exercises both
+// orders, no unlucky interleaving required.  Enablement: on by default
+// when NDEBUG is not defined, forced by the MCFUSER_LOCK_CHECKS
+// environment variable (1/0), and overridable in-process via
+// lock_order::set_enabled_for_testing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace mcf {
+
+class CondVar;
+
+namespace lock_order {
+namespace detail {
+
+/// -1 = not yet latched; 0/1 = disabled/enabled.  Exposed so enabled()
+/// can inline its fast path into every lock/unlock call site.
+extern std::atomic<int> g_checks_enabled;
+
+/// Latches the process default (env / NDEBUG) on first query.
+[[nodiscard]] bool enabled_slow() noexcept;
+
+}  // namespace detail
+
+/// Whether the lock-order validator is active for THIS process.  The
+/// default latches on first use: on when NDEBUG is not defined (debug
+/// builds) or the build forced it (MCF_LOCK_ORDER_FORCE), overridden
+/// either way by MCFUSER_LOCK_CHECKS=1/0 in the environment.
+[[nodiscard]] inline bool enabled() noexcept {
+  const int v = detail::g_checks_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return detail::enabled_slow();
+}
+
+/// In-process override (tests); affects every subsequent lock/unlock.
+/// Edges are only recorded while enabled, so enabling mid-process
+/// starts from a clean slate of whatever is currently held.
+void set_enabled_for_testing(bool on) noexcept;
+
+/// Acquisition-order edges currently recorded (observability + tests).
+[[nodiscard]] std::size_t edge_count() noexcept;
+
+}  // namespace lock_order
+
+class MCF_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` must outlive the mutex (string literals only); it is what
+  /// the lock-order validator prints in a violation report.
+  explicit Mutex(const char* name = "mcf::Mutex") noexcept;
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MCF_ACQUIRE() {
+    if (lock_order::enabled()) pre_lock();
+    mu_.lock();
+    if (lock_order::enabled()) note_acquired();
+  }
+  void unlock() MCF_RELEASE() {
+    mu_.unlock();
+    if (lock_order::enabled()) note_released();
+  }
+  /// Never blocks, so it cannot deadlock: the validator tracks the held
+  /// stack but records no ordering edges (try-locks are how deliberate
+  /// order-breaking code stays safe).
+  [[nodiscard]] bool try_lock() MCF_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (lock_order::enabled()) note_acquired();
+    return true;
+  }
+
+  /// Tells the static analysis this mutex is held at this point —
+  /// used inside condition-variable predicates and other lambdas, which
+  /// clang checks as separate functions that know nothing about the
+  /// caller's held locks.  No runtime cost in release builds; with the
+  /// validator enabled it aborts when the claim is false.
+  void assert_held() const MCF_ASSERT_CAPABILITY(this) {
+    if (lock_order::enabled()) assert_held_slow();
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+
+  /// Validator hooks, out of line and called only while checks are
+  /// enabled: `pre_lock` records ordering edges and aborts on a cycle
+  /// BEFORE blocking, so a real deadlock is reported instead of hung on.
+  void pre_lock();
+  void note_acquired();
+  void note_released();
+  void assert_held_slow() const;
+
+  std::mutex mu_;
+  const char* name_;
+  /// Process-unique validator node id (assigned eagerly; never reused).
+  const std::uint32_t order_id_;
+};
+
+/// std::lock_guard over mcf::Mutex, visible to the static analysis.
+class MCF_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) MCF_ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~LockGuard() MCF_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over mcf::Mutex: relockable scoped capability and
+/// the lock type mcf::CondVar waits on.  Unlike std::unique_lock it
+/// always starts locked (no defer/adopt constructors — nothing in the
+/// codebase needs them, and fewer states means fewer annotation holes).
+class MCF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) MCF_ACQUIRE(m)
+      : mu_(&m), lk_(m.mu_, std::defer_lock) {
+    lock_impl();
+  }
+  ~UniqueLock() MCF_RELEASE() {
+    if (lk_.owns_lock()) unlock_impl();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() MCF_ACQUIRE() { lock_impl(); }
+  void unlock() MCF_RELEASE() { unlock_impl(); }
+  [[nodiscard]] bool owns_lock() const noexcept { return lk_.owns_lock(); }
+
+ private:
+  friend class CondVar;
+
+  void lock_impl() {
+    if (lock_order::enabled()) mu_->pre_lock();
+    lk_.lock();
+    if (lock_order::enabled()) mu_->note_acquired();
+  }
+  void unlock_impl() {
+    lk_.unlock();
+    if (lock_order::enabled()) mu_->note_released();
+  }
+
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable over mcf::UniqueLock.  The wait family
+/// releases and reacquires the underlying std::mutex internally; the
+/// validator's held-lock stack keeps the mutex entry across the wait,
+/// which is conservative and sound — a blocked waiter acquires nothing,
+/// so no spurious ordering edge can form.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+
+  template <typename Pred>
+  void wait(UniqueLock& lk, Pred pred) {
+    cv_.wait(lk.lk_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock& lk,
+                const std::chrono::duration<Rep, Period>& dur, Pred pred) {
+    return cv_.wait_for(lk.lk_, dur, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mcf

@@ -1,0 +1,87 @@
+// Clang thread-safety-analysis macros (MCF_GUARDED_BY, MCF_REQUIRES,
+// MCF_ACQUIRE/RELEASE, ...) — the static half of the concurrency-
+// correctness layer.
+//
+// Under clang, these expand to the `capability`-family attributes so
+// `clang++ -Wthread-safety -Werror=thread-safety` statically verifies
+// the locking discipline of every annotated structure: which mutex
+// guards which field, which private helpers require a lock already
+// held, which functions must NOT be entered with a lock held.  Under
+// any other compiler (the container builds with g++) every macro
+// expands to nothing, so the annotations are free documentation.
+//
+// Use them through the annotated wrappers in support/mutex.hpp
+// (mcf::Mutex / LockGuard / UniqueLock / CondVar) — bare std::mutex
+// is invisible to the analysis.  tools/run_lint.sh and the CI `lint`
+// job compile all of src/ with the analysis promoted to an error; the
+// conventions are documented in docs/concurrency.md.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MCF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MCF_THREAD_ANNOTATION
+#define MCF_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define MCF_CAPABILITY(x) MCF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (std::lock_guard-shaped types).
+#define MCF_SCOPED_CAPABILITY MCF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable is protected by the given mutex: every read or write
+/// must happen with the mutex held.
+#define MCF_GUARDED_BY(x) MCF_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data POINTED TO is protected by the given mutex (the pointer
+/// itself may be read freely).
+#define MCF_PT_GUARDED_BY(x) MCF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the mutex(es) exclusively to call this function.
+#define MCF_REQUIRES(...) \
+  MCF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the mutex(es) when calling (the function
+/// acquires them itself — deadlock guard).
+#define MCF_EXCLUDES(...) MCF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns with them held.
+#define MCF_ACQUIRE(...) \
+  MCF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es).
+#define MCF_RELEASE(...) \
+  MCF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex if and only if it returns true.
+#define MCF_TRY_ACQUIRE(...) \
+  MCF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held — the analysis trusts
+/// it.  Used inside condition-variable predicates and other lambdas,
+/// which the analysis checks as separate functions with no knowledge of
+/// the caller's held locks.
+#define MCF_ASSERT_CAPABILITY(x) \
+  MCF_THREAD_ANNOTATION(assert_capability(x))
+
+/// Documents (and statically checks, under clang) a required
+/// acquisition order between two members of the same class; the
+/// runtime lock-order validator (support/mutex.hpp) checks the global
+/// order across classes.
+#define MCF_ACQUIRED_BEFORE(...) \
+  MCF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MCF_ACQUIRED_AFTER(...) \
+  MCF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the given capability (accessor functions).
+#define MCF_RETURN_CAPABILITY(x) MCF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for patterns the analysis cannot express (conditional
+/// locking through a nullable mutex pointer).  Every use carries a
+/// comment saying why — see docs/concurrency.md.
+#define MCF_NO_THREAD_SAFETY_ANALYSIS \
+  MCF_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -51,7 +51,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -63,8 +63,11 @@ void ThreadPool::worker_loop(unsigned index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      cv_.wait(lock, [this] {
+        mutex_.assert_held();
+        return stop_ || !tasks_.empty();
+      });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -104,21 +107,19 @@ void ThreadPool::parallel_for_slots(
 
   struct ForState {
     std::atomic<std::int64_t> done{0};
-    std::int64_t chunks = 0;
-    bool complete = false;  // guarded by done_mutex; the ONLY wait signal
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    Mutex error_mutex{"pool.for.error"};
+    Mutex done_mutex{"pool.for.done"};
+    bool complete MCF_GUARDED_BY(done_mutex) = false;  // the ONLY wait signal
+    std::exception_ptr first_error MCF_GUARDED_BY(error_mutex);
+    CondVar done_cv;
   };
   ForState state;
-  state.chunks = chunks;
 
   // Batch-enqueue every chunk under one lock and wake the pool once —
   // per-chunk notify_one ping-pong costs more than the work for small
   // bodies.
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     for (std::int64_t c = 0; c < chunks; ++c) {
       tasks_.push([&state, &body, c, n, chunks] {
         const std::int64_t lo = c * n / chunks;
@@ -127,7 +128,7 @@ void ThreadPool::parallel_for_slots(
           const unsigned slot = t_worker.index;
           for (std::int64_t i = lo; i < hi; ++i) body(slot, i);
         } catch (...) {
-          const std::lock_guard<std::mutex> elock(state.error_mutex);
+          const LockGuard elock(state.error_mutex);
           if (!state.first_error) state.first_error = std::current_exception();
         }
         // Only the last chunk touches the wait mutex.  The waiter's
@@ -136,9 +137,14 @@ void ThreadPool::parallel_for_slots(
         // notify happens while the mutex is still held — so the waiter
         // cannot wake (spuriously or otherwise), see completion, and
         // destroy the stack-allocated state before this worker is done
-        // touching it.
-        if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == state.chunks) {
-          const std::lock_guard<std::mutex> dlock(state.done_mutex);
+        // touching it.  Compare against the CAPTURED chunk count, not
+        // state.chunks: the fetch_add is the last time a non-final chunk
+        // may touch `state` at all — the moment the final chunk's
+        // fetch_add lands, the waiter can wake and reuse the stack frame
+        // under this worker's feet (found by TSan, pinned by
+        // tests/support/test_thread_pool.cpp StackReuseChurn).
+        if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+          const LockGuard dlock(state.done_mutex);
           state.complete = true;
           state.done_cv.notify_one();
         }
@@ -152,9 +158,15 @@ void ThreadPool::parallel_for_slots(
   }
 
   {
-    std::unique_lock<std::mutex> lock(state.done_mutex);
-    state.done_cv.wait(lock, [&state] { return state.complete; });
+    UniqueLock lock(state.done_mutex);
+    state.done_cv.wait(lock, [&state] {
+      state.done_mutex.assert_held();
+      return state.complete;
+    });
   }
+  // All chunks are done: no other thread can touch first_error anymore,
+  // but the analysis doesn't know that — take the (uncontended) lock.
+  const LockGuard elock(state.error_mutex);
   if (state.first_error) std::rethrow_exception(state.first_error);
 }
 

@@ -13,13 +13,13 @@
 // runs per slot at any time within a single parallel_for_slots call.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
 
 namespace mcf {
 
@@ -86,10 +86,10 @@ class ThreadPool {
   void worker_loop(unsigned index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_{"pool.queue"};
+  std::queue<std::function<void()>> tasks_ MCF_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ MCF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mcf

@@ -1,0 +1,289 @@
+// Lock-order validator tests (support/mutex.hpp).
+//
+// The abort paths run in a fork()ed child with stderr captured through a
+// pipe: the parent asserts the child died of SIGABRT AND that the report
+// names the locks involved.  fork() is safe here because this binary
+// never spawns a thread that outlives a test body — every test joins its
+// threads before returning, so the child never inherits a held malloc or
+// validator lock.
+
+#include "support/mutex.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mcf {
+namespace {
+
+/// Enables the validator for one test body, restoring the
+/// release-default (disabled) afterwards so tests stay order-independent.
+class ScopedLockChecks {
+ public:
+  ScopedLockChecks() { lock_order::set_enabled_for_testing(true); }
+  ~ScopedLockChecks() { lock_order::set_enabled_for_testing(false); }
+};
+
+struct ChildResult {
+  bool aborted = false;
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+/// Runs `body` in a fork()ed child with the validator enabled and stderr
+/// redirected into a pipe; reports how the child died and what it wrote.
+ChildResult run_in_child(const std::function<void()>& body) {
+  ChildResult r;
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    ADD_FAILURE() << "pipe() failed: " << std::strerror(errno);
+    return r;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ADD_FAILURE() << "fork() failed: " << std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return r;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], 2);
+    ::close(fds[1]);
+    lock_order::set_enabled_for_testing(true);
+    body();
+    ::_exit(0);  // only reached when the validator MISSED the violation
+  }
+  ::close(fds[1]);
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n > 0) {
+      r.stderr_text.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0 || errno != EINTR) {
+      break;
+    }
+  }
+  ::close(fds[0]);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  r.aborted = WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT;
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+TEST(LockOrderValidator, RecordsAcquisitionOrderEdges) {
+  const ScopedLockChecks checks;
+  const std::size_t before = lock_order::edge_count();
+  Mutex a("edges-A");
+  Mutex b("edges-B");
+  {
+    const LockGuard la(a);
+    const LockGuard lb(b);
+  }
+  EXPECT_EQ(lock_order::edge_count(), before + 1);
+  {
+    // Same pair again: the edge is deduplicated, not re-recorded.
+    const LockGuard la(a);
+    const LockGuard lb(b);
+  }
+  EXPECT_EQ(lock_order::edge_count(), before + 1);
+  // Destroying the mutexes purges their edges from the graph.
+  Mutex c("edges-C");
+  {
+    const LockGuard la(a);
+    const LockGuard lc(c);
+  }
+  EXPECT_EQ(lock_order::edge_count(), before + 2);
+}
+
+TEST(LockOrderValidator, DestructorPurgesEdges) {
+  const ScopedLockChecks checks;
+  const std::size_t before = lock_order::edge_count();
+  {
+    Mutex a("purge-A");
+    Mutex b("purge-B");
+    const LockGuard la(a);
+    const LockGuard lb(b);
+  }
+  EXPECT_EQ(lock_order::edge_count(), before);
+}
+
+// The tentpole scenario: thread 1 takes A then B, thread 2 takes B then
+// A.  Sequential threads never deadlock for real — but the validator
+// must abort at the second thread's A acquisition, naming both locks and
+// both acquisition stacks.
+TEST(LockOrderValidator, AbInversionAcrossThreadsAborts) {
+  const ChildResult r = run_in_child([] {
+    Mutex a("inversion-lock-A");
+    Mutex b("inversion-lock-B");
+    std::thread t1([&] {
+      const LockGuard la(a);
+      const LockGuard lb(b);
+    });
+    t1.join();
+    std::thread t2([&] {
+      const LockGuard lb(b);
+      const LockGuard la(a);  // closes the cycle -> abort
+    });
+    t2.join();
+  });
+  EXPECT_TRUE(r.aborted) << "validator missed the inversion; child exited "
+                         << r.exit_code << "\nstderr:\n"
+                         << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("lock-order violation"), std::string::npos)
+      << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("inversion-lock-A"), std::string::npos)
+      << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("inversion-lock-B"), std::string::npos)
+      << r.stderr_text;
+  // Both sides of the report: the acquiring thread's held stack AND the
+  // recorded conflicting order.
+  EXPECT_NE(r.stderr_text.find("while holding"), std::string::npos)
+      << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("recorded earlier"), std::string::npos)
+      << r.stderr_text;
+}
+
+TEST(LockOrderValidator, TransitiveCycleAborts) {
+  // A -> B and B -> C recorded; acquiring A under C closes the 3-cycle.
+  const ChildResult r = run_in_child([] {
+    Mutex a("chain-A");
+    Mutex b("chain-B");
+    Mutex c("chain-C");
+    {
+      const LockGuard la(a);
+      const LockGuard lb(b);
+    }
+    {
+      const LockGuard lb(b);
+      const LockGuard lc(c);
+    }
+    const LockGuard lc(c);
+    const LockGuard la(a);  // A reaches C through B: cycle
+  });
+  EXPECT_TRUE(r.aborted) << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("chain-A"), std::string::npos) << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("chain-C"), std::string::npos) << r.stderr_text;
+}
+
+TEST(LockOrderValidator, RecursiveAcquisitionAborts) {
+  const ChildResult r = run_in_child([] {
+    Mutex m("recursive-M");
+    const LockGuard l1(m);
+    m.lock();  // std::mutex self-relock is UB; the validator reports it
+  });
+  EXPECT_TRUE(r.aborted) << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("recursive acquisition"), std::string::npos)
+      << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("recursive-M"), std::string::npos)
+      << r.stderr_text;
+}
+
+TEST(LockOrderValidator, AssertHeldAbortsWhenNotHeld) {
+  const ChildResult r = run_in_child([] {
+    Mutex m("assert-M");
+    m.assert_held();
+  });
+  EXPECT_TRUE(r.aborted) << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("assert_held"), std::string::npos)
+      << r.stderr_text;
+}
+
+TEST(LockOrderValidator, AssertHeldPassesUnderLock) {
+  const ScopedLockChecks checks;
+  Mutex m("assert-held-ok");
+  const LockGuard lk(m);
+  m.assert_held();  // must not abort
+}
+
+TEST(LockOrderValidator, TryLockRecordsNoEdges) {
+  const ScopedLockChecks checks;
+  const std::size_t before = lock_order::edge_count();
+  Mutex a("try-A");
+  Mutex b("try-B");
+  {
+    const LockGuard la(a);
+    ASSERT_TRUE(b.try_lock());
+    b.unlock();
+  }
+  {
+    // The try_lock order is deliberately inverted; since try_lock cannot
+    // block it records no edge and the validator stays silent.
+    const LockGuard lb(b);
+    ASSERT_TRUE(a.try_lock());
+    a.unlock();
+  }
+  EXPECT_EQ(lock_order::edge_count(), before);
+}
+
+TEST(LockOrderValidator, CondVarWaitKeepsValidatorConsistent) {
+  const ScopedLockChecks checks;
+  Mutex mu("cv-M");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    const LockGuard lk(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lk(mu);
+    cv.wait(lk, [&] {
+      mu.assert_held();
+      return ready;
+    });
+    mu.assert_held();
+  }
+  producer.join();
+  // The lock is released and re-acquirable: the held stack survived the
+  // wait's internal unlock/relock.
+  const LockGuard lk(mu);
+  mu.assert_held();
+}
+
+TEST(LockOrderValidator, UniqueLockRelockTracksHeldStack) {
+  const ScopedLockChecks checks;
+  Mutex m("relock-M");
+  UniqueLock lk(m);
+  EXPECT_TRUE(lk.owns_lock());
+  m.assert_held();
+  lk.unlock();
+  EXPECT_FALSE(lk.owns_lock());
+  lk.lock();
+  EXPECT_TRUE(lk.owns_lock());
+  m.assert_held();
+}
+
+TEST(LockOrderValidator, DisabledMeansNoTracking) {
+  lock_order::set_enabled_for_testing(false);
+  const std::size_t before = lock_order::edge_count();
+  Mutex a("off-A");
+  Mutex b("off-B");
+  {
+    const LockGuard la(a);
+    const LockGuard lb(b);
+  }
+#if !defined(__SANITIZE_THREAD__)
+  // With checks off this inversion must be silently tolerated — but
+  // TSan's own lock-order detector (rightly) flags the raw pthread
+  // inversion, so the deliberate half only runs outside the TSan lane.
+  {
+    const LockGuard lb(b);
+    const LockGuard la(a);  // inversion, but checks are off: no abort
+  }
+#endif
+  EXPECT_EQ(lock_order::edge_count(), before);
+}
+
+}  // namespace
+}  // namespace mcf

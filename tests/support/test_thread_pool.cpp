@@ -117,6 +117,26 @@ TEST(ThreadPool, GrainLimitsChunkCount) {
   for (const unsigned s : slots) EXPECT_EQ(s, pool.size());
 }
 
+TEST(ThreadPool, StackReuseChurn) {
+  // Pins a TSan finding: a non-final chunk used to read the completion
+  // target from the stack-allocated ForState AFTER its own done counter
+  // increment — past that increment the final chunk can complete, wake
+  // the caller, and let the NEXT parallel_for reuse the same stack
+  // bytes, so the straggler read raced the successor's construction.
+  // Back-to-back tiny calls from alternating stack depths maximise the
+  // frame reuse; the race itself is caught by the CI TSan lane running
+  // this test.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(3, [&](std::int64_t i) { total += i; }, 1);
+    [&]() noexcept {  // different frame offset for the ForState
+      pool.parallel_for(2, [&](std::int64_t i) { total += i; }, 1);
+    }();
+  }
+  EXPECT_EQ(total.load(), 200 * (3 + 1));
+}
+
 TEST(ThreadPool, NestedCallReusesWorkerSlot) {
   ThreadPool pool(4);
   std::atomic<bool> ok{true};

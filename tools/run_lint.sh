@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Static concurrency gate (the CI `lint` job; see .github/workflows/ci.yml).
+#
+#  1. clang++ -Wthread-safety -Werror over every src/ translation unit.
+#     The Clang thread-safety analysis statically verifies the lock
+#     discipline declared through src/support/thread_annotations.hpp
+#     (MCF_GUARDED_BY / MCF_REQUIRES / ...).  gcc compiles those macros
+#     away to nothing, so this pass is the only place the annotations
+#     are actually *checked* — a gcc-only workflow builds annotated code
+#     fine but never verifies it.
+#  2. clang-tidy over the same units (configuration in .clang-tidy at
+#     the repo root), driven by a compile_commands.json produced from a
+#     test/bench/example-free configure.
+#
+# Requires clang++ (and optionally clang-tidy) on PATH; override with
+# CLANGXX= / CLANG_TIDY=.  See docs/concurrency.md for the locking
+# model these checks enforce.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANGXX="${CLANGXX:-clang++}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+BUILD_DIR="${BUILD_DIR:-build-lint}"
+
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "run_lint.sh: $CLANGXX not found — the thread-safety analysis is clang-only" >&2
+  exit 2
+fi
+
+# The flags the library itself builds with (CMakeLists.txt) plus the
+# thread-safety analysis.  -fsyntax-only: this is a gate, not a build.
+FLAGS=(-std=c++20 -Isrc -Wall -Wextra -Wthread-safety -Werror
+       '-DMCF_JIT_CXX="c++"' -fsyntax-only)
+
+mapfile -t TUS < <(find src -name '*.cpp' | sort)
+status=0
+for tu in "${TUS[@]}"; do
+  if ! "$CLANGXX" "${FLAGS[@]}" "$tu"; then
+    status=1
+  fi
+done
+if [[ $status -ne 0 ]]; then
+  echo "run_lint.sh: clang -Wthread-safety FAILED" >&2
+  exit 1
+fi
+echo "run_lint.sh: clang -Wthread-safety clean (${#TUS[@]} translation units)"
+
+if command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_CXX_COMPILER="$CLANGXX" \
+        -DMCFUSER_BUILD_TESTS=OFF -DMCFUSER_BUILD_BENCH=OFF \
+        -DMCFUSER_BUILD_EXAMPLES=OFF -DMCFUSER_BUILD_TOOLS=OFF >/dev/null
+  "$CLANG_TIDY" -p "$BUILD_DIR" "${TUS[@]}"
+  echo "run_lint.sh: clang-tidy clean"
+else
+  echo "run_lint.sh: $CLANG_TIDY not found — skipping tidy checks" >&2
+fi
