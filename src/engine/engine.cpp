@@ -483,11 +483,14 @@ void FusionEngine::worker_loop() {
     // Release the in-flight slot BEFORE publishing the result: once the
     // last ticket of a burst resolves, stats() must already show
     // busy == 0 (the stress suite pins this ordering).
+    bool idle = false;
     {
       const LockGuard lk(queue_mu_);
       --busy_;
+      idle = queue_.empty() && busy_ == 0;
     }
     room_cv_.notify_one();  // an in-flight slot freed up
+    if (idle) idle_cv_.notify_all();
     finish(job, std::move(r));
   }
 }
@@ -839,6 +842,23 @@ bool FusionEngine::save_tuning_cache(const std::string& path) const {
 std::size_t FusionEngine::result_cache_size() const {
   const LockGuard lk(memo_mu_);
   return results_.size();
+}
+
+bool FusionEngine::wait_idle(double timeout_s) const {
+  UniqueLock lk(queue_mu_);
+  const auto idle = [&] {
+    queue_mu_.assert_held();
+    return queue_.empty() && busy_ == 0;
+  };
+  // Degenerate-input contract mirrors FusionTicket::wait_for (<= 0/NaN
+  // polls; >= 1e9 s would overflow the clock arithmetic, wait forever).
+  if (!(timeout_s > 0.0)) return idle();
+  constexpr double kMaxWaitSeconds = 1e9;
+  if (!std::isfinite(timeout_s) || timeout_s >= kMaxWaitSeconds) {
+    idle_cv_.wait(lk, idle);
+    return true;
+  }
+  return idle_cv_.wait_for(lk, std::chrono::duration<double>(timeout_s), idle);
 }
 
 EngineStats FusionEngine::stats() const {

@@ -375,6 +375,15 @@ class FusionEngine {
   /// counters, memo occupancy/evictions).  Safe to call concurrently.
   [[nodiscard]] EngineStats stats() const;
 
+  /// Blocks until the async queue is quiescent (nothing queued, no
+  /// worker running a job) or the timeout expires; true when idle.  A
+  /// drain barrier for front-ends (net::FusionServer): stop feeding the
+  /// engine, resolve your tickets, then wait_idle before tearing down.
+  /// Degenerate inputs follow FusionTicket::wait_for — <= 0/NaN polls
+  /// once, +infinity (or >= 1e9 s) waits indefinitely.  New submissions
+  /// while waiting extend the wait; quiescence is observed, not latched.
+  [[nodiscard]] bool wait_idle(double timeout_s) const;
+
   /// Preset reproducing the paper's MCFuser-Chimera baseline: deep
   /// tilings only, no extent-1 hoisting (§VI-A "Comparisons").
   [[nodiscard]] static FusionEngineOptions chimera_options();
@@ -423,6 +432,7 @@ class FusionEngine {
   CondVar queue_cv_;    ///< wakes workers (new job / stop)
   CondVar room_cv_;     ///< wakes blocked submitters (slot free)
   CondVar drained_cv_;  ///< wakes the destructor (admits done)
+  mutable CondVar idle_cv_;  ///< wakes wait_idle (queue quiescent)
   std::deque<std::shared_ptr<detail::TicketState>> queue_
       MCF_GUARDED_BY(queue_mu_);
   std::vector<std::thread> workers_ MCF_GUARDED_BY(queue_mu_);

@@ -20,6 +20,7 @@
 
 #include "exec/codegen.hpp"
 #include "measure/backend.hpp"
+#include "support/env.hpp"
 #include "support/logging.hpp"
 #include "support/lru_map.hpp"
 #include "support/mutex.hpp"
@@ -80,18 +81,7 @@ constexpr const char* kCompileFlags =
 /// counted as a disk hit), so the cap trades a cheap lookup for bounded
 /// memory.  MCFUSER_JIT_KERNEL_CAP overrides; 0 = unbounded.
 [[nodiscard]] std::size_t kernel_map_cap() {
-  static const std::size_t cap = [] {
-    if (const char* env = std::getenv("MCFUSER_JIT_KERNEL_CAP")) {
-      char* end = nullptr;
-      const long long v = std::strtoll(env, &end, 10);
-      if (end != env && *end == '\0' && v >= 0) {
-        return static_cast<std::size_t>(v);
-      }
-      MCF_LOG(Warn) << "ignoring invalid MCFUSER_JIT_KERNEL_CAP '" << env
-                    << "' (want a non-negative integer)";
-    }
-    return std::size_t{4096};
-  }();
+  static const std::size_t cap = env::size("MCFUSER_JIT_KERNEL_CAP", 4096);
   return cap;
 }
 
@@ -212,14 +202,7 @@ struct EmittedKernel {
 /// A hung $CXX (broken wrapper script, NFS stall, runaway template
 /// instantiation) must fail the measurement wave, not stall it forever.
 [[nodiscard]] double compile_timeout_s() {
-  if (const char* env = std::getenv("MCFUSER_JIT_COMPILE_TIMEOUT_S")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && *end == '\0' && v >= 0) return v;
-    MCF_LOG(Warn) << "ignoring invalid MCFUSER_JIT_COMPILE_TIMEOUT_S '" << env
-                  << "' (want a non-negative number of seconds)";
-  }
-  return 120.0;
+  return env::real("MCFUSER_JIT_COMPILE_TIMEOUT_S", 120.0, 0.0, 1e9);
 }
 
 struct CommandResult {
@@ -576,7 +559,7 @@ Toolchain detect_toolchain() {
       "", "sanitizer build: uninstrumented jit objects would evade the "
           "ASan/UBSan gate"};
 #else
-  if (const char* env = std::getenv("MCFUSER_JIT_CXX")) {
+  if (const char* env = env::raw("MCFUSER_JIT_CXX")) {
     const std::string resolved = find_on_path(env);
     if (!resolved.empty()) return Toolchain{resolved, ""};
     return Toolchain{"", "MCFUSER_JIT_CXX ('" + std::string(env) +
@@ -594,16 +577,15 @@ Toolchain detect_toolchain() {
 }
 
 std::string cache_dir() {
-  if (const char* env = std::getenv("MCFUSER_JIT_CACHE_DIR");
-      env != nullptr && *env != '\0') {
-    return env;
+  if (const std::string dir = env::str("MCFUSER_JIT_CACHE_DIR", "");
+      !dir.empty()) {
+    return dir;
   }
-  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
-      xdg != nullptr && *xdg != '\0') {
-    return std::string(xdg) + "/mcfuser/jit";
+  if (const std::string xdg = env::str("XDG_CACHE_HOME", ""); !xdg.empty()) {
+    return xdg + "/mcfuser/jit";
   }
-  if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0') {
-    return std::string(home) + "/.cache/mcfuser/jit";
+  if (const std::string home = env::str("HOME", ""); !home.empty()) {
+    return home + "/.cache/mcfuser/jit";
   }
   return "/tmp/mcfuser-jit-" + std::to_string(::getuid());
 }

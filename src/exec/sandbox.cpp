@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/env.hpp"
+#include "support/framing.hpp"
 #include "support/lru_map.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_pool.hpp"
@@ -29,15 +31,33 @@ namespace sandbox {
 
 namespace {
 
+using framing::Deadline;
+using framing::FrameReader;
+using framing::FrameWriter;
+using framing::IoStatus;
+
 constexpr std::uint32_t kMagic = 0x4D434657;  // "MCFW"
 /// v2: RunRequest carries `threads` (the host's block fan-out cap, so
 /// workers replay the multicore run_native geometry).  Host and workers
 /// re-exec the same binary, so a version mismatch only means a corrupted
 /// stream — rejected, never skewed.
 constexpr std::uint32_t kProtocolVersion = 2;
+
 /// Frames are small (a request is a path + a dozen integers; a response
 /// is a handful of doubles) — anything larger is a corrupted stream.
-constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+/// The cap is the process-wide MCFUSER_FRAME_MAX_BYTES knob (default
+/// 1 MiB), shared with the net front-end.
+[[nodiscard]] std::size_t max_frame_bytes() {
+  return framing::default_max_frame_bytes();
+}
+
+/// The distinct classification for cap violations (satellite of the
+/// hardening PR): "frame too large: N > cap", same phrasing in the
+/// sandbox and net paths so log greps find both.
+[[nodiscard]] std::string frame_too_large_reason(std::uint32_t announced) {
+  return "frame too large: " + std::to_string(announced) + " > " +
+         std::to_string(max_frame_bytes());
+}
 
 enum WireStatus : std::uint8_t {
   kOk = 0,
@@ -50,16 +70,7 @@ enum WireStatus : std::uint8_t {
 // ---- process-wide stats + crash negative-cache ------------------------------
 
 [[nodiscard]] std::size_t crash_cache_cap() {
-  static const std::size_t cap = [] {
-    if (const char* env = std::getenv("MCFUSER_SANDBOX_CRASH_CAP")) {
-      char* end = nullptr;
-      const long long v = std::strtoll(env, &end, 10);
-      if (end != env && *end == '\0' && v >= 0) {
-        return static_cast<std::size_t>(v);
-      }
-    }
-    return std::size_t{4096};
-  }();
+  static const std::size_t cap = env::size("MCFUSER_SANDBOX_CRASH_CAP", 4096);
   return cap;
 }
 
@@ -81,144 +92,10 @@ struct GlobalState {
 };
 
 // ---- wire format ------------------------------------------------------------
-// Little-endian, length-prefixed frames: u32 payload length, then the
-// payload.  Payload fields are fixed-width scalars and u32-length-
-// prefixed strings; doubles travel as their IEEE-754 bit pattern.
-
-class FrameWriter {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) { append(&v, sizeof(v)); }
-  void u64(std::uint64_t v) { append(&v, sizeof(v)); }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    buf_.append(s);
-  }
-  /// The finished frame: length prefix + payload.
-  [[nodiscard]] std::string framed() const {
-    const auto len = static_cast<std::uint32_t>(buf_.size());
-    std::string out(sizeof(len), '\0');
-    std::memcpy(out.data(), &len, sizeof(len));
-    out += buf_;
-    return out;
-  }
-
- private:
-  void append(const void* p, std::size_t n) {
-    buf_.append(static_cast<const char*>(p), n);
-  }
-  std::string buf_;
-};
-
-class FrameReader {
- public:
-  FrameReader(const char* data, std::size_t size) : p_(data), end_(data + size) {}
-
-  bool u8(std::uint8_t* v) { return take(v, sizeof(*v)); }
-  bool u32(std::uint32_t* v) { return take(v, sizeof(*v)); }
-  bool u64(std::uint64_t* v) { return take(v, sizeof(*v)); }
-  bool i64(std::int64_t* v) {
-    std::uint64_t bits = 0;
-    if (!u64(&bits)) return false;
-    *v = static_cast<std::int64_t>(bits);
-    return true;
-  }
-  bool f64(double* v) {
-    std::uint64_t bits = 0;
-    if (!u64(&bits)) return false;
-    std::memcpy(v, &bits, sizeof(*v));
-    return true;
-  }
-  bool str(std::string* v) {
-    std::uint32_t len = 0;
-    if (!u32(&len)) return false;
-    if (static_cast<std::size_t>(end_ - p_) < len) return false;
-    v->assign(p_, len);
-    p_ += len;
-    return true;
-  }
-
- private:
-  bool take(void* v, std::size_t n) {
-    if (static_cast<std::size_t>(end_ - p_) < n) return false;
-    std::memcpy(v, p_, n);
-    p_ += n;
-    return true;
-  }
-  const char* p_;
-  const char* end_;
-};
-
-// ---- fd I/O -----------------------------------------------------------------
-
-enum class IoStatus { Ok, Eof, Timeout, Error };
-
-using Deadline = std::chrono::steady_clock::time_point;
-
-[[nodiscard]] bool write_all(int fd, const void* data, std::size_t n) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    const ssize_t w = ::write(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;  // EPIPE (worker died) et al.; SIGPIPE is ignored
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// Reads exactly `n` bytes; with a deadline the wait runs through poll()
-/// so a hung worker turns into Timeout instead of a blocked host thread.
-[[nodiscard]] IoStatus read_exact(int fd, void* data, std::size_t n,
-                                  const Deadline* deadline) {
-  char* p = static_cast<char*>(data);
-  while (n > 0) {
-    if (deadline != nullptr) {
-      const auto left = *deadline - std::chrono::steady_clock::now();
-      const auto ms =
-          std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
-      if (ms <= 0) return IoStatus::Timeout;
-      struct pollfd pfd {
-        fd, POLLIN, 0
-      };
-      const int pr = ::poll(&pfd, 1, static_cast<int>(ms) + 1);
-      if (pr == 0) return IoStatus::Timeout;
-      if (pr < 0) {
-        if (errno == EINTR) continue;
-        return IoStatus::Error;
-      }
-    }
-    const ssize_t r = ::read(fd, p, n);
-    if (r == 0) return IoStatus::Eof;
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return IoStatus::Error;
-    }
-    p += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return IoStatus::Ok;
-}
-
-/// One framed payload.  Empty + Eof on a clean stream end.
-[[nodiscard]] IoStatus read_frame(int fd, std::string* payload,
-                                  const Deadline* deadline) {
-  std::uint32_t len = 0;
-  const IoStatus hs = read_exact(fd, &len, sizeof(len), deadline);
-  if (hs != IoStatus::Ok) return hs;
-  if (len > kMaxFrameBytes) return IoStatus::Error;
-  payload->resize(len);
-  return len == 0 ? IoStatus::Ok
-                  : read_exact(fd, payload->data(), len, deadline);
-}
+// Little-endian, length-prefixed frames via support/framing.hpp (the
+// codec was born here and extracted once the net front-end needed it);
+// the MCFW payload layout below is pinned bit-identical by the chaos
+// suite.
 
 [[nodiscard]] const char* signal_name(int sig) {
   switch (sig) {
@@ -436,12 +313,11 @@ Availability availability() {
                       "sanitizer build: uninstrumented sandbox workers would "
                       "evade the ASan/UBSan gate"};
 #else
-  if (const char* w = std::getenv("MCFUSER_SANDBOX_WORKER");
+  if (const char* w = env::raw("MCFUSER_SANDBOX_WORKER");
       w != nullptr && *w != '\0') {
     return Availability{false, "already inside a sandbox worker"};
   }
-  if (const char* env = std::getenv("MCFUSER_SANDBOX");
-      env != nullptr && std::strcmp(env, "0") == 0) {
+  if (!env::bool_flag("MCFUSER_SANDBOX", true)) {
     return Availability{false, "disabled by MCFUSER_SANDBOX=0"};
   }
   if (::access("/proc/self/exe", X_OK) != 0) {
@@ -454,25 +330,12 @@ Availability availability() {
 
 PoolOptions default_pool_options() {
   PoolOptions opt;
-  if (const char* env = std::getenv("MCFUSER_SANDBOX_WORKERS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 64) {
-      opt.workers = static_cast<int>(v);
-    }
-  }
-  if (const char* env = std::getenv("MCFUSER_SANDBOX_DEADLINE_S")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && *end == '\0' && v >= 0) opt.deadline_s = v;
-  }
-  if (const char* env = std::getenv("MCFUSER_SANDBOX_RETRIES")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 0 && v <= 16) {
-      opt.max_retries = static_cast<int>(v);
-    }
-  }
+  opt.workers = static_cast<int>(
+      env::int64("MCFUSER_SANDBOX_WORKERS", opt.workers, 1, 64));
+  opt.deadline_s =
+      env::real("MCFUSER_SANDBOX_DEADLINE_S", opt.deadline_s, 0.0, 1e9);
+  opt.max_retries = static_cast<int>(
+      env::int64("MCFUSER_SANDBOX_RETRIES", opt.max_retries, 0, 16));
   return opt;
 }
 
@@ -639,18 +502,18 @@ RunResult WorkerPool::run(const RunRequest& req) {
       ww.resp_fd = -1;
       return desc;
     };
-    if (!write_all(w->req_fd, frame.data(), frame.size())) {
+    if (framing::write_all(w->req_fd, frame.data(), frame.size()) !=
+        IoStatus::Ok) {
       out.outcome = RunOutcome::Crashed;
       out.reason = reap(*w) + " before the request was delivered";
       worker_dead = true;
     } else {
-      const Deadline deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(opt_.deadline_s));
+      const Deadline deadline = framing::deadline_after(opt_.deadline_s);
       const Deadline* dl = opt_.deadline_s > 0 ? &deadline : nullptr;
       std::string payload;
-      const IoStatus rs = read_frame(w->resp_fd, &payload, dl);
+      std::uint32_t announced = 0;
+      const IoStatus rs = framing::read_frame(w->resp_fd, &payload,
+                                              max_frame_bytes(), dl, &announced);
       WireResponse resp;
       if (rs == IoStatus::Timeout) {
         (void)reap(*w);
@@ -659,6 +522,12 @@ RunResult WorkerPool::run(const RunRequest& req) {
         out.reason = "measurement exceeded the " +
                      std::to_string(opt_.deadline_s) +
                      "s worker deadline (worker killed)";
+      } else if (rs == IoStatus::TooLarge) {
+        // The stream is desynced past recovery (the oversized payload
+        // was never consumed): classify distinctly, then reap.
+        out.outcome = RunOutcome::Crashed;
+        out.reason = frame_too_large_reason(announced) + " (" + reap(*w) + ")";
+        worker_dead = true;
       } else if (rs != IoStatus::Ok) {
         out.outcome = RunOutcome::Crashed;
         out.reason = reap(*w);
@@ -759,8 +628,23 @@ int worker_main(int request_fd, int response_fd) {
 
   for (;;) {
     std::string payload;
-    const IoStatus rs = read_frame(request_fd, &payload, nullptr);
+    std::uint32_t announced = 0;
+    const IoStatus rs = framing::read_frame(request_fd, &payload,
+                                            max_frame_bytes(), nullptr,
+                                            &announced);
     if (rs == IoStatus::Eof) return 0;  // host closed the pipe: clean exit
+    if (rs == IoStatus::TooLarge) {
+      // The unread payload leaves the stream desynced: answer with the
+      // distinct classification so the peer can log it, then exit (the
+      // host respawns; a direct-loopback test reads the response).
+      WireResponse resp;
+      resp.status = kBadRequest;
+      resp.reason = frame_too_large_reason(announced);
+      const std::string out_frame = encode_response(resp);
+      (void)framing::write_all(response_fd, out_frame.data(),
+                               out_frame.size());
+      return 1;
+    }
     if (rs != IoStatus::Ok) return 1;
 
     RunRequest req;
@@ -861,7 +745,10 @@ int worker_main(int request_fd, int response_fd) {
       }
     }
     const std::string out_frame = encode_response(resp);
-    if (!write_all(response_fd, out_frame.data(), out_frame.size())) return 1;
+    if (framing::write_all(response_fd, out_frame.data(), out_frame.size()) !=
+        IoStatus::Ok) {
+      return 1;
+    }
   }
 }
 

@@ -1,0 +1,116 @@
+// Typed environment-knob parsing — the one place MCFUSER_* tuning
+// variables are read.
+//
+// Every knob in the codebase used to hand-roll its own strtol/strtod
+// dance, and most of them *silently* fell back to the default on a typo
+// ("MCFUSER_SANDBOX_WORKERS=banana" quietly meant 1 worker).  These
+// helpers centralise the contract:
+//
+//   * parse-and-validate: the value must consume the whole string and
+//     land inside the caller's [min, max] range;
+//   * loud rejection: a malformed or out-of-range value logs a Warn
+//     naming the variable, the offending value, and the accepted form,
+//     then returns the caller's default — a typo degrades visibly, it
+//     never poisons the process or silently changes behaviour;
+//   * unset (or empty) means "use the default", silently — absence is
+//     the normal case, not an error.
+//
+// The full knob table (name, type, default, consumer) lives in
+// docs/service.md §"Environment knobs"; add a row there when introducing
+// a knob through these helpers.
+//
+// Deliberately header-only and dependency-light: env_bool_flag must be
+// callable from the lock-order validator's enablement latch
+// (support/mutex.cpp), which runs inside the very first Mutex::lock of
+// the process — so that one helper never logs (a log sink could itself
+// take a lock).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/logging.hpp"
+
+namespace mcf {
+namespace env {
+
+/// Raw lookup: nullptr when unset; "" is returned as set-but-empty
+/// (callers below treat empty as unset).
+[[nodiscard]] inline const char* raw(const char* name) {
+  return std::getenv(name);
+}
+
+/// String knob: the value verbatim, or `dflt` when unset/empty.  There
+/// is no malformed case for free-form strings (path validity is the
+/// consumer's business).
+[[nodiscard]] inline std::string str(const char* name, const std::string& dflt) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? dflt : std::string(v);
+}
+
+/// Integer knob in [min, max].  Rejects (loudly) partial parses
+/// ("3x"), empty strings, overflow, and out-of-range values.
+[[nodiscard]] inline std::int64_t int64(const char* name, std::int64_t dflt,
+                                        std::int64_t min, std::int64_t max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed < min ||
+      parsed > max) {
+    MCF_LOG(Warn) << "rejecting " << name << "='" << v
+                  << "' (want an integer in [" << min << ", " << max
+                  << "]); using default " << dflt;
+    return dflt;
+  }
+  return parsed;
+}
+
+/// Size knob (entry counts, byte caps): int64 constrained non-negative.
+[[nodiscard]] inline std::size_t size(const char* name, std::size_t dflt,
+                                      std::size_t max = SIZE_MAX) {
+  const std::int64_t cap =
+      max > static_cast<std::size_t>(INT64_MAX)
+          ? INT64_MAX
+          : static_cast<std::int64_t>(max);
+  return static_cast<std::size_t>(
+      int64(name, static_cast<std::int64_t>(dflt), 0, cap));
+}
+
+/// Floating-point knob in [min, max] (timeouts, deadlines).  Rejects
+/// partial parses, NaN (which fails the range comparison), and infinities
+/// outside the range.
+[[nodiscard]] inline double real(const char* name, double dflt, double min,
+                                 double max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      !(parsed >= min && parsed <= max)) {
+    MCF_LOG(Warn) << "rejecting " << name << "='" << v
+                  << "' (want a number in [" << min << ", " << max
+                  << "]); using default " << dflt;
+    return dflt;
+  }
+  return parsed;
+}
+
+/// Boolean flag with the historical MCFUSER_SANDBOX / MCFUSER_LOCK_CHECKS
+/// semantics: unset/empty -> default; "0" -> false; anything else set ->
+/// true.  No malformed case, hence no logging — this helper must stay
+/// safe to call from inside Mutex::lock (the lock-order enablement
+/// latch), where a log sink could recurse into a lock.
+[[nodiscard]] inline bool bool_flag(const char* name, bool dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  return std::strcmp(v, "0") != 0;
+}
+
+}  // namespace env
+}  // namespace mcf

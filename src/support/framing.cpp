@@ -1,0 +1,148 @@
+#include "support/framing.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "support/env.hpp"
+
+namespace mcf {
+namespace framing {
+
+const char* io_status_name(IoStatus s) noexcept {
+  switch (s) {
+    case IoStatus::Ok: return "ok";
+    case IoStatus::Eof: return "eof";
+    case IoStatus::Truncated: return "truncated";
+    case IoStatus::Timeout: return "timeout";
+    case IoStatus::TooLarge: return "too-large";
+    case IoStatus::Error: return "error";
+  }
+  return "unknown";
+}
+
+Deadline deadline_after(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+std::size_t default_max_frame_bytes() {
+  static const std::size_t cap = static_cast<std::size_t>(env::int64(
+      "MCFUSER_FRAME_MAX_BYTES", /*dflt=*/1u << 20,
+      /*min=*/4096, /*max=*/std::int64_t{1} << 30));
+  return cap;
+}
+
+namespace {
+
+/// Waits for `events` on `fd` up to the deadline (forever when null).
+/// Ok means "ready" — including POLLHUP/POLLERR readiness, which the
+/// subsequent read/write turns into Eof/Error with a real errno.
+IoStatus poll_fd(int fd, short events, const Deadline* deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != nullptr) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= *deadline) return IoStatus::Timeout;
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(*deadline -
+                                                                now)
+              .count();
+      // +1 rounds up so we never busy-spin on a sub-millisecond remainder.
+      timeout_ms = static_cast<int>(left < 0 ? 0 : left) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return IoStatus::Ok;
+    if (rc == 0) continue;  // re-check the deadline at the top
+    if (errno == EINTR) continue;
+    return IoStatus::Error;
+  }
+}
+
+}  // namespace
+
+IoStatus wait_readable(int fd, const Deadline* deadline) {
+  return poll_fd(fd, POLLIN, deadline);
+}
+
+IoStatus read_exact(int fd, void* data, std::size_t n, const Deadline* deadline,
+                    std::size_t* got) {
+  auto* p = static_cast<char*>(data);
+  std::size_t done = 0;
+  if (got != nullptr) *got = 0;
+  while (done < n) {
+    if (deadline != nullptr) {
+      const IoStatus st = poll_fd(fd, POLLIN, deadline);
+      if (st != IoStatus::Ok) return st;
+    }
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      if (got != nullptr) *got = done;
+      continue;
+    }
+    if (r == 0) return done == 0 ? IoStatus::Eof : IoStatus::Truncated;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Non-blocking fd with no deadline: park in poll instead of
+      // spinning (with a deadline the poll above already gated us).
+      if (deadline == nullptr) {
+        const IoStatus st = poll_fd(fd, POLLIN, nullptr);
+        if (st != IoStatus::Ok) return st;
+      }
+      continue;
+    }
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus write_all(int fd, const void* data, std::size_t n,
+                   const Deadline* deadline) {
+  const auto* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    if (deadline != nullptr) {
+      const IoStatus st = poll_fd(fd, POLLOUT, deadline);
+      if (st != IoStatus::Ok) return st;
+    }
+    const ssize_t w = ::write(fd, p + done, n - done);
+    if (w > 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (deadline == nullptr) {
+        const IoStatus st = poll_fd(fd, POLLOUT, nullptr);
+        if (st != IoStatus::Ok) return st;
+      }
+      continue;
+    }
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus read_frame(int fd, std::string* payload, std::size_t max_bytes,
+                    const Deadline* deadline, std::uint32_t* announced) {
+  std::uint32_t len = 0;
+  const IoStatus header = read_exact(fd, &len, sizeof(len), deadline);
+  if (header != IoStatus::Ok) return header;
+  if (announced != nullptr) *announced = len;
+  if (static_cast<std::size_t>(len) > max_bytes) return IoStatus::TooLarge;
+  payload->resize(len);
+  if (len == 0) return IoStatus::Ok;
+  const IoStatus body = read_exact(fd, payload->data(), len, deadline);
+  // EOF after a complete header is always mid-frame.
+  return body == IoStatus::Eof ? IoStatus::Truncated : body;
+}
+
+}  // namespace framing
+}  // namespace mcf

@@ -1,0 +1,191 @@
+// Length-prefixed binary framing — the one wire codec shared by every
+// process/socket boundary in the system.
+//
+// Two consumers speak this format today: the sandbox measurement pipes
+// (exec/sandbox.cpp, host <-> fork/exec'd worker, "MCFW" frames) and the
+// network front-end (net/, client <-> FusionServer, "MCFN" frames).
+// Both used to duplicate the same reader/writer/short-read handling;
+// this header is the extraction.  The bytes are owned by the consumers —
+// a frame is
+//
+//   u32 payload-length (little-endian)  |  payload bytes
+//
+// and the payload's leading magic/version/type fields are each
+// protocol's business.  What lives here is everything that must be
+// robust against hostile or unlucky peers:
+//
+//   * read_exact / write_all with EINTR handling and optional poll()-
+//     based deadlines, so a stalled peer becomes Timeout instead of a
+//     blocked thread (works for blocking pipes and non-blocking sockets
+//     alike — EAGAIN waits through poll);
+//   * read_frame with a hard size cap: an announced length above the cap
+//     is classified TooLarge (with the announced size reported), never
+//     allocated — a 4 GiB length prefix costs nothing;
+//   * truncation classification: EOF cleanly between frames is Eof, EOF
+//     mid-frame (half a header, a short payload) is Truncated — a server
+//     tells "client finished" from "client died mid-send".
+//
+// Payload field encoding (FrameWriter/FrameReader): fixed-width
+// little-endian scalars, u32-length-prefixed strings, doubles as their
+// IEEE-754 bit pattern.  Readers are bounds-checked on every take — a
+// truncated or lying payload fails the decode, it never over-reads.
+//
+// The frame-size cap is one process-wide knob: MCFUSER_FRAME_MAX_BYTES
+// (default 1 MiB) — see docs/service.md.  Frames in both protocols are
+// small (requests are a name plus a dozen integers; responses a handful
+// of doubles or a JSON report), so anything larger is a corrupted or
+// malicious stream.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mcf {
+namespace framing {
+
+/// Outcome of one fd read/write step.  Consumers map these onto their
+/// own failure taxonomy (sandbox: worker crash reasons; net: protocol
+/// errors).
+enum class IoStatus : std::uint8_t {
+  Ok,
+  Eof,        ///< clean end of stream at a frame boundary
+  Truncated,  ///< EOF mid-frame: the peer died or lied about the length
+  Timeout,    ///< the deadline expired mid-read/write
+  TooLarge,   ///< announced frame length exceeds the size cap
+  Error,      ///< errno-level failure (EPIPE, ECONNRESET, ...)
+};
+
+/// Stable display name ("ok", "eof", "truncated", ...).
+[[nodiscard]] const char* io_status_name(IoStatus s) noexcept;
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// Convenience: a deadline `seconds` from now (callers pass nullptr for
+/// "no deadline", so there is no sentinel duration).
+[[nodiscard]] Deadline deadline_after(double seconds);
+
+/// The process-wide frame-size cap: MCFUSER_FRAME_MAX_BYTES, default
+/// 1 MiB, floor 4 KiB (a cap below one real frame would brick both
+/// protocols — rejected loudly like every malformed knob).  Latched on
+/// first use.
+[[nodiscard]] std::size_t default_max_frame_bytes();
+
+/// Writes exactly `n` bytes.  With a deadline the wait for a writable fd
+/// runs through poll() (EAGAIN on non-blocking fds waits the same way),
+/// so a peer that stops draining becomes Timeout, not a stuck thread.
+/// Returns Ok, Timeout, or Error (EPIPE when the peer is gone — callers
+/// must have SIGPIPE ignored).
+[[nodiscard]] IoStatus write_all(int fd, const void* data, std::size_t n,
+                                 const Deadline* deadline = nullptr);
+
+/// Reads exactly `n` bytes; EOF after 0 bytes is Eof, EOF after a
+/// partial read is Truncated.  `got` (optional) reports bytes consumed
+/// regardless of outcome.
+[[nodiscard]] IoStatus read_exact(int fd, void* data, std::size_t n,
+                                  const Deadline* deadline = nullptr,
+                                  std::size_t* got = nullptr);
+
+/// One framed payload.  Empty payload + Ok on a zero-length frame; Eof
+/// only when the stream ended cleanly BEFORE the length prefix.  An
+/// announced length above `max_bytes` returns TooLarge without reading
+/// or allocating the payload; `announced` (optional) reports the length
+/// the peer claimed, for "frame too large: N > cap" diagnostics.
+[[nodiscard]] IoStatus read_frame(int fd, std::string* payload,
+                                  std::size_t max_bytes,
+                                  const Deadline* deadline = nullptr,
+                                  std::uint32_t* announced = nullptr);
+
+/// Waits (up to the deadline, or forever without one) until `fd` is
+/// readable, WITHOUT consuming anything — Ok means "a byte or EOF is
+/// ready" (the next read_frame tells which).  This is the idle-timeout
+/// primitive: a server parks here between frames, then reads the whole
+/// frame under the (tighter) per-frame deadline once activity arrives.
+[[nodiscard]] IoStatus wait_readable(int fd, const Deadline* deadline);
+
+// ---- payload codecs ---------------------------------------------------------
+
+/// Accumulates one payload; framed() prepends the length prefix.
+class FrameWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { append(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { append(&v, sizeof(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  [[nodiscard]] const std::string& payload() const { return buf_; }
+  /// The finished frame: length prefix + payload.
+  [[nodiscard]] std::string framed() const {
+    const auto len = static_cast<std::uint32_t>(buf_.size());
+    std::string out(sizeof(len), '\0');
+    std::memcpy(out.data(), &len, sizeof(len));
+    out += buf_;
+    return out;
+  }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked reads over one received payload; every take returns
+/// false on under-run instead of reading past the end.
+class FrameReader {
+ public:
+  FrameReader(const char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+  explicit FrameReader(const std::string& payload)
+      : FrameReader(payload.data(), payload.size()) {}
+
+  bool u8(std::uint8_t* v) { return take(v, sizeof(*v)); }
+  bool u32(std::uint32_t* v) { return take(v, sizeof(*v)); }
+  bool u64(std::uint64_t* v) { return take(v, sizeof(*v)); }
+  bool i64(std::int64_t* v) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    *v = static_cast<std::int64_t>(bits);
+    return true;
+  }
+  bool f64(double* v) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool str(std::string* v) {
+    std::uint32_t len = 0;
+    if (!u32(&len)) return false;
+    if (static_cast<std::size_t>(end_ - p_) < len) return false;
+    v->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+  /// Bytes not yet consumed (0 when fully drained).
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  bool take(void* v, std::size_t n) {
+    if (static_cast<std::size_t>(end_ - p_) < n) return false;
+    std::memcpy(v, p_, n);
+    p_ += n;
+    return true;
+  }
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace framing
+}  // namespace mcf

@@ -18,10 +18,13 @@
 
 #include "support/mutex.hpp"
 
+#include "support/env.hpp"
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -45,14 +48,15 @@ namespace {
 std::atomic<std::uint32_t> g_next_order_id{1};
 
 [[nodiscard]] int compute_default_enabled() noexcept {
-  if (const char* env = std::getenv("MCFUSER_LOCK_CHECKS")) {
-    if (*env != '\0') return (std::strcmp(env, "0") != 0) ? 1 : 0;
-  }
+  // env::bool_flag is the one helper guaranteed never to log — this runs
+  // inside the first Mutex::lock of the process, where a log sink could
+  // recurse into a lock of its own.
 #if !defined(NDEBUG) || defined(MCF_LOCK_ORDER_FORCE)
-  return 1;
+  constexpr bool kDefault = true;
 #else
-  return 0;
+  constexpr bool kDefault = false;
 #endif
+  return env::bool_flag("MCFUSER_LOCK_CHECKS", kDefault) ? 1 : 0;
 }
 
 struct EdgeInfo {
@@ -86,8 +90,18 @@ HeldStack& held() {
   // list) — so e.g. the global ThreadPool's destructor would lock its
   // mutex and push onto an already-destroyed vector, corrupting the
   // heap at exit.  The leak is one small vector per validator-enabled
-  // thread; release builds never call this at all.
-  thread_local HeldStack* t_held = new HeldStack();
+  // thread; release builds never call this at all.  Every stack is
+  // parked in a (likewise leaked) global registry so it stays reachable
+  // after its thread exits — otherwise LeakSanitizer flags each exited
+  // thread's stack as a hard leak and fails the ASan lane.
+  thread_local HeldStack* t_held = [] {
+    auto* s = new HeldStack();
+    static std::mutex* reg_mu = new std::mutex();
+    static std::vector<HeldStack*>* reg = new std::vector<HeldStack*>();
+    const std::lock_guard<std::mutex> g(*reg_mu);
+    reg->push_back(s);
+    return s;
+  }();
   return *t_held;
 }
 

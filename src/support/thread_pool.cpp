@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "support/env.hpp"
 #include "support/logging.hpp"
 
 namespace mcf {
@@ -21,21 +22,11 @@ struct WorkerIdentity {
 thread_local WorkerIdentity t_worker;
 
 unsigned env_thread_count() {
-  // Far above any sane worker count, far below where std::thread spawning
-  // starts failing — a typo'd value degrades with a warning, not a crash.
-  constexpr long kMaxThreads = 512;
-  const char* env = std::getenv("MCF_NUM_THREADS");
-  if (env == nullptr || *env == '\0') return 0;
-  const long v = std::strtol(env, nullptr, 10);
-  if (v < 1) {
-    MCF_LOG(Warn) << "ignoring MCF_NUM_THREADS=" << env << " (need >= 1)";
-    return 0;
-  }
-  if (v > kMaxThreads) {
-    MCF_LOG(Warn) << "clamping MCF_NUM_THREADS=" << env << " to " << kMaxThreads;
-    return static_cast<unsigned>(kMaxThreads);
-  }
-  return static_cast<unsigned>(v);
+  // 512 is far above any sane worker count, far below where std::thread
+  // spawning starts failing; 0 ("unset") falls through to hardware
+  // concurrency in the constructor.  A malformed or out-of-range value
+  // warns and degrades to that default — it never crashes.
+  return static_cast<unsigned>(env::int64("MCF_NUM_THREADS", 0, 1, 512));
 }
 
 }  // namespace

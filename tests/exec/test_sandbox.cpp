@@ -23,6 +23,7 @@
 #include <optional>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -32,6 +33,7 @@
 #include "ir/expr.hpp"
 #include "measure/backend.hpp"
 #include "search/tuning_cache.hpp"
+#include "support/framing.hpp"
 
 namespace mcf {
 namespace {
@@ -147,6 +149,52 @@ TEST(Sandbox, AvailabilityAndPoolOptionsReadTheEnvironment) {
     EXPECT_EQ(sandbox::default_pool_options().workers,
               sandbox::PoolOptions{}.workers);
   }
+}
+
+TEST(Sandbox, WorkerRefusesOversizedFrameWithDistinctReason) {
+  // Direct loopback into worker_main over plain pipes (no fork, no
+  // dlopen — runs in every lane, sanitizer builds included): a frame
+  // announcing more than the MCFUSER_FRAME_MAX_BYTES cap must be
+  // answered with the distinct "frame too large" classification
+  // (kBadRequest on the wire) before the worker exits non-zero.
+  int req[2] = {-1, -1};
+  int resp[2] = {-1, -1};
+  ASSERT_EQ(::pipe(req), 0);
+  ASSERT_EQ(::pipe(resp), 0);
+
+  int rc = -1;
+  std::thread worker([&] { rc = sandbox::worker_main(req[0], resp[1]); });
+
+  // The length prefix alone is the attack: announce past any
+  // configurable cap (the knob maxes out at 1 GiB) and send nothing.
+  const std::uint32_t huge = 0x7FFFFFFF;
+  ASSERT_EQ(framing::write_all(req[1], &huge, sizeof(huge)),
+            framing::IoStatus::Ok);
+
+  std::string payload;
+  const framing::Deadline dl = framing::deadline_after(10.0);
+  ASSERT_EQ(framing::read_frame(resp[0], &payload, 1 << 20, &dl),
+            framing::IoStatus::Ok);
+  worker.join();
+  EXPECT_EQ(rc, 1);  // the desynced stream is fatal to the worker
+
+  // Hand-decode the MCFW response: u32 magic, u8 status, str reason.
+  framing::FrameReader r(payload);
+  std::uint32_t magic = 0;
+  std::uint8_t status = 0;
+  std::string reason;
+  ASSERT_TRUE(r.u32(&magic));
+  EXPECT_EQ(magic, 0x4D434657u);  // "MCFW"
+  ASSERT_TRUE(r.u8(&status));
+  EXPECT_EQ(status, 4u);  // kBadRequest
+  ASSERT_TRUE(r.str(&reason));
+  EXPECT_NE(reason.find("frame too large: 2147483647 > "), std::string::npos)
+      << reason;
+
+  ::close(req[0]);
+  ::close(req[1]);
+  ::close(resp[0]);
+  ::close(resp[1]);
 }
 
 TEST(Sandbox, BackendDegradesToInProcessPathWhenDisabled) {

@@ -1,0 +1,291 @@
+// The shared length-prefixed frame codec (support/framing.hpp).
+//
+// The codec sits on both trust boundaries of the repo — the sandbox
+// worker pipe and the network front-end — so these tests are
+// deterministic fuzz-style: truncation at every byte offset, lying
+// length prefixes, zero-length frames, byte-at-a-time slow writers, and
+// the Eof/Truncated/Timeout/TooLarge taxonomy on real pipes.
+#include "support/framing.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace mcf {
+namespace {
+
+using framing::Deadline;
+using framing::FrameReader;
+using framing::FrameWriter;
+using framing::IoStatus;
+
+/// RAII pipe pair; read end [0], write end [1].
+struct Pipe {
+  int fd[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fd), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (fd[0] >= 0) ::close(fd[0]);
+    fd[0] = -1;
+  }
+  void close_write() {
+    if (fd[1] >= 0) ::close(fd[1]);
+    fd[1] = -1;
+  }
+};
+
+constexpr std::size_t kCap = 1 << 16;
+
+TEST(Framing, WriterReaderRoundTripAllTypes) {
+  FrameWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.25);
+  // Embedded NUL is the caller's business — the codec is length-based.
+  w.str(std::string("hel\0lo", 6));
+  w.str("");
+  const std::string payload = w.payload();
+
+  FrameReader r(payload);
+  std::uint8_t u8 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  std::string s1, s2;
+  ASSERT_TRUE(r.u8(&u8));
+  ASSERT_TRUE(r.u32(&u32));
+  ASSERT_TRUE(r.u64(&u64));
+  ASSERT_TRUE(r.i64(&i64));
+  ASSERT_TRUE(r.f64(&f64));
+  ASSERT_TRUE(r.str(&s1));
+  ASSERT_TRUE(r.str(&s2));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f64, 3.25);
+  EXPECT_EQ(s1, std::string("hel\0lo", 6));
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(r.remaining(), 0u);
+  // Reading past the end fails cleanly instead of touching stale bytes.
+  EXPECT_FALSE(r.u8(&u8));
+}
+
+TEST(Framing, ReaderRejectsEveryTruncationPrefix) {
+  FrameWriter w;
+  w.u32(7);
+  w.i64(-9);
+  w.str("payload");
+  w.f64(1.5);
+  const std::string full = w.payload();
+
+  // At every prefix length, the decode sequence must fail at some field
+  // (and succeed only on the full payload).
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    FrameReader r(full.data(), cut);
+    std::uint32_t a = 0;
+    std::int64_t b = 0;
+    std::string s;
+    double d = 0.0;
+    const bool ok = r.u32(&a) && r.i64(&b) && r.str(&s) && r.f64(&d);
+    EXPECT_FALSE(ok) << "decode succeeded on a " << cut << "-byte prefix";
+  }
+  FrameReader r(full);
+  std::uint32_t a = 0;
+  std::int64_t b = 0;
+  std::string s;
+  double d = 0.0;
+  EXPECT_TRUE(r.u32(&a) && r.i64(&b) && r.str(&s) && r.f64(&d));
+}
+
+TEST(Framing, StringWithLyingLengthFailsInsteadOfAllocating) {
+  // str() encodes u32 length + bytes; hand-craft a length far beyond the
+  // actual payload.
+  std::string payload;
+  const std::uint32_t lie = 0x7FFFFFFF;
+  payload.append(reinterpret_cast<const char*>(&lie), sizeof(lie));
+  payload += "abc";
+  FrameReader r(payload);
+  std::string out;
+  EXPECT_FALSE(r.str(&out));
+}
+
+TEST(Framing, FrameRoundTripOverPipe) {
+  Pipe p;
+  FrameWriter w;
+  w.str("over the pipe");
+  const std::string frame = w.framed();
+  ASSERT_EQ(framing::write_all(p.fd[1], frame.data(), frame.size(), nullptr),
+            IoStatus::Ok);
+
+  std::string payload;
+  ASSERT_EQ(framing::read_frame(p.fd[0], &payload, kCap, nullptr),
+            IoStatus::Ok);
+  FrameReader r(payload);
+  std::string s;
+  ASSERT_TRUE(r.str(&s));
+  EXPECT_EQ(s, "over the pipe");
+}
+
+TEST(Framing, ZeroLengthFrameIsValid) {
+  Pipe p;
+  const std::uint32_t zero = 0;
+  ASSERT_EQ(framing::write_all(p.fd[1], &zero, sizeof(zero), nullptr),
+            IoStatus::Ok);
+  std::string payload = "stale";
+  ASSERT_EQ(framing::read_frame(p.fd[0], &payload, kCap, nullptr),
+            IoStatus::Ok);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(Framing, CleanEofBeforeHeaderIsEof) {
+  Pipe p;
+  p.close_write();
+  std::string payload;
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, nullptr),
+            IoStatus::Eof);
+}
+
+TEST(Framing, EofMidHeaderIsTruncated) {
+  Pipe p;
+  const char half[2] = {1, 0};  // 2 of the 4 length-prefix bytes
+  ASSERT_EQ(::write(p.fd[1], half, sizeof(half)), 2);
+  p.close_write();
+  std::string payload;
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, nullptr),
+            IoStatus::Truncated);
+}
+
+TEST(Framing, EofMidBodyIsTruncated) {
+  Pipe p;
+  const std::uint32_t len = 100;
+  ASSERT_EQ(::write(p.fd[1], &len, sizeof(len)), 4);
+  ASSERT_EQ(::write(p.fd[1], "only this", 9), 9);
+  p.close_write();
+  std::string payload;
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, nullptr),
+            IoStatus::Truncated);
+}
+
+TEST(Framing, OversizedAnnouncementIsTooLargeWithoutConsumingBody) {
+  Pipe p;
+  const std::uint32_t huge = 0x40000000;  // 1 GiB announced, nothing sent
+  ASSERT_EQ(::write(p.fd[1], &huge, sizeof(huge)), 4);
+  std::string payload;
+  std::uint32_t announced = 0;
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, nullptr, &announced),
+            IoStatus::TooLarge);
+  EXPECT_EQ(announced, huge);
+  // The cap check fired before any body allocation: nothing was read
+  // past the prefix, so a subsequent byte written is still deliverable.
+  ASSERT_EQ(::write(p.fd[1], "x", 1), 1);
+  char c = 0;
+  EXPECT_EQ(::read(p.fd[0], &c, 1), 1);
+  EXPECT_EQ(c, 'x');
+}
+
+TEST(Framing, ByteAtATimeWriterStillDecodes) {
+  Pipe p;
+  FrameWriter w;
+  w.u32(0xC0FFEE);
+  w.str("dripped");
+  const std::string frame = w.framed();
+
+  std::thread dripper([&] {
+    for (const char c : frame) {
+      ASSERT_EQ(::write(p.fd[1], &c, 1), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    p.close_write();
+  });
+  std::string payload;
+  const Deadline dl = framing::deadline_after(30.0);
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, &dl), IoStatus::Ok);
+  dripper.join();
+  FrameReader r(payload);
+  std::uint32_t v = 0;
+  std::string s;
+  ASSERT_TRUE(r.u32(&v) && r.str(&s));
+  EXPECT_EQ(v, 0xC0FFEEu);
+  EXPECT_EQ(s, "dripped");
+}
+
+TEST(Framing, DeadlineExpiresAsTimeout) {
+  Pipe p;  // nothing ever written
+  std::string payload;
+  const Deadline dl = framing::deadline_after(0.05);
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, &dl),
+            IoStatus::Timeout);
+}
+
+TEST(Framing, SlowlorisBodyHitsTheDeadline) {
+  Pipe p;
+  const std::uint32_t len = 1000;
+  ASSERT_EQ(::write(p.fd[1], &len, sizeof(len)), 4);
+  ASSERT_EQ(::write(p.fd[1], "abc", 3), 3);  // ... and then silence
+  std::string payload;
+  const Deadline dl = framing::deadline_after(0.05);
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, &dl),
+            IoStatus::Timeout);
+}
+
+TEST(Framing, WaitReadableSeesDataAndTimesOutWithout) {
+  Pipe p;
+  const Deadline quick = framing::deadline_after(0.05);
+  EXPECT_EQ(framing::wait_readable(p.fd[0], &quick), IoStatus::Timeout);
+  ASSERT_EQ(::write(p.fd[1], "x", 1), 1);
+  const Deadline dl = framing::deadline_after(5.0);
+  EXPECT_EQ(framing::wait_readable(p.fd[0], &dl), IoStatus::Ok);
+}
+
+TEST(Framing, ReadExactReportsPartialProgress) {
+  Pipe p;
+  ASSERT_EQ(::write(p.fd[1], "abcd", 4), 4);
+  p.close_write();
+  char buf[10];
+  std::size_t got = 0;
+  EXPECT_EQ(framing::read_exact(p.fd[0], buf, sizeof(buf), nullptr, &got),
+            IoStatus::Truncated);
+  EXPECT_EQ(got, 4u);
+  EXPECT_EQ(std::memcmp(buf, "abcd", 4), 0);
+}
+
+TEST(Framing, NonBlockingFdRoundTrips) {
+  // The same codec serves blocking sandbox pipes and non-blocking server
+  // sockets; EAGAIN must park in poll, not error out.
+  Pipe p;
+  ASSERT_EQ(::fcntl(p.fd[0], F_SETFL, O_NONBLOCK), 0);
+  FrameWriter w;
+  w.str("nonblocking");
+  const std::string frame = w.framed();
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(framing::write_all(p.fd[1], frame.data(), frame.size(), nullptr),
+              IoStatus::Ok);
+  });
+  std::string payload;
+  const Deadline dl = framing::deadline_after(30.0);
+  EXPECT_EQ(framing::read_frame(p.fd[0], &payload, kCap, &dl), IoStatus::Ok);
+  writer.join();
+}
+
+TEST(Framing, DefaultCapHasSaneFloor) {
+  // The env knob is latched process-wide on first use; here we only pin
+  // the contract that the cap is at least the documented 4 KiB floor.
+  EXPECT_GE(framing::default_max_frame_bytes(), 4096u);
+}
+
+}  // namespace
+}  // namespace mcf

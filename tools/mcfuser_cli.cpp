@@ -14,8 +14,18 @@
 //   mcfuser compare <same shape flags>     run every baseline on the chain
 //   mcfuser suite   gemm | attention       paper Table II / III sweep
 //   mcfuser info    [--gpu NAME]           GPU model parameters
+//   mcfuser serve   --socket PATH and/or --port N   MCFN socket service
+//                   over the engine; SIGTERM/SIGINT drains gracefully
+//                   (exit 0 only when the EngineStats accounting identity
+//                   held through the drain)
+//   mcfuser fuse    --connect ENDPOINT <shape flags>   client mode: tune
+//                   the chain through a running server (--stats fetches
+//                   the server's stats JSON instead)
 //
 // Unknown flags are rejected with a usage synopsis and exit code 2.
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -39,6 +49,8 @@
 #include "graph/bert.hpp"
 #include "graph/mixer.hpp"
 #include "measure/backend.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "support/table.hpp"
 #include "workloads/suites.hpp"
 
@@ -122,7 +134,7 @@ std::string backend_names_joined() {
 int usage() {
   const std::string backends = backend_names_joined();
   std::fprintf(stderr,
-               "usage: mcfuser <fuse|compare|suite|info> [flags]\n"
+               "usage: mcfuser <fuse|compare|suite|info|serve> [flags]\n"
                "  fuse    --m M --n N --k K --h H [--batch B] "
                "[--attention|--gelu|--relu] [--gpu NAME] "
                "[--backend=%s] [--isolation worker|none] "
@@ -132,9 +144,16 @@ int usage() {
                "mixer-small|mixer-base [--seq L] [--jobs N] [--gpu NAME] "
                "[--backend NAME] [--isolation worker|none] "
                "[--max-queue N] [--deadline S] [--json]\n"
+               "  fuse    --connect ENDPOINT <shape flags> [--timeout S] "
+               "[--retries N] [--stats] [--json]\n"
                "  compare <same shape flags> [--trials T]\n"
                "  suite   gemm|attention [--gpu NAME]\n"
-               "  info    [--gpu NAME]\n",
+               "  info    [--gpu NAME]\n"
+               "  serve   [--socket PATH] [--port N] [--gpu NAME] "
+               "[--backend NAME] [--isolation worker|none] [--jobs N] "
+               "[--max-queue N] [--max-in-flight N] [--deadline S] "
+               "[--max-conns N] [--io-timeout S] [--idle-timeout S] "
+               "[--request-timeout S] [--drain-deadline S] [--json]\n",
                backends.c_str());
   return 2;
 }
@@ -149,12 +168,19 @@ bool validate_flags(const Args& args) {
   static const std::set<std::string> kFuseGraph = {
       "graph", "seq",       "jobs",     "gpu",
       "backend", "json",    "max-queue", "deadline", "isolation"};
+  static const std::set<std::string> kFuseConnect = {
+      "connect", "m",    "n",       "k",       "h",    "batch", "attention",
+      "gelu",    "relu", "timeout", "retries", "stats", "json"};
   static const std::map<std::string, std::set<std::string>> kKnown = {
       {"compare",
        {"m", "n", "k", "h", "batch", "attention", "gelu", "relu", "gpu",
         "trials"}},
       {"suite", {"gpu"}},
       {"info", {"gpu"}},
+      {"serve",
+       {"socket", "port", "gpu", "backend", "isolation", "jobs", "max-queue",
+        "max-in-flight", "deadline", "max-conns", "io-timeout", "idle-timeout",
+        "request-timeout", "drain-deadline", "json"}},
   };
   if (!args.stray.empty()) {
     std::fprintf(stderr,
@@ -179,11 +205,16 @@ bool validate_flags(const Args& args) {
   const std::set<std::string>* allowed = nullptr;
   const char* mode = "";
   if (args.command == "fuse") {
-    // Single-chain and graph mode accept different flags; a shape flag in
-    // graph mode (or --seq/--jobs without --graph) would be dead, so it
-    // is rejected rather than ignored.
-    allowed = args.has("graph") ? &kFuseGraph : &kFuseChain;
-    mode = args.has("graph") ? " (graph mode)" : "";
+    // Single-chain, graph, and connect mode accept different flags; a
+    // shape flag in graph mode (or --seq/--jobs without --graph) would
+    // be dead, so it is rejected rather than ignored.
+    if (args.has("connect")) {
+      allowed = &kFuseConnect;
+      mode = " (connect mode)";
+    } else {
+      allowed = args.has("graph") ? &kFuseGraph : &kFuseChain;
+      mode = args.has("graph") ? " (graph mode)" : "";
+    }
   } else if (const auto it = kKnown.find(args.command); it != kKnown.end()) {
     allowed = &it->second;
   } else {
@@ -199,7 +230,10 @@ bool validate_flags(const Args& args) {
   // Numeric flags must parse as (in-range) integers; a typo like
   // `--seq abc` gets the usage path, not an uncaught std::stoll throw.
   static const std::set<std::string> kNumeric = {
-      "m", "n", "k", "h", "batch", "seq", "jobs", "trials", "max-queue"};
+      "m",       "n",         "k",           "h",
+      "batch",   "seq",       "jobs",        "trials",
+      "max-queue", "port",    "retries",     "max-conns",
+      "max-in-flight"};
   for (const auto& kv : args.flags) {
     if (kNumeric.count(kv.first) == 0) continue;
     errno = 0;
@@ -212,7 +246,9 @@ bool validate_flags(const Args& args) {
     }
   }
   // ... and decimal flags as finite doubles.
-  static const std::set<std::string> kDecimal = {"deadline"};
+  static const std::set<std::string> kDecimal = {
+      "deadline",        "timeout",     "io-timeout",
+      "idle-timeout",    "request-timeout", "drain-deadline"};
   for (const auto& kv : args.flags) {
     if (kDecimal.count(kv.first) == 0) continue;
     errno = 0;
@@ -383,7 +419,57 @@ int cmd_fuse_graph(const Args& args, const GpuSpec& gpu) {
   return rep.all_ok() ? 0 : 1;
 }
 
+/// Client mode: tune the chain through a running `mcfuser serve` (or
+/// fetch its stats).  Exit 0 only when the RPC succeeded AND the remote
+/// fusion resolved Ok — a Rejected/Cancelled result is exit 1 like the
+/// local path.
+int cmd_fuse_connect(const Args& args) {
+  net::ClientOptions copt;
+  copt.request_timeout_s = args.dbl("timeout", 0.0);
+  copt.max_retries = static_cast<int>(args.num("retries", 3));
+  if (copt.max_retries < 0 || copt.max_retries > 100) {
+    std::fprintf(stderr, "--retries must be in [0, 100]\n");
+    return 2;
+  }
+  net::FusionClient client(args.str("connect", ""), copt);
+
+  if (args.has("stats")) {
+    std::string json;
+    const net::RpcResult res = client.query_stats(&json);
+    if (res.status != net::RpcStatus::Ok) {
+      std::fprintf(stderr, "mcfuser fuse --connect: %s: %s (%d attempt(s))\n",
+                   net::rpc_status_name(res.status), res.detail.c_str(),
+                   res.attempts);
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  const ChainSpec chain = chain_from(args);
+  const net::RpcResult res = client.fuse(chain);
+  if (res.status != net::RpcStatus::Ok) {
+    std::fprintf(stderr, "mcfuser fuse --connect: %s: %s (%d attempt(s))\n",
+                 net::rpc_status_name(res.status), res.detail.c_str(),
+                 res.attempts);
+    return 1;
+  }
+  const auto status = static_cast<FusionStatus>(res.response.status);
+  if (args.has("json")) {
+    std::printf("%s\n", res.response.json.c_str());
+  } else if (status == FusionStatus::Ok) {
+    std::printf("remote fuse ok: %s -> %.2f us (%d attempt(s))\n",
+                chain.to_string().c_str(), res.response.time_s * 1e6,
+                res.attempts);
+  } else {
+    std::fprintf(stderr, "remote fusion failed: %s: %s\n",
+                 fusion_status_name(status), res.response.reason.c_str());
+  }
+  return status == FusionStatus::Ok ? 0 : 1;
+}
+
 int cmd_fuse(const Args& args) {
+  if (args.has("connect")) return cmd_fuse_connect(args);
   const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
   if (args.has("graph")) return cmd_fuse_graph(args, gpu);
   const ChainSpec chain = chain_from(args);
@@ -511,6 +597,142 @@ int cmd_suite(const Args& args) {
   return 0;
 }
 
+/// Self-pipe for the drain signals: the async-signal-handler writes one
+/// byte; the main thread blocks on the read end and then runs the
+/// (thread-context-only) server.stop().
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_drain_signal(int) {
+  const unsigned char byte = 1;
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+int cmd_serve(const Args& args) {
+  if (!args.has("socket") && !args.has("port")) {
+    std::fprintf(stderr, "mcfuser serve: need --socket PATH and/or --port N "
+                         "(--port 0 picks an ephemeral port)\n");
+    return 2;
+  }
+  if (args.has("port") &&
+      (args.num("port", 0) < 0 || args.num("port", 0) > 65535)) {
+    std::fprintf(stderr, "--port must be in [0, 65535]\n");
+    return 2;
+  }
+  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
+  FusionEngineOptions opts;
+  opts.backend = args.str("backend", "sim");
+  if (!apply_isolation(args, &opts)) return 2;
+  if (!backend_known(opts.backend)) return 2;
+  opts.jobs = static_cast<int>(args.num("jobs", 0));
+  opts.queue.max_queued = static_cast<std::size_t>(args.num("max-queue", 0));
+  opts.queue.max_in_flight =
+      static_cast<std::size_t>(args.num("max-in-flight", 0));
+  opts.queue.deadline_s = args.dbl("deadline", 0.0);
+  // Reject overflow: a full queue sheds as FusionStatus::Rejected through
+  // the server's try_submit path — the service never blocks or OOMs.
+  opts.queue.overflow = OverflowPolicy::Reject;
+  FusionEngine engine(gpu, opts);
+
+  net::ServerOptions sopt;
+  sopt.unix_path = args.str("socket", "");
+  sopt.tcp_port = args.has("port") ? static_cast<int>(args.num("port", 0)) : -1;
+  sopt.max_connections = static_cast<int>(args.num("max-conns", 64));
+  sopt.io_timeout_s = args.dbl("io-timeout", 10.0);
+  sopt.idle_timeout_s = args.dbl("idle-timeout", 60.0);
+  sopt.request_timeout_s = args.dbl("request-timeout", 300.0);
+  sopt.drain_deadline_s = args.dbl("drain-deadline", 10.0);
+  net::FusionServer server(engine, sopt);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "mcfuser serve: %s\n", err.c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "mcfuser serve: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_drain_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  if (!sopt.unix_path.empty()) {
+    std::fprintf(stderr, "mcfuser serve: listening on unix:%s\n",
+                 sopt.unix_path.c_str());
+  }
+  if (sopt.tcp_port >= 0) {
+    std::fprintf(stderr, "mcfuser serve: listening on 127.0.0.1:%d\n",
+                 server.port());
+  }
+  std::fprintf(stderr, "mcfuser serve: backend %s on %s; SIGTERM drains\n",
+               opts.backend.c_str(), gpu.name.c_str());
+
+  unsigned char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "mcfuser serve: draining (deadline %.1fs)...\n",
+               sopt.drain_deadline_s);
+  server.stop();
+
+  // The exit code certifies the accounting identity: every admitted
+  // request resolved into exactly one terminal bucket even if the drain
+  // interrupted a flood.
+  const EngineStats st = engine.stats();
+  const net::ServerStats ss = server.stats();
+  const bool identity_ok = st.submitted == st.completed + st.rejected +
+                                               st.cancelled +
+                                               st.deadline_exceeded;
+  if (args.has("json")) {
+    std::printf(
+        "{\"identity_ok\":%s,\"engine\":{\"submitted\":%llu,"
+        "\"completed\":%llu,\"rejected\":%llu,\"cancelled\":%llu,"
+        "\"deadline_exceeded\":%llu},\"server\":{\"accepted\":%llu,"
+        "\"requests\":%llu,\"requests_ok\":%llu,\"requests_shed\":%llu,"
+        "\"overload_sheds\":%llu,\"protocol_errors\":%llu,"
+        "\"version_mismatches\":%llu,\"oversized_frames\":%llu,"
+        "\"idle_closes\":%llu,\"io_timeouts\":%llu}}\n",
+        identity_ok ? "true" : "false",
+        static_cast<unsigned long long>(st.submitted),
+        static_cast<unsigned long long>(st.completed),
+        static_cast<unsigned long long>(st.rejected),
+        static_cast<unsigned long long>(st.cancelled),
+        static_cast<unsigned long long>(st.deadline_exceeded),
+        static_cast<unsigned long long>(ss.accepted),
+        static_cast<unsigned long long>(ss.requests),
+        static_cast<unsigned long long>(ss.requests_ok),
+        static_cast<unsigned long long>(ss.requests_shed),
+        static_cast<unsigned long long>(ss.overload_sheds),
+        static_cast<unsigned long long>(ss.protocol_errors),
+        static_cast<unsigned long long>(ss.version_mismatches),
+        static_cast<unsigned long long>(ss.oversized_frames),
+        static_cast<unsigned long long>(ss.idle_closes),
+        static_cast<unsigned long long>(ss.io_timeouts));
+  } else {
+    std::fprintf(stderr,
+                 "mcfuser serve: drained; %llu conns, %llu requests "
+                 "(%llu ok, %llu shed); identity %s\n",
+                 static_cast<unsigned long long>(ss.accepted),
+                 static_cast<unsigned long long>(ss.requests),
+                 static_cast<unsigned long long>(ss.requests_ok),
+                 static_cast<unsigned long long>(ss.requests_shed),
+                 identity_ok ? "ok" : "BROKEN");
+  }
+  if (!identity_ok) {
+    std::fprintf(stderr,
+                 "mcfuser serve: accounting identity broken: submitted=%llu "
+                 "!= completed=%llu + rejected=%llu + cancelled=%llu + "
+                 "deadline_exceeded=%llu\n",
+                 static_cast<unsigned long long>(st.submitted),
+                 static_cast<unsigned long long>(st.completed),
+                 static_cast<unsigned long long>(st.rejected),
+                 static_cast<unsigned long long>(st.cancelled),
+                 static_cast<unsigned long long>(st.deadline_exceeded));
+  }
+  return identity_ok ? 0 : 1;
+}
+
 int cmd_info(const Args& args) {
   const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
   std::printf("%s: %d SMs, %.0f TFLOPS fp16 TC, %.0f GB/s DRAM, "
@@ -533,5 +755,6 @@ int main(int argc, char** argv) {
   if (args.command == "compare") return cmd_compare(args);
   if (args.command == "suite") return cmd_suite(args);
   if (args.command == "info") return cmd_info(args);
+  if (args.command == "serve") return cmd_serve(args);
   return usage();
 }
