@@ -71,6 +71,7 @@
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "tensor/tensor.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -721,6 +722,33 @@ int run() {
   const double jit_geo = jit_rows.empty() ? 0.0 : geomean(jit_ratios);
   const double jit_geo_gflops = jit_rows.empty() ? 0.0 : geomean(jit_gflops_list);
 
+  // ---- static verifier overhead ---------------------------------------------
+  // The pre-compile safety gate (src/verify/) runs once per resolve in
+  // debug / MCFUSER_VERIFY=1 deployments; its cost must stay a rounding
+  // error next to the compile it guards.  Measured over the exact
+  // schedules the jit section compiled, min-of-repeats to shed timer
+  // noise; the <= 10%-of-compile-wall gate binds only when this run
+  // actually compiled TUs (a warm cache makes the ratio meaningless).
+  const int verify_schedules = static_cast<int>(interp_row_scheds.size());
+  double verify_wall_s = 0.0;
+  int verify_safe = 0;
+  {
+    constexpr int kVerifyReps = 5;
+    double best = 1e100;
+    for (int rep = 0; rep < kVerifyReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      int safe = 0;
+      for (const Schedule& s : interp_row_scheds) {
+        safe += verify::verify_schedule(s).safe() ? 1 : 0;
+      }
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      best = std::min(best, dt.count());
+      verify_safe = safe;
+    }
+    verify_wall_s = best;
+  }
+
   // ---- jit multicore scaling ------------------------------------------------
   // run_native's block fan-out across the worker-slot pool: single
   // thread vs full concurrency on the kernels the jit section already
@@ -850,6 +878,13 @@ int run() {
                 jit_delta.compile_wall_s);
     std::printf("jit-mt scaling geomean: %.2fx on %u cores\n", jit_mt_geo,
                 hw_cores);
+    std::printf("verifier: %d/%d schedules proven safe in %.1f us "
+                "(%.3f%% of %.2fs compile wall)\n",
+                verify_safe, verify_schedules, verify_wall_s * 1e6,
+                jit_delta.compile_wall_s > 0.0
+                    ? 100.0 * verify_wall_s / jit_delta.compile_wall_s
+                    : 0.0,
+                jit_delta.compile_wall_s);
     std::printf("jit churn soak: %d resolves of %d keys through cap %zu -> "
                 "%lld modules resident (was %lld), %lld closed, RSS %.1f -> "
                 "%.1f MiB\n",
@@ -871,7 +906,7 @@ int run() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"tuning_throughput\",\n");
-  std::fprintf(f, "  \"schema_version\": 6,\n");
+  std::fprintf(f, "  \"schema_version\": 7,\n");
   std::fprintf(f, "  \"threads\": %u,\n", ThreadPool::global().size());
   std::fprintf(f, "  \"tuner\": {\n");
   std::fprintf(f, "    \"geomean_speedup\": %.4f,\n", tuner_geo);
@@ -964,6 +999,15 @@ int run() {
                  i + 1 < jit_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f,
+               "  \"verify\": {\"schedules\": %d, \"safe\": %d, "
+               "\"wall_s\": %.6f, \"compile_wall_s\": %.4f, "
+               "\"ratio\": %.6f},\n",
+               verify_schedules, verify_safe, verify_wall_s,
+               jit_delta.compile_wall_s,
+               jit_delta.compile_wall_s > 0.0
+                   ? verify_wall_s / jit_delta.compile_wall_s
+                   : 0.0);
   std::fprintf(f, "  \"jit_mt\": {\n");
   std::fprintf(f, "    \"available\": %s,\n",
                jit_mt_rows.empty() ? "false" : "true");
@@ -1082,6 +1126,25 @@ int run() {
                    static_cast<long long>(jit_now.modules_closed));
       return 1;
     }
+  }
+  // Verifier gates: every fig7-mini schedule must be proven safe (a
+  // flag here is by definition a false positive — these kernels run
+  // ASan-clean), and the static pass must stay cheap relative to the
+  // compilation it guards.  The overhead ratio only means something
+  // when this run actually compiled TUs; a warm cache makes
+  // compile_wall_s ~0 and the comparison meaningless.
+  if (verify_safe != verify_schedules) {
+    std::fprintf(stderr, "FAIL: verifier flagged %d/%d known-safe schedules\n",
+                 verify_schedules - verify_safe, verify_schedules);
+    return 1;
+  }
+  if (toolchain.ok() && jit_delta.tus_compiled > 0 &&
+      verify_wall_s > 0.10 * jit_delta.compile_wall_s) {
+    std::fprintf(stderr,
+                 "FAIL: verifier overhead %.1f us > 10%% of %.2fs compile "
+                 "wall\n",
+                 verify_wall_s * 1e6, jit_delta.compile_wall_s);
+    return 1;
   }
   // Isolation gate: sandboxed measurement may cost at most 25% geomean
   // wall-clock over the in-process jit path on the fig7-mini family.

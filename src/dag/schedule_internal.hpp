@@ -8,6 +8,8 @@ namespace mcf {
 
 struct ScheduleBuilderAccess {
   static std::vector<Schedule::Node>& nodes(Schedule& s) { return s.nodes_; }
+  static InlineVec<std::int64_t, 8>& tiles(Schedule& s) { return s.tiles_; }
+  static InlineVec<std::int64_t, 8>& extents(Schedule& s) { return s.extents_; }
   static InlineVec<std::int64_t, 8>& resident(Schedule& s) { return s.resident_; }
   static std::vector<InlineVec<int, 6>>& resident_loops(Schedule& s) {
     return s.resident_loops_;

@@ -35,6 +35,8 @@ const char* fusion_status_name(FusionStatus s) noexcept {
       return "worker-crashed";
     case FusionStatus::WorkerTimeout:
       return "worker-timeout";
+    case FusionStatus::VerifyRejected:
+      return "verify-rejected";
   }
   return "?";
 }
@@ -396,6 +398,9 @@ FusionResult FusionEngine::run_one(const ChainSpec& chain,
         break;
       case MeasureFailKind::WorkerTimeout:
         result.status = FusionStatus::WorkerTimeout;
+        break;
+      case MeasureFailKind::VerifyRejected:
+        result.status = FusionStatus::VerifyRejected;
         break;
       default:
         result.status = FusionStatus::MeasureFailed;

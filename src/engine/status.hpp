@@ -11,7 +11,10 @@
 // QueuePolicy; see docs/api.md "Admission control"), and the isolation
 // values WorkerCrashed and WorkerTimeout (terminal measurement outcomes of
 // the "jit-isolated" backend: every candidate of the chain died in a
-// sandbox worker; see docs/measurement.md "Crash-isolated measurement").
+// sandbox worker; see docs/measurement.md "Crash-isolated measurement"),
+// and the static-analysis value VerifyRejected (every measured candidate
+// was refused by the pre-compile safety verifier; see
+// docs/verification.md — the reason carries the first witness).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,7 @@ enum class FusionStatus : std::uint8_t {
   DeadlineExceeded,  ///< queue wait exceeded QueuePolicy::deadline_s
   WorkerCrashed,     ///< every measured candidate died in a sandbox worker
   WorkerTimeout,     ///< every measured candidate hit the worker deadline
+  VerifyRejected,    ///< the static safety verifier rejected every candidate
 };
 
 /// Stable display name ("ok", "invalid-chain", ...).

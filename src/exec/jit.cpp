@@ -26,6 +26,7 @@
 #include "support/mutex.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/verify.hpp"
 
 namespace mcf {
 namespace jit {
@@ -56,7 +57,7 @@ constexpr const char* kCompileFlags =
   if (name.find('/') != std::string::npos) {
     return ::access(name.c_str(), X_OK) == 0 ? name : std::string();
   }
-  const char* path = std::getenv("PATH");
+  const char* path = env::raw("PATH");
   if (path == nullptr) return {};
   std::istringstream is(path);
   std::string dir;
@@ -636,6 +637,20 @@ ResolvedKernel resolve_kernel(const Schedule& s, const std::string& gpu_key,
     return {};
   }
   EmittedKernel ek = emit_keyed(s, gpu_key);
+  // Pre-compile safety gate (src/verify/): a schedule the static
+  // analyzer can prove out-of-bounds is never handed to the compiler —
+  // and the check runs BEFORE the cache probe, so even a poisoned disk
+  // cache cannot hand back a kernel the verifier rejects.
+  if (verify::verify_enabled()) {
+    if (std::string verr = verify::verify_gate_error(s); !verr.empty()) {
+      Registry& reg = Registry::instance();
+      const LockGuard lock(reg.mu);
+      (void)reg.failed.insert(ek.key, verr);
+      reg.sync_evictions_locked();
+      if (error != nullptr) *error = std::move(verr);
+      return {};
+    }
+  }
   std::string fail;
   if (ResolvedKernel rk = try_cached(ek.key, &fail); rk.ok()) return rk;
   if (!fail.empty()) {
@@ -667,6 +682,18 @@ KernelArtifact resolve_artifact(const Schedule& s, const std::string& gpu_key,
   EmittedKernel ek = emit_keyed(s, gpu_key);
   a.key = ek.key;
   a.symbol = ek.symbol;
+  // Same pre-compile safety gate as resolve_kernel: the sandbox workers
+  // must never be handed an artifact the verifier rejects, cached or not.
+  if (verify::verify_enabled()) {
+    if (std::string verr = verify::verify_gate_error(s); !verr.empty()) {
+      Registry& vreg = Registry::instance();
+      const LockGuard lock(vreg.mu);
+      (void)vreg.failed.insert(a.key, verr);
+      vreg.sync_evictions_locked();
+      a.error = std::move(verr);
+      return a;
+    }
+  }
   Registry& reg = Registry::instance();
   const fs::path dir = cache_dir();
   const auto read_idx = [&]() -> bool {
@@ -736,6 +763,15 @@ void prepare_kernels(std::span<const Schedule* const> batch,
     EmittedKernel ek = emit_keyed(*s, gpu_key);
     if (std::find(seen.begin(), seen.end(), ek.key) != seen.end()) continue;
     seen.push_back(ek.key);
+    if (verify::verify_enabled()) {
+      if (std::string verr = verify::verify_gate_error(*s); !verr.empty()) {
+        Registry& reg = Registry::instance();
+        const LockGuard lock(reg.mu);
+        (void)reg.failed.insert(ek.key, std::move(verr));
+        reg.sync_evictions_locked();
+        continue;
+      }
+    }
     if (try_cached(ek.key, nullptr).ok()) continue;
     {
       Registry& reg = Registry::instance();

@@ -760,7 +760,7 @@ namespace {
 /// construction-order-safe facilities (no iostream globals, no logging).
 struct WorkerProcessEntry {
   WorkerProcessEntry() {
-    const char* flag = std::getenv("MCFUSER_SANDBOX_WORKER");
+    const char* flag = env::raw("MCFUSER_SANDBOX_WORKER");
     if (flag == nullptr || *flag == '\0') return;
     if (::fcntl(3, F_GETFD) < 0 || ::fcntl(4, F_GETFD) < 0) return;
     ::_exit(worker_main(3, 4));

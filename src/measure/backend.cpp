@@ -11,6 +11,7 @@
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 #include "tensor/tensor.hpp"
+#include "verify/verify.hpp"
 
 namespace mcf {
 
@@ -270,6 +271,14 @@ KernelMeasurement JitBackend::measure(const Schedule& s,
       m.ok = true;
       return m;
     }
+    // A verifier rejection is a property of the schedule, not of the
+    // toolchain: degrading to the interpreter would happily "measure" a
+    // kernel the gate just proved unsafe to compile.  Fail it instead.
+    if (err.rfind(verify::kGateErrorPrefix, 0) == 0) {
+      m.fail_reason = std::move(err);
+      m.fail_kind = MeasureFailKind::VerifyRejected;
+      return m;
+    }
   }
 
   const Interpreter interp(s);
@@ -338,7 +347,16 @@ KernelMeasurement IsolatedJitBackend::measure(
   // loading it into this process; a compile failure degrades to the
   // in-process path, which reports it the way the jit backend always has.
   jit::KernelArtifact art = jit::resolve_artifact(s, spec().name, toolchain_);
-  if (!art.ok()) return fallback_.measure(s, options);
+  if (!art.ok()) {
+    // Same policy as the in-process backend: a verify-gate rejection must
+    // not degrade to a path that executes the unsafe kernel anyway.
+    if (art.error.rfind(verify::kGateErrorPrefix, 0) == 0) {
+      m.fail_reason = std::move(art.error);
+      m.fail_kind = MeasureFailKind::VerifyRejected;
+      return m;
+    }
+    return fallback_.measure(s, options);
+  }
 
   // Crash negative-cache: a kernel that already killed (or hung) a
   // worker is answered from the cache — no process is spawned for it

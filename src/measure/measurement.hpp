@@ -35,10 +35,11 @@ struct MeasureOptions {
 /// (measure/backend.hpp "jit-isolated") and map 1:1 onto
 /// FusionStatus::WorkerCrashed / WorkerTimeout at the engine layer.
 enum class MeasureFailKind : std::uint8_t {
-  None,           ///< measurement succeeded (ok == true)
-  Generic,        ///< infeasible / compile / numeric failure
-  WorkerCrashed,  ///< sandbox worker died (signal or nonzero exit)
-  WorkerTimeout,  ///< sandbox worker exceeded the per-request deadline
+  None,            ///< measurement succeeded (ok == true)
+  Generic,         ///< infeasible / compile / numeric failure
+  WorkerCrashed,   ///< sandbox worker died (signal or nonzero exit)
+  WorkerTimeout,   ///< sandbox worker exceeded the per-request deadline
+  VerifyRejected,  ///< static safety verifier refused to compile (src/verify/)
 };
 
 /// Result of one kernel "measurement", whatever the backend.

@@ -151,11 +151,15 @@ void Tuner::measure_batch(std::span<const CandidateConfig> cs,
       // Rank-upgrade: a worker crash/timeout anywhere in the run outranks
       // an (earlier-committed) generic failure — a gate-infeasible
       // candidate must not mask that the rest crashed sandbox workers.
+      // A verifier rejection sits between the two: it is a property of
+      // the schedule (like Generic) but names a proven safety bug, which
+      // must not be buried under an ordinary infeasibility reason.
       const auto rank = [](MeasureFailKind k) {
-        return k == MeasureFailKind::WorkerCrashed ||
-                       k == MeasureFailKind::WorkerTimeout
-                   ? 1
-                   : 0;
+        if (k == MeasureFailKind::WorkerCrashed ||
+            k == MeasureFailKind::WorkerTimeout) {
+          return 2;
+        }
+        return k == MeasureFailKind::VerifyRejected ? 1 : 0;
       };
       if (first_fail_reason_.empty() || rank(kind) > rank(first_fail_kind_)) {
         first_fail_reason_ =

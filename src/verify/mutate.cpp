@@ -1,0 +1,224 @@
+#include "verify/mutate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "dag/schedule_internal.hpp"
+#include "support/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace mcf {
+namespace verify {
+
+namespace {
+
+/// True when the emitted index variable of loop `l` ranges over the full
+/// extent at this statement: block loop / tree ancestor (active_mask) or
+/// a hoisted store's covered shadow.
+[[nodiscard]] bool ranges(const StmtContext& ctx, int l) {
+  if (ctx.active_mask & (1u << static_cast<unsigned>(l))) return true;
+  if (ctx.stmt->kind == StmtKind::Store) {
+    for (const int cl : ctx.stmt->covered_loops) {
+      if (cl == l) return true;
+    }
+  }
+  return false;
+}
+
+/// Tensors the statement addresses through the arena (codegen buf_expr).
+[[nodiscard]] std::vector<int> arena_tensors(const ChainSpec& chain,
+                                             const Statement& st) {
+  switch (st.kind) {
+    case StmtKind::Load:
+    case StmtKind::Store:
+      return {st.tensor};
+    case StmtKind::Compute:
+      return {chain.op_input_tensor(st.op), chain.op_weight_tensor(st.op),
+              chain.op_output_tensor(st.op)};
+  }
+  return {};
+}
+
+/// Max arena slot the verifier's corners reach for tensor `t` at `ctx`,
+/// given (possibly perturbed) per-loop extents: the mixed radix over
+/// resident_loops(t) with each ranging loop at extent-1 and pinned loops
+/// at 0.  The slot overrun guarantee needs every resident loop ranging.
+[[nodiscard]] bool slot_overrun_guaranteed(const Schedule& s,
+                                           const StmtContext& ctx, int t,
+                                           int bumped_loop) {
+  const auto& rl = s.resident_loops(t);
+  if (rl.empty()) return false;
+  bool has_bumped = false;
+  std::int64_t prod = 1;
+  for (const int l : rl) {
+    if (!ranges(ctx, l)) return false;
+    std::int64_t e = s.extents()[static_cast<std::size_t>(l)];
+    if (l == bumped_loop) {
+      e += 1;
+      has_bumped = true;
+    }
+    prod *= e;
+  }
+  if (bumped_loop >= 0 && !has_bumped) return false;
+  // Max slot = prod - 1; region holds resident_tiles()[t] slots.
+  return prod - 1 >= s.resident_tiles()[static_cast<std::size_t>(t)];
+}
+
+struct Candidate {
+  std::string name;
+  std::string detail;
+};
+
+}  // namespace
+
+std::vector<Mutant> mutation_corpus(const Schedule& s, std::uint64_t seed,
+                                    std::size_t max_mutants) {
+  std::vector<Mutant> out;
+  if (!s.valid() || !s.consume_complete()) return out;
+  const ChainSpec& chain = s.chain();
+  const std::vector<StmtContext> ctxs = statement_contexts(s);
+  const int L = chain.num_loops();
+
+  // --- class 1: off-by-one loop extent (extents[l] += 1) --------------------
+  // Unsafe iff some access provably reaches the extra iteration:
+  //   * an arena slot overrun (l resident for an accessed tensor, all
+  //     resident loops ranging at the site), or
+  //   * a load whose bumped row/col lands past the dimension — on the
+  //     exact path the unconditional tile memcpy reads out of the slice;
+  //     on the fringe path the self-dimension must be ragged so the
+  //     min-clamp goes NEGATIVE (fr/fc < 0 writes below the tile).  The
+  //     fr == 0 edge (self-dim divides exactly, other dim ragged) is
+  //     excluded: it only zero-fills the whole tile, which is safe.
+  //   * an exact-path store, whose full-tile write lands past the slice.
+  for (int l = 0; l < L; ++l) {
+    bool applicable = false;
+    std::string why;
+    for (const StmtContext& ctx : ctxs) {
+      for (const int t : arena_tensors(chain, *ctx.stmt)) {
+        if (slot_overrun_guaranteed(s, ctx, t, l)) {
+          applicable = true;
+          why = "arena slot of " + chain.tensor(t).name +
+                " overruns its residency region";
+        }
+      }
+      if (ctx.stmt->kind == StmtKind::Compute) continue;
+      const int t = ctx.stmt->tensor;
+      const auto& info = chain.tensor(t);
+      const int lr = info.loops[0];
+      const int lc = info.loops[1];
+      if (l != lr && l != lc) continue;
+      if (!ranges(ctx, l)) continue;
+      const std::int64_t td = s.tiles()[static_cast<std::size_t>(l)];
+      const std::int64_t dim = chain.loop_dim(l);
+      const std::int64_t e = s.extents()[static_cast<std::size_t>(l)];
+      const std::int64_t rows = chain.loop_dim(lr);
+      const std::int64_t cols = chain.loop_dim(lc);
+      const bool exact =
+          rows % s.tiles()[static_cast<std::size_t>(lr)] == 0 &&
+          cols % s.tiles()[static_cast<std::size_t>(lc)] == 0;
+      if (ctx.stmt->kind == StmtKind::Load) {
+        if (exact && e * td >= dim) {
+          applicable = true;
+          why = "load " + info.name + " tile copy runs past the slice";
+        } else if (!exact && dim % td != 0 && e * td > dim) {
+          applicable = true;
+          why = "load " + info.name +
+                " fringe clamp goes negative (writes below the tile)";
+        }
+      } else if (exact && e * td >= dim) {  // Store
+        applicable = true;
+        why = "store " + info.name + " full-tile write runs past the slice";
+      }
+    }
+    if (!applicable) continue;
+    Mutant m{"extent-bump(l=" + std::to_string(l) + ")",
+             "extents[" + std::to_string(l) + "] " +
+                 std::to_string(s.extents()[static_cast<std::size_t>(l)]) +
+                 " -> " +
+                 std::to_string(s.extents()[static_cast<std::size_t>(l)] + 1) +
+                 ": " + why,
+             s};
+    ScheduleBuilderAccess::extents(m.schedule)[static_cast<std::size_t>(l)] +=
+        1;
+    out.push_back(std::move(m));
+  }
+
+  // --- class 2: shifted scratch offsets (resident_tiles[t] -= 1) ------------
+  // Shrinks tensor t's arena region (and shifts every later region);
+  // the untouched resident-loop radix still addresses the old slot
+  // count, so the last slot provably lands in the next region.
+  for (int t = 0; t < chain.num_tensors(); ++t) {
+    if (s.resident_tiles()[static_cast<std::size_t>(t)] <= 1) continue;
+    bool applicable = false;
+    for (const StmtContext& ctx : ctxs) {
+      const auto at = arena_tensors(chain, *ctx.stmt);
+      if (std::find(at.begin(), at.end(), t) == at.end()) continue;
+      const auto& rl = s.resident_loops(t);
+      if (rl.empty()) continue;
+      std::int64_t prod = 1;
+      bool all = true;
+      for (const int l : rl) {
+        if (!ranges(ctx, l)) { all = false; break; }
+        prod *= s.extents()[static_cast<std::size_t>(l)];
+      }
+      // Max addressed slot = prod - 1 vs the shrunk region of
+      // resident - 1 slots.
+      if (all && prod - 1 >=
+                     s.resident_tiles()[static_cast<std::size_t>(t)] - 1) {
+        applicable = true;
+        break;
+      }
+    }
+    if (!applicable) continue;
+    Mutant m{"resident-shrink(t=" + std::to_string(t) + ")",
+             "resident_tiles[" + chain.tensor(t).name + "] " +
+                 std::to_string(s.resident_tiles()[static_cast<std::size_t>(t)]) +
+                 " -> " +
+                 std::to_string(
+                     s.resident_tiles()[static_cast<std::size_t>(t)] - 1) +
+                 ": last slot lands in the next arena region",
+             s};
+    ScheduleBuilderAccess::resident(m.schedule)[static_cast<std::size_t>(t)] -=
+        1;
+    out.push_back(std::move(m));
+  }
+
+  // --- class 3: truncated fringe handling -----------------------------------
+  // Force a load/store site onto the exact path (tiles = full dims) while
+  // the loop extents still overshoot: the removed fringe clamp is what
+  // kept r0/c0 in range, so the full-tile copy provably leaves the slice.
+  std::set<std::pair<int, int>> fringe_done;  // (lr, lc) dedup
+  for (const StmtContext& ctx : ctxs) {
+    if (ctx.stmt->kind == StmtKind::Compute) continue;
+    const int t = ctx.stmt->tensor;
+    const auto& info = chain.tensor(t);
+    const int lr = info.loops[0];
+    const int lc = info.loops[1];
+    const bool over_r =
+        ranges(ctx, lr) && s.extents()[static_cast<std::size_t>(lr)] >= 2;
+    const bool over_c =
+        ranges(ctx, lc) && s.extents()[static_cast<std::size_t>(lc)] >= 2;
+    if (!over_r && !over_c) continue;
+    if (!fringe_done.insert({lr, lc}).second) continue;
+    Mutant m{"fringe-truncate(" + std::string(stmt_kind_name(ctx.stmt->kind)) +
+                 " " + info.name + ")",
+             "tiles[" + std::to_string(lr) + "]=" +
+                 std::to_string(chain.loop_dim(lr)) + ", tiles[" +
+                 std::to_string(lc) + "]=" + std::to_string(chain.loop_dim(lc)) +
+                 " force the exact path while the extents still iterate: the "
+                 "full-tile copy leaves the slice",
+             s};
+    ScheduleBuilderAccess::tiles(m.schedule)[static_cast<std::size_t>(lr)] =
+        chain.loop_dim(lr);
+    ScheduleBuilderAccess::tiles(m.schedule)[static_cast<std::size_t>(lc)] =
+        chain.loop_dim(lc);
+    out.push_back(std::move(m));
+  }
+
+  std::shuffle(out.begin(), out.end(), make_rng(seed));
+  if (out.size() > max_mutants) out.resize(max_mutants);
+  return out;
+}
+
+}  // namespace verify
+}  // namespace mcf

@@ -1,0 +1,43 @@
+// Seeded schedule-mutation corpus for the verifier's regression net.
+//
+// Each mutant is a copy of a known-safe schedule with one schedule-level
+// bug injected — an off-by-one loop extent, a shrunk scratch residency
+// (which shifts every later arena offset), or truncated fringe handling
+// (tile sizes forced onto the exact path while the extents still
+// overshoot).  Every mutation ships with a constructive unsafety
+// argument: it is only emitted when the schedule's structure guarantees
+// the injected bug reaches an out-of-bounds access, so the verifier
+// tests can demand a 100% catch rate without ever consulting the
+// verifier to pick the corpus (that would be circular).
+//
+// The same corpus feeds the ASan differential harness
+// (tests/verify/test_differential.cpp): verifier-flagged mutants are the
+// "unsafe" leg, the unmutated schedule the "safe" leg.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/schedule.hpp"
+
+namespace mcf {
+namespace verify {
+
+struct Mutant {
+  std::string name;    ///< e.g. "extent-bump(l=2)", "resident-shrink(t=1)"
+  std::string detail;  ///< what was perturbed and why it must be unsafe
+  Schedule schedule;   ///< references the SAME ChainSpec as the original
+};
+
+/// Deterministic (seeded) corpus of provably-unsafe mutants of `s`.
+/// The base schedule must be lowerable (valid + consume-complete); the
+/// chain it references must outlive the returned schedules.  Returns at
+/// most `max_mutants`, shuffled by `seed`; an empty vector when the
+/// schedule's structure admits no guaranteed-unsafe mutation.
+[[nodiscard]] std::vector<Mutant> mutation_corpus(const Schedule& s,
+                                                  std::uint64_t seed,
+                                                  std::size_t max_mutants);
+
+}  // namespace verify
+}  // namespace mcf

@@ -1,0 +1,711 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "exec/codegen.hpp"
+#include "support/env.hpp"
+
+namespace mcf {
+namespace verify {
+
+namespace {
+
+// ---- checked 128-bit arithmetic --------------------------------------------
+//
+// Every emitted offset is evaluated in __int128 with saturation, so a
+// value that would wrap the kernel's i64 is detected instead of
+// wrapping the analysis too.  Saturation (rather than wrapping) keeps
+// the ordering usable for worst-corner selection after an overflow.
+
+constexpr __int128 kSat = static_cast<__int128>(1) << 120;
+
+struct CInt {
+  __int128 v = 0;
+  bool ovf = false;
+};
+
+[[nodiscard]] CInt ci(std::int64_t x) { return {static_cast<__int128>(x), false}; }
+
+[[nodiscard]] CInt sat(__int128 v, bool ovf) {
+  if (v > kSat) return {kSat, true};
+  if (v < -kSat) return {-kSat, true};
+  return {v, ovf};
+}
+
+[[nodiscard]] CInt add(CInt a, CInt b) {
+  __int128 r = 0;
+  const bool o = __builtin_add_overflow(a.v, b.v, &r);
+  if (o) r = (a.v > 0) ? kSat : -kSat;
+  return sat(r, a.ovf || b.ovf || o);
+}
+
+[[nodiscard]] CInt sub(CInt a, CInt b) {
+  __int128 r = 0;
+  const bool o = __builtin_sub_overflow(a.v, b.v, &r);
+  if (o) r = (a.v > 0) ? kSat : -kSat;
+  return sat(r, a.ovf || b.ovf || o);
+}
+
+[[nodiscard]] CInt mul(CInt a, CInt b) {
+  __int128 r = 0;
+  const bool o = __builtin_mul_overflow(a.v, b.v, &r);
+  if (o) r = ((a.v < 0) != (b.v < 0)) ? -kSat : kSat;
+  return sat(r, a.ovf || b.ovf || o);
+}
+
+[[nodiscard]] CInt cmin(CInt a, CInt b) {
+  return {a.v < b.v ? a.v : b.v, a.ovf || b.ovf};
+}
+
+[[nodiscard]] bool fits_i64(CInt a) {
+  return !a.ovf && a.v >= static_cast<__int128>(INT64_MIN) &&
+         a.v <= static_cast<__int128>(INT64_MAX);
+}
+
+[[nodiscard]] std::int64_t clamp64(CInt a) {
+  if (a.v > static_cast<__int128>(INT64_MAX)) return INT64_MAX;
+  if (a.v < static_cast<__int128>(INT64_MIN)) return INT64_MIN;
+  return static_cast<std::int64_t>(a.v);
+}
+
+// ---- JSON ------------------------------------------------------------------
+//
+// Local escaper: engine.cpp's json_escape sits behind the full engine
+// header; the verifier stays dependency-light (dag + codegen only).
+
+[[nodiscard]] std::string jesc(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---- the analyzer ----------------------------------------------------------
+
+class Verifier {
+ public:
+  explicit Verifier(const Schedule& s) : s_(s), chain_(s.chain()) {}
+
+  [[nodiscard]] VerifyReport run() {
+    if (!s_.valid() || !s_.consume_complete()) {
+      rep_.checked = false;
+      rep_.skip_reason =
+          "schedule is not lowerable (invalid or Rule-2 incomplete)";
+      return rep_;
+    }
+    rep_.checked = true;
+    if (!setup()) {
+      finalize();
+      return rep_;
+    }
+    stats_reset_sites();
+    active_.assign(static_cast<std::size_t>(chain_.num_loops()), 0);
+    for (const int l : s_.block_loops()) active_[static_cast<std::size_t>(l)] = 1;
+    walk(s_.root());
+    finalize();
+    return rep_;
+  }
+
+ private:
+  /// Per-corner loop index values (num_loops <= 8 by InlineVec sizing).
+  using Corner = std::array<std::int64_t, 8>;
+
+  [[nodiscard]] std::int64_t ext(int l) const {
+    return s_.extents()[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] std::int64_t tile(int l) const {
+    return s_.tiles()[static_cast<std::size_t>(l)];
+  }
+
+  /// Mirrors CppEmitter's constructor: arena spans prefix-summed per
+  /// tensor, softmax stats appended after the arena.  Returns false when
+  /// a setup-level quantity already overflows (analysis of individual
+  /// sites would be garbage; the overflow violations say why).
+  bool setup() {
+    const int nt = chain_.num_tensors();
+    buf_offset_.assign(static_cast<std::size_t>(nt) + 1, 0);
+    CInt off = ci(0);
+    bool ok = true;
+    for (int t = 0; t < nt; ++t) {
+      const CInt elems =
+          mul(ci(s_.tile_elems(t)),
+              ci(s_.resident_tiles()[static_cast<std::size_t>(t)]));
+      off = add(off, elems);
+      if (!fits_i64(off)) {
+        overflow_setup("scratch arena size (tensor " + chain_.tensor(t).name +
+                       ")", off);
+        ok = false;
+      }
+      buf_offset_[static_cast<std::size_t>(t) + 1] = clamp64(off);
+    }
+    stat_offset_.assign(static_cast<std::size_t>(chain_.num_ops()), -1);
+    CInt stats = ci(0);
+    for (int op = 0; op < chain_.num_ops(); ++op) {
+      if (chain_.epilogue(op) != Epilogue::OnlineSoftmax) continue;
+      stat_offset_[static_cast<std::size_t>(op)] = clamp64(stats);
+      stats = add(stats, mul(ci(2), ci(s_.tiles()[0])));
+    }
+    const CInt total = add(off, stats);
+    if (!fits_i64(total)) {
+      overflow_setup("scratch floats", total);
+      ok = false;
+    }
+    scratch_floats_ = clamp64(total);
+    rep_.scratch_floats = scratch_floats_;
+
+    CInt nb = ci(chain_.batch());
+    for (const int l : s_.block_loops()) nb = mul(nb, ci(ext(l)));
+    if (!fits_i64(nb)) {
+      overflow_setup("block count", nb);
+      ok = false;
+    }
+    rep_.n_blocks = clamp64(nb);
+
+    // Global allocation sizes: batch*rows*cols appears as a literal in
+    // the emitted pointer arithmetic (and in the fault-seam call), so
+    // it must itself fit — for every externally-visible tensor.
+    for (int t = 0; t < nt; ++t) {
+      const auto& info = chain_.tensor(t);
+      if (info.kind == TensorKind::Intermediate) continue;
+      const CInt slice = mul(ci(chain_.loop_dim(info.loops[0])),
+                             ci(chain_.loop_dim(info.loops[1])));
+      const CInt totalg = mul(ci(chain_.batch()), slice);
+      if (!fits_i64(totalg)) {
+        overflow_setup("tensor " + info.name + " extent (batch*rows*cols)",
+                       totalg);
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  void overflow_setup(const std::string& what, CInt v) {
+    Violation viol;
+    viol.kind = ViolationKind::IndexOverflow;
+    viol.site = "setup";
+    viol.buffer = what;
+    viol.access = "size";
+    viol.offset = clamp64(v);
+    viol.lo = 0;
+    viol.hi = INT64_MAX;
+    viol.message = "setup: " + what + " overflows i64";
+    keep("setup|" + what, viol, kSat);
+  }
+
+  /// The per-block stats reset writes each softmax op's full stat span;
+  /// checked like any site so the model stays total.
+  void stats_reset_sites() {
+    const std::int64_t tm = s_.tiles()[0];
+    for (int op = 0; op < chain_.num_ops(); ++op) {
+      const std::int64_t soff = stat_offset_[static_cast<std::size_t>(op)];
+      if (soff < 0) continue;
+      Corner zero{};
+      cur_site_ = "stats reset op " + std::to_string(op);
+      const CInt base = add(ci(buf_offset_.back()), ci(soff));
+      rec_scratch(stat_name(op), "write", base,
+                  add(base, ci(2 * tm - 1)), clamp64(base),
+                  clamp64(add(base, ci(2 * tm))), zero);
+    }
+  }
+
+  void walk(int idx) {
+    const auto& n = s_.node(idx);
+    if (n.is_stmt) {
+      check_stmt(n.stmt);
+      return;
+    }
+    char prev = 0;
+    if (n.loop >= 0) {
+      prev = active_[static_cast<std::size_t>(n.loop)];
+      active_[static_cast<std::size_t>(n.loop)] = 1;
+    }
+    for (const int c : n.children) walk(c);
+    if (n.loop >= 0) active_[static_cast<std::size_t>(n.loop)] = prev;
+  }
+
+  /// Enumerates the corners of the statement's iteration box and runs
+  /// the kind-specific evaluator at each.  Range of loop `l` at this
+  /// statement: full extent when covered (hoisted-store shadow q<l>) or
+  /// active (block loop / tree ancestor), else the variable is pinned 0.
+  void check_stmt(const Statement& st) {
+    const int L = chain_.num_loops();
+    covered_.assign(static_cast<std::size_t>(L), 0);
+    if (st.kind == StmtKind::Store) {
+      for (const int l : st.covered_loops)
+        covered_[static_cast<std::size_t>(l)] = 1;
+    }
+    switch (st.kind) {
+      case StmtKind::Load:
+        cur_site_ = "load " + chain_.tensor(st.tensor).name;
+        break;
+      case StmtKind::Compute:
+        cur_site_ = "compute op " + std::to_string(st.op);
+        break;
+      case StmtKind::Store:
+        cur_site_ = "store " + chain_.tensor(st.tensor).name;
+        break;
+    }
+    std::vector<int> free;
+    for (int l = 0; l < L; ++l) {
+      if (range_of(l) > 1) free.push_back(l);
+    }
+    const std::size_t corners = static_cast<std::size_t>(1) << free.size();
+    for (std::size_t mask = 0; mask < corners; ++mask) {
+      Corner c{};
+      for (std::size_t i = 0; i < free.size(); ++i) {
+        if (mask & (static_cast<std::size_t>(1) << i)) {
+          c[static_cast<std::size_t>(free[i])] = range_of(free[i]) - 1;
+        }
+      }
+      switch (st.kind) {
+        case StmtKind::Load: eval_load(st, c); break;
+        case StmtKind::Compute: eval_compute(st, c); break;
+        case StmtKind::Store: eval_store(st, c); break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t range_of(int l) const {
+    if (covered_[static_cast<std::size_t>(l)] ||
+        active_[static_cast<std::size_t>(l)]) {
+      return ext(l);
+    }
+    return 1;
+  }
+
+  /// Arena offset of tensor `t`'s current slot (codegen buf_expr): the
+  /// static base plus the resident-loop mixed radix at this corner.
+  [[nodiscard]] CInt buf_base(int t, const Corner& c) const {
+    CInt slot = ci(0);
+    for (const int l : s_.resident_loops(t)) {
+      slot = add(mul(slot, ci(ext(l))), ci(c[static_cast<std::size_t>(l)]));
+    }
+    return add(ci(buf_offset_[static_cast<std::size_t>(t)]),
+               mul(slot, ci(s_.tile_elems(t))));
+  }
+
+  [[nodiscard]] std::int64_t region_lo(int t) const {
+    return buf_offset_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::int64_t region_hi(int t) const {
+    return buf_offset_[static_cast<std::size_t>(t) + 1];
+  }
+  [[nodiscard]] std::string arena_name(int t) const {
+    return "arena:" + chain_.tensor(t).name;
+  }
+  [[nodiscard]] static std::string stat_name(int op) {
+    return "stats:op" + std::to_string(op);
+  }
+  [[nodiscard]] std::string global_name(int t) const {
+    const auto& info = chain_.tensor(t);
+    if (info.kind == TensorKind::Input) return "ga";
+    if (info.kind == TensorKind::Weight) {
+      return "gw[" + std::to_string(info.consumer_op) + "]";
+    }
+    return "gout";
+  }
+
+  // Mirrors codegen emit_load: dst tile copy into the arena, src slice
+  // read from global.  On the fringe path fr/fc are min-clamps that can
+  // reach (or pass) zero: a negative fc starts the row write at dp[fc],
+  // a negative fr starts the zero-fill at dst[fr*tc] — the model keeps
+  // those spans, which is exactly how extent mutants are caught.
+  void eval_load(const Statement& st, const Corner& c) {
+    const int t = st.tensor;
+    const auto& info = chain_.tensor(t);
+    const int lr = info.loops[0];
+    const int lc = info.loops[1];
+    const std::int64_t tr = tile(lr);
+    const std::int64_t tc = tile(lc);
+    const std::int64_t rows = chain_.loop_dim(lr);
+    const std::int64_t cols = chain_.loop_dim(lc);
+    const CInt base = buf_base(t, c);
+    const CInt r0 = mul(ci(c[static_cast<std::size_t>(lr)]), ci(tr));
+    const CInt c0 = mul(ci(c[static_cast<std::size_t>(lc)]), ci(tc));
+    const bool exact = rows % tr == 0 && cols % tc == 0;
+    if (exact) {
+      rec_scratch(arena_name(t), "write", base,
+                  add(base, ci(tr * tc - 1)), region_lo(t), region_hi(t), c);
+      const CInt slo = add(mul(r0, ci(cols)), c0);
+      const CInt shi =
+          add(add(mul(add(r0, ci(tr - 1)), ci(cols)), c0), ci(tc - 1));
+      rec_global(global_name(t), "read", slo, shi, rows, cols, c);
+      return;
+    }
+    const CInt fr = cmin(sub(ci(rows), r0), ci(tr));
+    const CInt fc = cmin(sub(ci(cols), c0), ci(tc));
+    if (fr.v > 0) {
+      // Interior rows r in [0, fr): dp[c] for c in [0,fc) then the
+      // zero-fill [fc, tc) — the union always ends at tc-1 and starts
+      // at min(fc, 0).
+      const CInt lo = add(base, cmin(fc, ci(0)));
+      const CInt hi = add(base, add(mul(sub(fr, ci(1)), ci(tc)), ci(tc - 1)));
+      rec_scratch(arena_name(t), "write", lo, hi, region_lo(t), region_hi(t),
+                  c);
+      if (fc.v > 0) {
+        const CInt slo = add(mul(r0, ci(cols)), c0);
+        const CInt shi = add(add(mul(add(r0, sub(fr, ci(1))), ci(cols)), c0),
+                             sub(fc, ci(1)));
+        rec_global(global_name(t), "read", slo, shi, rows, cols, c);
+      }
+    }
+    if (fr.v < tr) {
+      // Zero-fill rows r in [fr, tr): full-width writes, starting at
+      // fr*tc — negative when fr < 0.
+      const CInt lo = add(base, mul(fr, ci(tc)));
+      const CInt hi = add(base, ci(tr * tc - 1));
+      rec_scratch(arena_name(t), "write", lo, hi, region_lo(t), region_hi(t),
+                  c);
+    }
+  }
+
+  // Mirrors codegen emit_compute: the register-blocked micro-kernel
+  // sweeps the full o/x/w tiles; the epilogue runs iff the emitted
+  // `i<red> == red_ext-1` test is reachable at this statement.
+  void eval_compute(const Statement& st, const Corner& c) {
+    const int op = st.op;
+    const int t_in = chain_.op_input_tensor(op);
+    const int t_w = chain_.op_weight_tensor(op);
+    const int t_out = chain_.op_output_tensor(op);
+    const int red = chain_.reduction_loop(op);
+    const int col = chain_.out_col_loop(op);
+    const std::int64_t tm = s_.tiles()[0];
+    const std::int64_t trd = tile(red);
+    const std::int64_t tcl = tile(col);
+    const CInt o = buf_base(t_out, c);
+    const CInt x = buf_base(t_in, c);
+    const CInt w = buf_base(t_w, c);
+    rec_scratch(arena_name(t_out), "write", o,
+                add(o, sub(mul(ci(tm), ci(tcl)), ci(1))), region_lo(t_out),
+                region_hi(t_out), c);
+    rec_scratch(arena_name(t_in), "read", x,
+                add(x, sub(mul(ci(tm), ci(trd)), ci(1))), region_lo(t_in),
+                region_hi(t_in), c);
+    rec_scratch(arena_name(t_w), "read", w,
+                add(w, sub(mul(ci(trd), ci(tcl)), ci(1))), region_lo(t_w),
+                region_hi(t_w), c);
+    if (chain_.epilogue(op) != Epilogue::OnlineSoftmax) return;
+    const bool reachable =
+        active_[static_cast<std::size_t>(red)] || ext(red) == 1;
+    if (!reachable) return;
+    // Online-softmax epilogue: running max/sum rows plus the consumer-
+    // accumulator rescale.  `cons` is addressed from the tensor's region
+    // base with NO slot term (codegen emit_epilogue) — the rescale walks
+    // every resident row of the consumer tile block.
+    const std::string save = cur_site_;
+    cur_site_ = "softmax epilogue op " + std::to_string(op);
+    const std::int64_t soff = stat_offset_[static_cast<std::size_t>(op)];
+    const CInt sbase = add(ci(buf_offset_.back()), ci(soff));
+    rec_scratch(stat_name(op), "write", sbase, add(sbase, ci(tm - 1)),
+                clamp64(sbase), clamp64(add(sbase, ci(2 * tm))), c);
+    rec_scratch(stat_name(op), "write", add(sbase, ci(tm)),
+                add(sbase, ci(2 * tm - 1)), clamp64(sbase),
+                clamp64(add(sbase, ci(2 * tm))), c);
+    const int t_cons = chain_.op_output_tensor(op + 1);
+    const std::int64_t cons_floats = region_hi(t_cons) - region_lo(t_cons);
+    const std::int64_t cons_cols =
+        tile(chain_.out_col_loop(op + 1));
+    const std::int64_t cons_rows_total = cons_floats / cons_cols;
+    if (cons_rows_total > 0) {
+      const CInt cons = ci(region_lo(t_cons));
+      rec_scratch(arena_name(t_cons), "write", cons,
+                  add(cons, ci(cons_rows_total * cons_cols - 1)),
+                  region_lo(t_cons), region_hi(t_cons), c);
+    }
+    cur_site_ = save;
+  }
+
+  // Mirrors codegen emit_store: hoisted stores sweep the covered shadow
+  // loops (already folded into the corner ranges); the fringe clamps
+  // gate both the row loop and the column span, and the deferred
+  // softmax normalisation reads the producer's rsum rows.
+  void eval_store(const Statement& st, const Corner& c) {
+    const int t = st.tensor;
+    const auto& info = chain_.tensor(t);
+    const int lr = info.loops[0];
+    const int lc = info.loops[1];
+    const std::int64_t tr = tile(lr);
+    const std::int64_t tc = tile(lc);
+    const std::int64_t rows = chain_.loop_dim(lr);
+    const std::int64_t cols = chain_.loop_dim(lc);
+    const CInt base = buf_base(t, c);
+    const CInt r0 = mul(ci(c[static_cast<std::size_t>(lr)]), ci(tr));
+    const CInt c0 = mul(ci(c[static_cast<std::size_t>(lc)]), ci(tc));
+    const bool exact = rows % tr == 0 && cols % tc == 0;
+    const CInt fr = exact ? ci(tr) : cmin(sub(ci(rows), r0), ci(tr));
+    const CInt fc = exact ? ci(tc) : cmin(sub(ci(cols), c0), ci(tc));
+    const int producer = info.producer_op;
+    const bool normalize =
+        producer > 0 &&
+        chain_.epilogue(producer - 1) == Epilogue::OnlineSoftmax;
+    if (fr.v <= 0) return;  // the emitted row loop does not run
+    if (normalize) {
+      const std::int64_t soff =
+          stat_offset_[static_cast<std::size_t>(producer - 1)];
+      const CInt rsum = add(ci(buf_offset_.back()), ci(soff + s_.tiles()[0]));
+      rec_scratch(stat_name(producer - 1), "read", rsum,
+                  add(rsum, sub(fr, ci(1))), clamp64(rsum),
+                  clamp64(add(rsum, ci(s_.tiles()[0]))), c);
+    }
+    // Column span: the exact non-normalize path memcpys the full tile;
+    // every other path iterates c in [0, fc) and vanishes when fc <= 0.
+    const CInt cc = (exact && !normalize) ? ci(tc) : fc;
+    if (cc.v <= 0) return;
+    const CInt slo = base;
+    const CInt shi = add(base, add(mul(sub(fr, ci(1)), ci(tc)), sub(cc, ci(1))));
+    rec_scratch(arena_name(t), "read", slo, shi, region_lo(t), region_hi(t),
+                c);
+    const CInt glo = add(mul(r0, ci(cols)), c0);
+    const CInt ghi =
+        add(add(mul(add(r0, sub(fr, ci(1))), ci(cols)), c0), sub(cc, ci(1)));
+    rec_global(global_name(t), "write", glo, ghi, rows, cols, c);
+  }
+
+  // ---- recording ----------------------------------------------------------
+
+  void note_site(const std::string& buffer, const char* access) {
+    sites_.insert(cur_site_ + "|" + buffer + "|" + access);
+  }
+
+  /// Scratch access spanning [lo, hi] (inclusive) against its own region
+  /// [rlo, rhi).  Inside scratch but outside the region is aliasing;
+  /// outside the allocation (or negative) is an overflow.
+  void rec_scratch(const std::string& buffer, const char* access, CInt lo,
+                   CInt hi, std::int64_t rlo, std::int64_t rhi,
+                   const Corner& c) {
+    note_site(buffer, access);
+    if (!fits_i64(lo) || !fits_i64(hi)) {
+      flag(ViolationKind::IndexOverflow, buffer, access,
+           fits_i64(lo) ? hi : lo, rlo, rhi, c, 0);
+      return;
+    }
+    if (lo.v < rlo) flag_scratch(buffer, access, lo, rlo, rhi, c);
+    if (hi.v >= rhi) flag_scratch(buffer, access, hi, rlo, rhi, c);
+  }
+
+  void flag_scratch(const std::string& buffer, const char* access, CInt off,
+                    std::int64_t rlo, std::int64_t rhi, const Corner& c) {
+    const bool inside_scratch = off.v >= 0 && off.v < scratch_floats_;
+    flag(inside_scratch ? ViolationKind::RegionAlias
+                        : ViolationKind::ScratchOverflow,
+         buffer, access, off, rlo, rhi, c, 0);
+  }
+
+  /// Global access spanning slice offsets [lo, hi] (inclusive) against
+  /// the per-batch slice [0, rows*cols); the allocation is
+  /// batch * rows * cols, so the witness picks the worst batch index.
+  void rec_global(const std::string& buffer, const char* access, CInt lo,
+                  CInt hi, std::int64_t rows, std::int64_t cols,
+                  const Corner& c) {
+    note_site(buffer, access);
+    const CInt slice = mul(ci(rows), ci(cols));
+    const CInt total = mul(ci(chain_.batch()), slice);
+    if (!fits_i64(lo) || !fits_i64(hi) || !fits_i64(total)) {
+      flag(ViolationKind::IndexOverflow, buffer, access,
+           fits_i64(lo) ? hi : lo, 0, clamp64(total), c, 0);
+      return;
+    }
+    if (lo.v < 0) {
+      flag(ViolationKind::GlobalOutOfBounds, buffer, access, lo, 0,
+           clamp64(total), c, 0);
+    }
+    if (hi.v >= slice.v) {
+      // Worst block is in the last batch slice: absolute offset
+      // (batch-1)*slice + hi against the allocation bound.
+      const CInt abs = add(mul(ci(chain_.batch() - 1), slice), hi);
+      flag(ViolationKind::GlobalOutOfBounds, buffer, access, abs, 0,
+           clamp64(total), c, chain_.batch() - 1);
+    }
+  }
+
+  void flag(ViolationKind kind, const std::string& buffer, const char* access,
+            CInt off, std::int64_t lo, std::int64_t hi, const Corner& c,
+            std::int64_t batch_idx) {
+    Violation v;
+    v.kind = kind;
+    v.site = cur_site_;
+    v.buffer = buffer;
+    v.access = access;
+    v.block = witness_block(c, batch_idx);
+    const int L = chain_.num_loops();
+    v.indices.assign(c.begin(), c.begin() + L);
+    v.offset = clamp64(off);
+    v.lo = lo;
+    v.hi = hi;
+    std::ostringstream msg;
+    msg << cur_site_ << ": " << access << " of " << buffer << " at offset "
+        << v.offset << " outside [" << lo << ", " << hi << ") ("
+        << violation_kind_name(kind) << "; block " << v.block << ",";
+    for (int l = 0; l < L; ++l) {
+      msg << " i" << l << "=" << v.indices[static_cast<std::size_t>(l)];
+    }
+    msg << ")";
+    v.message = msg.str();
+    // Excess = distance outside the range: the worst corner wins the
+    // witness slot for this (site, buffer, kind, access).
+    const __int128 excess =
+        off.v >= hi ? off.v - hi : (off.v < lo ? static_cast<__int128>(lo) - off.v
+                                               : 0);
+    keep(cur_site_ + "|" + buffer + "|" + access + "|" +
+             violation_kind_name(kind),
+         v, excess);
+  }
+
+  void keep(const std::string& key, Violation v, __int128 excess) {
+    for (auto& kv : worst_) {
+      if (kv.key == key) {
+        if (excess > kv.excess) {
+          kv.excess = excess;
+          kv.v = std::move(v);
+        }
+        return;
+      }
+    }
+    worst_.push_back({key, excess, std::move(v)});
+  }
+
+  /// Forward mixed-radix block encode (inverse of the emitted decode):
+  /// batch outermost, then the block loops in declaration order.
+  [[nodiscard]] std::int64_t witness_block(const Corner& c,
+                                           std::int64_t batch_idx) const {
+    CInt blk = ci(batch_idx);
+    for (const int l : s_.block_loops()) {
+      blk = add(mul(blk, ci(ext(l))), ci(c[static_cast<std::size_t>(l)]));
+    }
+    return clamp64(blk);
+  }
+
+  void finalize() {
+    rep_.sites_checked = static_cast<int>(sites_.size());
+    for (auto& kv : worst_) rep_.violations.push_back(std::move(kv.v));
+  }
+
+  struct Kept {
+    std::string key;
+    __int128 excess;
+    Violation v;
+  };
+
+  const Schedule& s_;
+  const ChainSpec& chain_;
+  VerifyReport rep_;
+  std::vector<std::int64_t> buf_offset_;
+  std::vector<std::int64_t> stat_offset_;
+  std::int64_t scratch_floats_ = 0;
+  std::vector<char> active_;
+  std::vector<char> covered_;
+  std::string cur_site_;
+  std::set<std::string> sites_;
+  std::vector<Kept> worst_;
+};
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::ScratchOverflow: return "scratch-overflow";
+    case ViolationKind::RegionAlias: return "region-alias";
+    case ViolationKind::GlobalOutOfBounds: return "global-out-of-bounds";
+    case ViolationKind::IndexOverflow: return "index-overflow";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_json() const {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << violation_kind_name(kind) << "\",\"site\":\""
+     << jesc(site) << "\",\"buffer\":\"" << jesc(buffer) << "\",\"access\":\""
+     << jesc(access) << "\",\"block\":" << block << ",\"indices\":[";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i) os << ",";
+    os << indices[i];
+  }
+  os << "],\"offset\":" << offset << ",\"lo\":" << lo << ",\"hi\":" << hi
+     << ",\"message\":\"" << jesc(message) << "\"}";
+  return os.str();
+}
+
+std::string VerifyReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"checked\":" << (checked ? "true" : "false");
+  if (!skip_reason.empty()) {
+    os << ",\"skip_reason\":\"" << jesc(skip_reason) << "\"";
+  }
+  os << ",\"safe\":" << (safe() ? "true" : "false")
+     << ",\"n_blocks\":" << n_blocks << ",\"scratch_floats\":" << scratch_floats
+     << ",\"sites_checked\":" << sites_checked << ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) os << ",";
+    os << violations[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+VerifyReport verify_schedule(const Schedule& s) { return Verifier(s).run(); }
+
+bool verify_enabled() {
+#ifdef NDEBUG
+  constexpr bool kDefault = false;
+#else
+  constexpr bool kDefault = true;
+#endif
+  return env::bool_flag("MCFUSER_VERIFY", kDefault);
+}
+
+std::string verify_gate_error(const Schedule& s) {
+  const VerifyReport rep = verify_schedule(s);
+  if (!rep.checked || rep.safe()) return {};
+  return std::string(kGateErrorPrefix) + rep.violations.front().message;
+}
+
+std::vector<StmtContext> statement_contexts(const Schedule& s) {
+  std::vector<StmtContext> out;
+  std::uint32_t mask = 0;
+  for (const int l : s.block_loops()) mask |= 1u << static_cast<unsigned>(l);
+  // Iterative preorder walk matching statements_in_order(): the active
+  // mask at a statement is block loops plus tree ancestors.
+  struct Frame {
+    int node;
+    std::uint32_t mask;
+  };
+  std::vector<Frame> stack{{s.root(), mask}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const auto& n = s.node(f.node);
+    if (n.is_stmt) {
+      out.push_back({&n.stmt, f.mask});
+      continue;
+    }
+    std::uint32_t m = f.mask;
+    if (n.loop >= 0) m |= 1u << static_cast<unsigned>(n.loop);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, m});
+    }
+  }
+  return out;
+}
+
+}  // namespace verify
+}  // namespace mcf

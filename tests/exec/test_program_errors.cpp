@@ -1,0 +1,107 @@
+// Pins every CompiledKernel constructor rejection message.  These
+// strings are load-bearing API: the jit negative-cache stores them, the
+// engine surfaces them as FusionResult::reason, and the verifier's
+// skip_reason wording leans on the same taxonomy — a rewording here must
+// be a conscious, test-visible decision.
+#include "exec/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dag/schedule_internal.hpp"
+#include "gpu/spec.hpp"
+#include "ir/expr.hpp"
+
+namespace mcf {
+namespace {
+
+const ChainSpec& small_chain() {
+  static const ChainSpec c =
+      ChainSpec::gemm_chain("prog-err", 1, 128, 128, 64, 64);
+  return c;
+}
+const ChainSpec& big_chain() {
+  static const ChainSpec c =
+      ChainSpec::gemm_chain("prog-err-big", 1, 512, 512, 512, 512);
+  return c;
+}
+
+Schedule small_schedule() {
+  const ChainSpec& c = small_chain();
+  return build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                        std::vector<std::int64_t>{32, 32, 32, 32});
+}
+
+struct RejectionCase {
+  const char* name;
+  std::function<Schedule()> make;
+  std::string expected_error;  ///< exact for fixed strings, prefix for smem
+  bool exact;
+};
+
+TEST(CompiledKernelErrors, LoweringRejectionsArePinned) {
+  const std::vector<RejectionCase> cases = {
+      {"invalid placement",
+       [] {
+         Schedule s = small_schedule();
+         ScheduleBuilderAccess::set_valid(s, false);
+         return s;
+       },
+       "schedule has no legal statement placement", true},
+      {"Rule-2 partial tiles",
+       [] {
+         Schedule s = small_schedule();
+         ScheduleBuilderAccess::set_consume_complete(s, false);
+         return s;
+       },
+       "schedule consumes partial tiles (Rule-2 structure)", true},
+      {"smem overflow",
+       [] {
+         // 512-wide tiles of a 512^3 chain: the resident tiles alone
+         // exceed any real per-block shared memory budget.
+         const ChainSpec& c = big_chain();
+         return build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                               std::vector<std::int64_t>{512, 512, 256, 256});
+       },
+       "shared memory exceeds per-block limit (", false},
+  };
+  for (const RejectionCase& rc : cases) {
+    const CompiledKernel kernel(rc.make(), a100());
+    EXPECT_FALSE(kernel.ok()) << rc.name;
+    if (rc.exact) {
+      EXPECT_EQ(kernel.error(), rc.expected_error) << rc.name;
+    } else {
+      EXPECT_EQ(kernel.error().rfind(rc.expected_error, 0), 0u)
+          << rc.name << ": " << kernel.error();
+    }
+  }
+}
+
+// The smem message carries both sides of the comparison (actual > limit)
+// so an overflowing schedule is diagnosable without re-running plan_smem.
+TEST(CompiledKernelErrors, SmemMessageNamesBothBounds) {
+  const ChainSpec& c = big_chain();
+  const CompiledKernel kernel(
+      build_schedule(c, make_deep_expr(c, {0, 3, 2, 1}),
+                     std::vector<std::int64_t>{512, 512, 256, 256}),
+      a100());
+  ASSERT_FALSE(kernel.ok());
+  const std::string& e = kernel.error();
+  EXPECT_NE(e.find(" > " + std::to_string(a100().smem_per_block) + " bytes)"),
+            std::string::npos)
+      << e;
+}
+
+// A good schedule still passes — the table above pins rejections, not a
+// blanket refusal.
+TEST(CompiledKernelErrors, ValidScheduleStillAccepted) {
+  const CompiledKernel kernel(small_schedule(), a100());
+  EXPECT_TRUE(kernel.ok()) << kernel.error();
+  EXPECT_EQ(kernel.error(), "");
+}
+
+}  // namespace
+}  // namespace mcf

@@ -13,6 +13,13 @@
 //                   queue, queue-wait deadline), report
 //   mcfuser compare <same shape flags>     run every baseline on the chain
 //   mcfuser suite   gemm | attention       paper Table II / III sweep
+//   mcfuser verify  [--family gemm|attention|bert|mixer|all]
+//                   [--max-candidates N] [--mutants N] [--seed N]
+//                   [--gpu NAME] [--json]
+//                   static bounds-safety sweep (src/verify/): prove every
+//                   tuner candidate of the workload matrix in-bounds, and
+//                   check the seeded mutation corpus is 100% flagged;
+//                   exit 0 only when both hold
 //   mcfuser info    [--gpu NAME]           GPU model parameters
 //   mcfuser serve   --socket PATH and/or --port N   MCFN socket service
 //                   over the engine; SIGTERM/SIGINT drains gracefully
@@ -51,7 +58,10 @@
 #include "measure/backend.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "search/space.hpp"
 #include "support/table.hpp"
+#include "verify/mutate.hpp"
+#include "verify/verify.hpp"
 #include "workloads/suites.hpp"
 
 namespace {
@@ -134,7 +144,7 @@ std::string backend_names_joined() {
 int usage() {
   const std::string backends = backend_names_joined();
   std::fprintf(stderr,
-               "usage: mcfuser <fuse|compare|suite|info|serve> [flags]\n"
+               "usage: mcfuser <fuse|compare|suite|verify|info|serve> [flags]\n"
                "  fuse    --m M --n N --k K --h H [--batch B] "
                "[--attention|--gelu|--relu] [--gpu NAME] "
                "[--backend=%s] [--isolation worker|none] "
@@ -148,6 +158,9 @@ int usage() {
                "[--retries N] [--stats] [--json]\n"
                "  compare <same shape flags> [--trials T]\n"
                "  suite   gemm|attention [--gpu NAME]\n"
+               "  verify  [--family gemm|attention|bert|mixer|all] "
+               "[--max-candidates N] [--mutants N] [--seed N] [--gpu NAME] "
+               "[--json]\n"
                "  info    [--gpu NAME]\n"
                "  serve   [--socket PATH] [--port N] [--gpu NAME] "
                "[--backend NAME] [--isolation worker|none] [--jobs N] "
@@ -176,6 +189,7 @@ bool validate_flags(const Args& args) {
        {"m", "n", "k", "h", "batch", "attention", "gelu", "relu", "gpu",
         "trials"}},
       {"suite", {"gpu"}},
+      {"verify", {"family", "max-candidates", "mutants", "seed", "gpu", "json"}},
       {"info", {"gpu"}},
       {"serve",
        {"socket", "port", "gpu", "backend", "isolation", "jobs", "max-queue",
@@ -233,7 +247,7 @@ bool validate_flags(const Args& args) {
       "m",       "n",         "k",           "h",
       "batch",   "seq",       "jobs",        "trials",
       "max-queue", "port",    "retries",     "max-conns",
-      "max-in-flight"};
+      "max-in-flight", "max-candidates", "mutants", "seed"};
   for (const auto& kv : args.flags) {
     if (kNumeric.count(kv.first) == 0) continue;
     errno = 0;
@@ -733,6 +747,142 @@ int cmd_serve(const Args& args) {
   return identity_ok ? 0 : 1;
 }
 
+/// The verify sweep's workload matrix: the paper's evaluation families
+/// plus the end-to-end model chains, mirroring what the conformance tests
+/// tune.  Every chain is paired with its pruned tuner candidate grid so
+/// the sweep proves safety for the schedules the tuner can actually emit.
+std::vector<ChainSpec> verify_family_chains(const std::string& family) {
+  std::vector<ChainSpec> chains;
+  const bool all = family == "all";
+  if (all || family == "gemm") {
+    for (auto& c : gemm_chain_suite()) chains.push_back(std::move(c));
+  }
+  if (all || family == "attention") {
+    for (auto& c : attention_suite()) chains.push_back(std::move(c));
+  }
+  if (all || family == "bert") {
+    for (const BertConfig& cfg : {bert_small(), bert_base(), bert_large()}) {
+      chains.push_back(bert_attention_chain(cfg, cfg.seq_len));
+    }
+  }
+  if (all || family == "mixer") {
+    // Token-mixing MLP as an MBCI chain (graph/mixer.hpp): the
+    // transposed patch matmul pair with the GeLU epilogue in between.
+    for (const MixerConfig& cfg : {mixer_small(), mixer_base()}) {
+      chains.emplace_back(cfg.name + "-token", /*batch=*/1, cfg.channels,
+                          std::vector<std::int64_t>{cfg.patches,
+                                                    cfg.token_hidden,
+                                                    cfg.patches},
+                          std::vector<Epilogue>{Epilogue::Gelu});
+    }
+  }
+  return chains;
+}
+
+int cmd_verify(const Args& args) {
+  const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
+  const std::string family = args.str("family", "all");
+  if (family != "all" && family != "gemm" && family != "attention" &&
+      family != "bert" && family != "mixer") {
+    std::fprintf(stderr, "mcfuser verify: unknown family '%s'\n\n",
+                 family.c_str());
+    return 2;
+  }
+  const auto max_candidates =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          1, args.num("max-candidates", 8)));
+  const auto max_mutants = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, args.num("mutants", 4)));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  const bool json = args.has("json");
+
+  const std::vector<ChainSpec> chains = verify_family_chains(family);
+  PruneOptions prune;
+  prune.smem_limit_bytes = gpu.smem_per_block;
+
+  std::size_t candidates_checked = 0;
+  std::size_t violations = 0;
+  std::size_t mutants_total = 0;
+  std::size_t mutants_flagged = 0;
+  std::string chains_json;
+  for (const ChainSpec& chain : chains) {
+    const SearchSpace space(chain, SpaceOptions{}, prune);
+    const auto& cands = space.candidates();
+    // Even spread over the candidate grid: first, last, and evenly spaced
+    // interior points — corner-heavy tilings (the fringe paths) live at
+    // the ends of the grid.
+    const std::size_t take = std::min(max_candidates, cands.size());
+    std::size_t chain_checked = 0;
+    std::size_t chain_violations = 0;
+    std::size_t chain_mut_total = 0;
+    std::size_t chain_mut_flagged = 0;
+    std::string reports_json;
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t idx =
+          take <= 1 ? 0 : i * (cands.size() - 1) / (take - 1);
+      const Schedule s = space.schedule_for(cands[idx]);
+      const verify::VerifyReport report = verify::verify_schedule(s);
+      ++chain_checked;
+      if (!report.safe()) {
+        ++chain_violations;
+        if (!reports_json.empty()) reports_json += ",";
+        reports_json += report.to_json();
+      }
+      for (const verify::Mutant& m :
+           verify::mutation_corpus(s, seed, max_mutants)) {
+        ++chain_mut_total;
+        const verify::VerifyReport mr = verify::verify_schedule(m.schedule);
+        if (!mr.safe()) {
+          ++chain_mut_flagged;
+        } else {
+          std::fprintf(stderr,
+                       "mcfuser verify: MISSED mutant '%s' (%s) on %s\n",
+                       m.name.c_str(), m.detail.c_str(),
+                       chain.name().c_str());
+        }
+      }
+    }
+    candidates_checked += chain_checked;
+    violations += chain_violations;
+    mutants_total += chain_mut_total;
+    mutants_flagged += chain_mut_flagged;
+    if (json) {
+      if (!chains_json.empty()) chains_json += ",";
+      chains_json += "{\"name\":\"" + chain.name() +
+                     "\",\"shape\":\"" + chain.to_string() +
+                     "\",\"grid\":" + std::to_string(cands.size()) +
+                     ",\"checked\":" + std::to_string(chain_checked) +
+                     ",\"violations\":" + std::to_string(chain_violations) +
+                     ",\"mutants\":" + std::to_string(chain_mut_total) +
+                     ",\"mutants_flagged\":" +
+                     std::to_string(chain_mut_flagged) +
+                     ",\"reports\":[" + reports_json + "]}";
+    } else {
+      std::printf("%-14s %-28s grid %-8zu checked %-3zu violations %-2zu "
+                  "mutants %zu/%zu flagged\n",
+                  chain.name().c_str(), chain.to_string().c_str(),
+                  cands.size(), chain_checked, chain_violations,
+                  chain_mut_flagged, chain_mut_total);
+    }
+  }
+
+  const bool clean = violations == 0 && mutants_flagged == mutants_total;
+  if (json) {
+    std::printf("{\"gpu\":\"%s\",\"family\":\"%s\",\"chains\":[%s],"
+                "\"candidates_checked\":%zu,\"violations\":%zu,"
+                "\"mutants\":%zu,\"mutants_flagged\":%zu,\"clean\":%s}\n",
+                gpu.name.c_str(), family.c_str(), chains_json.c_str(),
+                candidates_checked, violations, mutants_total,
+                mutants_flagged, clean ? "true" : "false");
+  } else {
+    std::printf("verify: %zu candidates across %zu chains, %zu violations; "
+                "%zu/%zu mutants flagged -> %s\n",
+                candidates_checked, chains.size(), violations,
+                mutants_flagged, mutants_total, clean ? "CLEAN" : "UNSAFE");
+  }
+  return clean ? 0 : 1;
+}
+
 int cmd_info(const Args& args) {
   const GpuSpec gpu = gpu_by_name(args.str("gpu", "a100"));
   std::printf("%s: %d SMs, %.0f TFLOPS fp16 TC, %.0f GB/s DRAM, "
@@ -754,6 +904,7 @@ int main(int argc, char** argv) {
   if (args.command == "fuse") return cmd_fuse(args);
   if (args.command == "compare") return cmd_compare(args);
   if (args.command == "suite") return cmd_suite(args);
+  if (args.command == "verify") return cmd_verify(args);
   if (args.command == "info") return cmd_info(args);
   if (args.command == "serve") return cmd_serve(args);
   return usage();

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Static concurrency gate (the CI `lint` job; see .github/workflows/ci.yml).
 #
+#  0. tools/check_banned_patterns.sh — grep-level ban on raw std::mutex /
+#     getenv / popen outside their sanctioned wrapper files (explicit
+#     allowlist in tools/lint_allowlist.txt).
 #  1. clang++ -Wthread-safety -Werror over every src/ translation unit.
 #     The Clang thread-safety analysis statically verifies the lock
 #     discipline declared through src/support/thread_annotations.hpp
@@ -21,6 +24,11 @@ cd "$(dirname "$0")/.."
 CLANGXX="${CLANGXX:-clang++}"
 CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
 BUILD_DIR="${BUILD_DIR:-build-lint}"
+
+# 0. Banned-pattern lint: raw std::mutex / getenv / popen outside their
+#    sanctioned wrappers (allowlist: tools/lint_allowlist.txt).  Cheapest
+#    gate first — pure grep, no toolchain.
+tools/check_banned_patterns.sh
 
 if ! command -v "$CLANGXX" >/dev/null 2>&1; then
   echo "run_lint.sh: $CLANGXX not found — the thread-safety analysis is clang-only" >&2
